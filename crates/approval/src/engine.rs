@@ -1,0 +1,438 @@
+//! Algorithm 2: `Hose_Approval` and `Pipe_Approval`.
+
+use crate::types::{HoseApproval, PipeApproval};
+use entitlement_core::{NpgId, Rate, SloTarget};
+use entitlement_hose::{generate_tms, HoseRequest, TmGenConfig};
+use entitlement_risk::{assess_risk, RiskConfig};
+use entitlement_topology::routing::Demand;
+use entitlement_topology::{ScenarioSet, Topology};
+use serde::{Deserialize, Serialize};
+
+/// Whether a batch is rejected outright when any flow misses the SLO, or
+/// granted the partial volume that does meet it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ApprovalMode {
+    /// "Only when 100% of the flow meets SLO, the batch is approved. If
+    /// any flow fails, the batch is rejected."
+    StrictBatch,
+    /// Grant the SLO-feasible fraction of each pipe; the grant is also
+    /// the counter-proposal of §8.
+    Partial,
+}
+
+/// Engine configuration.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ApprovalConfig {
+    /// Representative realizations (TMs) per hose.
+    pub tms_per_hose: usize,
+    /// Maximum simultaneous fiber cuts to enumerate.
+    pub max_cuts: usize,
+    /// Multipath fan-out for routing.
+    pub k_paths: usize,
+    /// Batch semantics.
+    pub mode: ApprovalMode,
+    /// TM sampler seed.
+    pub seed: u64,
+}
+
+impl Default for ApprovalConfig {
+    fn default() -> Self {
+        ApprovalConfig {
+            tms_per_hose: 8,
+            max_cuts: 2,
+            k_paths: 4,
+            mode: ApprovalMode::Partial,
+            seed: 0xA11,
+        }
+    }
+}
+
+/// `Pipe_Approval` for one class batch against the current background.
+///
+/// Returns per-pipe approvals; in [`ApprovalMode::StrictBatch`] the whole
+/// batch zeroes out if any pipe misses its full request at the SLO.
+pub fn pipe_approval(
+    topo: &Topology,
+    scenarios: &ScenarioSet,
+    demands: &[Demand],
+    requested: &[Rate],
+    slo: SloTarget,
+    background: &[Demand],
+    config: &ApprovalConfig,
+) -> Vec<PipeApproval> {
+    let curves = assess_risk(
+        topo,
+        demands,
+        scenarios,
+        &RiskConfig {
+            k_paths: config.k_paths,
+            background: background.to_vec(),
+        },
+    );
+    let mut out: Vec<PipeApproval> = demands
+        .iter()
+        .zip(requested)
+        .zip(&curves)
+        .map(|((d, &req), curve)| {
+            let slo_volume = curve.bandwidth_at(slo.availability());
+            let approved = slo_volume.min(req);
+            PipeApproval {
+                npg: NpgId(0), // caller re-labels
+                qos: entitlement_core::QosClass::C1,
+                src: d.src,
+                dst: d.dst,
+                requested: req,
+                approved,
+                achieved_availability: curve.availability_of(approved),
+            }
+        })
+        .collect();
+    if config.mode == ApprovalMode::StrictBatch && out.iter().any(|p| !p.fully_approved()) {
+        for p in &mut out {
+            p.approved = Rate::ZERO;
+        }
+    }
+    out
+}
+
+/// A fully-specified approval request: the hose, its band within the
+/// QoS class (the paper's eight buckets `c1_low … c4_high`), and the SLO
+/// target to approve against.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ApprovalRequest {
+    /// The hose to approve.
+    pub hose: HoseRequest,
+    /// Band within the class; `Low` is more premium.
+    pub band: entitlement_core::QosBand,
+    /// SLO target.
+    pub slo: SloTarget,
+}
+
+/// `Hose_Approval`: the full Algorithm 2 over a set of hose requests.
+///
+/// Each hose carries its own SLO target (`slos[i]`). Buckets are swept in
+/// strict priority order (here: the hose's QoS class, low-touch NPG
+/// first within a class, per §4.3); approved volumes become background
+/// for every lower class. All hoses are treated as the `Low` band of
+/// their class; use [`approve_requests`] for full eight-bucket ordering.
+pub fn hose_approval(
+    topo: &Topology,
+    hoses: &[HoseRequest],
+    slos: &[SloTarget],
+    config: &ApprovalConfig,
+) -> Vec<HoseApproval> {
+    assert_eq!(hoses.len(), slos.len());
+    let requests: Vec<ApprovalRequest> = hoses
+        .iter()
+        .zip(slos)
+        .map(|(h, &slo)| ApprovalRequest {
+            hose: h.clone(),
+            band: entitlement_core::QosBand::Low,
+            slo,
+        })
+        .collect();
+    approve_requests(topo, &requests, config)
+}
+
+/// Algorithm 2 with the paper's full eight-bucket priority order:
+/// requests are processed `c1_low, c1_high, c2_low, … c4_high`
+/// (low-touch NPG first within a bucket), each bucket seeing every more
+/// premium approval as background traffic.
+pub fn approve_requests(
+    topo: &Topology,
+    requests: &[ApprovalRequest],
+    config: &ApprovalConfig,
+) -> Vec<HoseApproval> {
+    let hoses: Vec<&HoseRequest> = requests.iter().map(|r| &r.hose).collect();
+    let scenarios = ScenarioSet::enumerate(topo, config.max_cuts);
+
+    // GEN_DEMAND: representative pipe realizations per hose.
+    // realizations[h] = Vec<TM>, each TM = Vec<(dst, rate)>.
+    let mut realizations: Vec<Vec<Vec<Demand>>> = Vec::with_capacity(hoses.len());
+    for &hose in &hoses {
+        let tms = generate_tms(
+            hose,
+            &TmGenConfig {
+                count: config.tms_per_hose,
+                seed: config.seed
+                    ^ (hose.npg.0 as u64) << 13
+                    ^ (hose.region.0 as u64)
+                    ^ match hose.direction {
+                        entitlement_core::Direction::Egress => 0,
+                        entitlement_core::Direction::Ingress => 0x16E5_5A17, // ingress salt
+                    },
+                ..Default::default()
+            },
+        );
+        let mut per_hose = Vec::with_capacity(tms.len());
+        for tm in tms {
+            let demands: Vec<Demand> = tm
+                .iter()
+                .map(|(&dst, &rate)| match hose.direction {
+                    entitlement_core::Direction::Egress => Demand {
+                        src: hose.region,
+                        dst,
+                        amount: rate,
+                    },
+                    entitlement_core::Direction::Ingress => Demand {
+                        src: dst,
+                        dst: hose.region,
+                        amount: rate,
+                    },
+                })
+                .collect();
+            per_hose.push(demands);
+        }
+        realizations.push(per_hose);
+    }
+
+    // Bucket order: the eight c1_low…c4_high buckets, low-touch first
+    // within a bucket, then NPG id for determinism.
+    let mut order: Vec<usize> = (0..hoses.len()).collect();
+    order.sort_by_key(|&i| {
+        (
+            entitlement_core::qos::QosBucket {
+                class: hoses[i].qos,
+                band: requests[i].band,
+            }
+            .rank(),
+            if hoses[i].npg.is_low_touch() { 0u8 } else { 1u8 },
+            hoses[i].npg.0,
+        )
+    });
+
+    let mut background: Vec<Demand> = Vec::new();
+    let mut results: Vec<Option<HoseApproval>> = vec![None; hoses.len()];
+
+    for &h in &order {
+        let hose = hoses[h];
+        let slo = requests[h].slo;
+        let mut per_realization: Vec<Rate> = Vec::with_capacity(realizations[h].len());
+        let mut best_realization: Option<(Rate, Vec<PipeApproval>)> = None;
+        for tm in &realizations[h] {
+            let requested: Vec<Rate> = tm.iter().map(|d| d.amount).collect();
+            let approvals = pipe_approval(
+                topo,
+                &scenarios,
+                tm,
+                &requested,
+                slo,
+                &background,
+                config,
+            );
+            let sum: Rate = approvals.iter().map(|p| p.approved).sum();
+            per_realization.push(sum);
+            if best_realization
+                .as_ref()
+                .map(|(s, _)| sum.as_bps() < s.as_bps())
+                .unwrap_or(true)
+            {
+                best_realization = Some((sum, approvals));
+            }
+        }
+        // Final approval: minimum over realizations, clipped to the total.
+        let approved_total = per_realization
+            .iter()
+            .copied()
+            .fold(Rate(f64::INFINITY), Rate::min)
+            .min(hose.total);
+        // Counter-proposal: what the network can carry for the *worst*
+        // realization, even if under the request.
+        let counter_proposal = approved_total;
+
+        // The admitted volume becomes background for lower classes: use
+        // the worst realization's per-pipe approvals (conservative).
+        if let Some((_, pipes)) = best_realization {
+            for p in pipes {
+                if !p.approved.is_zero() {
+                    background.push(Demand {
+                        src: p.src,
+                        dst: p.dst,
+                        amount: p.approved,
+                    });
+                }
+            }
+        }
+        results[h] = Some(HoseApproval {
+            request: hose.clone(),
+            slo,
+            approved_total,
+            per_realization,
+            counter_proposal,
+        });
+    }
+    results.into_iter().map(|r| r.expect("all hoses visited")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::ApprovalSummary;
+    use entitlement_core::{Direction, QosClass, RegionId};
+    use entitlement_topology::BackboneSpec;
+
+    fn topo() -> Topology {
+        BackboneSpec::small(41).build()
+    }
+
+    fn hose(npg: u32, qos: QosClass, region: RegionId, total: Rate, topo: &Topology) -> HoseRequest {
+        let remotes: Vec<RegionId> = topo
+            .dc_ids()
+            .into_iter()
+            .filter(|&r| r != region)
+            .collect();
+        HoseRequest::general(NpgId(npg), qos, region, Direction::Egress, total, remotes)
+    }
+
+    #[test]
+    fn small_request_fully_approved() {
+        let t = topo();
+        let dcs = t.dc_ids();
+        let h = hose(1, QosClass::C1, dcs[0], Rate::gbps(10.0), &t);
+        let out = hose_approval(
+            &t,
+            &[h],
+            &[SloTarget::new(0.99).unwrap()],
+            &ApprovalConfig::default(),
+        );
+        assert_eq!(out.len(), 1);
+        assert!(
+            out[0].fully_approved(),
+            "10G on a Tbps backbone must clear: {}",
+            out[0].approved_total
+        );
+    }
+
+    #[test]
+    fn oversized_request_gets_counter_proposal() {
+        let t = topo();
+        let dcs = t.dc_ids();
+        let h = hose(1, QosClass::C1, dcs[0], Rate::tbps(100.0), &t);
+        let out = hose_approval(
+            &t,
+            &[h],
+            &[SloTarget::new(0.99).unwrap()],
+            &ApprovalConfig::default(),
+        );
+        assert!(!out[0].fully_approved());
+        assert!(out[0].counter_proposal.as_bps() > 0.0);
+        assert!(out[0].counter_proposal.as_bps() < Rate::tbps(100.0).as_bps());
+    }
+
+    #[test]
+    fn premium_class_squeezes_lower_class() {
+        let t = topo();
+        let dcs = t.dc_ids();
+        // Big premium hose from dc0 + lower-class hose from the same dc.
+        let premium = hose(1, QosClass::C1, dcs[0], Rate::tbps(50.0), &t);
+        let low = hose(2, QosClass::C3, dcs[0], Rate::tbps(50.0), &t);
+        let slo = SloTarget::new(0.95).unwrap();
+        let both = hose_approval(&t, &[premium.clone(), low.clone()], &[slo, slo], &ApprovalConfig::default());
+        let alone = hose_approval(&t, &[low], &[slo], &ApprovalConfig::default());
+        assert!(
+            both[1].approved_total.as_bps() < alone[0].approved_total.as_bps(),
+            "C3 with C1 background {} must be below C3 alone {}",
+            both[1].approved_total,
+            alone[0].approved_total
+        );
+        // And the premium hose is unaffected by the lower one.
+        let premium_alone = hose_approval(
+            &t,
+            &[hose(1, QosClass::C1, dcs[0], Rate::tbps(50.0), &t)],
+            &[slo],
+            &ApprovalConfig::default(),
+        );
+        assert!(
+            (both[0].approved_total.as_bps() - premium_alone[0].approved_total.as_bps()).abs()
+                < 1e-3 * premium_alone[0].approved_total.as_bps().max(1.0)
+        );
+    }
+
+    #[test]
+    fn stricter_slo_approves_less() {
+        // The Fig 22 trend.
+        let t = topo();
+        let dcs = t.dc_ids();
+        let mk = || hose(1, QosClass::C2, dcs[1], Rate::tbps(8.0), &t);
+        let cfg = ApprovalConfig {
+            max_cuts: 2,
+            ..Default::default()
+        };
+        let loose = hose_approval(&t, &[mk()], &[SloTarget::new(0.9).unwrap()], &cfg);
+        let strict = hose_approval(&t, &[mk()], &[SloTarget::new(0.9999).unwrap()], &cfg);
+        assert!(
+            strict[0].approved_total.as_bps() <= loose[0].approved_total.as_bps(),
+            "strict {} > loose {}",
+            strict[0].approved_total,
+            loose[0].approved_total
+        );
+    }
+
+    #[test]
+    fn strict_batch_zeroes_partial_failures() {
+        let t = topo();
+        let dcs = t.dc_ids();
+        let h = hose(1, QosClass::C1, dcs[0], Rate::tbps(100.0), &t);
+        let cfg = ApprovalConfig {
+            mode: ApprovalMode::StrictBatch,
+            ..Default::default()
+        };
+        let out = hose_approval(&t, &[h], &[SloTarget::new(0.999).unwrap()], &cfg);
+        assert_eq!(
+            out[0].approved_total,
+            Rate::ZERO,
+            "batch must be rejected outright"
+        );
+    }
+
+    #[test]
+    fn bands_order_within_a_class() {
+        // Two identical huge C2 hoses from the same DC, one low band one
+        // high band: the low band must be approved at least as much.
+        let t = topo();
+        let dcs = t.dc_ids();
+        let slo = SloTarget::new(0.95).unwrap();
+        let mk = |npg: u32| hose(npg, QosClass::C2, dcs[0], Rate::tbps(40.0), &t);
+        let requests = vec![
+            crate::engine::ApprovalRequest {
+                hose: mk(2),
+                band: entitlement_core::QosBand::High,
+                slo,
+            },
+            crate::engine::ApprovalRequest {
+                hose: mk(1),
+                band: entitlement_core::QosBand::Low,
+                slo,
+            },
+        ];
+        let out = approve_requests(&t, &requests, &ApprovalConfig::default());
+        // Output order matches input order; request 1 (low band) wins.
+        assert!(
+            out[1].approved_total.as_bps() >= out[0].approved_total.as_bps(),
+            "low band {} must not lose to high band {}",
+            out[1].approved_total,
+            out[0].approved_total
+        );
+        assert!(
+            out[0].approved_total.as_bps() < out[1].approved_total.as_bps() * 0.9,
+            "the high band should be visibly squeezed"
+        );
+    }
+
+    #[test]
+    fn summary_reflects_mixed_outcomes() {
+        let t = topo();
+        let dcs = t.dc_ids();
+        let hoses = vec![
+            hose(1, QosClass::C1, dcs[0], Rate::gbps(5.0), &t),
+            hose(2, QosClass::C2, dcs[1], Rate::tbps(100.0), &t),
+        ];
+        let slo = SloTarget::new(0.99).unwrap();
+        let out = hose_approval(&t, &hoses, &[slo, slo], &ApprovalConfig::default());
+        let summary = ApprovalSummary::from_approvals(&out);
+        assert_eq!(summary.total_hoses, 2);
+        assert_eq!(summary.fully_approved, 1);
+        assert!(summary.approval_rate() < 1.0);
+        assert!(summary.approval_rate() > 0.0);
+    }
+}

@@ -1,0 +1,156 @@
+//! Approval result types.
+
+use entitlement_core::{NpgId, QosClass, Rate, RegionId, SloTarget};
+use entitlement_hose::HoseRequest;
+use serde::{Deserialize, Serialize};
+
+/// The outcome for one pipe within one realization.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PipeApproval {
+    /// Owning service.
+    pub npg: NpgId,
+    /// Traffic class.
+    pub qos: QosClass,
+    /// Source region.
+    pub src: RegionId,
+    /// Destination region.
+    pub dst: RegionId,
+    /// Requested volume.
+    pub requested: Rate,
+    /// Granted volume (≤ requested).
+    pub approved: Rate,
+    /// Availability the granted volume achieves.
+    pub achieved_availability: f64,
+}
+
+impl PipeApproval {
+    /// Whether the full request was granted.
+    pub fn fully_approved(&self) -> bool {
+        self.approved.as_bps() >= self.requested.as_bps() * (1.0 - 1e-9)
+    }
+}
+
+/// The outcome for one hose request.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct HoseApproval {
+    /// The original request.
+    pub request: HoseRequest,
+    /// The SLO target the approval was computed against.
+    pub slo: SloTarget,
+    /// Approved hose total (min over realizations of summed pipe grants).
+    pub approved_total: Rate,
+    /// Per-realization approved sums (diagnostics; min is the grant).
+    pub per_realization: Vec<Rate>,
+    /// The counter-proposal for an under-approved request: the largest
+    /// volume the network *can* guarantee (§8 bandwidth negotiation).
+    pub counter_proposal: Rate,
+}
+
+impl HoseApproval {
+    /// Fraction of the requested total that was approved.
+    pub fn approval_fraction(&self) -> f64 {
+        if self.request.total.is_zero() {
+            1.0
+        } else {
+            (self.approved_total / self.request.total).min(1.0)
+        }
+    }
+
+    /// Whether the hose was fully approved.
+    pub fn fully_approved(&self) -> bool {
+        self.approval_fraction() > 1.0 - 1e-9
+    }
+}
+
+/// Aggregate statistics over a whole approval run (the Fig 22 series).
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct ApprovalSummary {
+    /// Total requested across hoses.
+    pub requested: Rate,
+    /// Total approved across hoses.
+    pub approved: Rate,
+    /// Count of fully approved hoses.
+    pub fully_approved: usize,
+    /// Count of hoses.
+    pub total_hoses: usize,
+}
+
+impl ApprovalSummary {
+    /// Build from a set of hose approvals.
+    pub fn from_approvals(approvals: &[HoseApproval]) -> Self {
+        ApprovalSummary {
+            requested: approvals.iter().map(|a| a.request.total).sum(),
+            approved: approvals.iter().map(|a| a.approved_total).sum(),
+            fully_approved: approvals.iter().filter(|a| a.fully_approved()).count(),
+            total_hoses: approvals.len(),
+        }
+    }
+
+    /// Volume-weighted approval percentage.
+    pub fn approval_rate(&self) -> f64 {
+        if self.requested.is_zero() {
+            1.0
+        } else {
+            self.approved / self.requested
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use entitlement_core::Direction;
+
+    fn hose(total_g: f64) -> HoseRequest {
+        HoseRequest::general(
+            NpgId(1),
+            QosClass::C1,
+            RegionId(0),
+            Direction::Egress,
+            Rate::gbps(total_g),
+            [RegionId(1), RegionId(2)],
+        )
+    }
+
+    #[test]
+    fn approval_fraction_math() {
+        let a = HoseApproval {
+            request: hose(100.0),
+            slo: SloTarget::new(0.999).unwrap(),
+            approved_total: Rate::gbps(60.0),
+            per_realization: vec![Rate::gbps(60.0), Rate::gbps(80.0)],
+            counter_proposal: Rate::gbps(60.0),
+        };
+        assert!((a.approval_fraction() - 0.6).abs() < 1e-9);
+        assert!(!a.fully_approved());
+    }
+
+    #[test]
+    fn summary_aggregates() {
+        let mk = |req: f64, app: f64| HoseApproval {
+            request: hose(req),
+            slo: SloTarget::new(0.999).unwrap(),
+            approved_total: Rate::gbps(app),
+            per_realization: vec![],
+            counter_proposal: Rate::gbps(app),
+        };
+        let s = ApprovalSummary::from_approvals(&[mk(100.0, 100.0), mk(100.0, 50.0)]);
+        assert_eq!(s.total_hoses, 2);
+        assert_eq!(s.fully_approved, 1);
+        assert!((s.approval_rate() - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pipe_full_approval_check() {
+        let p = PipeApproval {
+            npg: NpgId(1),
+            qos: QosClass::C2,
+            src: RegionId(0),
+            dst: RegionId(1),
+            requested: Rate::gbps(10.0),
+            approved: Rate::gbps(10.0),
+            achieved_availability: 0.9999,
+        };
+        assert!(p.fully_approved());
+    }
+}

@@ -1,0 +1,111 @@
+//! Criterion benches for the end-to-end simulations: the §6 drill
+//! (Figs 11–17) and the §2.2 incident (Figs 4–5), at several fleet
+//! sizes — these are the figure-regeneration pipelines themselves.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use entitlement_bench::experiments;
+use entitlement_enforcement::drill::{run_drill, DrillConfig};
+use entitlement_enforcement::MarkingStrategy;
+
+fn bench_drill(c: &mut Criterion) {
+    let mut group = c.benchmark_group("drill");
+    group.sample_size(10);
+    for hosts in [200usize, 1000] {
+        group.bench_with_input(BenchmarkId::new("full_timeline", hosts), &hosts, |b, &hosts| {
+            b.iter(|| {
+                run_drill(&DrillConfig {
+                    hosts,
+                    ..Default::default()
+                })
+            })
+        });
+    }
+    group.bench_function("flow_based_ablation", |b| {
+        b.iter(|| {
+            run_drill(&DrillConfig {
+                hosts: 200,
+                strategy: MarkingStrategy::FlowBased,
+                ..Default::default()
+            })
+        })
+    });
+    group.finish();
+}
+
+fn bench_incident(c: &mut Criterion) {
+    let mut group = c.benchmark_group("incident");
+    group.sample_size(10);
+    group.bench_function("two_class_2h", |b| {
+        b.iter(|| experiments::incident::run(5))
+    });
+    group.finish();
+}
+
+fn bench_marking_convergence(c: &mut Criterion) {
+    let mut group = c.benchmark_group("marking_convergence");
+    group.bench_function("both_algorithms_5_losses", |b| {
+        b.iter(|| experiments::marking::run(50))
+    });
+    group.finish();
+}
+
+fn bench_netfluid_and_multidrill(c: &mut Criterion) {
+    use entitlement_core::{NpgId, QosClass, Rate};
+    use entitlement_enforcement::multidrill::{run_multi_drill, MultiDrillConfig, ServiceSpec};
+    use entitlement_simnet::netfluid::{NetWorld, NetWorldConfig, ServiceFlow};
+    use entitlement_topology::BackboneSpec;
+    use entitlement_workload::TrafficPattern;
+
+    let mut group = c.benchmark_group("fleet_simulations");
+    group.sample_size(10);
+
+    let topo = BackboneSpec::default().build();
+    let dcs = topo.dc_ids();
+    let flows: Vec<ServiceFlow> = dcs
+        .iter()
+        .zip(dcs.iter().cycle().skip(3))
+        .take(20)
+        .enumerate()
+        .map(|(i, (&s, &d))| ServiceFlow {
+            npg: NpgId((i % 4) as u32),
+            qos: QosClass::C2,
+            src: s,
+            dst: d,
+            base_rate: Rate::gbps(300.0),
+            pattern: TrafficPattern::Flat,
+        })
+        .filter(|f| f.src != f.dst)
+        .collect();
+    group.bench_function("netfluid_120_ticks", |b| {
+        b.iter(|| {
+            let mut net =
+                NetWorld::new(topo.clone(), flows.clone(), NetWorldConfig::default()).unwrap();
+            for k in 0..120 {
+                net.step(k as f64 * 30.0);
+            }
+        })
+    });
+
+    let services: Vec<ServiceSpec> = (0..8)
+        .map(|i| ServiceSpec {
+            npg: NpgId(i),
+            base_rate: Rate::tbps(1.5),
+            pattern: TrafficPattern::Flat,
+            entitled: Rate::tbps(1.0),
+            hosts: 500,
+        })
+        .collect();
+    group.bench_function("multidrill_8_services_1h", |b| {
+        b.iter(|| run_multi_drill(&services, &MultiDrillConfig::default()))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_drill,
+    bench_incident,
+    bench_marking_convergence,
+    bench_netfluid_and_multidrill
+);
+criterion_main!(benches);

@@ -1,0 +1,84 @@
+//! Criterion benches for the enforcement hot paths: the per-packet
+//! classifier (the simulated BPF program), metering updates, marking
+//! command construction, and KV-store aggregation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use entitlement_core::{NpgId, QosClass, Rate};
+use entitlement_enforcement::bpf::{ClassifyInput, MarkingTable};
+use entitlement_enforcement::{Marker, MarkingStrategy, Meter, StatefulMeter, StatelessMeter};
+use entitlement_kvstore::{ShardedStore, StoreConfig};
+
+fn bench_classify(c: &mut Criterion) {
+    let mut table = MarkingTable::new();
+    table.set_host_cut(NpgId(1), QosClass::C2, 30);
+    table.set_flow_cut(NpgId(1), QosClass::C1, 10);
+    let mut i = 0u8;
+    c.bench_function("bpf_classify", |b| {
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            table.classify(ClassifyInput {
+                npg: NpgId(1),
+                qos: if i % 2 == 0 { QosClass::C1 } else { QosClass::C2 },
+                flow_group: i % 100,
+                host_group: i.wrapping_mul(7) % 100,
+            })
+        })
+    });
+}
+
+fn bench_metering(c: &mut Criterion) {
+    let mut group = c.benchmark_group("metering");
+    let mut stateless = StatelessMeter::new();
+    let mut stateful = StatefulMeter::new();
+    group.bench_function("stateless_update", |b| {
+        b.iter(|| stateless.update(Rate::tbps(6.0), Rate::tbps(5.5), Rate::tbps(5.0)))
+    });
+    group.bench_function("stateful_update", |b| {
+        b.iter(|| stateful.update(Rate::tbps(6.0), Rate::tbps(5.5), Rate::tbps(5.0)))
+    });
+    group.finish();
+}
+
+fn bench_marking(c: &mut Criterion) {
+    let mut group = c.benchmark_group("marking_command");
+    for hosts in [1_000usize, 10_000, 100_000] {
+        let marker = Marker::new(MarkingStrategy::HostBased);
+        group.bench_with_input(BenchmarkId::new("host_based", hosts), &hosts, |b, &hosts| {
+            b.iter(|| marker.command(0.7, hosts))
+        });
+    }
+    group.finish();
+}
+
+fn bench_kvstore(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kvstore");
+    for agents in [100usize, 1000, 10_000] {
+        let store = ShardedStore::new(StoreConfig::default());
+        for h in 0..agents {
+            store.put(&format!("rates/svc/total/h{h}"), 1e9, 0);
+        }
+        group.bench_with_input(
+            BenchmarkId::new("aggregate_sum", agents),
+            &store,
+            |b, store| b.iter(|| store.aggregate_sum("rates/svc/total/", 100)),
+        );
+    }
+    let store = ShardedStore::new(StoreConfig::default());
+    let mut h = 0u64;
+    group.bench_function("put", |b| {
+        b.iter(|| {
+            h = h.wrapping_add(1);
+            store.put(&format!("rates/svc/total/h{}", h % 10_000), 1e9, h);
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_classify,
+    bench_metering,
+    bench_marking,
+    bench_kvstore
+);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! Criterion benches for the demand-forecast pipeline (Figs 18–19):
+//! decomposable-model fitting, quantile-GBDT training, and the full
+//! quarterly pipeline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use entitlement_core::Rate;
+use entitlement_forecast::{
+    DecomposableModel, ForecastPipeline, GbdtConfig, ModelConfig, PipelineConfig, QuantileGbdt,
+};
+use entitlement_workload::HistorySpec;
+
+fn history(months: usize) -> (Vec<f64>, Vec<u32>, Vec<Vec<f64>>) {
+    let h = HistorySpec {
+        months,
+        base_rate: Rate::gbps(200.0),
+        seed: 77,
+        ..Default::default()
+    }
+    .generate();
+    let regs = h.regressors.iter().map(|r| r.features().to_vec()).collect();
+    (h.daily_bps, h.holidays, regs)
+}
+
+fn bench_decompose(c: &mut Criterion) {
+    let mut group = c.benchmark_group("decomposable_model");
+    for months in [6usize, 12, 24] {
+        let (daily, holidays, _) = history(months);
+        group.bench_with_input(BenchmarkId::new("fit", months * 30), &daily, |b, daily| {
+            b.iter(|| DecomposableModel::fit(daily, &holidays, ModelConfig::default()).unwrap())
+        });
+    }
+    let (daily, holidays, _) = history(12);
+    let model = DecomposableModel::fit(&daily, &holidays, ModelConfig::default()).unwrap();
+    group.bench_function("predict_90_days", |b| {
+        b.iter(|| model.predict_range(360, 90))
+    });
+    group.finish();
+}
+
+fn bench_gbdt(c: &mut Criterion) {
+    let xs: Vec<Vec<f64>> = (0..200)
+        .map(|i| vec![(i % 17) as f64, (i % 5) as f64, i as f64 / 10.0])
+        .collect();
+    let ys: Vec<f64> = xs.iter().map(|x| x[0] * 2.0 + x[1]).collect();
+    let mut group = c.benchmark_group("quantile_gbdt");
+    group.sample_size(20);
+    group.bench_function("fit_200x3_100rounds", |b| {
+        b.iter(|| QuantileGbdt::fit(&xs, &ys, GbdtConfig::default()))
+    });
+    let model = QuantileGbdt::fit(&xs, &ys, GbdtConfig::default());
+    group.bench_function("predict", |b| b.iter(|| model.predict(&[3.0, 2.0, 5.0])));
+    group.finish();
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let (daily, holidays, regs) = history(12);
+    let mut group = c.benchmark_group("forecast_pipeline");
+    group.sample_size(20);
+    group.bench_function("fit_and_forecast_quarter", |b| {
+        b.iter(|| {
+            let pipe =
+                ForecastPipeline::fit(&daily, &holidays, &regs, PipelineConfig::default()).unwrap();
+            let future = [regs[9].clone(), regs[10].clone(), regs[11].clone()];
+            pipe.forecast_quarter(&regs, &future)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_decompose, bench_gbdt, bench_pipeline);
+criterion_main!(benches);

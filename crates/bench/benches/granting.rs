@@ -1,0 +1,195 @@
+//! Criterion benches for the granting side: segmentation (Fig 6/20),
+//! representative-TM generation and coverage (Fig 20/21), risk
+//! assessment, and the full approval pipeline (Fig 22).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use entitlement_approval::{hose_approval, ApprovalConfig};
+use entitlement_core::{DetRng, Direction, NpgId, QosClass, Rate, RegionId, SloTarget};
+use entitlement_hose::coverage::{coverage_of, probe_points};
+use entitlement_hose::{generate_tms, segment_flow_series, HoseRequest, TmGenConfig};
+use entitlement_risk::{assess_risk, RiskConfig};
+use entitlement_topology::routing::Demand;
+use entitlement_topology::{BackboneSpec, ScenarioSet};
+
+fn synth_flows(dests: usize) -> entitlement_hose::segment::FlowSeries {
+    let mut rng = DetRng::new(9);
+    let mut flows = entitlement_hose::segment::FlowSeries::new();
+    for d in 0..dests {
+        let base = 1000.0 / (d + 1) as f64;
+        flows.insert(
+            RegionId(1 + d as u16),
+            (0..24).map(|t| base * (1.0 + 0.1 * rng.f64() + 0.05 * (t as f64).sin())).collect(),
+        );
+    }
+    flows
+}
+
+fn bench_segmentation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("segmented_hose");
+    for dests in [4usize, 8, 16, 32] {
+        let flows = synth_flows(dests);
+        group.bench_with_input(BenchmarkId::new("algorithm1", dests), &flows, |b, flows| {
+            b.iter(|| {
+                segment_flow_series(
+                    NpgId(1),
+                    QosClass::C1,
+                    RegionId(0),
+                    Direction::Egress,
+                    Rate::gbps(900.0),
+                    flows,
+                )
+                .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_tm_generation(c: &mut Criterion) {
+    let hose = HoseRequest::general(
+        NpgId(1),
+        QosClass::C1,
+        RegionId(0),
+        Direction::Egress,
+        Rate::gbps(900.0),
+        (1..=8).map(RegionId),
+    );
+    let mut group = c.benchmark_group("tm_generation");
+    for count in [100usize, 1000] {
+        group.bench_with_input(BenchmarkId::new("generate", count), &count, |b, &count| {
+            b.iter(|| {
+                generate_tms(
+                    &hose,
+                    &TmGenConfig {
+                        count,
+                        ..Default::default()
+                    },
+                )
+            })
+        });
+    }
+    let tms = generate_tms(
+        &hose,
+        &TmGenConfig {
+            count: 500,
+            ..Default::default()
+        },
+    );
+    let probes = probe_points(&hose, 200, 3);
+    group.bench_function("coverage_500tms_200probes", |b| {
+        b.iter(|| coverage_of(&tms, &probes))
+    });
+    group.finish();
+}
+
+fn bench_risk(c: &mut Criterion) {
+    let topo = BackboneSpec::small(41).build();
+    let ids = topo.dc_ids();
+    let demands: Vec<Demand> = ids
+        .iter()
+        .skip(1)
+        .map(|&dst| Demand {
+            src: ids[0],
+            dst,
+            amount: Rate::gbps(200.0),
+        })
+        .collect();
+    let mut group = c.benchmark_group("risk_simulation");
+    group.sample_size(20);
+    for max_cuts in [1usize, 2] {
+        let scenarios = ScenarioSet::enumerate(&topo, max_cuts);
+        group.bench_with_input(
+            BenchmarkId::new("assess", format!("{}cuts_{}scen", max_cuts, scenarios.len())),
+            &scenarios,
+            |b, scenarios| {
+                b.iter(|| assess_risk(&topo, &demands, scenarios, &RiskConfig::default()))
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_approval(c: &mut Criterion) {
+    let topo = BackboneSpec::small(41).build();
+    let dcs = topo.dc_ids();
+    let hoses: Vec<HoseRequest> = dcs
+        .iter()
+        .enumerate()
+        .map(|(i, &region)| {
+            HoseRequest::general(
+                NpgId(i as u32),
+                QosClass::C2,
+                region,
+                Direction::Egress,
+                Rate::tbps(1.0),
+                dcs.iter().copied().filter(|&r| r != region),
+            )
+        })
+        .collect();
+    let slos = vec![SloTarget::new(0.99).unwrap(); hoses.len()];
+    let mut group = c.benchmark_group("approval");
+    group.sample_size(10);
+    group.bench_function("hose_approval_5dcs", |b| {
+        b.iter(|| {
+            hose_approval(
+                &topo,
+                &hoses,
+                &slos,
+                &ApprovalConfig {
+                    tms_per_hose: 4,
+                    max_cuts: 1,
+                    ..Default::default()
+                },
+            )
+        })
+    });
+    group.finish();
+}
+
+fn bench_selection_and_srlg(c: &mut Criterion) {
+    use entitlement_hose::{greedy_select, SelectConfig};
+    use entitlement_topology::SrlgMap;
+
+    let hose = HoseRequest::general(
+        NpgId(1),
+        QosClass::C1,
+        RegionId(0),
+        Direction::Egress,
+        Rate::gbps(900.0),
+        (1..=6).map(RegionId),
+    );
+    let mut group = c.benchmark_group("selection_srlg");
+    group.sample_size(10);
+    group.bench_function("greedy_select_500c_200p", |b| {
+        b.iter(|| {
+            greedy_select(
+                &hose,
+                50,
+                0.9,
+                &SelectConfig {
+                    candidates: 500,
+                    probes: 200,
+                    ..Default::default()
+                },
+            )
+        })
+    });
+    let topo = BackboneSpec::small(41).build();
+    group.bench_function("srlg_synthesize_and_enumerate", |b| {
+        b.iter(|| {
+            let map = SrlgMap::synthesize(&topo, 0.5, 7);
+            map.enumerate(&topo, 2)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_segmentation,
+    bench_tm_generation,
+    bench_risk,
+    bench_approval,
+    bench_selection_and_srlg
+);
+criterion_main!(benches);

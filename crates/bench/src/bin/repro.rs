@@ -1,0 +1,149 @@
+//! Regenerate the paper's figures.
+//!
+//! ```text
+//! repro <id> [--json]     one experiment (fig1, fig3, fig6, ..., fig25,
+//!                         ablations)
+//! repro all [--json]      everything
+//! repro list              show the experiment index
+//! ```
+
+use entitlement_bench::experiments as exp;
+use entitlement_enforcement::MarkingStrategy;
+
+const INDEX: &[(&str, &str)] = &[
+    ("fig1", "service distribution of a high QoS class"),
+    ("fig2", "service distribution of a low QoS class"),
+    ("fig3", "Coldstorage vs Warmstorage traffic patterns"),
+    ("fig4", "misbehaving service: the +50% spike"),
+    ("fig5", "loss induced on two QoS classes"),
+    ("fig6", "reserved capacity: pipe vs hose vs segmented hose"),
+    ("fig7", "traffic distribution across sources for one destination"),
+    ("fig11", "drill: packet loss per conformance class"),
+    ("fig12", "drill: traffic rate vs entitlement"),
+    ("fig13", "drill: RTT"),
+    ("fig14", "drill: TCP SYN transmissions"),
+    ("fig15", "drill: storage read latency"),
+    ("fig16", "drill: storage write latency"),
+    ("fig17", "drill: block write errors"),
+    ("fig18", "forecast accuracy sMAPE CDF, QoS A"),
+    ("fig19", "forecast accuracy sMAPE CDF, QoS B"),
+    ("fig20", "segmented hose: TM-count reduction CDF"),
+    ("fig21", "hose coverage vs number of TMs"),
+    ("fig22", "approval percentage vs availability SLO"),
+    ("fig23", "stateless marking, instantaneous rate"),
+    ("fig24", "stateless marking, average rate"),
+    ("fig25", "stateful marking, instantaneous rate"),
+    ("ablations", "N-segments, recovery factor, gen-1 vs gen-2"),
+];
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let json = args.iter().any(|a| a == "--json");
+    let id = args.first().map(|s| s.as_str()).unwrap_or("list");
+
+    match id {
+        "list" => {
+            println!("experiments:");
+            for (id, desc) in INDEX {
+                println!("  {id:<10} {desc}");
+            }
+        }
+        "all" => {
+            // Heavy experiments back several figure ids; run each once.
+            for id in [
+                "fig1", "fig2", "fig3", "fig4", "fig6", "fig7", "fig11", "fig18", "fig19",
+                "fig20", "fig21", "fig22", "fig23", "ablations",
+            ] {
+                run(id, json);
+            }
+        }
+        _ => run(id, json),
+    }
+}
+
+fn emit<T: serde::Serialize>(json: bool, id: &str, value: &T, print: impl FnOnce()) {
+    if json {
+        println!(
+            "{{\"experiment\":\"{id}\",\"data\":{}}}",
+            serde_json::to_string(value).expect("serializable result")
+        );
+    } else {
+        print();
+    }
+}
+
+fn run(id: &str, json: bool) {
+    match id {
+        "fig1" | "fig2" => {
+            let (high, low) = exp::service_distribution::run(0x51);
+            let d = if id == "fig1" { high } else { low };
+            emit(json, id, &d, || d.print());
+        }
+        "fig3" => {
+            let p = exp::storage_patterns::run(2.0);
+            emit(json, id, &p, || p.print());
+        }
+        "fig4" | "fig5" => {
+            let r = exp::incident::run(5);
+            emit(json, id, &r, || r.print());
+        }
+        "fig6" => {
+            let e = exp::hose_example::run();
+            emit(json, id, &e, || e.print());
+        }
+        "fig7" => {
+            let d = exp::src_distribution::run(0x51);
+            emit(json, id, &d, || d.print());
+        }
+        "fig11" | "fig12" | "fig13" | "fig14" | "fig15" | "fig16" | "fig17" => {
+            let r = exp::drill::run(MarkingStrategy::HostBased);
+            emit(json, id, &r, || r.print());
+        }
+        "fig18" | "fig19" => {
+            let seed = if id == "fig18" { 0xF18 } else { 0xF19 };
+            let acc = exp::forecast_accuracy::run(&exp::forecast_accuracy::AccuracyConfig {
+                seed,
+                ..Default::default()
+            });
+            let label = if id == "fig18" { "QoS A" } else { "QoS B" };
+            emit(json, id, &acc, || acc.print(label));
+        }
+        "fig20" => {
+            let b = exp::segmented_benefit::run(&Default::default());
+            emit(json, id, &b, || b.print());
+        }
+        "fig21" => {
+            let c = exp::coverage_tradeoff::run(4000, 400, 0xF21);
+            emit(json, id, &c, || c.print());
+        }
+        "fig22" => {
+            let a = exp::approval_slo::run(&[0.9, 0.95, 0.99, 0.995, 0.999, 0.9995], 0.45, 0x22);
+            emit(json, id, &a, || a.print());
+        }
+        "fig23" | "fig24" | "fig25" => {
+            let m = exp::marking::run(60);
+            emit(json, id, &m, || m.print());
+        }
+        "ablations" => {
+            let s = exp::ablations::segments_ablation(20, 0xAB1);
+            let r = exp::ablations::recovery_ablation();
+            let a = exp::ablations::architecture_ablation();
+            let g = exp::ablations::srlg_ablation(0x51);
+            if json {
+                emit(json, "ablation_segments", &s, || {});
+                emit(json, "ablation_recovery", &r, || {});
+                emit(json, "ablation_architecture", &a, || {});
+                emit(json, "ablation_srlg", &g, || {});
+            } else {
+                s.print();
+                r.print();
+                a.print();
+                g.print();
+            }
+        }
+        other => {
+            eprintln!("unknown experiment '{other}'; try `repro list`");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,128 @@
+//! Fig 22: the tradeoff between approval percentage and the availability
+//! SLO — as the availability requirement rises, more bandwidth must be
+//! reserved against failures and the approved share of requests falls;
+//! egress and ingress exhibit the same trend.
+
+use entitlement_approval::{hose_approval, ApprovalConfig, ApprovalSummary};
+use entitlement_core::{Direction, NpgId, QosClass, SloTarget};
+use entitlement_hose::HoseRequest;
+use entitlement_topology::{BackboneSpec, Topology};
+use serde::{Deserialize, Serialize};
+
+/// Approval rate per availability target, per direction.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ApprovalSlo {
+    /// The availability targets swept.
+    pub availability: Vec<f64>,
+    /// Volume-weighted egress approval rate at each target.
+    pub egress_approval: Vec<f64>,
+    /// Ingress approval rate.
+    pub ingress_approval: Vec<f64>,
+}
+
+/// Build demand: one hose per DC per direction, sized at a multiple of
+/// the region's attached capacity so approvals are capacity-bound.
+/// A deterministic per-(region, direction) jitter breaks the perfect
+/// egress/ingress symmetry of the duplex fiber plant — real demand is
+/// direction-asymmetric even when capacity is not, which is why the
+/// paper's two curves are similar but not identical.
+fn demand(topo: &Topology, direction: Direction, demand_scale: f64) -> Vec<HoseRequest> {
+    let dcs = topo.dc_ids();
+    dcs.iter()
+        .enumerate()
+        .map(|(i, &region)| {
+            let attached = match direction {
+                Direction::Egress => topo.egress_capacity(region),
+                Direction::Ingress => topo.ingress_capacity(region),
+            };
+            let mut jitter_rng = entitlement_core::DetRng::new(
+                0xD1F ^ (region.0 as u64) << 4
+                    ^ if direction == Direction::Ingress { 1 } else { 0 },
+            );
+            let jitter = jitter_rng.range(0.85, 1.15);
+            let remotes: Vec<_> = dcs.iter().copied().filter(|&r| r != region).collect();
+            HoseRequest::general(
+                NpgId(i as u32),
+                QosClass::C2,
+                region,
+                direction,
+                attached * demand_scale * jitter,
+                remotes,
+            )
+        })
+        .collect()
+}
+
+/// Run the sweep.
+pub fn run(targets: &[f64], demand_scale: f64, seed: u64) -> ApprovalSlo {
+    let topo = BackboneSpec {
+        seed,
+        ..BackboneSpec::small(seed)
+    }
+    .build();
+    let config = ApprovalConfig {
+        tms_per_hose: 6,
+        max_cuts: 2,
+        ..Default::default()
+    };
+    let mut out = ApprovalSlo {
+        availability: targets.to_vec(),
+        egress_approval: Vec::new(),
+        ingress_approval: Vec::new(),
+    };
+    for &a in targets {
+        let slo = SloTarget::new(a).expect("valid availability");
+        for direction in [Direction::Egress, Direction::Ingress] {
+            let hoses = demand(&topo, direction, demand_scale);
+            let slos = vec![slo; hoses.len()];
+            let approvals = hose_approval(&topo, &hoses, &slos, &config);
+            let rate = ApprovalSummary::from_approvals(&approvals).approval_rate();
+            match direction {
+                Direction::Egress => out.egress_approval.push(rate),
+                Direction::Ingress => out.ingress_approval.push(rate),
+            }
+        }
+    }
+    out
+}
+
+impl ApprovalSlo {
+    /// Print the two series.
+    pub fn print(&self) {
+        println!("\n## Fig 22: approval percentage vs availability SLO");
+        println!("{:>14}  {:>10}  {:>10}", "availability", "egress", "ingress");
+        for (i, a) in self.availability.iter().enumerate() {
+            println!(
+                "{a:>14.4}  {:>9.1}%  {:>9.1}%",
+                self.egress_approval[i] * 100.0,
+                self.ingress_approval[i] * 100.0
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn approval_falls_as_availability_rises() {
+        let out = run(&[0.9, 0.99, 0.999, 0.9995], 0.45, 0x22);
+        for series in [&out.egress_approval, &out.ingress_approval] {
+            // Non-increasing in the SLO.
+            for w in series.windows(2) {
+                assert!(
+                    w[1] <= w[0] + 1e-9,
+                    "approval must not rise with stricter SLO: {series:?}"
+                );
+            }
+            // The sweep spans a meaningful range: high at loose SLO,
+            // visibly reduced at the strict end.
+            assert!(series[0] > 0.5, "loose-SLO approval {series:?}");
+            assert!(
+                series[3] < series[0],
+                "strict SLO must bite: {series:?}"
+            );
+        }
+    }
+}

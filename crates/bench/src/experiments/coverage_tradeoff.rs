@@ -1,0 +1,107 @@
+//! Fig 21: hose coverage vs. number of representative TMs — coverage
+//! rises with more TMs but with diminishing returns past ~2000, and the
+//! trend is consistent across QoS classes.
+
+use entitlement_core::{DetRng, Direction, NpgId, QosClass, Rate, RegionId};
+use entitlement_hose::coverage::coverage_curve;
+use entitlement_hose::HoseRequest;
+use serde::{Deserialize, Serialize};
+
+/// One class's coverage curve sampled at checkpoints.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct CoverageCurve {
+    /// The class label.
+    pub qos: String,
+    /// TM-count checkpoints.
+    pub tm_counts: Vec<usize>,
+    /// Coverage at each checkpoint.
+    pub coverage: Vec<f64>,
+}
+
+/// The experiment output: one curve per QoS class.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct CoverageTradeoff {
+    /// Per-class curves.
+    pub curves: Vec<CoverageCurve>,
+}
+
+/// Run for all four classes (hoses differ in size/destination count by
+/// class, mimicking the class-specific demand mixes).
+pub fn run(max_tms: usize, probes: usize, seed: u64) -> CoverageTradeoff {
+    let mut rng = DetRng::new(seed);
+    let checkpoints: Vec<usize> = [10, 25, 50, 100, 250, 500, 1000, 2000, 3000, 4000]
+        .iter()
+        .copied()
+        .filter(|&c| c <= max_tms)
+        .collect();
+    let mut curves = Vec::new();
+    for (i, qos) in QosClass::ALL.into_iter().enumerate() {
+        let destinations = 4 + i; // premium classes are more concentrated
+        let hose = HoseRequest::general(
+            NpgId(i as u32),
+            qos,
+            RegionId(0),
+            Direction::Egress,
+            Rate::tbps(rng.range(0.5, 3.0)),
+            (1..=destinations as u16).map(RegionId),
+        );
+        let curve = coverage_curve(&hose, max_tms, probes, seed ^ (i as u64) << 9);
+        curves.push(CoverageCurve {
+            qos: format!("{qos}"),
+            tm_counts: checkpoints.clone(),
+            coverage: checkpoints.iter().map(|&c| curve[c - 1]).collect(),
+        });
+    }
+    CoverageTradeoff { curves }
+}
+
+impl CoverageTradeoff {
+    /// Print every class's curve.
+    pub fn print(&self) {
+        println!("\n## Fig 21: hose coverage vs number of TMs");
+        print!("{:>8}", "tms");
+        for c in &self.curves {
+            print!("  {:>8}", c.qos);
+        }
+        println!();
+        for (row, &tms) in self.curves[0].tm_counts.iter().enumerate() {
+            print!("{tms:>8}");
+            for c in &self.curves {
+                print!("  {:>8.3}", c.coverage[row]);
+            }
+            println!();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn diminishing_returns_and_class_consistency() {
+        let out = run(4000, 200, 0xF21);
+        assert_eq!(out.curves.len(), 4);
+        for c in &out.curves {
+            // Monotone non-decreasing.
+            for w in c.coverage.windows(2) {
+                assert!(w[1] >= w[0] - 1e-12, "{}: {:?}", c.qos, c.coverage);
+            }
+            // Diminishing returns: the gain from 10→500 dwarfs 2000→4000.
+            let i10 = c.tm_counts.iter().position(|&t| t == 10).unwrap();
+            let i500 = c.tm_counts.iter().position(|&t| t == 500).unwrap();
+            let i2000 = c.tm_counts.iter().position(|&t| t == 2000).unwrap();
+            let i4000 = c.tm_counts.iter().position(|&t| t == 4000).unwrap();
+            // Marginal gain per TM shrinks by an order of magnitude.
+            let early_rate = (c.coverage[i500] - c.coverage[i10]) / 490.0;
+            let late_rate = (c.coverage[i4000] - c.coverage[i2000]) / 2000.0;
+            assert!(
+                early_rate > 3.0 * late_rate,
+                "{}: early {early_rate} vs late {late_rate}",
+                c.qos
+            );
+            // Meaningful coverage by 2000 TMs.
+            assert!(c.coverage[i2000] > 0.3, "{}: {}", c.qos, c.coverage[i2000]);
+        }
+    }
+}

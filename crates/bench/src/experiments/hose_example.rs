@@ -1,0 +1,93 @@
+//! Fig 6: reserved capacity of the three contract representations on the
+//! paper's worked example (Ads in region A, forecast 300/100/250/250 G
+//! to B/C/D/E): pipe 900G, general hose 3600G, segmented hose 1800G.
+
+use entitlement_core::{Direction, NpgId, QosClass, Rate, RegionId};
+use entitlement_hose::request::{HoseSegment, PipeRequest};
+use entitlement_hose::HoseRequest;
+use serde::{Deserialize, Serialize};
+
+/// The three reserved capacities.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct HoseExample {
+    /// Pipe model reservation, Gbps.
+    pub pipe_gbps: f64,
+    /// General hose reservation, Gbps.
+    pub general_hose_gbps: f64,
+    /// Segmented hose reservation, Gbps.
+    pub segmented_hose_gbps: f64,
+}
+
+/// Compute the example (deterministic — it is the paper's arithmetic).
+pub fn run() -> HoseExample {
+    let pipes: Vec<PipeRequest> = [(1u16, 300.0), (2, 100.0), (3, 250.0), (4, 250.0)]
+        .iter()
+        .map(|&(dst, g)| PipeRequest {
+            npg: NpgId(0),
+            qos: QosClass::C1,
+            src: RegionId(0),
+            dst: RegionId(dst),
+            rate: Rate::gbps(g),
+        })
+        .collect();
+    let total = Rate::gbps(900.0);
+    let general = HoseRequest::general(
+        NpgId(0),
+        QosClass::C1,
+        RegionId(0),
+        Direction::Egress,
+        total,
+        (1..=4).map(RegionId),
+    );
+    let segmented = HoseRequest {
+        npg: NpgId(0),
+        qos: QosClass::C1,
+        region: RegionId(0),
+        direction: Direction::Egress,
+        total,
+        segments: vec![
+            HoseSegment {
+                regions: [RegionId(1), RegionId(2)].into_iter().collect(),
+                cap: Rate::gbps(400.0),
+            },
+            HoseSegment {
+                regions: [RegionId(3), RegionId(4)].into_iter().collect(),
+                cap: Rate::gbps(500.0),
+            },
+        ],
+    };
+    HoseExample {
+        pipe_gbps: HoseRequest::pipe_reserved_capacity(&pipes).as_gbps(),
+        general_hose_gbps: general.reserved_capacity().as_gbps(),
+        segmented_hose_gbps: segmented.reserved_capacity().as_gbps(),
+    }
+}
+
+impl HoseExample {
+    /// Print the comparison.
+    pub fn print(&self) {
+        println!("\n## Fig 6: reserved capacity per contract model");
+        println!("pipe model       {:>8.0} G (paper: 900 G)", self.pipe_gbps);
+        println!(
+            "general hose     {:>8.0} G (paper: 3600 G)",
+            self.general_hose_gbps
+        );
+        println!(
+            "segmented hose   {:>8.0} G (paper: 1800 G)",
+            self.segmented_hose_gbps
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_paper_numbers() {
+        let e = run();
+        assert_eq!(e.pipe_gbps, 900.0);
+        assert_eq!(e.general_hose_gbps, 3600.0);
+        assert_eq!(e.segmented_hose_gbps, 1800.0);
+    }
+}

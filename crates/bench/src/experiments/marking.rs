@@ -1,0 +1,106 @@
+//! Figs 23–25: convergence of the marking algorithms. Wraps
+//! [`entitlement_enforcement::convergence`] across the paper's loss
+//! stages (0%, 12.5%, 25%, 50%, 100%).
+
+use entitlement_enforcement::convergence::{run_both, MarkingSimResult};
+use serde::{Deserialize, Serialize};
+
+/// The paper's loss levels.
+pub const LOSS_LEVELS: [f64; 5] = [0.0, 0.125, 0.25, 0.5, 1.0];
+
+/// Results for both algorithms at every loss level.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct MarkingConvergence {
+    /// Loss levels.
+    pub losses: Vec<f64>,
+    /// Stateless results per loss level.
+    pub stateless: Vec<MarkingSimResult>,
+    /// Stateful results per loss level.
+    pub stateful: Vec<MarkingSimResult>,
+}
+
+/// Run the full sweep.
+pub fn run(iterations: usize) -> MarkingConvergence {
+    let mut out = MarkingConvergence {
+        losses: LOSS_LEVELS.to_vec(),
+        stateless: Vec::new(),
+        stateful: Vec::new(),
+    };
+    for &loss in &LOSS_LEVELS {
+        let (sl, sf) = run_both(loss, iterations);
+        out.stateless.push(sl);
+        out.stateful.push(sf);
+    }
+    out
+}
+
+impl MarkingConvergence {
+    /// Print the three figures' content.
+    pub fn print(&self) {
+        println!("\n## Fig 23: stateless marking, instantaneous conforming rate (Tbps)");
+        self.print_algo(|r| &r.conforming_tbps, &self.stateless);
+        println!("\n## Fig 24: stateless marking, average conforming rate (Tbps)");
+        self.print_algo(|r| &r.average_tbps, &self.stateless);
+        println!("\n## Fig 25: stateful marking, instantaneous conforming rate (Tbps)");
+        self.print_algo(|r| &r.conforming_tbps, &self.stateful);
+        println!("\nsteady-state summary (entitlement = 5 Tbps):");
+        println!(
+            "{:>8}  {:>18}  {:>18}",
+            "loss", "stateless mean", "stateful mean"
+        );
+        for (i, loss) in self.losses.iter().enumerate() {
+            println!(
+                "{loss:>8.3}  {:>18.2}  {:>18.2}",
+                self.stateless[i].steady_mean_tbps(),
+                self.stateful[i].steady_mean_tbps()
+            );
+        }
+    }
+
+    fn print_algo<'a>(
+        &self,
+        series: impl Fn(&'a MarkingSimResult) -> &'a Vec<f64>,
+        results: &'a [MarkingSimResult],
+    ) {
+        print!("{:>6}", "iter");
+        for loss in &self.losses {
+            print!("  loss={loss:<6.3}");
+        }
+        println!();
+        let n = results[0].conforming_tbps.len().min(20);
+        for i in 0..n {
+            print!("{i:>6}");
+            for r in results {
+                print!("  {:>11.2}", series(r)[i]);
+            }
+            println!();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_matches_paper_shapes() {
+        let out = run(60);
+        assert_eq!(out.stateless.len(), 5);
+        // At 100% loss: stateless swings hard, stateful settles at 5.
+        let sl = &out.stateless[4];
+        let sf = &out.stateful[4];
+        assert!(sl.steady_swing_tbps() > 3.0);
+        assert!((sf.steady_mean_tbps() - 5.0).abs() < 0.35);
+        // At 0% loss both behave.
+        assert!((out.stateless[0].steady_mean_tbps() - 5.0).abs() < 0.2);
+        assert!((out.stateful[0].steady_mean_tbps() - 5.0).abs() < 0.2);
+        // Stateless average overshoots once loss kicks in.
+        for i in 2..5 {
+            assert!(
+                out.stateless[i].average_tbps.last().unwrap() > &5.4,
+                "loss {}",
+                out.losses[i]
+            );
+        }
+    }
+}

@@ -1,0 +1,72 @@
+//! One module per experiment; ids match DESIGN.md's experiment index.
+
+pub mod ablations;
+pub mod approval_slo;
+pub mod coverage_tradeoff;
+pub mod drill;
+pub mod forecast_accuracy;
+pub mod hose_example;
+pub mod incident;
+pub mod marking;
+pub mod segmented_benefit;
+pub mod service_distribution;
+pub mod src_distribution;
+pub mod storage_patterns;
+
+/// A printable two-column series.
+pub fn print_series(title: &str, x_label: &str, y_label: &str, xs: &[f64], ys: &[f64]) {
+    println!("\n## {title}");
+    println!("{x_label:>14}  {y_label}");
+    for (x, y) in xs.iter().zip(ys) {
+        println!("{x:>14.3}  {y:.4}");
+    }
+}
+
+/// Print several aligned series under one title.
+pub fn print_multi(title: &str, x_label: &str, xs: &[f64], series: &[(&str, &[f64])]) {
+    println!("\n## {title}");
+    print!("{x_label:>14}");
+    for (name, _) in series {
+        print!("  {name:>18}");
+    }
+    println!();
+    for (i, x) in xs.iter().enumerate() {
+        print!("{x:>14.2}");
+        for (_, ys) in series {
+            let v = ys.get(i).copied().unwrap_or(f64::NAN);
+            print!("  {v:>18.4}");
+        }
+        println!();
+    }
+}
+
+/// Downsample a series to at most `n` evenly spaced points (keeps print
+/// output readable for long drill runs).
+pub fn downsample(xs: &[f64], n: usize) -> Vec<f64> {
+    if xs.len() <= n || n == 0 {
+        return xs.to_vec();
+    }
+    (0..n)
+        .map(|i| xs[i * (xs.len() - 1) / (n - 1)])
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn downsample_keeps_endpoints() {
+        let xs: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let d = downsample(&xs, 11);
+        assert_eq!(d.len(), 11);
+        assert_eq!(d[0], 0.0);
+        assert_eq!(d[10], 99.0);
+    }
+
+    #[test]
+    fn downsample_short_is_identity() {
+        let xs = vec![1.0, 2.0];
+        assert_eq!(downsample(&xs, 10), xs);
+    }
+}

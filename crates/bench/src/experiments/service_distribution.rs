@@ -1,0 +1,93 @@
+//! Fig 1 & 2: service distribution of a high and a low QoS class.
+//!
+//! Paper shape: each class has fewer than ten dominating services
+//! carrying the majority of its traffic, plus a long tail of thousands;
+//! the mix of dominating services differs between classes; storage
+//! services dominate overall.
+
+use entitlement_core::QosClass;
+use entitlement_workload::ontology::CatalogSpec;
+use entitlement_workload::ServiceCatalog;
+use serde::{Deserialize, Serialize};
+
+/// Result of the distribution experiment for one class.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ClassDistribution {
+    /// The class.
+    pub qos: String,
+    /// (service name, share of class traffic), sorted descending.
+    pub shares: Vec<(String, f64)>,
+    /// Share carried by the top ten services.
+    pub top10_share: f64,
+    /// Number of services with any traffic in the class.
+    pub service_count: usize,
+}
+
+/// Run for both figure classes (C1 = "Class A" high, C2 = "Class B" low).
+pub fn run(seed: u64) -> (ClassDistribution, ClassDistribution) {
+    let catalog = ServiceCatalog::generate(&CatalogSpec {
+        seed,
+        ..Default::default()
+    });
+    (
+        distribution(&catalog, QosClass::C1),
+        distribution(&catalog, QosClass::C2),
+    )
+}
+
+fn distribution(catalog: &ServiceCatalog, qos: QosClass) -> ClassDistribution {
+    let dist = catalog.class_distribution(qos);
+    let total = catalog.class_total(qos).as_bps();
+    let shares: Vec<(String, f64)> = dist
+        .iter()
+        .map(|(s, r)| (s.name.clone(), r.as_bps() / total))
+        .collect();
+    let top10_share = shares.iter().take(10).map(|(_, s)| s).sum();
+    ClassDistribution {
+        qos: format!("{qos}"),
+        shares,
+        top10_share,
+        service_count: dist.len(),
+    }
+}
+
+impl ClassDistribution {
+    /// Print the figure's pie-chart data as a table.
+    pub fn print(&self) {
+        println!("\n## Service distribution of QoS {}", self.qos);
+        println!("services with traffic: {}", self.service_count);
+        println!("top-10 share: {:.1}%", self.top10_share * 100.0);
+        for (name, share) in self.shares.iter().take(12) {
+            println!("{name:>20}  {:.2}%", share * 100.0);
+        }
+        let rest: f64 = self.shares.iter().skip(12).map(|(_, s)| s).sum();
+        println!("{:>20}  {:.2}%", "(long tail)", rest * 100.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_classes_match_paper_shape() {
+        let (high, low) = run(0x51);
+        for d in [&high, &low] {
+            assert!(
+                d.top10_share > 0.6,
+                "{}: top-10 carries {:.2}",
+                d.qos,
+                d.top10_share
+            );
+            assert!(d.service_count > 100, "{}: long tail exists", d.qos);
+            // Shares sorted descending and normalized.
+            let sum: f64 = d.shares.iter().map(|(_, s)| s).sum();
+            assert!((sum - 1.0).abs() < 1e-9);
+            for w in d.shares.windows(2) {
+                assert!(w[0].1 >= w[1].1);
+            }
+        }
+        // The dominating mix differs between classes.
+        assert_ne!(high.shares[0].0, low.shares[0].0);
+    }
+}

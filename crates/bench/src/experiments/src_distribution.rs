@@ -1,0 +1,82 @@
+//! Fig 7: traffic distribution across source regions into one
+//! destination DC for a storage service — the top three sources carry
+//! about 67% of the traffic, which is what makes segmentation work.
+
+use entitlement_core::QosClass;
+use entitlement_workload::matrix::MatrixSpec;
+use entitlement_workload::ontology::CatalogSpec;
+use entitlement_workload::{ServiceCatalog, TrafficMatrix};
+use entitlement_topology::BackboneSpec;
+use serde::{Deserialize, Serialize};
+
+/// Per-source shares into the busiest destination.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SrcDistribution {
+    /// (source region index, share), sorted descending.
+    pub shares: Vec<(u16, f64)>,
+    /// Share of the top three sources.
+    pub top3_share: f64,
+}
+
+/// Run for the coldstorage-like service.
+pub fn run(seed: u64) -> SrcDistribution {
+    let topo = BackboneSpec::default().build();
+    let catalog = ServiceCatalog::generate(&CatalogSpec {
+        seed,
+        ..Default::default()
+    });
+    let cold = catalog.by_name("coldstorage").expect("catalog has coldstorage");
+    let tm = TrafficMatrix::synthesize(&topo, cold, QosClass::C3, &MatrixSpec::default());
+    // Pick the destination receiving the most traffic.
+    let dst = tm
+        .ingress_by_dst()
+        .into_iter()
+        .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+        .map(|(d, _)| d)
+        .expect("matrix non-empty");
+    let sources = tm.sources_into(dst);
+    let total: f64 = sources.iter().map(|(_, r)| r.as_bps()).sum();
+    let shares: Vec<(u16, f64)> = sources
+        .iter()
+        .map(|(r, v)| (r.0, v.as_bps() / total))
+        .collect();
+    SrcDistribution {
+        top3_share: tm.top_source_share(dst, 3),
+        shares,
+    }
+}
+
+impl SrcDistribution {
+    /// Print the distribution.
+    pub fn print(&self) {
+        println!("\n## Fig 7: per-source share into one destination DC");
+        for (r, s) in self.shares.iter().take(10) {
+            println!("  src r{r:<4} {:.1}%", s * 100.0);
+        }
+        println!(
+            "top-3 sources: {:.1}% (paper: 67%)",
+            self.top3_share * 100.0
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn top3_carries_about_two_thirds() {
+        let d = run(0x51);
+        assert!(
+            (0.55..0.85).contains(&d.top3_share),
+            "top-3 share {}",
+            d.top3_share
+        );
+        // Shares sorted, normalized.
+        let sum: f64 = d.shares.iter().map(|(_, s)| s).sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+        for w in d.shares.windows(2) {
+            assert!(w[0].1 >= w[1].1);
+        }
+    }
+}

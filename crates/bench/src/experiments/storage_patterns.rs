@@ -1,0 +1,74 @@
+//! Fig 3: two storage services with distinct traffic patterns —
+//! Coldstorage's regular rack-rotation spikes vs. Warmstorage's smooth
+//! time-of-day fluctuation.
+
+use entitlement_workload::TrafficPattern;
+use serde::{Deserialize, Serialize};
+
+/// The two time series plus their summary statistics.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct StoragePatterns {
+    /// Sample times, hours.
+    pub hours: Vec<f64>,
+    /// Coldstorage rate factor per sample.
+    pub coldstorage: Vec<f64>,
+    /// Warmstorage rate factor per sample.
+    pub warmstorage: Vec<f64>,
+    /// Coefficient of variation of each series.
+    pub cold_cv: f64,
+    /// Warmstorage CV.
+    pub warm_cv: f64,
+}
+
+/// Sample both patterns over `days` at 5-minute resolution.
+pub fn run(days: f64) -> StoragePatterns {
+    let cold = TrafficPattern::coldstorage();
+    let warm = TrafficPattern::warmstorage();
+    let step = 300.0;
+    let n = (days * 86_400.0 / step) as usize;
+    let hours: Vec<f64> = (0..n).map(|i| i as f64 * step / 3600.0).collect();
+    let coldstorage: Vec<f64> = hours.iter().map(|h| cold.factor_at(h * 3600.0)).collect();
+    let warmstorage: Vec<f64> = hours.iter().map(|h| warm.factor_at(h * 3600.0)).collect();
+    StoragePatterns {
+        cold_cv: cold.cv(days, step),
+        warm_cv: warm.cv(days, step),
+        hours,
+        coldstorage,
+        warmstorage,
+    }
+}
+
+impl StoragePatterns {
+    /// Print a condensed view of the two series.
+    pub fn print(&self) {
+        let xs = super::downsample(&self.hours, 25);
+        let cold = super::downsample(&self.coldstorage, 25);
+        let warm = super::downsample(&self.warmstorage, 25);
+        super::print_multi(
+            "Fig 3: storage traffic patterns (rate factor)",
+            "hour",
+            &xs,
+            &[("coldstorage", &cold), ("warmstorage", &warm)],
+        );
+        println!(
+            "CV: coldstorage {:.2}, warmstorage {:.2}",
+            self.cold_cv, self.warm_cv
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cold_is_spiky_warm_is_smooth() {
+        let p = run(2.0);
+        assert!(p.cold_cv > 2.0 * p.warm_cv);
+        // Coldstorage hits its spike peak repeatedly.
+        let peaks = p.coldstorage.iter().filter(|&&v| v > 2.0).count();
+        assert!(peaks > 10, "spikes present: {peaks}");
+        // Warmstorage never strays far from 1.
+        assert!(p.warmstorage.iter().all(|&v| (0.7..=1.3).contains(&v)));
+    }
+}

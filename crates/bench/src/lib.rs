@@ -1,0 +1,18 @@
+//! # entitlement-bench
+//!
+//! The experiment harness that regenerates every figure of the Network
+//! Entitlement paper's evaluation (see DESIGN.md §5 for the full index),
+//! plus the ablations DESIGN.md calls out. Each experiment is a plain
+//! function returning a serializable result with a `print` method; the
+//! `repro` binary dispatches on figure id and prints the same series the
+//! paper plots. Criterion benches in `benches/` time the underlying
+//! pipelines.
+//!
+//! Absolute numbers differ from the paper (the substrate is a simulator,
+//! not Meta's backbone); the *shapes* — who wins, by what factor, where
+//! the crossovers sit — are asserted by the experiment tests and
+//! recorded in EXPERIMENTS.md.
+
+pub mod experiments;
+
+pub use experiments::*;

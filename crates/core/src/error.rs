@@ -1,0 +1,98 @@
+//! Error types shared across the workspace.
+
+use crate::ids::{NpgId, RegionId};
+use std::fmt;
+
+/// Workspace-wide result alias.
+pub type Result<T> = std::result::Result<T, EntitlementError>;
+
+/// Errors produced by entitlement components.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EntitlementError {
+    /// SLO availability must lie in (0, 1].
+    InvalidSlo(f64),
+    /// A contract contained an entitlement for a different NPG.
+    ContractNpgMismatch {
+        /// NPG the contract binds.
+        contract_npg: NpgId,
+        /// NPG found on the offending entitlement row.
+        entitlement_npg: NpgId,
+    },
+    /// Referenced region does not exist in the topology.
+    UnknownRegion(RegionId),
+    /// Referenced NPG is not registered.
+    UnknownNpg(NpgId),
+    /// A hose request referenced an empty destination set.
+    EmptyDestinationSet,
+    /// Segmentation parameter out of range (alpha must be in (0, 1)).
+    InvalidAlpha(f64),
+    /// A time series was too short for the requested operation.
+    SeriesTooShort {
+        /// Points required.
+        needed: usize,
+        /// Points available.
+        got: usize,
+    },
+    /// The linear system could not be solved (singular matrix).
+    SingularSystem,
+    /// Topology is disconnected between two regions that must communicate.
+    Disconnected(RegionId, RegionId),
+    /// Generic invariant violation with context.
+    Invariant(String),
+}
+
+impl fmt::Display for EntitlementError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EntitlementError::InvalidSlo(v) => {
+                write!(f, "SLO availability {v} outside (0, 1]")
+            }
+            EntitlementError::ContractNpgMismatch {
+                contract_npg,
+                entitlement_npg,
+            } => write!(
+                f,
+                "contract for {contract_npg} contains entitlement for {entitlement_npg}"
+            ),
+            EntitlementError::UnknownRegion(r) => write!(f, "unknown region {r}"),
+            EntitlementError::UnknownNpg(n) => write!(f, "unknown NPG {n}"),
+            EntitlementError::EmptyDestinationSet => {
+                write!(f, "hose request has an empty destination set")
+            }
+            EntitlementError::InvalidAlpha(a) => {
+                write!(f, "segmentation alpha {a} outside (0, 1)")
+            }
+            EntitlementError::SeriesTooShort { needed, got } => {
+                write!(f, "time series too short: need {needed}, got {got}")
+            }
+            EntitlementError::SingularSystem => write!(f, "singular linear system"),
+            EntitlementError::Disconnected(a, b) => {
+                write!(f, "no path between {a} and {b}")
+            }
+            EntitlementError::Invariant(msg) => write!(f, "invariant violation: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for EntitlementError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(EntitlementError::InvalidSlo(2.0).to_string().contains("2"));
+        assert!(EntitlementError::SeriesTooShort { needed: 10, got: 3 }
+            .to_string()
+            .contains("need 10"));
+        let e = EntitlementError::Disconnected(RegionId(1), RegionId(2));
+        assert_eq!(e.to_string(), "no path between r1 and r2");
+    }
+
+    #[test]
+    fn error_trait_object() {
+        let e: Box<dyn std::error::Error> = Box::new(EntitlementError::SingularSystem);
+        assert_eq!(e.to_string(), "singular linear system");
+    }
+}

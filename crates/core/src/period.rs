@@ -1,0 +1,122 @@
+//! Enforcement periods and planning quarters.
+//!
+//! Entitlements carry an enforcement period `T1..T2`; the demand forecast
+//! SLI is defined over three consecutive months, so quarters are the
+//! natural planning granularity (paper §4.1 explains why 3 months).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Simulation days per month / months per quarter, used by the synthetic
+/// calendars in the forecast and workload crates.
+pub const DAYS_PER_MONTH: u32 = 30;
+/// Months per planning quarter.
+pub const MONTHS_PER_QUARTER: u32 = 3;
+/// Days per planning quarter.
+pub const DAYS_PER_QUARTER: u32 = DAYS_PER_MONTH * MONTHS_PER_QUARTER;
+
+/// A half-open time interval `[start, end)` in simulation days since an
+/// arbitrary epoch. Used as the enforcement period of an entitlement.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Period {
+    /// Inclusive start day.
+    pub start_day: u32,
+    /// Exclusive end day.
+    pub end_day: u32,
+}
+
+impl Period {
+    /// Construct a period; panics if `end <= start`.
+    pub fn new(start_day: u32, end_day: u32) -> Self {
+        assert!(end_day > start_day, "period must be non-empty");
+        Period { start_day, end_day }
+    }
+
+    /// Length in days.
+    pub fn days(self) -> u32 {
+        self.end_day - self.start_day
+    }
+
+    /// Whether `day` falls inside the period.
+    pub fn contains(self, day: u32) -> bool {
+        day >= self.start_day && day < self.end_day
+    }
+
+    /// Whether two periods overlap.
+    pub fn overlaps(self, other: Period) -> bool {
+        self.start_day < other.end_day && other.start_day < self.end_day
+    }
+}
+
+impl fmt::Display for Period {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[d{}, d{})", self.start_day, self.end_day)
+    }
+}
+
+/// A planning quarter, counted from the simulation epoch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Quarter(pub u32);
+
+impl Quarter {
+    /// The enforcement period covering this quarter.
+    pub fn period(self) -> Period {
+        Period::new(self.0 * DAYS_PER_QUARTER, (self.0 + 1) * DAYS_PER_QUARTER)
+    }
+
+    /// The next quarter.
+    pub fn next(self) -> Quarter {
+        Quarter(self.0 + 1)
+    }
+
+    /// The quarter containing `day`.
+    pub fn containing(day: u32) -> Quarter {
+        Quarter(day / DAYS_PER_QUARTER)
+    }
+
+    /// The three month indices (since epoch) making up this quarter.
+    pub fn months(self) -> [u32; 3] {
+        let m0 = self.0 * MONTHS_PER_QUARTER;
+        [m0, m0 + 1, m0 + 2]
+    }
+}
+
+impl fmt::Display for Quarter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Q{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quarter_period_spans_90_days() {
+        let q = Quarter(2);
+        let p = q.period();
+        assert_eq!(p.days(), DAYS_PER_QUARTER);
+        assert_eq!(p.start_day, 180);
+        assert!(p.contains(180));
+        assert!(!p.contains(270));
+        assert_eq!(Quarter::containing(200), q);
+        assert_eq!(q.next(), Quarter(3));
+        assert_eq!(q.months(), [6, 7, 8]);
+    }
+
+    #[test]
+    fn overlap_semantics() {
+        let a = Period::new(0, 10);
+        let b = Period::new(10, 20);
+        let c = Period::new(9, 11);
+        assert!(!a.overlaps(b), "half-open adjacency does not overlap");
+        assert!(a.overlaps(c));
+        assert!(b.overlaps(c));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_period_panics() {
+        let _ = Period::new(5, 5);
+    }
+}

@@ -1,0 +1,185 @@
+//! The Service Level Indicator (SLI) demand metric (paper §4.1).
+//!
+//! The SLI is the agreed-upon representation of forecast demand between the
+//! service and network teams: bandwidth for a quarter keyed by
+//! `(NPG, QoS, src_region, dst_region)`. A set of SLI records forms the
+//! pipe-based demand forecast that §4.2 later converts into hoses.
+
+use crate::ids::{NpgId, RegionId};
+use crate::period::Quarter;
+use crate::qos::QosClass;
+use crate::rate::Rate;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// One pipe-granularity demand record:
+/// `(NPG, QoS, src_region, dst_region, bandwidth)` for a quarter.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SliRecord {
+    /// Owning service.
+    pub npg: NpgId,
+    /// Traffic class.
+    pub qos: QosClass,
+    /// Source region.
+    pub src: RegionId,
+    /// Destination region.
+    pub dst: RegionId,
+    /// Forecast bandwidth for the quarter.
+    pub bandwidth: Rate,
+    /// The quarter this demand covers.
+    pub quarter: Quarter,
+}
+
+impl fmt::Display for SliRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "({}, {}, {}->{}, {}, {})",
+            self.npg, self.qos, self.src, self.dst, self.bandwidth, self.quarter
+        )
+    }
+}
+
+/// A collection of SLI records with aggregation helpers used by the hose
+/// conversion step.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct SliSet {
+    records: Vec<SliRecord>,
+}
+
+impl SliSet {
+    /// Empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build from records.
+    pub fn from_records(records: Vec<SliRecord>) -> Self {
+        SliSet { records }
+    }
+
+    /// Add a record.
+    pub fn push(&mut self, r: SliRecord) {
+        self.records.push(r);
+    }
+
+    /// All records.
+    pub fn records(&self) -> &[SliRecord] {
+        &self.records
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Total egress demand per source region for one `(npg, qos)` —
+    /// the per-region numbers a hose request aggregates.
+    pub fn egress_by_src(&self, npg: NpgId, qos: QosClass) -> BTreeMap<RegionId, Rate> {
+        let mut out: BTreeMap<RegionId, Rate> = BTreeMap::new();
+        for r in self.records.iter().filter(|r| r.npg == npg && r.qos == qos) {
+            *out.entry(r.src).or_insert(Rate::ZERO) += r.bandwidth;
+        }
+        out
+    }
+
+    /// Total ingress demand per destination region for one `(npg, qos)`.
+    pub fn ingress_by_dst(&self, npg: NpgId, qos: QosClass) -> BTreeMap<RegionId, Rate> {
+        let mut out: BTreeMap<RegionId, Rate> = BTreeMap::new();
+        for r in self.records.iter().filter(|r| r.npg == npg && r.qos == qos) {
+            *out.entry(r.dst).or_insert(Rate::ZERO) += r.bandwidth;
+        }
+        out
+    }
+
+    /// Per-destination demand out of one source for `(npg, qos)` — the
+    /// input to segmented-hose computation for that source's hose.
+    pub fn pipes_from(
+        &self,
+        npg: NpgId,
+        qos: QosClass,
+        src: RegionId,
+    ) -> BTreeMap<RegionId, Rate> {
+        let mut out: BTreeMap<RegionId, Rate> = BTreeMap::new();
+        for r in self
+            .records
+            .iter()
+            .filter(|r| r.npg == npg && r.qos == qos && r.src == src)
+        {
+            *out.entry(r.dst).or_insert(Rate::ZERO) += r.bandwidth;
+        }
+        out
+    }
+
+    /// Distinct NPGs present.
+    pub fn npgs(&self) -> Vec<NpgId> {
+        let mut v: Vec<NpgId> = self.records.iter().map(|r| r.npg).collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    /// Total demand across all records.
+    pub fn total(&self) -> Rate {
+        self.records.iter().map(|r| r.bandwidth).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(npg: u32, src: u16, dst: u16, g: f64) -> SliRecord {
+        SliRecord {
+            npg: NpgId(npg),
+            qos: QosClass::C1,
+            src: RegionId(src),
+            dst: RegionId(dst),
+            bandwidth: Rate::gbps(g),
+            quarter: Quarter(0),
+        }
+    }
+
+    #[test]
+    fn paper_figure6_example_aggregates() {
+        // Ads: A->B 300G, A->C 100G, A->D 250G, A->E 250G (Fig 6a).
+        let set = SliSet::from_records(vec![
+            rec(1, 0, 1, 300.0),
+            rec(1, 0, 2, 100.0),
+            rec(1, 0, 3, 250.0),
+            rec(1, 0, 4, 250.0),
+        ]);
+        let egress = set.egress_by_src(NpgId(1), QosClass::C1);
+        assert!((egress[&RegionId(0)].as_gbps() - 900.0).abs() < 1e-9);
+        let pipes = set.pipes_from(NpgId(1), QosClass::C1, RegionId(0));
+        assert_eq!(pipes.len(), 4);
+        assert!((pipes[&RegionId(1)].as_gbps() - 300.0).abs() < 1e-9);
+        assert!((set.total().as_gbps() - 900.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ingress_aggregation_and_filtering() {
+        let mut set = SliSet::new();
+        set.push(rec(1, 0, 2, 10.0));
+        set.push(rec(1, 1, 2, 20.0));
+        set.push(rec(2, 1, 2, 40.0)); // different NPG, excluded
+        let ing = set.ingress_by_dst(NpgId(1), QosClass::C1);
+        assert!((ing[&RegionId(2)].as_gbps() - 30.0).abs() < 1e-9);
+        assert_eq!(set.npgs(), vec![NpgId(1), NpgId(2)]);
+        assert_eq!(set.len(), 3);
+        assert!(!set.is_empty());
+    }
+
+    #[test]
+    fn duplicate_pipes_sum() {
+        let set = SliSet::from_records(vec![rec(1, 0, 1, 5.0), rec(1, 0, 1, 7.0)]);
+        let pipes = set.pipes_from(NpgId(1), QosClass::C1, RegionId(0));
+        assert!((pipes[&RegionId(1)].as_gbps() - 12.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,281 @@
+//! The per-host enforcement agent (user-space side, Fig 9).
+//!
+//! Each cycle the agent: (1) refreshes the entitled rate from the
+//! contract database (cached — the DB is off the decision path);
+//! (2) publishes this host's measured egress rate into the KV store;
+//! (3) reads back the service-wide TotalRate and ConformRate aggregates;
+//! (4) runs the metering algorithm; and (5) programs the kernel marking
+//! table. Every agent sees the same aggregates and computes the same
+//! deterministic decision — that is what makes the architecture work
+//! without a controller.
+
+use crate::bpf::MarkingTable;
+use crate::db::ContractDb;
+use crate::marking::{Marker, MarkingStrategy};
+use crate::metering::{Meter, StatefulMeter};
+use crate::metrics::AgentMetrics;
+use entitlement_core::{Direction, HostId, NpgId, QosClass, Rate, RegionId};
+use entitlement_kvstore::ShardedStore;
+
+/// Static agent configuration.
+#[derive(Clone, Debug)]
+pub struct AgentConfig {
+    /// This host.
+    pub host: HostId,
+    /// Service the agent enforces for.
+    pub npg: NpgId,
+    /// QoS class (one agent instance per enforced class).
+    pub qos: QosClass,
+    /// The host's region.
+    pub region: RegionId,
+    /// Marking granularity.
+    pub strategy: MarkingStrategy,
+}
+
+/// One host's agent: meter + marker + kernel table + cached contract.
+pub struct Agent {
+    /// Configuration.
+    pub config: AgentConfig,
+    meter: StatefulMeter,
+    marker: Marker,
+    /// The simulated BPF map the agent programs.
+    pub table: MarkingTable,
+    cached_entitled: Option<Rate>,
+    /// Observability counters and gauges.
+    pub metrics: AgentMetrics,
+}
+
+impl Agent {
+    /// New agent with the production-default stateful meter.
+    pub fn new(config: AgentConfig) -> Self {
+        let marker = Marker::new(config.strategy);
+        Agent {
+            config,
+            meter: StatefulMeter::new(),
+            marker,
+            table: MarkingTable::new(),
+            cached_entitled: None,
+            metrics: AgentMetrics::new(),
+        }
+    }
+
+    /// Refresh the cached entitled rate from the contract database.
+    /// Returns the (possibly stale) rate in effect afterwards.
+    pub fn refresh_contract(&mut self, db: &ContractDb, day: u32) -> Option<Rate> {
+        if let Some(r) = db.entitled_rate(
+            self.config.npg,
+            self.config.qos,
+            self.config.region,
+            Direction::Egress,
+            day,
+        ) {
+            self.cached_entitled = Some(r);
+            self.metrics.contract_refreshes.inc();
+            self.metrics.entitled_bps.set(r.as_bps());
+        } else if self.cached_entitled.is_some() {
+            self.metrics.contract_cache_hits.inc();
+        }
+        self.cached_entitled
+    }
+
+    /// The entitled rate the agent currently enforces (None = no
+    /// contract known yet, nothing is remarked).
+    pub fn entitled(&self) -> Option<Rate> {
+        self.cached_entitled
+    }
+
+    /// Publish this host's measured rates into the KV store (step 2).
+    pub fn publish(&self, store: &ShardedStore, sent: Rate, conforming: Rate, now_ms: u64) {
+        let h = self.config.host.0;
+        let base = format!("rates/{}/{}", self.config.npg.0, self.config.qos);
+        store.put(&format!("{base}/total/h{h}"), sent.as_bps(), now_ms);
+        store.put(&format!("{base}/conform/h{h}"), conforming.as_bps(), now_ms);
+        self.metrics.publishes.inc();
+    }
+
+    /// Read the service-wide aggregates back (step 3).
+    pub fn read_aggregates(&self, store: &ShardedStore, now_ms: u64) -> (Rate, Rate) {
+        let base = format!("rates/{}/{}", self.config.npg.0, self.config.qos);
+        let total = store.aggregate_sum(&format!("{base}/total/"), now_ms);
+        let conform = store.aggregate_sum(&format!("{base}/conform/"), now_ms);
+        (Rate::bps(total), Rate::bps(conform))
+    }
+
+    /// Run one metering cycle (steps 4–5): update the meter, program the
+    /// kernel table, and return the new conform ratio.
+    pub fn cycle(&mut self, total: Rate, conform: Rate) -> f64 {
+        self.metrics.cycles.inc();
+        self.metrics.total_rate_bps.set(total.as_bps());
+        let Some(entitled) = self.cached_entitled else {
+            return 1.0; // no contract — nothing to enforce
+        };
+        let prev_cut = Marker::marked_group_count(self.meter.conform_ratio());
+        let cr = self.meter.update(total, conform, entitled);
+        self.metrics.conform_ratio.set(cr);
+        let cut = Marker::marked_group_count(cr) as u8;
+        if cut as u32 != prev_cut {
+            self.metrics.decision_changes.inc();
+        }
+        match self.config.strategy {
+            MarkingStrategy::FlowBased => {
+                self.table.set_flow_cut(self.config.npg, self.config.qos, cut)
+            }
+            MarkingStrategy::HostBased => {
+                self.table.set_host_cut(self.config.npg, self.config.qos, cut)
+            }
+        }
+        cr
+    }
+
+    /// The fleet-wide marking command this agent's decision implies
+    /// (identical on every host — used by the simulation harness).
+    pub fn marking_command(&self, hosts: usize) -> entitlement_simnet::MarkingCommand {
+        self.marker.command(self.meter.conform_ratio(), hosts)
+    }
+
+    /// Whether this agent's own host is remarked under its current
+    /// decision (host-based strategy).
+    pub fn self_marked(&self) -> bool {
+        let cut = Marker::marked_group_count(self.meter.conform_ratio());
+        self.config.host.group(crate::marking::GROUPS) < cut
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use entitlement_core::{Entitlement, Period, SloTarget};
+    use entitlement_kvstore::StoreConfig;
+
+    fn db_with_contract(rate_g: f64) -> ContractDb {
+        let db = ContractDb::new();
+        db.insert(
+            NpgId(1),
+            SloTarget::new(0.999).unwrap(),
+            vec![Entitlement {
+                npg: NpgId(1),
+                qos: QosClass::C2,
+                region: RegionId(0),
+                direction: Direction::Egress,
+                entitled_rate: Rate::gbps(rate_g),
+                period: Period::new(0, 90),
+            }],
+        )
+        .unwrap();
+        db
+    }
+
+    fn agent(host: u32) -> Agent {
+        Agent::new(AgentConfig {
+            host: HostId(host),
+            npg: NpgId(1),
+            qos: QosClass::C2,
+            region: RegionId(0),
+            strategy: MarkingStrategy::HostBased,
+        })
+    }
+
+    #[test]
+    fn contract_refresh_and_cache() {
+        let db = db_with_contract(100.0);
+        let mut a = agent(0);
+        assert_eq!(a.entitled(), None);
+        let r = a.refresh_contract(&db, 5).unwrap();
+        assert!((r.as_gbps() - 100.0).abs() < 1e-9);
+        // Out-of-period query keeps the cached value (DB unreachable /
+        // contract expired mid-cycle: keep enforcing the last known one).
+        let r2 = a.refresh_contract(&db, 200).unwrap();
+        assert!((r2.as_gbps() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn no_contract_means_no_enforcement() {
+        let mut a = agent(0);
+        let cr = a.cycle(Rate::gbps(500.0), Rate::gbps(500.0));
+        assert_eq!(cr, 1.0);
+        assert_eq!(a.marking_command(100), entitlement_simnet::MarkingCommand::None);
+    }
+
+    #[test]
+    fn publish_and_aggregate_roundtrip() {
+        let store = ShardedStore::new(StoreConfig::default());
+        let db = db_with_contract(100.0);
+        let mut agents: Vec<Agent> = (0..50).map(agent).collect();
+        for a in &mut agents {
+            a.refresh_contract(&db, 0);
+            a.publish(&store, Rate::gbps(2.0), Rate::gbps(2.0), 0);
+        }
+        let (total, conform) = agents[0].read_aggregates(&store, 10);
+        assert!((total.as_gbps() - 100.0).abs() < 1e-6);
+        assert!((conform.as_gbps() - 100.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn all_agents_reach_the_same_decision() {
+        let db = db_with_contract(50.0);
+        let mut a1 = agent(1);
+        let mut a2 = agent(999);
+        a1.refresh_contract(&db, 0);
+        a2.refresh_contract(&db, 0);
+        let cr1 = a1.cycle(Rate::gbps(100.0), Rate::gbps(100.0));
+        let cr2 = a2.cycle(Rate::gbps(100.0), Rate::gbps(100.0));
+        assert_eq!(cr1, cr2, "identical inputs, identical decisions");
+        assert_eq!(a1.marking_command(1000), a2.marking_command(1000));
+    }
+
+    #[test]
+    fn cycle_programs_kernel_table() {
+        let db = db_with_contract(50.0);
+        let mut a = agent(0);
+        a.refresh_contract(&db, 0);
+        a.cycle(Rate::gbps(100.0), Rate::gbps(100.0)); // CR 0.5
+        // The table now remarks host groups below 50.
+        let (action, _) = a.table.classify(crate::bpf::ClassifyInput {
+            npg: NpgId(1),
+            qos: QosClass::C2,
+            flow_group: 99,
+            host_group: 10,
+        });
+        assert_eq!(action, crate::bpf::MarkAction::Remark);
+    }
+
+    #[test]
+    fn metrics_track_the_agent_lifecycle() {
+        let db = db_with_contract(50.0);
+        let store = ShardedStore::new(StoreConfig::default());
+        let mut a = agent(0);
+        a.refresh_contract(&db, 0);
+        a.refresh_contract(&db, 500); // out of period: cache hit
+        a.publish(&store, Rate::gbps(1.0), Rate::gbps(1.0), 0);
+        a.cycle(Rate::gbps(100.0), Rate::gbps(100.0)); // throttles
+        a.cycle(Rate::gbps(100.0), Rate::gbps(50.0)); // holds
+        let s = a.metrics.snapshot();
+        assert_eq!(s.contract_refreshes, 1);
+        assert_eq!(s.contract_cache_hits, 1);
+        assert_eq!(s.publishes, 1);
+        assert_eq!(s.cycles, 2);
+        assert_eq!(s.decision_changes, 1, "first cycle changed the cut");
+        assert!((s.conform_ratio - 0.5).abs() < 1e-9);
+        assert!((s.entitled_bps - 50e9).abs() < 1.0);
+        let text = a.metrics.render(&Default::default());
+        assert!(text.contains("entitlement_agent_cycles_total 2"));
+    }
+
+    #[test]
+    fn self_marked_follows_host_group() {
+        let db = db_with_contract(50.0);
+        // Find one marked and one unmarked host for CR = 0.5 (cut 50).
+        let marked_host = (0..1000u32)
+            .find(|&h| HostId(h).group(100) < 50)
+            .unwrap();
+        let unmarked_host = (0..1000u32)
+            .find(|&h| HostId(h).group(100) >= 50)
+            .unwrap();
+        for (h, expect) in [(marked_host, true), (unmarked_host, false)] {
+            let mut a = agent(h);
+            a.refresh_contract(&db, 0);
+            a.cycle(Rate::gbps(100.0), Rate::gbps(100.0));
+            assert_eq!(a.self_marked(), expect, "host {h}");
+        }
+    }
+}

@@ -1,0 +1,188 @@
+//! The simulated kernel component: a BPF-style egress classifier.
+//!
+//! In production (Fig 9), the user-space agent programs actions into BPF
+//! maps; the BPF program matches egress packets and applies the action —
+//! here, remarking the DSCP of non-conforming traffic. We reproduce the
+//! map-lookup structure: the agent writes [`MarkAction`] entries keyed by
+//! `(NPG, QoS, flow/host group)`, and [`MarkingTable::classify`] is the
+//! per-packet hot path (pure lookup, no allocation).
+
+use entitlement_core::qos::Dscp;
+use entitlement_core::{NpgId, QosClass};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// The action stored in the "BPF map" for one matched aggregate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MarkAction {
+    /// Leave the packet's class DSCP alone.
+    Pass,
+    /// Remark to the non-conforming DSCP.
+    Remark,
+}
+
+/// What the classifier sees of a packet (already-parsed metadata).
+#[derive(Clone, Copy, Debug)]
+pub struct ClassifyInput {
+    /// Owning service of the socket.
+    pub npg: NpgId,
+    /// QoS class the service marked the packet with.
+    pub qos: QosClass,
+    /// The packet's flow group (0..100, from the 5-tuple hash).
+    pub flow_group: u8,
+    /// The host's group (0..100, from the host id hash).
+    pub host_group: u8,
+}
+
+/// Key for map entries: which groups of which (NPG, QoS) to remark.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+struct MapKey {
+    npg: NpgId,
+    qos: QosClass,
+}
+
+/// Per-(NPG, QoS) marking rule.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+struct Rule {
+    /// Flow groups `0..flow_cut` are remarked.
+    flow_cut: u8,
+    /// Host groups `0..host_cut` are remarked (applies to all flows of
+    /// hosts in those groups).
+    host_cut: u8,
+}
+
+/// The marking table the agent programs and the datapath consults.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct MarkingTable {
+    rules: HashMap<MapKey, Rule>,
+    /// Counters, like BPF per-cpu stats maps.
+    pub packets_seen: u64,
+    /// Packets remarked since creation.
+    pub packets_remarked: u64,
+}
+
+impl MarkingTable {
+    /// Empty table (everything passes).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Program the flow-group cut for an aggregate (flow-based marking).
+    pub fn set_flow_cut(&mut self, npg: NpgId, qos: QosClass, flow_cut: u8) {
+        self.rules
+            .entry(MapKey { npg, qos })
+            .or_default()
+            .flow_cut = flow_cut;
+    }
+
+    /// Program the host-group cut for an aggregate (host-based marking).
+    pub fn set_host_cut(&mut self, npg: NpgId, qos: QosClass, host_cut: u8) {
+        self.rules
+            .entry(MapKey { npg, qos })
+            .or_default()
+            .host_cut = host_cut;
+    }
+
+    /// Remove all rules for an aggregate.
+    pub fn clear(&mut self, npg: NpgId, qos: QosClass) {
+        self.rules.remove(&MapKey { npg, qos });
+    }
+
+    /// The per-packet hot path: decide the action and produce the DSCP
+    /// the packet leaves the host with.
+    pub fn classify(&mut self, input: ClassifyInput) -> (MarkAction, Dscp) {
+        self.packets_seen += 1;
+        let rule = self.rules.get(&MapKey {
+            npg: input.npg,
+            qos: input.qos,
+        });
+        let remark = rule
+            .map(|r| input.flow_group < r.flow_cut || input.host_group < r.host_cut)
+            .unwrap_or(false);
+        if remark {
+            self.packets_remarked += 1;
+            (MarkAction::Remark, Dscp::NON_CONFORMING)
+        } else {
+            (MarkAction::Pass, Dscp::for_class(input.qos))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn input(npg: u32, qos: QosClass, flow: u8, host: u8) -> ClassifyInput {
+        ClassifyInput {
+            npg: NpgId(npg),
+            qos,
+            flow_group: flow,
+            host_group: host,
+        }
+    }
+
+    #[test]
+    fn empty_table_passes_with_class_dscp() {
+        let mut t = MarkingTable::new();
+        let (action, dscp) = t.classify(input(1, QosClass::C2, 5, 5));
+        assert_eq!(action, MarkAction::Pass);
+        assert_eq!(dscp, Dscp::for_class(QosClass::C2));
+        assert_eq!(t.packets_seen, 1);
+        assert_eq!(t.packets_remarked, 0);
+    }
+
+    #[test]
+    fn flow_cut_remarks_low_groups() {
+        let mut t = MarkingTable::new();
+        t.set_flow_cut(NpgId(1), QosClass::C1, 10);
+        let (a1, d1) = t.classify(input(1, QosClass::C1, 9, 50));
+        assert_eq!(a1, MarkAction::Remark);
+        assert!(d1.is_non_conforming());
+        let (a2, _) = t.classify(input(1, QosClass::C1, 10, 50));
+        assert_eq!(a2, MarkAction::Pass);
+    }
+
+    #[test]
+    fn host_cut_remarks_whole_host() {
+        let mut t = MarkingTable::new();
+        t.set_host_cut(NpgId(1), QosClass::C1, 30);
+        // Any flow group of a low host group is remarked.
+        for fg in [0u8, 50, 99] {
+            let (a, _) = t.classify(input(1, QosClass::C1, fg, 29));
+            assert_eq!(a, MarkAction::Remark, "flow group {fg}");
+        }
+        let (a, _) = t.classify(input(1, QosClass::C1, 0, 30));
+        assert_eq!(a, MarkAction::Pass);
+    }
+
+    #[test]
+    fn classes_are_enforced_independently() {
+        // §5.3 fn 2: remarking is per QoS class.
+        let mut t = MarkingTable::new();
+        t.set_host_cut(NpgId(1), QosClass::C2, 100);
+        let (a_c2, _) = t.classify(input(1, QosClass::C2, 0, 50));
+        let (a_c1, _) = t.classify(input(1, QosClass::C1, 0, 50));
+        assert_eq!(a_c2, MarkAction::Remark);
+        assert_eq!(a_c1, MarkAction::Pass, "other class untouched");
+    }
+
+    #[test]
+    fn other_services_unaffected() {
+        let mut t = MarkingTable::new();
+        t.set_host_cut(NpgId(1), QosClass::C1, 100);
+        let (a, _) = t.classify(input(2, QosClass::C1, 0, 0));
+        assert_eq!(a, MarkAction::Pass);
+    }
+
+    #[test]
+    fn clear_removes_rules_and_counters_accumulate() {
+        let mut t = MarkingTable::new();
+        t.set_flow_cut(NpgId(1), QosClass::C1, 100);
+        t.classify(input(1, QosClass::C1, 0, 0));
+        t.clear(NpgId(1), QosClass::C1);
+        let (a, _) = t.classify(input(1, QosClass::C1, 0, 0));
+        assert_eq!(a, MarkAction::Pass);
+        assert_eq!(t.packets_seen, 2);
+        assert_eq!(t.packets_remarked, 1);
+    }
+}

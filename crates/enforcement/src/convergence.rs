@@ -1,0 +1,231 @@
+//! The §7.4 marking-convergence simulation (Figs 23–25).
+//!
+//! "Assuming a total traffic rate of 10 Tbps and an entitled rate of
+//! 5 Tbps, we gradually simulate network congestion with a loss rate of
+//! 0%, 12.5%, 25%, 50% and 100% of the non-conforming traffic."
+//!
+//! Each iteration: the agent marks traffic according to its conform
+//! ratio; the network drops `loss` of the non-conforming part; the next
+//! iteration's *observed* rates are the conforming rate plus the
+//! surviving non-conforming rate. This is the paper's idealized model
+//! (the dropped traffic simply vanishes from the next observation —
+//! §7.4's explanation of the stateless oscillation). An optional
+//! `probe_floor` adds the real-world effect of TCP senders continuing to
+//! probe, which the full drill simulation always models.
+
+use crate::metering::{Meter, StatefulMeter, StatelessMeter};
+use entitlement_core::Rate;
+use serde::{Deserialize, Serialize};
+
+/// Simulation parameters.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct MarkingSim {
+    /// Offered (demand) rate — constant, per the paper.
+    pub demand: Rate,
+    /// The entitled rate.
+    pub entitled: Rate,
+    /// Loss applied to non-conforming traffic each iteration.
+    pub loss: f64,
+    /// Iterations to run.
+    pub iterations: usize,
+    /// Send-probe floor: the fraction of non-conforming demand still
+    /// observed when the network drops 100%.
+    pub probe_floor: f64,
+}
+
+impl Default for MarkingSim {
+    fn default() -> Self {
+        MarkingSim {
+            demand: Rate::tbps(10.0),
+            entitled: Rate::tbps(5.0),
+            loss: 1.0,
+            iterations: 50,
+            probe_floor: 0.0,
+        }
+    }
+}
+
+/// Output series of one run.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct MarkingSimResult {
+    /// Conforming rate observed each iteration (instantaneous curve).
+    pub conforming_tbps: Vec<f64>,
+    /// Running average of the conforming rate (the average curve).
+    pub average_tbps: Vec<f64>,
+    /// Observed total rate each iteration.
+    pub total_observed_tbps: Vec<f64>,
+    /// Conform ratio trajectory.
+    pub conform_ratio: Vec<f64>,
+}
+
+impl MarkingSimResult {
+    /// Mean conforming rate over the final half of the run (steady
+    /// state / steady oscillation).
+    pub fn steady_mean_tbps(&self) -> f64 {
+        let half = &self.conforming_tbps[self.conforming_tbps.len() / 2..];
+        entitlement_core::stats::mean(half)
+    }
+
+    /// Peak-to-trough swing over the final half (oscillation amplitude).
+    pub fn steady_swing_tbps(&self) -> f64 {
+        let half = &self.conforming_tbps[self.conforming_tbps.len() / 2..];
+        let max = half.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let min = half.iter().cloned().fold(f64::INFINITY, f64::min);
+        max - min
+    }
+
+    /// First iteration after which the conforming rate stays within
+    /// `tol_tbps` of the entitlement for the rest of the run (`None` if
+    /// it never settles — a trailing streak of at least 3 in-band
+    /// iterations is required, so an oscillation that happens to end on
+    /// an in-band sample does not count as converged).
+    pub fn convergence_iteration(&self, entitled_tbps: f64, tol_tbps: f64) -> Option<usize> {
+        let last_bad = self
+            .conforming_tbps
+            .iter()
+            .rposition(|&c| (c - entitled_tbps).abs() > tol_tbps);
+        match last_bad {
+            None => Some(0),
+            Some(i) if i + 3 < self.conforming_tbps.len() => Some(i + 1),
+            _ => None,
+        }
+    }
+}
+
+/// Run the simulation with the given meter.
+pub fn simulate_marking(sim: &MarkingSim, meter: &mut dyn Meter) -> MarkingSimResult {
+    let mut conforming = Vec::with_capacity(sim.iterations);
+    let mut average = Vec::with_capacity(sim.iterations);
+    let mut total_observed = Vec::with_capacity(sim.iterations);
+    let mut ratios = Vec::with_capacity(sim.iterations);
+    let mut sum = 0.0;
+
+    for i in 0..sim.iterations {
+        let cr = meter.conform_ratio();
+        // The agent's marking splits the demand.
+        let conform_sent = sim.demand * cr;
+        let nonconf_demand = sim.demand * (1.0 - cr);
+        // Network drops `loss` of non-conforming; senders keep probing.
+        let nonconf_observed = nonconf_demand * (1.0 - sim.loss).max(sim.probe_floor);
+        let total = conform_sent + nonconf_observed;
+
+        conforming.push(conform_sent.as_tbps());
+        sum += conform_sent.as_tbps();
+        average.push(sum / (i + 1) as f64);
+        total_observed.push(total.as_tbps());
+        ratios.push(cr);
+
+        // Next cycle's decision from this cycle's observations.
+        meter.update(total, conform_sent, sim.entitled);
+    }
+    MarkingSimResult {
+        conforming_tbps: conforming,
+        average_tbps: average,
+        total_observed_tbps: total_observed,
+        conform_ratio: ratios,
+    }
+}
+
+/// Convenience: run both algorithms at one loss level.
+pub fn run_both(loss: f64, iterations: usize) -> (MarkingSimResult, MarkingSimResult) {
+    let sim = MarkingSim {
+        loss,
+        iterations,
+        ..Default::default()
+    };
+    let stateless = simulate_marking(&sim, &mut StatelessMeter::new());
+    let stateful = simulate_marking(&sim, &mut StatefulMeter::new());
+    (stateless, stateful)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's loss stages.
+    const LOSSES: [f64; 5] = [0.0, 0.125, 0.25, 0.5, 1.0];
+
+    #[test]
+    fn stateless_oscillates_at_full_loss() {
+        // Fig 23: instantaneous rate fluctuates between ~5 and ~10 Tbps.
+        let (stateless, _) = run_both(1.0, 60);
+        let swing = stateless.steady_swing_tbps();
+        assert!(swing > 3.0, "oscillation amplitude {swing} too small");
+        let max = stateless
+            .conforming_tbps
+            .iter()
+            .cloned()
+            .fold(0.0, f64::max);
+        assert!(max > 9.0, "upper envelope near the 10T demand: {max}");
+    }
+
+    #[test]
+    fn stateless_average_exceeds_entitlement_under_loss() {
+        // Fig 24: "the average of conforming traffic stays above the
+        // entitlement rate (5Tbps). This means the marking algorithm
+        // fails to enforce the entitled rate."
+        for loss in [0.25, 0.5, 1.0] {
+            let (stateless, _) = run_both(loss, 100);
+            let avg = *stateless.average_tbps.last().unwrap();
+            assert!(
+                avg > 5.5,
+                "loss {loss}: stateless average {avg} should overshoot 5T"
+            );
+        }
+    }
+
+    #[test]
+    fn stateless_is_fine_without_loss() {
+        // At 0% loss the stateless algorithm is stable (steady state of
+        // §5.2's "works well during steady state").
+        let (stateless, _) = run_both(0.0, 50);
+        assert!(stateless.steady_swing_tbps() < 0.1);
+        assert!((stateless.steady_mean_tbps() - 5.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn stateful_converges_at_every_loss_level() {
+        // Fig 25: "The results for 0% to 100% are the same, which
+        // converge to 5Tbps quickly after the 10th iteration."
+        for loss in LOSSES {
+            let (_, stateful) = run_both(loss, 50);
+            let iter = stateful
+                .convergence_iteration(5.0, 0.35)
+                .unwrap_or(usize::MAX);
+            assert!(
+                iter <= 12,
+                "loss {loss}: converged at iteration {iter}, want ≤ 12"
+            );
+            let mean = stateful.steady_mean_tbps();
+            assert!(
+                (mean - 5.0).abs() < 0.35,
+                "loss {loss}: steady mean {mean}"
+            );
+        }
+    }
+
+    #[test]
+    fn stateful_instantaneous_equals_average_in_steady_state() {
+        // Fig 25's observation: "The instantaneous and average rates look
+        // similar, because the stateful algorithm already smooths out the
+        // difference across iterations."
+        let (_, stateful) = run_both(0.5, 100);
+        let n = stateful.conforming_tbps.len();
+        let inst = stateful.conforming_tbps[n - 1];
+        let avg = stateful.average_tbps[n - 1];
+        assert!(
+            (inst - avg).abs() < 0.6,
+            "instantaneous {inst} vs average {avg}"
+        );
+    }
+
+    #[test]
+    fn result_accessors() {
+        let (stateless, _) = run_both(1.0, 40);
+        assert_eq!(stateless.conforming_tbps.len(), 40);
+        assert_eq!(stateless.average_tbps.len(), 40);
+        assert_eq!(stateless.total_observed_tbps.len(), 40);
+        assert_eq!(stateless.conform_ratio.len(), 40);
+        assert!(stateless.convergence_iteration(5.0, 0.35).is_none());
+    }
+}

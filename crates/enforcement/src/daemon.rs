@@ -1,0 +1,193 @@
+//! The tokio agent daemon: the distributed enforcement fleet as real
+//! concurrent tasks.
+//!
+//! Each simulated host runs an agent task that periodically publishes
+//! its rate into the async KV store, reads the service aggregates, runs
+//! the stateful meter, and updates a shared marking decision — the same
+//! loop `agent.rs` exposes synchronously, here exercised under real
+//! concurrency (task scheduling, channel backpressure, TTL'd rates from
+//! slow agents).
+
+use crate::agent::{Agent, AgentConfig};
+use crate::marking::MarkingStrategy;
+use entitlement_core::{HostId, NpgId, QosClass, Rate, RegionId};
+use entitlement_kvstore::{KvClient, KvServer, StoreConfig};
+use std::time::Duration;
+use tokio::sync::watch;
+
+/// Configuration for a daemon fleet run.
+#[derive(Clone, Debug)]
+pub struct DaemonConfig {
+    /// Number of agent tasks.
+    pub hosts: usize,
+    /// Service being enforced.
+    pub npg: NpgId,
+    /// Class being enforced.
+    pub qos: QosClass,
+    /// Region.
+    pub region: RegionId,
+    /// Entitled rate (fixed for the run; contract DB integration is
+    /// exercised in the sync agent tests).
+    pub entitled: Rate,
+    /// Offered rate per host.
+    pub per_host_rate: Rate,
+    /// Metering cycle interval.
+    pub cycle: Duration,
+    /// Number of cycles to run.
+    pub cycles: usize,
+}
+
+/// Final state of a daemon run.
+#[derive(Clone, Debug)]
+pub struct DaemonOutcome {
+    /// The conform ratio each agent ended with (same order as hosts).
+    pub conform_ratios: Vec<f64>,
+    /// The service-wide total rate the store last aggregated.
+    pub final_total: Rate,
+}
+
+/// Run a fleet of agent tasks to convergence.
+///
+/// The "network" here is trivial (no drops): the point of this harness
+/// is the concurrency architecture — N tasks against one store, all
+/// reaching the same decision with no controller.
+pub async fn run_fleet(config: DaemonConfig) -> DaemonOutcome {
+    let (server, client) = KvServer::new(StoreConfig {
+        shards: 32,
+        ttl: config.cycle * 4,
+    });
+    tokio::spawn(server.run());
+
+    // Broadcast of the logical cycle number: agents step in rounds so
+    // the test is deterministic while still running concurrently.
+    let (round_tx, round_rx) = watch::channel(0usize);
+    let t0 = std::time::Instant::now();
+
+    let mut handles = Vec::with_capacity(config.hosts);
+    for h in 0..config.hosts {
+        let client: KvClient = client.clone();
+        let mut round_rx = round_rx.clone();
+        let cfg = config.clone();
+        handles.push(tokio::spawn(async move {
+            let mut agent = Agent::new(AgentConfig {
+                host: HostId(h as u32),
+                npg: cfg.npg,
+                qos: cfg.qos,
+                region: cfg.region,
+                strategy: MarkingStrategy::HostBased,
+            });
+            // Fixed contract for the run.
+            let db = crate::db::ContractDb::new();
+            db.insert(
+                cfg.npg,
+                entitlement_core::SloTarget::new(0.999).unwrap(),
+                vec![entitlement_core::Entitlement {
+                    npg: cfg.npg,
+                    qos: cfg.qos,
+                    region: cfg.region,
+                    direction: entitlement_core::Direction::Egress,
+                    entitled_rate: cfg.entitled,
+                    period: entitlement_core::Period::new(0, u32::MAX),
+                }],
+            )
+            .unwrap();
+            agent.refresh_contract(&db, 0);
+
+            let mut last_round = 0usize;
+            loop {
+                if round_rx.changed().await.is_err() {
+                    break;
+                }
+                let round = *round_rx.borrow();
+                if round == usize::MAX {
+                    break;
+                }
+                if round <= last_round {
+                    continue;
+                }
+                last_round = round;
+                let now_ms = t0.elapsed().as_millis() as u64;
+                // Publish this host's rates: conforming share follows the
+                // agent's own previous decision.
+                let cr = agent.marking_command(cfg.hosts);
+                let marked = agent.self_marked() && cr != entitlement_simnet::MarkingCommand::None;
+                let conforming = if marked { Rate::ZERO } else { cfg.per_host_rate };
+                agent.publish(client.store(), cfg.per_host_rate, conforming, now_ms);
+                // Wait for everyone to publish, then read aggregates.
+                tokio::time::sleep(cfg.cycle / 4).await;
+                let (total, conform) = agent.read_aggregates(client.store(), now_ms);
+                agent.cycle(total, conform);
+            }
+            agent
+        }));
+    }
+
+    // Drive the rounds.
+    for round in 1..=config.cycles {
+        round_tx.send(round).expect("agents alive");
+        tokio::time::sleep(config.cycle).await;
+    }
+    let now_ms = t0.elapsed().as_millis() as u64;
+    let final_total = Rate::bps(client.store().aggregate_sum(
+        &format!("rates/{}/{}/total/", config.npg.0, config.qos),
+        now_ms,
+    ));
+    round_tx.send(usize::MAX).ok();
+    drop(round_tx);
+
+    let mut conform_ratios = Vec::with_capacity(config.hosts);
+    for h in handles {
+        let agent = h.await.expect("agent task");
+        conform_ratios.push(agent.marking_command(config.hosts).marked_fraction(config.hosts));
+    }
+    DaemonOutcome {
+        conform_ratios,
+        final_total,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config(hosts: usize, entitled_g: f64, per_host_g: f64) -> DaemonConfig {
+        DaemonConfig {
+            hosts,
+            npg: NpgId(7),
+            qos: QosClass::C2,
+            region: RegionId(0),
+            entitled: Rate::gbps(entitled_g),
+            per_host_rate: Rate::gbps(per_host_g),
+            cycle: Duration::from_millis(40),
+            cycles: 8,
+        }
+    }
+
+    #[tokio::test(flavor = "multi_thread", worker_threads = 4)]
+    async fn fleet_converges_to_marking_the_excess() {
+        // 20 hosts × 10G = 200G total, entitled 100G → mark ~half.
+        let out = run_fleet(config(20, 100.0, 10.0)).await;
+        // All agents agree.
+        let first = out.conform_ratios[0];
+        assert!(
+            out.conform_ratios.iter().all(|&c| (c - first).abs() < 1e-9),
+            "agents disagree: {:?}",
+            out.conform_ratios
+        );
+        assert!(
+            (first - 0.5).abs() < 0.15,
+            "marked fraction {first} should be near 0.5"
+        );
+    }
+
+    #[tokio::test(flavor = "multi_thread", worker_threads = 4)]
+    async fn under_entitlement_fleet_marks_nothing() {
+        let out = run_fleet(config(10, 1000.0, 10.0)).await;
+        assert!(
+            out.conform_ratios.iter().all(|&c| c == 0.0),
+            "nothing should be marked: {:?}",
+            out.conform_ratios
+        );
+        assert!((out.final_total.as_gbps() - 100.0).abs() < 1.0);
+    }
+}

@@ -1,0 +1,305 @@
+//! The centralized contract database agents query (paper §5: "Querying
+//! contract which queries the centralized contract database to match the
+//! list of policies applicable to each host").
+//!
+//! The database is the only centralized piece of the second-generation
+//! architecture, and it is off the enforcement decision path: agents
+//! cache the entitled rate and keep enforcing on a stale contract if the
+//! database becomes unreachable.
+
+use entitlement_core::{
+    ContractId, Direction, Entitlement, EntitlementContract, NpgId, QosClass, Rate, RegionId,
+};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+
+/// A thread-safe contract store.
+#[derive(Default)]
+pub struct ContractDb {
+    contracts: RwLock<HashMap<ContractId, EntitlementContract>>,
+    next_id: RwLock<u64>,
+}
+
+impl ContractDb {
+    /// Empty database.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Insert a contract built from parts; returns its id.
+    pub fn insert(
+        &self,
+        npg: NpgId,
+        slo: entitlement_core::SloTarget,
+        entitlements: Vec<Entitlement>,
+    ) -> entitlement_core::Result<ContractId> {
+        let id = {
+            let mut n = self.next_id.write();
+            *n += 1;
+            ContractId(*n)
+        };
+        let contract = EntitlementContract::new(id, npg, slo, entitlements)?;
+        self.contracts.write().insert(id, contract);
+        Ok(id)
+    }
+
+    /// Replace an existing contract (quarterly refresh).
+    pub fn replace(&self, contract: EntitlementContract) {
+        self.contracts.write().insert(contract.id, contract);
+    }
+
+    /// Fetch a contract by id.
+    pub fn get(&self, id: ContractId) -> Option<EntitlementContract> {
+        self.contracts.read().get(&id).cloned()
+    }
+
+    /// Remove a contract.
+    pub fn remove(&self, id: ContractId) -> bool {
+        self.contracts.write().remove(&id).is_some()
+    }
+
+    /// The query agents issue: the entitled rate applicable to a flow
+    /// aggregate on a day. Sums across contracts of the NPG (multiple
+    /// periods/rows may apply).
+    pub fn entitled_rate(
+        &self,
+        npg: NpgId,
+        qos: QosClass,
+        region: RegionId,
+        direction: Direction,
+        day: u32,
+    ) -> Option<Rate> {
+        let guard = self.contracts.read();
+        let mut found = false;
+        let mut total = Rate::ZERO;
+        for c in guard.values().filter(|c| c.npg == npg) {
+            if let Some(r) = c.entitled_rate(qos, region, direction, day) {
+                total += r;
+                found = true;
+            }
+        }
+        if found {
+            Some(total)
+        } else {
+            None
+        }
+    }
+
+    /// Number of stored contracts.
+    pub fn len(&self) -> usize {
+        self.contracts.read().len()
+    }
+
+    /// Whether the database is empty.
+    pub fn is_empty(&self) -> bool {
+        self.contracts.read().is_empty()
+    }
+
+    /// Serialize the full contract set to JSON (production contract
+    /// databases are durable; agents also cache snapshots locally so a
+    /// database outage cannot stop enforcement).
+    pub fn snapshot(&self) -> String {
+        let guard = self.contracts.read();
+        let mut contracts: Vec<&EntitlementContract> = guard.values().collect();
+        contracts.sort_by_key(|c| c.id);
+        serde_json::to_string_pretty(&contracts).expect("contracts serialize")
+    }
+
+    /// Restore a database from a [`ContractDb::snapshot`].
+    pub fn restore(json: &str) -> entitlement_core::Result<ContractDb> {
+        let contracts: Vec<EntitlementContract> = serde_json::from_str(json).map_err(|e| {
+            entitlement_core::EntitlementError::Invariant(format!("snapshot parse: {e}"))
+        })?;
+        let db = ContractDb::new();
+        let mut max_id = 0u64;
+        {
+            let mut guard = db.contracts.write();
+            for c in contracts {
+                max_id = max_id.max(c.id.0);
+                guard.insert(c.id, c);
+            }
+        }
+        *db.next_id.write() = max_id;
+        Ok(db)
+    }
+
+    /// Write a snapshot to disk.
+    pub fn save(&self, path: &std::path::Path) -> std::io::Result<()> {
+        std::fs::write(path, self.snapshot())
+    }
+
+    /// Load a database from a snapshot file.
+    pub fn load(path: &std::path::Path) -> entitlement_core::Result<ContractDb> {
+        let json = std::fs::read_to_string(path).map_err(|e| {
+            entitlement_core::EntitlementError::Invariant(format!("snapshot read: {e}"))
+        })?;
+        Self::restore(&json)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use entitlement_core::{Period, SloTarget};
+
+    fn ent(npg: u32, region: u16, qos: QosClass, rate_g: f64, period: Period) -> Entitlement {
+        Entitlement {
+            npg: NpgId(npg),
+            qos,
+            region: RegionId(region),
+            direction: Direction::Egress,
+            entitled_rate: Rate::gbps(rate_g),
+            period,
+        }
+    }
+
+    #[test]
+    fn insert_query_roundtrip() {
+        let db = ContractDb::new();
+        let id = db
+            .insert(
+                NpgId(1),
+                SloTarget::new(0.999).unwrap(),
+                vec![ent(1, 0, QosClass::C1, 100.0, Period::new(0, 90))],
+            )
+            .unwrap();
+        assert_eq!(db.len(), 1);
+        assert!(db.get(id).is_some());
+        let r = db
+            .entitled_rate(NpgId(1), QosClass::C1, RegionId(0), Direction::Egress, 5)
+            .unwrap();
+        assert!((r.as_gbps() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn query_filters_dimensions() {
+        let db = ContractDb::new();
+        db.insert(
+            NpgId(1),
+            SloTarget::new(0.999).unwrap(),
+            vec![ent(1, 0, QosClass::C1, 100.0, Period::new(0, 90))],
+        )
+        .unwrap();
+        assert!(db
+            .entitled_rate(NpgId(2), QosClass::C1, RegionId(0), Direction::Egress, 5)
+            .is_none());
+        assert!(db
+            .entitled_rate(NpgId(1), QosClass::C2, RegionId(0), Direction::Egress, 5)
+            .is_none());
+        assert!(db
+            .entitled_rate(NpgId(1), QosClass::C1, RegionId(1), Direction::Egress, 5)
+            .is_none());
+        assert!(db
+            .entitled_rate(NpgId(1), QosClass::C1, RegionId(0), Direction::Ingress, 5)
+            .is_none());
+        assert!(db
+            .entitled_rate(NpgId(1), QosClass::C1, RegionId(0), Direction::Egress, 95)
+            .is_none());
+    }
+
+    #[test]
+    fn multiple_contracts_sum() {
+        let db = ContractDb::new();
+        for _ in 0..2 {
+            db.insert(
+                NpgId(1),
+                SloTarget::new(0.999).unwrap(),
+                vec![ent(1, 0, QosClass::C1, 50.0, Period::new(0, 90))],
+            )
+            .unwrap();
+        }
+        let r = db
+            .entitled_rate(NpgId(1), QosClass::C1, RegionId(0), Direction::Egress, 5)
+            .unwrap();
+        assert!((r.as_gbps() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn remove_and_replace() {
+        let db = ContractDb::new();
+        let id = db
+            .insert(
+                NpgId(1),
+                SloTarget::new(0.999).unwrap(),
+                vec![ent(1, 0, QosClass::C1, 100.0, Period::new(0, 90))],
+            )
+            .unwrap();
+        let mut c = db.get(id).unwrap();
+        c.entitlements[0].entitled_rate = Rate::gbps(10.0);
+        db.replace(c);
+        let r = db
+            .entitled_rate(NpgId(1), QosClass::C1, RegionId(0), Direction::Egress, 5)
+            .unwrap();
+        assert!((r.as_gbps() - 10.0).abs() < 1e-9);
+        assert!(db.remove(id));
+        assert!(db.is_empty());
+    }
+
+    #[test]
+    fn snapshot_restore_roundtrip() {
+        let db = ContractDb::new();
+        for npg in 1..=3u32 {
+            db.insert(
+                NpgId(npg),
+                SloTarget::new(0.999).unwrap(),
+                vec![ent(npg, 0, QosClass::C2, npg as f64 * 10.0, Period::new(0, 90))],
+            )
+            .unwrap();
+        }
+        let json = db.snapshot();
+        let restored = ContractDb::restore(&json).unwrap();
+        assert_eq!(restored.len(), 3);
+        let r = restored
+            .entitled_rate(NpgId(2), QosClass::C2, RegionId(0), Direction::Egress, 5)
+            .unwrap();
+        assert!((r.as_gbps() - 20.0).abs() < 1e-9);
+        // New inserts continue from the restored id space (no collision).
+        let id = restored
+            .insert(
+                NpgId(9),
+                SloTarget::new(0.99).unwrap(),
+                vec![ent(9, 1, QosClass::C1, 5.0, Period::new(0, 90))],
+            )
+            .unwrap();
+        assert!(id.0 > 3);
+    }
+
+    #[test]
+    fn save_load_roundtrip_on_disk() {
+        let db = ContractDb::new();
+        db.insert(
+            NpgId(1),
+            SloTarget::new(0.999).unwrap(),
+            vec![ent(1, 0, QosClass::C1, 100.0, Period::new(0, 90))],
+        )
+        .unwrap();
+        let path = std::env::temp_dir().join(format!("entitlement-db-{}.json", std::process::id()));
+        db.save(&path).unwrap();
+        let loaded = ContractDb::load(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(loaded.len(), 1);
+        assert!(loaded
+            .entitled_rate(NpgId(1), QosClass::C1, RegionId(0), Direction::Egress, 0)
+            .is_some());
+    }
+
+    #[test]
+    fn restore_rejects_garbage() {
+        assert!(ContractDb::restore("not json").is_err());
+        assert!(ContractDb::restore("{}").is_err());
+        let empty = ContractDb::restore("[]").unwrap();
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn rejects_mismatched_npg() {
+        let db = ContractDb::new();
+        let res = db.insert(
+            NpgId(1),
+            SloTarget::new(0.999).unwrap(),
+            vec![ent(2, 0, QosClass::C1, 100.0, Period::new(0, 90))],
+        );
+        assert!(res.is_err());
+        assert!(db.is_empty());
+    }
+}

@@ -1,0 +1,332 @@
+//! Ingress metering (paper §8, "Ingress metering").
+//!
+//! The runtime system meters *egress* today; the paper calls out the
+//! need to also conform to *ingress* entitlements: "Since metering can
+//! only be performed at the source, we need to translate the ingress
+//! entitlement Hose for a destination to a distributed set of meters at
+//! the sources. This requires both new algorithm design and more
+//! sophisticated centralized control."
+//!
+//! The design implemented here:
+//!
+//! * an [`IngressCoordinator`] per `(NPG, QoS, dst_region)` observes the
+//!   per-source-region demand toward the destination (the same KV-store
+//!   aggregates the agents already publish, §5.1) and splits the ingress
+//!   entitlement into per-source **sub-entitlements** with max-min
+//!   fairness: small senders are fully satisfied, large senders share
+//!   the remainder equally;
+//! * each source region's agents then enforce their sub-entitlement with
+//!   the ordinary stateful meter — no new dataplane machinery at all;
+//! * the coordinator is *soft* state off the decision path: between
+//!   updates the sources keep enforcing the last allocation, exactly
+//!   like agents keep enforcing a stale contract when the database is
+//!   unreachable.
+
+use crate::metering::{Meter, StatefulMeter};
+use entitlement_core::{Rate, RegionId};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Max-min fair split of `total` across demands.
+///
+/// Sources demanding less than the fair share keep their demand; the
+/// leftover is split equally among the rest, iterating until stable.
+/// The returned allocations sum to `min(total, Σ demand)`.
+pub fn max_min_fair(total: Rate, demands: &BTreeMap<RegionId, Rate>) -> BTreeMap<RegionId, Rate> {
+    let mut alloc: BTreeMap<RegionId, Rate> = BTreeMap::new();
+    let mut remaining = total;
+    let mut unsatisfied: Vec<RegionId> = demands.keys().copied().collect();
+    // Iterate: each round gives every unsatisfied source an equal share;
+    // sources whose demand is below the share are capped and removed.
+    loop {
+        if unsatisfied.is_empty() || remaining.is_zero() {
+            break;
+        }
+        let share = remaining / unsatisfied.len() as f64;
+        let capped: Vec<RegionId> = unsatisfied
+            .iter()
+            .copied()
+            .filter(|r| demands[r].as_bps() <= share.as_bps() + 1e-9)
+            .collect();
+        if capped.is_empty() {
+            // Everyone is elephant: equal split, done.
+            for r in &unsatisfied {
+                alloc.insert(*r, share);
+            }
+            break;
+        }
+        for r in &capped {
+            alloc.insert(*r, demands[r]);
+            remaining -= demands[r];
+            remaining = remaining.clamp_zero();
+        }
+        unsatisfied.retain(|r| !capped.contains(r));
+    }
+    for r in demands.keys() {
+        alloc.entry(*r).or_insert(Rate::ZERO);
+    }
+    alloc
+}
+
+/// The per-destination coordinator translating an ingress hose into
+/// per-source sub-entitlements.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct IngressCoordinator {
+    /// The destination region whose ingress is capped.
+    pub dst: RegionId,
+    /// The ingress entitled rate.
+    pub entitled: Rate,
+    /// Smoothing factor for demand observations in (0, 1]; 1 = use the
+    /// latest sample directly.
+    pub ema_alpha: f64,
+    /// Smoothed per-source demand.
+    smoothed: BTreeMap<RegionId, f64>,
+    /// Last pushed allocation.
+    allocation: BTreeMap<RegionId, Rate>,
+}
+
+impl IngressCoordinator {
+    /// New coordinator.
+    pub fn new(dst: RegionId, entitled: Rate) -> Self {
+        IngressCoordinator {
+            dst,
+            entitled,
+            ema_alpha: 0.5,
+            smoothed: BTreeMap::new(),
+            allocation: BTreeMap::new(),
+        }
+    }
+
+    /// One coordination round: observe per-source demand toward the
+    /// destination and recompute sub-entitlements.
+    pub fn update(&mut self, observed: &BTreeMap<RegionId, Rate>) -> &BTreeMap<RegionId, Rate> {
+        for (&src, &rate) in observed {
+            let e = self.smoothed.entry(src).or_insert(rate.as_bps());
+            *e = *e * (1.0 - self.ema_alpha) + rate.as_bps() * self.ema_alpha;
+        }
+        // Sources that stopped sending decay out.
+        self.smoothed.retain(|src, v| {
+            if !observed.contains_key(src) {
+                *v *= 1.0 - self.ema_alpha;
+            }
+            *v > 1.0
+        });
+        let demands: BTreeMap<RegionId, Rate> = self
+            .smoothed
+            .iter()
+            .map(|(&r, &v)| (r, Rate::bps(v)))
+            .collect();
+        self.allocation = max_min_fair(self.entitled, &demands);
+        &self.allocation
+    }
+
+    /// The sub-entitlement currently assigned to a source (zero for
+    /// unknown sources — they must wait for the next round).
+    pub fn sub_entitlement(&self, src: RegionId) -> Rate {
+        self.allocation.get(&src).copied().unwrap_or(Rate::ZERO)
+    }
+
+    /// The current allocation.
+    pub fn allocation(&self) -> &BTreeMap<RegionId, Rate> {
+        &self.allocation
+    }
+}
+
+/// One source region's enforcement state for an ingress entitlement:
+/// an ordinary stateful meter running against the coordinator-assigned
+/// sub-entitlement.
+#[derive(Clone, Debug)]
+pub struct SourceMeter {
+    /// The source region.
+    pub src: RegionId,
+    meter: StatefulMeter,
+    sub_entitlement: Rate,
+}
+
+impl SourceMeter {
+    /// New source meter (no allocation yet: everything conforms until
+    /// the coordinator speaks, mirroring the no-contract agent default).
+    pub fn new(src: RegionId) -> Self {
+        SourceMeter {
+            src,
+            meter: StatefulMeter::new(),
+            sub_entitlement: Rate(f64::INFINITY),
+        }
+    }
+
+    /// Receive a new sub-entitlement from the coordinator.
+    pub fn set_sub_entitlement(&mut self, rate: Rate) {
+        self.sub_entitlement = rate;
+    }
+
+    /// One metering cycle against this source's traffic toward the
+    /// destination; returns the conform ratio.
+    pub fn cycle(&mut self, total: Rate, conform: Rate) -> f64 {
+        if self.sub_entitlement.as_bps().is_infinite() {
+            return 1.0;
+        }
+        self.meter.update(total, conform, self.sub_entitlement)
+    }
+
+    /// Current conform ratio.
+    pub fn conform_ratio(&self) -> f64 {
+        self.meter.conform_ratio()
+    }
+}
+
+/// Simulate the full ingress-enforcement loop for one destination:
+/// sources with fixed demands, a coordinator round every
+/// `coordination_interval` cycles, and per-source stateful meters in
+/// between. Returns the per-cycle total conforming rate into the
+/// destination.
+pub fn simulate_ingress_enforcement(
+    entitled: Rate,
+    demands: &BTreeMap<RegionId, Rate>,
+    cycles: usize,
+    coordination_interval: usize,
+) -> Vec<Rate> {
+    let mut coordinator = IngressCoordinator::new(RegionId(0), entitled);
+    let mut meters: BTreeMap<RegionId, SourceMeter> = demands
+        .keys()
+        .map(|&r| (r, SourceMeter::new(r)))
+        .collect();
+    let mut conform: BTreeMap<RegionId, Rate> = demands.clone();
+    let mut out = Vec::with_capacity(cycles);
+
+    for cycle in 0..cycles {
+        if cycle % coordination_interval == 0 {
+            // Coordinator observes the *offered* demand (sources publish
+            // their total sending rate toward the destination).
+            coordinator.update(demands);
+            for (r, m) in meters.iter_mut() {
+                m.set_sub_entitlement(coordinator.sub_entitlement(*r));
+            }
+        }
+        let mut total_conform = Rate::ZERO;
+        for (&r, m) in meters.iter_mut() {
+            let cr = m.cycle(demands[&r], conform[&r]);
+            conform.insert(r, demands[&r] * cr);
+            total_conform += conform[&r];
+        }
+        out.push(total_conform);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demands(entries: &[(u16, f64)]) -> BTreeMap<RegionId, Rate> {
+        entries
+            .iter()
+            .map(|&(r, g)| (RegionId(r), Rate::gbps(g)))
+            .collect()
+    }
+
+    #[test]
+    fn max_min_fair_mixed_demands() {
+        // Total 100; demands 10, 30, 200 → small gets 10, then 45 each,
+        // capped at 30 for the second → 10, 30, 60.
+        let d = demands(&[(1, 10.0), (2, 30.0), (3, 200.0)]);
+        let a = max_min_fair(Rate::gbps(100.0), &d);
+        assert!((a[&RegionId(1)].as_gbps() - 10.0).abs() < 1e-9);
+        assert!((a[&RegionId(2)].as_gbps() - 30.0).abs() < 1e-9);
+        assert!((a[&RegionId(3)].as_gbps() - 60.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn max_min_fair_all_elephants() {
+        let d = demands(&[(1, 100.0), (2, 100.0)]);
+        let a = max_min_fair(Rate::gbps(50.0), &d);
+        assert!((a[&RegionId(1)].as_gbps() - 25.0).abs() < 1e-9);
+        assert!((a[&RegionId(2)].as_gbps() - 25.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn max_min_fair_underloaded_gives_demand() {
+        let d = demands(&[(1, 10.0), (2, 20.0)]);
+        let a = max_min_fair(Rate::gbps(100.0), &d);
+        assert_eq!(a[&RegionId(1)], Rate::gbps(10.0));
+        assert_eq!(a[&RegionId(2)], Rate::gbps(20.0));
+    }
+
+    #[test]
+    fn allocation_never_exceeds_entitlement() {
+        for seed in 0..10u64 {
+            let mut rng = entitlement_core::DetRng::new(seed);
+            let d: BTreeMap<RegionId, Rate> = (0..6)
+                .map(|i| (RegionId(i), Rate::gbps(rng.range(1.0, 300.0))))
+                .collect();
+            let total = Rate::gbps(rng.range(10.0, 400.0));
+            let a = max_min_fair(total, &d);
+            let sum: Rate = a.values().copied().sum();
+            let demand_sum: Rate = d.values().copied().sum();
+            assert!(sum.as_bps() <= total.as_bps().min(demand_sum.as_bps()) + 1.0);
+            // No source gets more than it asked for.
+            for (r, v) in &a {
+                assert!(v.as_bps() <= d[r].as_bps() + 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn coordinator_tracks_demand_shift() {
+        let mut c = IngressCoordinator::new(RegionId(0), Rate::gbps(100.0));
+        // Round 1: source 1 dominates.
+        c.update(&demands(&[(1, 200.0), (2, 10.0)]));
+        assert!(c.sub_entitlement(RegionId(1)).as_gbps() > 80.0);
+        // Demand shifts to source 2; after a few rounds the allocation
+        // follows (EMA smoothing).
+        for _ in 0..8 {
+            c.update(&demands(&[(1, 10.0), (2, 200.0)]));
+        }
+        assert!(
+            c.sub_entitlement(RegionId(2)).as_gbps() > 80.0,
+            "allocation follows demand: {:?}",
+            c.allocation()
+        );
+        assert!(c.sub_entitlement(RegionId(1)).as_gbps() < 20.0);
+    }
+
+    #[test]
+    fn vanished_sources_decay_out() {
+        let mut c = IngressCoordinator::new(RegionId(0), Rate::gbps(100.0));
+        c.update(&demands(&[(1, 60.0), (2, 60.0)]));
+        for _ in 0..20 {
+            c.update(&demands(&[(2, 60.0)]));
+        }
+        // Source 1's smoothed demand has decayed to a negligible trickle.
+        assert!(c.sub_entitlement(RegionId(1)).as_bps() < 1e6, "decayed out");
+        assert!((c.sub_entitlement(RegionId(2)).as_gbps() - 60.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn end_to_end_ingress_conformance() {
+        // 3 sources offering 240G total against a 120G ingress hose: the
+        // distributed meters converge the conforming ingress to ~120G.
+        let d = demands(&[(1, 40.0), (2, 80.0), (3, 120.0)]);
+        let series = simulate_ingress_enforcement(Rate::gbps(120.0), &d, 30, 5);
+        let steady = &series[15..];
+        for s in steady {
+            assert!(
+                (s.as_gbps() - 120.0).abs() < 12.0,
+                "conforming ingress {s} should hold near the 120G hose"
+            );
+        }
+        // And the small sender was not throttled (max-min fairness).
+        // Its share: 40G demand < fair share -> fully conforming.
+        // (Verified via the allocation in coordinator tests; here we
+        // check the aggregate only.)
+    }
+
+    #[test]
+    fn source_meter_passes_everything_without_allocation() {
+        let mut m = SourceMeter::new(RegionId(1));
+        assert_eq!(m.cycle(Rate::gbps(500.0), Rate::gbps(500.0)), 1.0);
+        m.set_sub_entitlement(Rate::gbps(50.0));
+        let cr = m.cycle(Rate::gbps(100.0), Rate::gbps(100.0));
+        assert!((cr - 0.5).abs() < 1e-9);
+        assert!((m.conform_ratio() - 0.5).abs() < 1e-9);
+    }
+}

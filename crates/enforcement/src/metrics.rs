@@ -1,0 +1,266 @@
+//! Agent observability.
+//!
+//! A production enforcement fleet lives or dies by its visibility: §5.3
+//! picks host-based remarking partly because it "facilitates
+//! troubleshooting and provides better visibility" and "helps service
+//! teams easily identify affected hosts". This module is the agent-side
+//! half of that story: cheap counters and gauges every component bumps,
+//! rendered in the Prometheus text exposition format so any scraper can
+//! ingest them.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A monotone counter (atomic; agents are multi-threaded under tokio).
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Increment by one.
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Increment by `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-value gauge stored as micro-units (f64 × 1e6) in an atomic.
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    /// Set the gauge.
+    pub fn set(&self, v: f64) {
+        self.0.store((v * 1e6) as u64, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        self.0.load(Ordering::Relaxed) as f64 / 1e6
+    }
+}
+
+/// The agent's metric registry.
+#[derive(Debug, Default)]
+pub struct AgentMetrics {
+    /// Metering cycles executed.
+    pub cycles: Counter,
+    /// Cycles that changed the marking decision.
+    pub decision_changes: Counter,
+    /// Contract database refreshes that succeeded.
+    pub contract_refreshes: Counter,
+    /// Contract refreshes served from the stale cache.
+    pub contract_cache_hits: Counter,
+    /// Rate publications into the KV store.
+    pub publishes: Counter,
+    /// Packets classified by the kernel component.
+    pub packets_seen: Counter,
+    /// Packets remarked non-conforming.
+    pub packets_remarked: Counter,
+    /// Current conform ratio.
+    pub conform_ratio: Gauge,
+    /// Current entitled rate, bps.
+    pub entitled_bps: Gauge,
+    /// Last observed service total rate, bps.
+    pub total_rate_bps: Gauge,
+}
+
+impl AgentMetrics {
+    /// Fresh registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Render in the Prometheus text exposition format, with the given
+    /// constant labels (e.g. `{npg="7",qos="c2"}`).
+    pub fn render(&self, labels: &BTreeMap<&str, String>) -> String {
+        let label_str = if labels.is_empty() {
+            String::new()
+        } else {
+            let inner: Vec<String> = labels
+                .iter()
+                .map(|(k, v)| format!("{k}=\"{v}\""))
+                .collect();
+            format!("{{{}}}", inner.join(","))
+        };
+        let mut out = String::new();
+        let mut counter = |name: &str, help: &str, v: u64| {
+            out.push_str(&format!(
+                "# HELP {name} {help}\n# TYPE {name} counter\n{name}{label_str} {v}\n"
+            ));
+        };
+        counter(
+            "entitlement_agent_cycles_total",
+            "Metering cycles executed",
+            self.cycles.get(),
+        );
+        counter(
+            "entitlement_agent_decision_changes_total",
+            "Cycles that changed the marking decision",
+            self.decision_changes.get(),
+        );
+        counter(
+            "entitlement_agent_contract_refreshes_total",
+            "Successful contract refreshes",
+            self.contract_refreshes.get(),
+        );
+        counter(
+            "entitlement_agent_contract_cache_hits_total",
+            "Refreshes served from the stale cache",
+            self.contract_cache_hits.get(),
+        );
+        counter(
+            "entitlement_agent_publishes_total",
+            "Rate publications to the KV store",
+            self.publishes.get(),
+        );
+        counter(
+            "entitlement_agent_packets_seen_total",
+            "Packets classified",
+            self.packets_seen.get(),
+        );
+        counter(
+            "entitlement_agent_packets_remarked_total",
+            "Packets remarked non-conforming",
+            self.packets_remarked.get(),
+        );
+        let mut gauge = |name: &str, help: &str, v: f64| {
+            out.push_str(&format!(
+                "# HELP {name} {help}\n# TYPE {name} gauge\n{name}{label_str} {v}\n"
+            ));
+        };
+        gauge(
+            "entitlement_agent_conform_ratio",
+            "Current conform ratio",
+            self.conform_ratio.get(),
+        );
+        gauge(
+            "entitlement_agent_entitled_bps",
+            "Entitled rate in bits per second",
+            self.entitled_bps.get(),
+        );
+        gauge(
+            "entitlement_agent_total_rate_bps",
+            "Last observed service total rate",
+            self.total_rate_bps.get(),
+        );
+        out
+    }
+
+    /// A compact snapshot for logs and tests.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            cycles: self.cycles.get(),
+            decision_changes: self.decision_changes.get(),
+            contract_refreshes: self.contract_refreshes.get(),
+            contract_cache_hits: self.contract_cache_hits.get(),
+            publishes: self.publishes.get(),
+            packets_seen: self.packets_seen.get(),
+            packets_remarked: self.packets_remarked.get(),
+            conform_ratio: self.conform_ratio.get(),
+            entitled_bps: self.entitled_bps.get(),
+            total_rate_bps: self.total_rate_bps.get(),
+        }
+    }
+}
+
+/// A point-in-time copy of the registry.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// Metering cycles executed.
+    pub cycles: u64,
+    /// Decision-changing cycles.
+    pub decision_changes: u64,
+    /// Successful contract refreshes.
+    pub contract_refreshes: u64,
+    /// Stale-cache refreshes.
+    pub contract_cache_hits: u64,
+    /// KV publications.
+    pub publishes: u64,
+    /// Packets classified.
+    pub packets_seen: u64,
+    /// Packets remarked.
+    pub packets_remarked: u64,
+    /// Current conform ratio.
+    pub conform_ratio: f64,
+    /// Entitled rate, bps.
+    pub entitled_bps: f64,
+    /// Last total rate, bps.
+    pub total_rate_bps: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges() {
+        let m = AgentMetrics::new();
+        m.cycles.inc();
+        m.cycles.inc();
+        m.packets_seen.add(100);
+        m.conform_ratio.set(0.75);
+        let s = m.snapshot();
+        assert_eq!(s.cycles, 2);
+        assert_eq!(s.packets_seen, 100);
+        assert!((s.conform_ratio - 0.75).abs() < 1e-6);
+    }
+
+    #[test]
+    fn prometheus_rendering() {
+        let m = AgentMetrics::new();
+        m.cycles.inc();
+        m.conform_ratio.set(0.5);
+        let labels: BTreeMap<&str, String> =
+            [("npg", "7".to_string()), ("qos", "c2".to_string())].into_iter().collect();
+        let text = m.render(&labels);
+        assert!(text.contains("# TYPE entitlement_agent_cycles_total counter"));
+        assert!(text.contains("entitlement_agent_cycles_total{npg=\"7\",qos=\"c2\"} 1"));
+        assert!(text.contains("entitlement_agent_conform_ratio{npg=\"7\",qos=\"c2\"} 0.5"));
+        // Every line is HELP, TYPE, or a sample.
+        for line in text.lines() {
+            assert!(
+                line.starts_with("# HELP")
+                    || line.starts_with("# TYPE")
+                    || line.starts_with("entitlement_agent_"),
+                "bad line: {line}"
+            );
+        }
+    }
+
+    #[test]
+    fn render_without_labels() {
+        let m = AgentMetrics::new();
+        let text = m.render(&BTreeMap::new());
+        assert!(text.contains("entitlement_agent_cycles_total 0\n"));
+    }
+
+    #[test]
+    fn concurrent_increments() {
+        use std::sync::Arc;
+        let m = Arc::new(AgentMetrics::new());
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let m = Arc::clone(&m);
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        m.cycles.inc();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(m.cycles.get(), 8000);
+    }
+}

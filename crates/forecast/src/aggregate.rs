@@ -1,0 +1,103 @@
+//! Daily aggregation of fine-grained samples.
+//!
+//! Paper §4.1: "different services need different types of daily data to
+//! feed into the model, e.g., daily max average of 6 hours for storage
+//! services, and daily p99 for ads service." This module turns a day of
+//! intra-day samples into the single daily value the forecaster consumes.
+
+use serde::{Deserialize, Serialize};
+
+/// How one day of samples becomes a daily value.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DailyAggregation {
+    /// Plain mean of the day's samples.
+    Mean,
+    /// Maximum over the day of 6-hour rolling averages (storage services:
+    /// smooths rack-rotation spikes while tracking sustained load).
+    MaxOf6hAverage,
+    /// 99th percentile of the day's samples (ads-like latency-sensitive
+    /// services that size for peaks).
+    P99,
+    /// Plain daily maximum (most conservative).
+    Max,
+}
+
+impl DailyAggregation {
+    /// Aggregate one day of evenly spaced samples. `samples_per_hour`
+    /// tells the 6-hour window how many samples it spans.
+    pub fn aggregate(&self, samples: &[f64], samples_per_hour: usize) -> f64 {
+        if samples.is_empty() {
+            return f64::NAN;
+        }
+        match self {
+            DailyAggregation::Mean => entitlement_core::stats::mean(samples),
+            DailyAggregation::P99 => entitlement_core::stats::percentile(samples, 99.0),
+            DailyAggregation::Max => samples.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
+            DailyAggregation::MaxOf6hAverage => {
+                let window = (6 * samples_per_hour).max(1).min(samples.len());
+                let mut best = f64::NEG_INFINITY;
+                let mut sum: f64 = samples[..window].iter().sum();
+                best = best.max(sum / window as f64);
+                for i in window..samples.len() {
+                    sum += samples[i] - samples[i - window];
+                    best = best.max(sum / window as f64);
+                }
+                best
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_max() {
+        let s = [1.0, 2.0, 3.0];
+        assert!((DailyAggregation::Mean.aggregate(&s, 1) - 2.0).abs() < 1e-12);
+        assert_eq!(DailyAggregation::Max.aggregate(&s, 1), 3.0);
+    }
+
+    #[test]
+    fn p99_near_top() {
+        let s: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let v = DailyAggregation::P99.aggregate(&s, 1);
+        assert!((v - 98.01).abs() < 0.1, "got {v}");
+    }
+
+    #[test]
+    fn max_of_6h_average_smooths_single_spike() {
+        // 24 hourly samples, one spike of 100 among zeros.
+        let mut s = vec![0.0; 24];
+        s[12] = 100.0;
+        let v = DailyAggregation::MaxOf6hAverage.aggregate(&s, 1);
+        // Best 6h window contains the spike: 100/6.
+        assert!((v - 100.0 / 6.0).abs() < 1e-9, "got {v}");
+        // Raw max would be 100; 6h-average is 6x smaller.
+        assert!(v < DailyAggregation::Max.aggregate(&s, 1));
+    }
+
+    #[test]
+    fn max_of_6h_average_tracks_sustained_load() {
+        // Sustained 6-hour block at 50.
+        let mut s = vec![10.0; 24];
+        for v in s.iter_mut().take(18).skip(12) {
+            *v = 50.0;
+        }
+        let v = DailyAggregation::MaxOf6hAverage.aggregate(&s, 1);
+        assert!((v - 50.0).abs() < 1e-9, "sustained load fully counted: {v}");
+    }
+
+    #[test]
+    fn window_larger_than_day_degrades_to_mean() {
+        let s = [1.0, 3.0];
+        let v = DailyAggregation::MaxOf6hAverage.aggregate(&s, 1);
+        assert!((v - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_is_nan() {
+        assert!(DailyAggregation::Mean.aggregate(&[], 1).is_nan());
+    }
+}

@@ -1,0 +1,160 @@
+//! Rolling-origin backtesting for the forecast pipeline.
+//!
+//! The paper scores forecasts quarterly against realized usage (§7.1).
+//! Production forecasting teams additionally *backtest*: re-fit the
+//! pipeline at several historical origins and score each quarter-ahead
+//! forecast against what actually happened, yielding an error
+//! distribution instead of a single number. This module implements that
+//! harness; the Fig 18/19 experiment uses single-origin scoring, while
+//! ablation work (organic-only vs full pipeline, hyper-parameters) uses
+//! this one.
+
+use crate::pipeline::{ForecastPipeline, PipelineConfig};
+use entitlement_core::period::DAYS_PER_MONTH;
+use entitlement_core::stats;
+use entitlement_core::Result;
+use serde::{Deserialize, Serialize};
+
+/// One origin's outcome.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct OriginScore {
+    /// Training months used.
+    pub train_months: usize,
+    /// sMAPE of the 3-month-ahead forecast.
+    pub smape: f64,
+    /// Signed relative error of the quarterly SLI vs the realized peak
+    /// month (positive = over-forecast).
+    pub sli_bias: f64,
+}
+
+/// Backtest summary.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct BacktestReport {
+    /// Per-origin scores, oldest origin first.
+    pub origins: Vec<OriginScore>,
+}
+
+impl BacktestReport {
+    /// Mean sMAPE across origins.
+    pub fn mean_smape(&self) -> f64 {
+        stats::mean(&self.origins.iter().map(|o| o.smape).collect::<Vec<_>>())
+    }
+
+    /// Mean SLI bias across origins.
+    pub fn mean_bias(&self) -> f64 {
+        stats::mean(&self.origins.iter().map(|o| o.sli_bias).collect::<Vec<_>>())
+    }
+}
+
+/// Run a rolling-origin backtest.
+///
+/// For each origin `m` in `min_train_months..=max`, fit on the first `m`
+/// months and score the forecast for months `m..m+3` against the actual
+/// data. `regressors` must cover every month of `daily`.
+pub fn backtest(
+    daily: &[f64],
+    holidays: &[u32],
+    regressors: &[Vec<f64>],
+    config: &PipelineConfig,
+    min_train_months: usize,
+) -> Result<BacktestReport> {
+    let total_months = daily.len() / DAYS_PER_MONTH as usize;
+    assert!(regressors.len() >= total_months, "regressors cover history");
+    let mut origins = Vec::new();
+    let mut m = min_train_months;
+    while m + 3 <= total_months {
+        let train = &daily[..m * DAYS_PER_MONTH as usize];
+        let pipe = ForecastPipeline::fit(train, holidays, &regressors[..m], config.clone())?;
+        let future = [
+            regressors[m].clone(),
+            regressors[m + 1].clone(),
+            regressors[m + 2].clone(),
+        ];
+        let fc = pipe.forecast_quarter(&regressors[..m], &future);
+        let actual: Vec<f64> = (0..3)
+            .map(|k| {
+                stats::mean(
+                    &daily[(m + k) * DAYS_PER_MONTH as usize
+                        ..(m + k + 1) * DAYS_PER_MONTH as usize],
+                )
+            })
+            .collect();
+        let actual_arr = [actual[0], actual[1], actual[2]];
+        let realized_peak = actual.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        origins.push(OriginScore {
+            train_months: m,
+            smape: ForecastPipeline::score(&fc, &actual_arr),
+            sli_bias: (fc.sli_bps - realized_peak) / realized_peak,
+        });
+        m += 1;
+    }
+    Ok(BacktestReport { origins })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn world(months: usize, growth: f64, noise: f64) -> (Vec<f64>, Vec<Vec<f64>>) {
+        let mut rng = entitlement_core::DetRng::new(0xBACC);
+        let days = months * DAYS_PER_MONTH as usize;
+        let daily: Vec<f64> = (0..days)
+            .map(|d| {
+                let trend = 1e9 * (1.0 + growth).powf(d as f64 / DAYS_PER_MONTH as f64);
+                let weekly = 1.0 + 0.1 * (2.0 * std::f64::consts::PI * d as f64 / 7.0).sin();
+                trend * weekly * rng.lognormal(-noise * noise / 2.0, noise)
+            })
+            .collect();
+        let regs = vec![vec![1000.0, 500.0]; months];
+        (daily, regs)
+    }
+
+    #[test]
+    fn backtest_produces_one_score_per_origin() {
+        let (daily, regs) = world(18, 0.02, 0.03);
+        let report = backtest(&daily, &[], &regs, &PipelineConfig::default(), 9).unwrap();
+        // Origins 9..=15 (m + 3 <= 18).
+        assert_eq!(report.origins.len(), 7);
+        assert_eq!(report.origins[0].train_months, 9);
+        assert_eq!(report.origins.last().unwrap().train_months, 15);
+    }
+
+    #[test]
+    fn well_behaved_series_scores_well_at_every_origin() {
+        let (daily, regs) = world(18, 0.02, 0.03);
+        let report = backtest(&daily, &[], &regs, &PipelineConfig::default(), 9).unwrap();
+        assert!(report.mean_smape() < 0.1, "mean sMAPE {}", report.mean_smape());
+        for o in &report.origins {
+            assert!(o.smape < 0.2, "origin {}: {}", o.train_months, o.smape);
+        }
+        // SLI bias should be small and mostly non-negative is NOT
+        // guaranteed; just bounded.
+        assert!(report.mean_bias().abs() < 0.15, "bias {}", report.mean_bias());
+    }
+
+    #[test]
+    fn more_noise_means_worse_scores() {
+        let (clean, regs) = world(15, 0.02, 0.02);
+        let (noisy, _) = world(15, 0.02, 0.25);
+        let cfg = PipelineConfig::default();
+        let r_clean = backtest(&clean, &[], &regs, &cfg, 10).unwrap();
+        let r_noisy = backtest(&noisy, &[], &regs, &cfg, 10).unwrap();
+        assert!(
+            r_noisy.mean_smape() > r_clean.mean_smape(),
+            "noisy {} vs clean {}",
+            r_noisy.mean_smape(),
+            r_clean.mean_smape()
+        );
+    }
+
+    #[test]
+    fn short_history_errors() {
+        let (daily, regs) = world(4, 0.02, 0.03);
+        // min_train 1 month -> the first fit has 30 days > minimum, OK;
+        // but a 0-month origin would be invalid. Use a too-short origin.
+        let res = backtest(&daily[..20], &[], &regs, &PipelineConfig::default(), 0);
+        // 20 days: 0 complete months, loop body never runs -> empty
+        // report rather than error.
+        assert!(res.unwrap().origins.is_empty());
+    }
+}

@@ -1,0 +1,138 @@
+//! Naive forecasting baselines.
+//!
+//! Any forecasting pipeline must beat the cheap baselines to justify its
+//! complexity. These are the standard ones used in forecasting practice,
+//! at the same interface as the pipeline (fit on daily history, predict
+//! a quarter of daily values):
+//!
+//! * **last-value** — every future day equals the last observed day;
+//! * **seasonal naive** — each future day equals the value one season
+//!   (week) earlier, repeated;
+//! * **drift** — last value plus the average historical daily change.
+
+use entitlement_core::period::DAYS_PER_MONTH;
+use serde::{Deserialize, Serialize};
+
+/// Which baseline to use.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Baseline {
+    /// Repeat the last observation.
+    LastValue,
+    /// Repeat the last full week.
+    SeasonalNaive,
+    /// Linear drift from first to last observation.
+    Drift,
+}
+
+impl Baseline {
+    /// Predict `days` future daily values from `history`.
+    pub fn predict(&self, history: &[f64], days: usize) -> Vec<f64> {
+        assert!(!history.is_empty(), "empty history");
+        match self {
+            Baseline::LastValue => {
+                let last = *history.last().unwrap();
+                vec![last; days]
+            }
+            Baseline::SeasonalNaive => {
+                let season = 7.min(history.len());
+                let tail = &history[history.len() - season..];
+                (0..days).map(|d| tail[d % season]).collect()
+            }
+            Baseline::Drift => {
+                let n = history.len();
+                let last = history[n - 1];
+                let slope = if n > 1 {
+                    (last - history[0]) / (n - 1) as f64
+                } else {
+                    0.0
+                };
+                (0..days)
+                    .map(|d| (last + slope * (d + 1) as f64).max(0.0))
+                    .collect()
+            }
+        }
+    }
+
+    /// Quarter forecast: monthly means of the daily prediction.
+    pub fn forecast_quarter(&self, history: &[f64]) -> [f64; 3] {
+        let daily = self.predict(history, 3 * DAYS_PER_MONTH as usize);
+        let mut out = [0.0; 3];
+        for (m, o) in out.iter_mut().enumerate() {
+            *o = entitlement_core::stats::mean(
+                &daily[m * DAYS_PER_MONTH as usize..(m + 1) * DAYS_PER_MONTH as usize],
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::{ForecastPipeline, PipelineConfig};
+    use entitlement_core::stats::smape;
+
+    /// Synthetic trending series (the forecast crate stays decoupled
+    /// from the workload crate, so tests build their own worlds).
+    fn world(months: usize, growth: f64) -> Vec<f64> {
+        (0..months * DAYS_PER_MONTH as usize)
+            .map(|d| {
+                let trend = 1e9 * (1.0 + growth).powf(d as f64 / DAYS_PER_MONTH as f64);
+                let weekly = 1.0 + 0.15 * (2.0 * std::f64::consts::PI * d as f64 / 7.0).sin();
+                trend * weekly
+            })
+            .collect()
+    }
+
+    #[test]
+    fn last_value_is_flat() {
+        let h = vec![1.0, 2.0, 3.0];
+        assert_eq!(Baseline::LastValue.predict(&h, 4), vec![3.0; 4]);
+    }
+
+    #[test]
+    fn seasonal_naive_repeats_the_week() {
+        let h: Vec<f64> = (0..21).map(|d| (d % 7) as f64).collect();
+        let p = Baseline::SeasonalNaive.predict(&h, 14);
+        assert_eq!(&p[..7], &[0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(&p[..7], &p[7..14]);
+    }
+
+    #[test]
+    fn drift_extends_the_trend() {
+        let h: Vec<f64> = (0..10).map(|d| d as f64).collect();
+        let p = Baseline::Drift.predict(&h, 3);
+        assert!((p[0] - 10.0).abs() < 1e-9);
+        assert!((p[2] - 12.0).abs() < 1e-9);
+        // Never negative.
+        let down: Vec<f64> = (0..10).map(|d| 5.0 - d as f64).collect();
+        assert!(Baseline::Drift.predict(&down, 50).iter().all(|&v| v >= 0.0));
+    }
+
+    #[test]
+    fn pipeline_beats_every_baseline_on_trending_series() {
+        let daily = world(15, 0.03);
+        let (train, test) = daily.split_at(12 * DAYS_PER_MONTH as usize);
+        let actual: Vec<f64> = (0..3)
+            .map(|m| {
+                entitlement_core::stats::mean(
+                    &test[m * DAYS_PER_MONTH as usize..(m + 1) * DAYS_PER_MONTH as usize],
+                )
+            })
+            .collect();
+
+        let regs = vec![vec![1.0]; 12];
+        let pipe = ForecastPipeline::fit(train, &[], &regs, PipelineConfig::default()).unwrap();
+        let fc = pipe.forecast_quarter(&regs, &[vec![1.0], vec![1.0], vec![1.0]]);
+        let pipe_err = smape(&actual, &fc.monthly);
+
+        for b in [Baseline::LastValue, Baseline::SeasonalNaive, Baseline::Drift] {
+            let base_fc = b.forecast_quarter(train);
+            let base_err = smape(&actual, &base_fc);
+            assert!(
+                pipe_err < base_err,
+                "{b:?}: pipeline {pipe_err} must beat baseline {base_err}"
+            );
+        }
+    }
+}

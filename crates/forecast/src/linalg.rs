@@ -1,0 +1,168 @@
+//! Minimal dense linear algebra: just enough to solve ridge-regularized
+//! least squares via the normal equations with Cholesky decomposition.
+//!
+//! Implemented from scratch per DESIGN.md (no external math crates). The
+//! design matrices here are small (a few hundred columns), so O(n³)
+//! Cholesky is plenty.
+
+use entitlement_core::{EntitlementError, Result};
+
+/// Solve `min_w ||X w - y||² + lambda ||w||²` for `w`.
+///
+/// `x` is row-major with `rows * cols` entries. The intercept column, if
+/// wanted, must be part of `x` and is regularized like everything else;
+/// use [`ridge_solve_weighted`] to exempt specific columns.
+pub fn ridge_solve(x: &[f64], rows: usize, cols: usize, y: &[f64], lambda: f64) -> Result<Vec<f64>> {
+    ridge_solve_weighted(x, rows, cols, y, lambda, &vec![1.0; cols])
+}
+
+/// Ridge with a per-column penalty multiplier: the diagonal gets
+/// `lambda * penalty[i]`. A zero penalty leaves that coefficient
+/// unshrunk (intercept, base trend slope).
+pub fn ridge_solve_weighted(
+    x: &[f64],
+    rows: usize,
+    cols: usize,
+    y: &[f64],
+    lambda: f64,
+    penalty: &[f64],
+) -> Result<Vec<f64>> {
+    assert_eq!(x.len(), rows * cols, "design matrix shape");
+    assert_eq!(y.len(), rows, "target length");
+    assert_eq!(penalty.len(), cols, "penalty length");
+    // Normal equations: (XᵀX + λI) w = Xᵀ y
+    let mut xtx = vec![0.0; cols * cols];
+    for r in 0..rows {
+        let row = &x[r * cols..(r + 1) * cols];
+        for i in 0..cols {
+            let xi = row[i];
+            if xi == 0.0 {
+                continue;
+            }
+            for j in i..cols {
+                xtx[i * cols + j] += xi * row[j];
+            }
+        }
+    }
+    // Mirror and add the ridge.
+    for i in 0..cols {
+        xtx[i * cols + i] += lambda * penalty[i];
+        for j in (i + 1)..cols {
+            xtx[j * cols + i] = xtx[i * cols + j];
+        }
+    }
+    let mut xty = vec![0.0; cols];
+    for r in 0..rows {
+        let row = &x[r * cols..(r + 1) * cols];
+        for i in 0..cols {
+            xty[i] += row[i] * y[r];
+        }
+    }
+    cholesky_solve(&mut xtx, cols, &xty)
+}
+
+/// Solve `A w = b` for symmetric positive-definite `A` (destroyed in
+/// place) via Cholesky factorization.
+fn cholesky_solve(a: &mut [f64], n: usize, b: &[f64]) -> Result<Vec<f64>> {
+    // Factor A = L Lᵀ, storing L in the lower triangle.
+    for i in 0..n {
+        for j in 0..=i {
+            let mut sum = a[i * n + j];
+            for k in 0..j {
+                sum -= a[i * n + k] * a[j * n + k];
+            }
+            if i == j {
+                if sum <= 0.0 {
+                    return Err(EntitlementError::SingularSystem);
+                }
+                a[i * n + j] = sum.sqrt();
+            } else {
+                a[i * n + j] = sum / a[j * n + j];
+            }
+        }
+    }
+    // Forward solve L z = b.
+    let mut z = vec![0.0; n];
+    for i in 0..n {
+        let mut sum = b[i];
+        for k in 0..i {
+            sum -= a[i * n + k] * z[k];
+        }
+        z[i] = sum / a[i * n + i];
+    }
+    // Back solve Lᵀ w = z.
+    let mut w = vec![0.0; n];
+    for i in (0..n).rev() {
+        let mut sum = z[i];
+        for k in (i + 1)..n {
+            sum -= a[k * n + i] * w[k];
+        }
+        w[i] = sum / a[i * n + i];
+    }
+    Ok(w)
+}
+
+/// Dot product of a design row with weights.
+pub fn predict_row(row: &[f64], w: &[f64]) -> f64 {
+    row.iter().zip(w).map(|(a, b)| a * b).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_fit_without_ridge() {
+        // y = 2 + 3x, columns [1, x].
+        let xs = [0.0, 1.0, 2.0, 3.0];
+        let mut design = Vec::new();
+        let mut y = Vec::new();
+        for &x in &xs {
+            design.extend_from_slice(&[1.0, x]);
+            y.push(2.0 + 3.0 * x);
+        }
+        let w = ridge_solve(&design, 4, 2, &y, 0.0).unwrap();
+        assert!((w[0] - 2.0).abs() < 1e-9);
+        assert!((w[1] - 3.0).abs() < 1e-9);
+        assert!((predict_row(&[1.0, 10.0], &w) - 32.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ridge_shrinks_weights() {
+        let xs = [0.0, 1.0, 2.0, 3.0];
+        let mut design = Vec::new();
+        let mut y = Vec::new();
+        for &x in &xs {
+            design.extend_from_slice(&[1.0, x]);
+            y.push(2.0 + 3.0 * x);
+        }
+        let w0 = ridge_solve(&design, 4, 2, &y, 0.0).unwrap();
+        let w1 = ridge_solve(&design, 4, 2, &y, 10.0).unwrap();
+        assert!(w1[1].abs() < w0[1].abs());
+    }
+
+    #[test]
+    fn singular_without_ridge_errors_but_ridge_rescues() {
+        // Duplicate columns -> singular normal equations.
+        let design = [1.0, 1.0, 2.0, 2.0, 3.0, 3.0];
+        let y = [1.0, 2.0, 3.0];
+        assert!(ridge_solve(&design, 3, 2, &y, 0.0).is_err());
+        let w = ridge_solve(&design, 3, 2, &y, 1e-6).unwrap();
+        // Split evenly between the twin columns.
+        assert!((w[0] - w[1]).abs() < 1e-3);
+    }
+
+    #[test]
+    fn overdetermined_least_squares() {
+        // Noisy y = 5x; fit should land near 5.
+        let mut design = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..100 {
+            let x = i as f64 / 10.0;
+            design.push(x);
+            y.push(5.0 * x + if i % 2 == 0 { 0.1 } else { -0.1 });
+        }
+        let w = ridge_solve(&design, 100, 1, &y, 0.0).unwrap();
+        assert!((w[0] - 5.0).abs() < 0.01);
+    }
+}

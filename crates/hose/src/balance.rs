@@ -1,0 +1,130 @@
+//! Ingress/egress hose balancing (paper §8, "Unbalanced ingress and
+//! egress Hoses").
+//!
+//! Forecasts are made per hose independently, so the summed egress and
+//! summed ingress demands disagree even though physically every bit sent
+//! is received: "To maintain the correctness of the algorithm, we add a
+//! preprocessing to balance the ingress and egress by inflating the
+//! shortage direction... This delta of the demand is modeled as a dummy
+//! service and is evenly attributed to all regions."
+
+use entitlement_core::{Rate, RegionId};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Result of balancing: adjusted per-region totals plus the dummy volume
+/// that was added.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct BalancedHoses {
+    /// Per-region egress totals after balancing.
+    pub egress: BTreeMap<RegionId, Rate>,
+    /// Per-region ingress totals after balancing.
+    pub ingress: BTreeMap<RegionId, Rate>,
+    /// Total dummy-service volume added (zero when already balanced).
+    pub dummy_volume: Rate,
+    /// Which direction was inflated.
+    pub inflated_egress: bool,
+}
+
+/// Balance total ingress and egress by inflating the shortage direction
+/// evenly across all regions present in that direction's map.
+pub fn balance_hoses(
+    egress: &BTreeMap<RegionId, Rate>,
+    ingress: &BTreeMap<RegionId, Rate>,
+) -> BalancedHoses {
+    let eg_total: Rate = egress.values().copied().sum();
+    let in_total: Rate = ingress.values().copied().sum();
+    let mut eg = egress.clone();
+    let mut ing = ingress.clone();
+    let delta = (eg_total - in_total).clamp_zero().max((in_total - eg_total).clamp_zero());
+
+    let inflated_egress = eg_total < in_total;
+    if !delta.is_zero() {
+        if inflated_egress {
+            let n = eg.len().max(1) as f64;
+            let share = delta / n;
+            for v in eg.values_mut() {
+                *v += share;
+            }
+        } else {
+            let n = ing.len().max(1) as f64;
+            let share = delta / n;
+            for v in ing.values_mut() {
+                *v += share;
+            }
+        }
+    }
+    BalancedHoses {
+        egress: eg,
+        ingress: ing,
+        dummy_volume: delta,
+        inflated_egress,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(entries: &[(u16, f64)]) -> BTreeMap<RegionId, Rate> {
+        entries
+            .iter()
+            .map(|&(r, g)| (RegionId(r), Rate::gbps(g)))
+            .collect()
+    }
+
+    fn total(map: &BTreeMap<RegionId, Rate>) -> f64 {
+        map.values().map(|r| r.as_gbps()).sum()
+    }
+
+    #[test]
+    fn inflates_the_shortage_direction() {
+        // Egress 100, ingress 160 -> inflate egress by 60.
+        let out = balance_hoses(&m(&[(0, 40.0), (1, 60.0)]), &m(&[(2, 160.0)]));
+        assert!(out.inflated_egress);
+        assert!((out.dummy_volume.as_gbps() - 60.0).abs() < 1e-9);
+        assert!((total(&out.egress) - 160.0).abs() < 1e-9);
+        assert!((total(&out.ingress) - 160.0).abs() < 1e-9);
+        // Evenly attributed: +30 each.
+        assert!((out.egress[&RegionId(0)].as_gbps() - 70.0).abs() < 1e-9);
+        assert!((out.egress[&RegionId(1)].as_gbps() - 90.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn inflates_ingress_when_short() {
+        let out = balance_hoses(&m(&[(0, 100.0)]), &m(&[(1, 30.0), (2, 30.0)]));
+        assert!(!out.inflated_egress);
+        assert!((out.dummy_volume.as_gbps() - 40.0).abs() < 1e-9);
+        assert!((total(&out.ingress) - 100.0).abs() < 1e-9);
+        assert!((out.ingress[&RegionId(1)].as_gbps() - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn balanced_input_is_untouched() {
+        let eg = m(&[(0, 50.0), (1, 50.0)]);
+        let ing = m(&[(2, 100.0)]);
+        let out = balance_hoses(&eg, &ing);
+        assert!(out.dummy_volume.is_zero());
+        assert_eq!(out.egress, eg);
+        assert_eq!(out.ingress, ing);
+    }
+
+    #[test]
+    fn conservation_always_holds() {
+        // Property: after balancing, totals match for arbitrary inputs.
+        for seed in 0..20u64 {
+            let mut rng = entitlement_core::DetRng::new(seed);
+            let eg: BTreeMap<RegionId, Rate> = (0..5)
+                .map(|i| (RegionId(i), Rate::gbps(rng.range(0.0, 100.0))))
+                .collect();
+            let ing: BTreeMap<RegionId, Rate> = (5..9)
+                .map(|i| (RegionId(i), Rate::gbps(rng.range(0.0, 100.0))))
+                .collect();
+            let out = balance_hoses(&eg, &ing);
+            assert!(
+                (total(&out.egress) - total(&out.ingress)).abs() < 1e-9,
+                "seed {seed}"
+            );
+        }
+    }
+}

@@ -1,0 +1,230 @@
+//! The hose polytope.
+//!
+//! A hose with segments `S_1..S_k` and caps `c_1..c_k` admits every
+//! non-negative per-destination flow vector `f` with
+//! `Σ_{d∈S_i} f_d ≤ c_i` for each segment — a product of scaled
+//! simplexes. Segmentation shrinks the polytope volume, which is the
+//! paper's stated objective: "we would reduce the volume of the convex
+//! polytope delimited by the Hose, which means we can use less capacity
+//! to build the network".
+
+use crate::request::HoseRequest;
+use entitlement_core::{Rate, RegionId};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A traffic realization of a hose: per-destination flow.
+pub type HosePoint = BTreeMap<RegionId, Rate>;
+
+/// Geometry of one hose request.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct HosePolytope {
+    request: HoseRequest,
+}
+
+impl HosePolytope {
+    /// Wrap a validated request.
+    pub fn new(request: HoseRequest) -> entitlement_core::Result<Self> {
+        request.validate()?;
+        Ok(HosePolytope { request })
+    }
+
+    /// The underlying request.
+    pub fn request(&self) -> &HoseRequest {
+        &self.request
+    }
+
+    /// Dimension of the polytope (number of remote regions).
+    pub fn dimension(&self) -> usize {
+        self.request.remotes().len()
+    }
+
+    /// Whether a point lies inside the polytope (within tolerance `tol`
+    /// relative to each segment cap). Destinations outside the hose make
+    /// the point infeasible.
+    pub fn contains(&self, point: &HosePoint, tol: f64) -> bool {
+        // Unknown destinations?
+        let remotes = self.request.remotes();
+        if point.keys().any(|r| !remotes.contains(r)) {
+            return false;
+        }
+        if point.values().any(|v| v.as_bps() < -1e-9) {
+            return false;
+        }
+        for seg in &self.request.segments {
+            let used: f64 = point
+                .iter()
+                .filter(|(r, _)| seg.regions.contains(r))
+                .map(|(_, v)| v.as_bps())
+                .sum();
+            if used > seg.cap.as_bps() * (1.0 + tol) + 1e-6 {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Natural-log volume of the polytope. Each segment contributes a
+    /// scaled simplex of volume `cap^n / n!`; the product over segments
+    /// is the hose volume. Using logs avoids overflow for large caps.
+    pub fn log_volume(&self) -> f64 {
+        let mut lv = 0.0;
+        for seg in &self.request.segments {
+            let n = seg.regions.len() as f64;
+            lv += n * seg.cap.as_bps().max(f64::MIN_POSITIVE).ln() - ln_factorial(seg.regions.len());
+        }
+        lv
+    }
+
+    /// Volume reduction of this (segmented) hose vs. the general hose
+    /// over the same remotes and total: `1 - vol(self)/vol(general)`.
+    pub fn volume_reduction_vs_general(&self) -> f64 {
+        let general = HoseRequest::general(
+            self.request.npg,
+            self.request.qos,
+            self.request.region,
+            self.request.direction,
+            self.request.total,
+            self.request.remotes(),
+        );
+        let g = HosePolytope { request: general };
+        let ratio = (self.log_volume() - g.log_volume()).exp();
+        1.0 - ratio
+    }
+}
+
+fn ln_factorial(n: usize) -> f64 {
+    (1..=n).map(|k| (k as f64).ln()).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::HoseSegment;
+    use entitlement_core::{Direction, NpgId, QosClass};
+    use std::collections::BTreeSet;
+
+    fn seg(regions: &[u16], cap_g: f64) -> HoseSegment {
+        HoseSegment {
+            regions: regions.iter().map(|&r| RegionId(r)).collect::<BTreeSet<_>>(),
+            cap: Rate::gbps(cap_g),
+        }
+    }
+
+    fn segmented() -> HosePolytope {
+        HosePolytope::new(HoseRequest {
+            npg: NpgId(1),
+            qos: QosClass::C1,
+            region: RegionId(0),
+            direction: Direction::Egress,
+            total: Rate::gbps(900.0),
+            segments: vec![seg(&[1, 2], 400.0), seg(&[3, 4], 500.0)],
+        })
+        .unwrap()
+    }
+
+    fn pt(entries: &[(u16, f64)]) -> HosePoint {
+        entries
+            .iter()
+            .map(|&(r, g)| (RegionId(r), Rate::gbps(g)))
+            .collect()
+    }
+
+    #[test]
+    fn membership_basic() {
+        let p = segmented();
+        assert_eq!(p.dimension(), 4);
+        // The original forecast is inside.
+        assert!(p.contains(&pt(&[(1, 300.0), (2, 100.0), (3, 250.0), (4, 250.0)]), 0.0));
+        // Moving 200G from B to C stays inside (intra-segment agility).
+        assert!(p.contains(&pt(&[(1, 100.0), (2, 300.0), (3, 250.0), (4, 250.0)]), 0.0));
+        // Moving 200G from B to D violates segment 2's cap.
+        assert!(!p.contains(&pt(&[(1, 100.0), (2, 100.0), (3, 450.0), (4, 250.0)]), 0.0));
+        // Unknown destination.
+        assert!(!p.contains(&pt(&[(9, 1.0)]), 0.0));
+    }
+
+    #[test]
+    fn segment_cap_is_the_binding_constraint() {
+        let p = segmented();
+        assert!(p.contains(&pt(&[(1, 400.0)]), 0.0), "full cap to one dst ok");
+        assert!(!p.contains(&pt(&[(1, 401.0)]), 0.0));
+    }
+
+    #[test]
+    fn volume_shrinks_with_segmentation() {
+        let p = segmented();
+        let reduction = p.volume_reduction_vs_general();
+        // General: 900^4/4!; segmented: (400^2/2!)(500^2/2!).
+        let expected = 1.0
+            - ((400e9f64.powi(2) / 2.0) * (500e9f64.powi(2) / 2.0))
+                / (900e9f64.powi(4) / 24.0);
+        assert!(
+            (reduction - expected).abs() < 1e-9,
+            "reduction {reduction} vs {expected}"
+        );
+        assert!(reduction > 0.5, "4-dim split cuts volume a lot: {reduction}");
+    }
+
+    #[test]
+    fn general_hose_has_zero_reduction() {
+        let g = HosePolytope::new(HoseRequest::general(
+            NpgId(1),
+            QosClass::C1,
+            RegionId(0),
+            Direction::Egress,
+            Rate::gbps(900.0),
+            (1..=4).map(RegionId),
+        ))
+        .unwrap();
+        assert!(g.volume_reduction_vs_general().abs() < 1e-9);
+    }
+
+    #[test]
+    fn log_volume_matches_monte_carlo() {
+        // Validate the analytic volume against rejection sampling: draw
+        // points uniformly in the bounding box [0, cap]^n of each
+        // segment; the acceptance rate should match vol(simplex)/vol(box)
+        // = 1/n! per segment.
+        let p = segmented();
+        let mut rng = entitlement_core::DetRng::new(99);
+        let n_samples = 200_000;
+        let mut inside = 0usize;
+        for _ in 0..n_samples {
+            let mut point = HosePoint::new();
+            for seg in &p.request().segments {
+                for &r in &seg.regions {
+                    point.insert(r, seg.cap * rng.f64());
+                }
+            }
+            if p.contains(&point, 0.0) {
+                inside += 1;
+            }
+        }
+        // Expected acceptance: (1/2!) × (1/2!) = 0.25 for two 2-dim
+        // segments.
+        let acc = inside as f64 / n_samples as f64;
+        assert!((acc - 0.25).abs() < 0.01, "MC acceptance {acc}");
+        // And the analytic log-volume equals box volume × acceptance.
+        let box_log_vol: f64 = p
+            .request()
+            .segments
+            .iter()
+            .map(|s| s.regions.len() as f64 * s.cap.as_bps().ln())
+            .sum();
+        let mc_log_vol = box_log_vol + acc.ln();
+        assert!(
+            (p.log_volume() - mc_log_vol).abs() < 0.05,
+            "analytic {} vs MC {}",
+            p.log_volume(),
+            mc_log_vol
+        );
+    }
+
+    #[test]
+    fn tolerance_allows_small_overshoot() {
+        let p = segmented();
+        assert!(!p.contains(&pt(&[(1, 404.0)]), 0.0));
+        assert!(p.contains(&pt(&[(1, 404.0)]), 0.02));
+    }
+}

@@ -1,0 +1,242 @@
+//! Pipe and hose request types.
+//!
+//! A *pipe* request reserves bandwidth between one (src, dst) pair — it is
+//! precise but rigid: moving traffic requires renegotiating with the
+//! network team (paper §4.2 strawman 1). A *hose* request caps a region's
+//! aggregate ingress or egress and lets the service move traffic freely
+//! between destinations (strawman 2) at the price of reserving the cap
+//! toward every destination. The *segmented hose* partitions destinations
+//! into segments, each with its own sub-cap: flexibility within a
+//! segment, efficiency across segments.
+
+use entitlement_core::{Direction, NpgId, QosClass, Rate, RegionId};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// A pipe request: bandwidth between one source-destination pair.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PipeRequest {
+    /// Owning service.
+    pub npg: NpgId,
+    /// Traffic class.
+    pub qos: QosClass,
+    /// Source region.
+    pub src: RegionId,
+    /// Destination region.
+    pub dst: RegionId,
+    /// Requested bandwidth.
+    pub rate: Rate,
+}
+
+/// One segment of a (segmented) hose: a subset of remote regions sharing
+/// a sub-cap.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct HoseSegment {
+    /// The remote regions covered by this segment.
+    pub regions: BTreeSet<RegionId>,
+    /// The segment's bandwidth cap (α × hose constraint).
+    pub cap: Rate,
+}
+
+/// A hose request for one `(NPG, QoS, region, direction)`.
+///
+/// A general hose is a single segment covering every remote region with
+/// `cap == total`. A segmented hose partitions the remote regions.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct HoseRequest {
+    /// Owning service.
+    pub npg: NpgId,
+    /// Traffic class.
+    pub qos: QosClass,
+    /// The region whose aggregate this hose caps.
+    pub region: RegionId,
+    /// Egress (traffic out of `region`) or ingress (into it).
+    pub direction: Direction,
+    /// The total hose constraint.
+    pub total: Rate,
+    /// Segments partitioning the remote region set; caps sum to `total`.
+    pub segments: Vec<HoseSegment>,
+}
+
+impl HoseRequest {
+    /// Build a *general* hose: one segment spanning `remotes`.
+    pub fn general(
+        npg: NpgId,
+        qos: QosClass,
+        region: RegionId,
+        direction: Direction,
+        total: Rate,
+        remotes: impl IntoIterator<Item = RegionId>,
+    ) -> Self {
+        HoseRequest {
+            npg,
+            qos,
+            region,
+            direction,
+            total,
+            segments: vec![HoseSegment {
+                regions: remotes.into_iter().collect(),
+                cap: total,
+            }],
+        }
+    }
+
+    /// All remote regions across segments.
+    pub fn remotes(&self) -> BTreeSet<RegionId> {
+        self.segments
+            .iter()
+            .flat_map(|s| s.regions.iter().copied())
+            .collect()
+    }
+
+    /// Validates the segment structure: non-empty disjoint segments whose
+    /// caps sum to the hose total.
+    pub fn validate(&self) -> entitlement_core::Result<()> {
+        if self.segments.is_empty() || self.segments.iter().any(|s| s.regions.is_empty()) {
+            return Err(entitlement_core::EntitlementError::EmptyDestinationSet);
+        }
+        let mut seen = BTreeSet::new();
+        for s in &self.segments {
+            for r in &s.regions {
+                if !seen.insert(*r) {
+                    return Err(entitlement_core::EntitlementError::Invariant(format!(
+                        "region {r} appears in multiple segments"
+                    )));
+                }
+            }
+        }
+        let cap_sum: Rate = self.segments.iter().map(|s| s.cap).sum();
+        if (cap_sum.as_bps() - self.total.as_bps()).abs() > 1e-6 * self.total.as_bps().max(1.0) {
+            return Err(entitlement_core::EntitlementError::Invariant(format!(
+                "segment caps {cap_sum} do not sum to hose total {}",
+                self.total
+            )));
+        }
+        Ok(())
+    }
+
+    /// Capacity the network must reserve to honor this hose: each segment
+    /// may send its full cap to *any* member destination, so the reserve
+    /// is `Σ_seg |seg| × cap_seg` (paper Fig 6: general hose 4 × 900G =
+    /// 3600G; segmented {B,C}@400 + {D,E}@500 = 2×400 + 2×500 = 1800G).
+    pub fn reserved_capacity(&self) -> Rate {
+        self.segments
+            .iter()
+            .map(|s| s.cap * s.regions.len() as f64)
+            .sum()
+    }
+
+    /// Reserved capacity of the *pipe* model for the same demand: just
+    /// the sum of the pipes (Fig 6: 900G).
+    pub fn pipe_reserved_capacity(pipes: &[PipeRequest]) -> Rate {
+        pipes.iter().map(|p| p.rate).sum()
+    }
+
+    /// The flexibility headroom toward one destination: the most this
+    /// hose allows to be sent to `dst` (its segment's full cap), or zero
+    /// if `dst` is not covered.
+    pub fn max_toward(&self, dst: RegionId) -> Rate {
+        self.segments
+            .iter()
+            .find(|s| s.regions.contains(&dst))
+            .map(|s| s.cap)
+            .unwrap_or(Rate::ZERO)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's Fig 6 example: Ads in region A sending to B/C/D/E.
+    fn fig6_pipes() -> Vec<PipeRequest> {
+        let mk = |dst: u16, g: f64| PipeRequest {
+            npg: NpgId(1),
+            qos: QosClass::C1,
+            src: RegionId(0),
+            dst: RegionId(dst),
+            rate: Rate::gbps(g),
+        };
+        vec![mk(1, 300.0), mk(2, 100.0), mk(3, 250.0), mk(4, 250.0)]
+    }
+
+    fn fig6_segmented() -> HoseRequest {
+        HoseRequest {
+            npg: NpgId(1),
+            qos: QosClass::C1,
+            region: RegionId(0),
+            direction: Direction::Egress,
+            total: Rate::gbps(900.0),
+            segments: vec![
+                HoseSegment {
+                    regions: [RegionId(1), RegionId(2)].into_iter().collect(),
+                    cap: Rate::gbps(400.0),
+                },
+                HoseSegment {
+                    regions: [RegionId(3), RegionId(4)].into_iter().collect(),
+                    cap: Rate::gbps(500.0),
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn fig6_pipe_model_reserves_900() {
+        let pipes = fig6_pipes();
+        assert!((HoseRequest::pipe_reserved_capacity(&pipes).as_gbps() - 900.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fig6_general_hose_reserves_3600() {
+        let hose = HoseRequest::general(
+            NpgId(1),
+            QosClass::C1,
+            RegionId(0),
+            Direction::Egress,
+            Rate::gbps(900.0),
+            (1..=4).map(RegionId),
+        );
+        hose.validate().unwrap();
+        assert!((hose.reserved_capacity().as_gbps() - 3600.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fig6_segmented_hose_reserves_1800() {
+        let hose = fig6_segmented();
+        hose.validate().unwrap();
+        assert!((hose.reserved_capacity().as_gbps() - 1800.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn max_toward_respects_segments() {
+        let hose = fig6_segmented();
+        // B and C can each receive the full 400G (intra-segment agility).
+        assert!((hose.max_toward(RegionId(1)).as_gbps() - 400.0).abs() < 1e-9);
+        assert!((hose.max_toward(RegionId(3)).as_gbps() - 500.0).abs() < 1e-9);
+        assert_eq!(hose.max_toward(RegionId(9)), Rate::ZERO);
+    }
+
+    #[test]
+    fn validation_catches_bad_structure() {
+        let mut hose = fig6_segmented();
+        // Overlapping segments.
+        hose.segments[1].regions.insert(RegionId(1));
+        assert!(hose.validate().is_err());
+
+        let mut hose2 = fig6_segmented();
+        hose2.segments[0].cap = Rate::gbps(999.0);
+        assert!(hose2.validate().is_err(), "caps must sum to total");
+
+        let mut hose3 = fig6_segmented();
+        hose3.segments.clear();
+        assert!(hose3.validate().is_err());
+    }
+
+    #[test]
+    fn remotes_union() {
+        let hose = fig6_segmented();
+        let r = hose.remotes();
+        assert_eq!(r.len(), 4);
+        assert!(r.contains(&RegionId(4)));
+    }
+}

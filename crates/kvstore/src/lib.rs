@@ -1,0 +1,24 @@
+//! # entitlement-kvstore
+//!
+//! A stand-in for "Meta's internal distributed key-value store" that the
+//! enforcement agents publish into (paper §5.1): "Each agent publishes
+//! flow rate information (bits/sec) periodically... These rates are
+//! aggregated remotely across the entire service and read by the agent
+//! periodically."
+//!
+//! Two layers:
+//!
+//! * [`store::ShardedStore`] — the synchronous core: a fixed number of
+//!   mutex-guarded shards, TTL'd numeric entries, prefix-sum aggregation.
+//!   Deterministic and directly testable.
+//! * [`service`] — the async facade: a cloneable [`service::KvClient`]
+//!   speaking to a tokio task, plus a periodic aggregator broadcasting
+//!   prefix sums on a `tokio::sync::watch` channel, which is how a fleet
+//!   of agent tasks sees the service-wide TotalRate/ConformRate without
+//!   a central controller.
+
+pub mod service;
+pub mod store;
+
+pub use service::{AggregateWatch, KvClient, KvServer};
+pub use store::{ShardedStore, StoreConfig};

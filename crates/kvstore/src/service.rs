@@ -1,0 +1,245 @@
+//! The async facade: a tokio task owning the store, cloneable clients,
+//! and periodic aggregate broadcasting.
+//!
+//! Agents are tokio tasks; each holds a [`KvClient`]. A service-level
+//! aggregator task periodically computes the prefix sum (the service's
+//! TotalRate / ConformRate) and broadcasts it on a watch channel every
+//! agent subscribes to — fully distributed reads, no controller in the
+//! decision path (§5.1's second-generation architecture).
+
+use crate::store::{ShardedStore, StoreConfig};
+use std::sync::Arc;
+use std::time::Duration;
+use tokio::sync::{mpsc, oneshot, watch};
+
+/// Commands understood by the server task.
+enum Command {
+    Put {
+        key: String,
+        value: f64,
+        now_ms: u64,
+    },
+    Get {
+        key: String,
+        now_ms: u64,
+        reply: oneshot::Sender<Option<f64>>,
+    },
+    Aggregate {
+        prefix: String,
+        now_ms: u64,
+        reply: oneshot::Sender<f64>,
+    },
+    Sweep {
+        now_ms: u64,
+    },
+}
+
+/// The server: owns the store, processes commands from clients.
+pub struct KvServer {
+    store: Arc<ShardedStore>,
+    rx: mpsc::Receiver<Command>,
+}
+
+/// A cloneable client handle.
+#[derive(Clone)]
+pub struct KvClient {
+    tx: mpsc::Sender<Command>,
+    store: Arc<ShardedStore>,
+}
+
+impl KvServer {
+    /// Create a server and its first client.
+    pub fn new(config: StoreConfig) -> (KvServer, KvClient) {
+        let (tx, rx) = mpsc::channel(1024);
+        let store = Arc::new(ShardedStore::new(config));
+        (
+            KvServer {
+                store: Arc::clone(&store),
+                rx,
+            },
+            KvClient { tx, store },
+        )
+    }
+
+    /// Run the command loop until all clients drop.
+    pub async fn run(mut self) {
+        while let Some(cmd) = self.rx.recv().await {
+            match cmd {
+                Command::Put { key, value, now_ms } => self.store.put(&key, value, now_ms),
+                Command::Get { key, now_ms, reply } => {
+                    let _ = reply.send(self.store.get(&key, now_ms));
+                }
+                Command::Aggregate {
+                    prefix,
+                    now_ms,
+                    reply,
+                } => {
+                    let _ = reply.send(self.store.aggregate_sum(&prefix, now_ms));
+                }
+                Command::Sweep { now_ms } => {
+                    self.store.sweep(now_ms);
+                }
+            }
+        }
+    }
+}
+
+impl KvClient {
+    /// Publish a value (fire-and-forget, like a UDP stats publish).
+    pub async fn put(&self, key: &str, value: f64, now_ms: u64) {
+        let _ = self
+            .tx
+            .send(Command::Put {
+                key: key.to_string(),
+                value,
+                now_ms,
+            })
+            .await;
+    }
+
+    /// Read a value.
+    pub async fn get(&self, key: &str, now_ms: u64) -> Option<f64> {
+        let (reply, rx) = oneshot::channel();
+        if self
+            .tx
+            .send(Command::Get {
+                key: key.to_string(),
+                now_ms,
+                reply,
+            })
+            .await
+            .is_err()
+        {
+            return None;
+        }
+        rx.await.ok().flatten()
+    }
+
+    /// Aggregate a prefix.
+    pub async fn aggregate(&self, prefix: &str, now_ms: u64) -> f64 {
+        let (reply, rx) = oneshot::channel();
+        if self
+            .tx
+            .send(Command::Aggregate {
+                prefix: prefix.to_string(),
+                now_ms,
+                reply,
+            })
+            .await
+            .is_err()
+        {
+            return 0.0;
+        }
+        rx.await.unwrap_or(0.0)
+    }
+
+    /// Request a TTL sweep.
+    pub async fn sweep(&self, now_ms: u64) {
+        let _ = self.tx.send(Command::Sweep { now_ms }).await;
+    }
+
+    /// Direct synchronous read path (bypasses the command queue): used by
+    /// simulations where the caller already holds the logical clock.
+    pub fn store(&self) -> &ShardedStore {
+        &self.store
+    }
+}
+
+/// A periodically-updated aggregate subscription.
+pub struct AggregateWatch {
+    /// The latest aggregate value.
+    pub rx: watch::Receiver<f64>,
+}
+
+impl AggregateWatch {
+    /// Spawn an aggregator task summing `prefix` every `interval` using
+    /// wall-clock milliseconds since `t0`. Returns the watch handle.
+    pub fn spawn(client: KvClient, prefix: String, interval: Duration) -> AggregateWatch {
+        let (tx, rx) = watch::channel(0.0);
+        tokio::spawn(async move {
+            let t0 = std::time::Instant::now();
+            loop {
+                tokio::time::sleep(interval).await;
+                let now_ms = t0.elapsed().as_millis() as u64;
+                let sum = client.aggregate(&prefix, now_ms).await;
+                if tx.send(sum).is_err() {
+                    break; // all subscribers gone
+                }
+            }
+        });
+        AggregateWatch { rx }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[tokio::test]
+    async fn put_get_through_service() {
+        let (server, client) = KvServer::new(StoreConfig::default());
+        tokio::spawn(server.run());
+        client.put("k", 42.0, 0).await;
+        assert_eq!(client.get("k", 100).await, Some(42.0));
+        assert_eq!(client.get("missing", 100).await, None);
+    }
+
+    #[tokio::test]
+    async fn many_agents_publish_and_aggregate() {
+        let (server, client) = KvServer::new(StoreConfig::default());
+        tokio::spawn(server.run());
+        let mut handles = Vec::new();
+        for h in 0..100 {
+            let c = client.clone();
+            handles.push(tokio::spawn(async move {
+                c.put(&format!("rates/cold/h{h}"), 1.5, 0).await;
+            }));
+        }
+        for h in handles {
+            h.await.unwrap();
+        }
+        let sum = client.aggregate("rates/cold/", 100).await;
+        assert!((sum - 150.0).abs() < 1e-9);
+    }
+
+    #[tokio::test]
+    async fn aggregate_watch_broadcasts() {
+        let (server, client) = KvServer::new(StoreConfig::default());
+        tokio::spawn(server.run());
+        client.put("rates/x/h0", 10.0, 0).await;
+        client.put("rates/x/h1", 20.0, 0).await;
+        let mut w = AggregateWatch::spawn(
+            client.clone(),
+            "rates/x/".to_string(),
+            Duration::from_millis(10),
+        );
+        // Wait for at least one broadcast.
+        w.rx.changed().await.unwrap();
+        let v = *w.rx.borrow();
+        assert!((v - 30.0).abs() < 1e-9, "got {v}");
+    }
+
+    #[tokio::test]
+    async fn sweep_via_client() {
+        let (server, client) = KvServer::new(StoreConfig {
+            shards: 4,
+            ttl: Duration::from_millis(100),
+        });
+        tokio::spawn(server.run());
+        client.put("old", 1.0, 0).await;
+        client.sweep(10_000).await;
+        // Give the sweep command time to process.
+        tokio::time::sleep(Duration::from_millis(20)).await;
+        assert_eq!(client.get("old", 0).await, None, "swept even at old ts");
+    }
+
+    #[tokio::test]
+    async fn direct_store_access_is_consistent() {
+        let (server, client) = KvServer::new(StoreConfig::default());
+        tokio::spawn(server.run());
+        client.put("k", 7.0, 0).await;
+        // The async put has been processed once get returns.
+        assert_eq!(client.get("k", 0).await, Some(7.0));
+        assert_eq!(client.store().get("k", 0), Some(7.0));
+    }
+}

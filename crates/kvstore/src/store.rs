@@ -1,0 +1,229 @@
+//! The synchronous sharded store core.
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::time::Duration;
+
+/// Store configuration.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct StoreConfig {
+    /// Number of shards (power of two recommended).
+    pub shards: usize,
+    /// Entry time-to-live; stale entries drop out of aggregates (a dead
+    /// agent's rate must stop counting against the service).
+    pub ttl: Duration,
+}
+
+impl Default for StoreConfig {
+    fn default() -> Self {
+        StoreConfig {
+            shards: 16,
+            ttl: Duration::from_secs(60),
+        }
+    }
+}
+
+#[derive(Clone, Debug)]
+struct Entry {
+    value: f64,
+    /// Logical write timestamp in milliseconds (caller-supplied clock so
+    /// simulations stay deterministic).
+    written_ms: u64,
+}
+
+/// A sharded, TTL'd, numeric key-value store with prefix aggregation.
+pub struct ShardedStore {
+    config: StoreConfig,
+    shards: Vec<Mutex<HashMap<String, Entry>>>,
+}
+
+fn key_hash(key: &str) -> u64 {
+    // FNV-1a: stable across runs, good enough for shard spreading.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in key.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+impl ShardedStore {
+    /// Create a store.
+    pub fn new(config: StoreConfig) -> Self {
+        assert!(config.shards > 0);
+        let shards = (0..config.shards)
+            .map(|_| Mutex::new(HashMap::new()))
+            .collect();
+        ShardedStore { config, shards }
+    }
+
+    fn shard(&self, key: &str) -> &Mutex<HashMap<String, Entry>> {
+        let idx = (key_hash(key) % self.shards.len() as u64) as usize;
+        &self.shards[idx]
+    }
+
+    /// Write a value at logical time `now_ms`.
+    pub fn put(&self, key: &str, value: f64, now_ms: u64) {
+        self.shard(key).lock().insert(
+            key.to_string(),
+            Entry {
+                value,
+                written_ms: now_ms,
+            },
+        );
+    }
+
+    /// Read a live value (TTL-checked against `now_ms`).
+    pub fn get(&self, key: &str, now_ms: u64) -> Option<f64> {
+        let guard = self.shard(key).lock();
+        guard.get(key).and_then(|e| {
+            if self.is_live(e, now_ms) {
+                Some(e.value)
+            } else {
+                None
+            }
+        })
+    }
+
+    /// Delete a key; returns whether it existed.
+    pub fn delete(&self, key: &str) -> bool {
+        self.shard(key).lock().remove(key).is_some()
+    }
+
+    fn is_live(&self, e: &Entry, now_ms: u64) -> bool {
+        now_ms.saturating_sub(e.written_ms) as u128 <= self.config.ttl.as_millis()
+    }
+
+    /// Sum of all live values whose key starts with `prefix` — the
+    /// service-wide rate aggregation agents read back.
+    pub fn aggregate_sum(&self, prefix: &str, now_ms: u64) -> f64 {
+        let mut sum = 0.0;
+        for shard in &self.shards {
+            let guard = shard.lock();
+            for (k, e) in guard.iter() {
+                if k.starts_with(prefix) && self.is_live(e, now_ms) {
+                    sum += e.value;
+                }
+            }
+        }
+        sum
+    }
+
+    /// Count of live keys under a prefix.
+    pub fn count(&self, prefix: &str, now_ms: u64) -> usize {
+        let mut n = 0;
+        for shard in &self.shards {
+            let guard = shard.lock();
+            n += guard
+                .iter()
+                .filter(|(k, e)| k.starts_with(prefix) && self.is_live(e, now_ms))
+                .count();
+        }
+        n
+    }
+
+    /// Drop every expired entry (periodic compaction).
+    pub fn sweep(&self, now_ms: u64) -> usize {
+        let mut removed = 0;
+        for shard in &self.shards {
+            let mut guard = shard.lock();
+            let before = guard.len();
+            guard.retain(|_, e| self.is_live(e, now_ms));
+            removed += before - guard.len();
+        }
+        removed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store() -> ShardedStore {
+        ShardedStore::new(StoreConfig {
+            shards: 8,
+            ttl: Duration::from_secs(10),
+        })
+    }
+
+    #[test]
+    fn put_get_roundtrip() {
+        let s = store();
+        s.put("rates/cold/h1", 100.0, 0);
+        assert_eq!(s.get("rates/cold/h1", 1000), Some(100.0));
+        assert_eq!(s.get("rates/cold/h2", 1000), None);
+        // Overwrite.
+        s.put("rates/cold/h1", 150.0, 2000);
+        assert_eq!(s.get("rates/cold/h1", 2000), Some(150.0));
+    }
+
+    #[test]
+    fn ttl_expires_entries() {
+        let s = store();
+        s.put("k", 1.0, 0);
+        assert_eq!(s.get("k", 10_000), Some(1.0), "exactly at TTL still live");
+        assert_eq!(s.get("k", 10_001), None, "past TTL dead");
+    }
+
+    #[test]
+    fn aggregate_sums_prefix_only() {
+        let s = store();
+        for h in 0..50 {
+            s.put(&format!("rates/cold/h{h}"), 2.0, 0);
+        }
+        s.put("rates/warm/h0", 100.0, 0);
+        assert_eq!(s.aggregate_sum("rates/cold/", 100), 100.0);
+        assert_eq!(s.aggregate_sum("rates/", 100), 200.0);
+        assert_eq!(s.count("rates/cold/", 100), 50);
+    }
+
+    #[test]
+    fn dead_agents_fall_out_of_aggregate() {
+        let s = store();
+        s.put("rates/cold/h1", 10.0, 0);
+        s.put("rates/cold/h2", 20.0, 9_000);
+        // At t=15s, h1 (written at 0, ttl 10s) is stale; h2 is live.
+        assert_eq!(s.aggregate_sum("rates/cold/", 15_000), 20.0);
+    }
+
+    #[test]
+    fn sweep_removes_expired() {
+        let s = store();
+        for h in 0..10 {
+            s.put(&format!("k{h}"), 1.0, 0);
+        }
+        s.put("fresh", 1.0, 20_000);
+        let removed = s.sweep(20_000);
+        assert_eq!(removed, 10);
+        assert_eq!(s.get("fresh", 20_000), Some(1.0));
+    }
+
+    #[test]
+    fn delete_works() {
+        let s = store();
+        s.put("k", 1.0, 0);
+        assert!(s.delete("k"));
+        assert!(!s.delete("k"));
+        assert_eq!(s.get("k", 0), None);
+    }
+
+    #[test]
+    fn concurrent_writers() {
+        use std::sync::Arc;
+        let s = Arc::new(store());
+        let mut handles = Vec::new();
+        for t in 0..8 {
+            let s = Arc::clone(&s);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..1000 {
+                    s.put(&format!("rates/svc/h{t}_{i}"), 1.0, 0);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(s.aggregate_sum("rates/svc/", 100), 8000.0);
+    }
+}

@@ -1,0 +1,224 @@
+//! The bottleneck fabric: strict-priority queues keyed by conformance,
+//! congestion drops, queueing delay, and drill ACL rules.
+//!
+//! Production behavior being modeled (paper §5.1): endhosts only *mark*
+//! packets; switches make the drop decision. The DSCP of non-conforming
+//! traffic maps to the lowest-priority queue in every switch, so under
+//! congestion non-conforming traffic is hit first while conforming
+//! traffic rides unharmed. The September-2021 drill additionally
+//! installed ACL rules dropping an increasing percentage of
+//! non-conforming traffic to mimic congestion (§6).
+
+use entitlement_core::Rate;
+use serde::{Deserialize, Serialize};
+
+/// A drill ACL rule: drop `drop_fraction` of non-conforming traffic
+/// during `[from_secs, to_secs)`.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct AclRule {
+    /// Activation time.
+    pub from_secs: f64,
+    /// Deactivation time.
+    pub to_secs: f64,
+    /// Fraction of non-conforming traffic dropped, in `[0, 1]`.
+    pub drop_fraction: f64,
+}
+
+impl AclRule {
+    /// The drop fraction active at `t`, 0 outside the window.
+    pub fn active_fraction(&self, t_secs: f64) -> f64 {
+        if t_secs >= self.from_secs && t_secs < self.to_secs {
+            self.drop_fraction
+        } else {
+            0.0
+        }
+    }
+}
+
+/// The shared bottleneck all monitored traffic crosses.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Bottleneck {
+    /// Link capacity.
+    pub capacity: Rate,
+    /// Base propagation RTT in milliseconds.
+    pub base_rtt_ms: f64,
+    /// Maximum queueing delay a full queue adds (per direction), ms.
+    pub max_queue_ms: f64,
+    /// Drill ACL rules (applied to non-conforming traffic only).
+    pub acls: Vec<AclRule>,
+}
+
+impl Default for Bottleneck {
+    fn default() -> Self {
+        Bottleneck {
+            capacity: Rate::tbps(10.0),
+            base_rtt_ms: 40.0,
+            max_queue_ms: 20.0,
+            acls: Vec::new(),
+        }
+    }
+}
+
+/// What the fabric did to one tick of offered traffic.
+#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+pub struct FabricOutcome {
+    /// Conforming traffic delivered.
+    pub conf_delivered: Rate,
+    /// Non-conforming traffic delivered.
+    pub nonconf_delivered: Rate,
+    /// Loss ratio of conforming traffic in `[0, 1]`.
+    pub conf_loss: f64,
+    /// Loss ratio of non-conforming traffic in `[0, 1]`.
+    pub nonconf_loss: f64,
+    /// RTT experienced by conforming traffic, ms.
+    pub conf_rtt_ms: f64,
+    /// RTT experienced by non-conforming traffic, ms.
+    pub nonconf_rtt_ms: f64,
+}
+
+impl Bottleneck {
+    /// Serve one tick of offered load.
+    ///
+    /// Strict priority: conforming is served first up to capacity;
+    /// non-conforming gets the leftover, minus the active ACL share which
+    /// is dropped before queueing (ACLs act at ingress).
+    pub fn serve(&self, t_secs: f64, conf_offered: Rate, nonconf_offered: Rate) -> FabricOutcome {
+        let cap = self.capacity;
+        let acl_drop: f64 = self
+            .acls
+            .iter()
+            .map(|a| a.active_fraction(t_secs))
+            .fold(0.0, f64::max);
+
+        // ACL hits non-conforming traffic at ingress.
+        let nonconf_after_acl = nonconf_offered * (1.0 - acl_drop);
+
+        // Strict priority service.
+        let conf_delivered = conf_offered.min(cap);
+        let leftover = (cap - conf_delivered).clamp_zero();
+        let nonconf_delivered = nonconf_after_acl.min(leftover);
+
+        let conf_loss = if conf_offered.is_zero() {
+            0.0
+        } else {
+            1.0 - conf_delivered.ratio_of(conf_offered).min(1.0)
+        };
+        let nonconf_loss = if nonconf_offered.is_zero() {
+            0.0
+        } else {
+            1.0 - nonconf_delivered.ratio_of(nonconf_offered).min(1.0)
+        };
+
+        // Queueing delay: the conforming queue sees only conforming
+        // utilization; the scavenger queue drains behind everything, so
+        // its delay grows with total utilization. M/M/1-style shape,
+        // capped at max_queue_ms.
+        let util_conf = conf_delivered.ratio_of(cap).min(0.999);
+        let util_total = (conf_delivered + nonconf_delivered).ratio_of(cap).min(0.999);
+        let q = |rho: f64| (self.max_queue_ms * (rho / (1.0 - rho)) / 20.0).min(self.max_queue_ms);
+        let conf_rtt_ms = self.base_rtt_ms + q(util_conf);
+        // Fully-dropped traffic has no RTT to speak of; report base RTT
+        // for delivered packets only.
+        let nonconf_rtt_ms = if nonconf_delivered.is_zero() {
+            f64::NAN
+        } else {
+            self.base_rtt_ms + q(util_total)
+        };
+
+        FabricOutcome {
+            conf_delivered,
+            nonconf_delivered,
+            conf_loss: conf_loss.clamp(0.0, 1.0),
+            nonconf_loss: nonconf_loss.clamp(0.0, 1.0),
+            conf_rtt_ms,
+            nonconf_rtt_ms,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bn(cap_g: f64) -> Bottleneck {
+        Bottleneck {
+            capacity: Rate::gbps(cap_g),
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn uncongested_delivers_everything() {
+        let out = bn(100.0).serve(0.0, Rate::gbps(40.0), Rate::gbps(30.0));
+        assert_eq!(out.conf_loss, 0.0);
+        assert_eq!(out.nonconf_loss, 0.0);
+        assert!((out.conf_delivered.as_gbps() - 40.0).abs() < 1e-9);
+        assert!((out.nonconf_delivered.as_gbps() - 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn congestion_hits_nonconforming_first() {
+        // 100G capacity: 80G conforming + 50G non-conforming offered.
+        let out = bn(100.0).serve(0.0, Rate::gbps(80.0), Rate::gbps(50.0));
+        assert_eq!(out.conf_loss, 0.0, "conforming rides unharmed");
+        assert!((out.nonconf_delivered.as_gbps() - 20.0).abs() < 1e-9);
+        assert!((out.nonconf_loss - 0.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn conforming_only_lost_when_it_alone_exceeds_capacity() {
+        let out = bn(100.0).serve(0.0, Rate::gbps(120.0), Rate::gbps(10.0));
+        assert!((out.conf_loss - 1.0 / 6.0).abs() < 1e-9);
+        assert_eq!(out.nonconf_delivered, Rate::ZERO);
+        assert_eq!(out.nonconf_loss, 1.0);
+    }
+
+    #[test]
+    fn acl_drops_apply_only_in_window() {
+        let mut b = bn(1000.0);
+        b.acls.push(AclRule {
+            from_secs: 100.0,
+            to_secs: 200.0,
+            drop_fraction: 0.5,
+        });
+        let before = b.serve(50.0, Rate::gbps(10.0), Rate::gbps(100.0));
+        assert_eq!(before.nonconf_loss, 0.0);
+        let during = b.serve(150.0, Rate::gbps(10.0), Rate::gbps(100.0));
+        assert!((during.nonconf_loss - 0.5).abs() < 1e-9);
+        assert_eq!(during.conf_loss, 0.0, "ACL never touches conforming");
+        let after = b.serve(250.0, Rate::gbps(10.0), Rate::gbps(100.0));
+        assert_eq!(after.nonconf_loss, 0.0);
+    }
+
+    #[test]
+    fn full_acl_blackholes_nonconforming() {
+        let mut b = bn(1000.0);
+        b.acls.push(AclRule {
+            from_secs: 0.0,
+            to_secs: 10.0,
+            drop_fraction: 1.0,
+        });
+        let out = b.serve(5.0, Rate::gbps(10.0), Rate::gbps(100.0));
+        assert_eq!(out.nonconf_loss, 1.0);
+        assert!(out.nonconf_rtt_ms.is_nan(), "no delivered packets, no RTT");
+    }
+
+    #[test]
+    fn rtt_grows_with_utilization_for_scavenger_queue() {
+        let b = bn(100.0);
+        let light = b.serve(0.0, Rate::gbps(10.0), Rate::gbps(10.0));
+        let heavy = b.serve(0.0, Rate::gbps(70.0), Rate::gbps(40.0));
+        assert!(heavy.nonconf_rtt_ms > light.nonconf_rtt_ms);
+        // Conforming RTT barely moves while it has headroom.
+        assert!(heavy.conf_rtt_ms - light.conf_rtt_ms < 5.0);
+        assert!(heavy.conf_rtt_ms >= b.base_rtt_ms);
+    }
+
+    #[test]
+    fn zero_offered_is_all_zero() {
+        let out = bn(100.0).serve(0.0, Rate::ZERO, Rate::ZERO);
+        assert_eq!(out.conf_loss, 0.0);
+        assert_eq!(out.nonconf_loss, 0.0);
+        assert_eq!(out.conf_delivered, Rate::ZERO);
+    }
+}

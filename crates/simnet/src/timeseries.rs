@@ -1,0 +1,138 @@
+//! Metric recording for simulation runs.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A named collection of time series sampled on the simulation ticks.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Recorder {
+    /// Tick timestamps in seconds.
+    pub times: Vec<f64>,
+    series: BTreeMap<String, Vec<f64>>,
+}
+
+impl Recorder {
+    /// Fresh recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Begin a new tick at `t_secs`. All series written this tick belong
+    /// to this timestamp; series not written get NaN backfill on read.
+    pub fn tick(&mut self, t_secs: f64) {
+        self.times.push(t_secs);
+    }
+
+    /// Record a value for `name` at the current tick.
+    pub fn record(&mut self, name: &str, value: f64) {
+        let n = self.times.len();
+        assert!(n > 0, "record before first tick");
+        let series = self.series.entry(name.to_string()).or_default();
+        // Backfill missed ticks with NaN so indices align.
+        while series.len() + 1 < n {
+            series.push(f64::NAN);
+        }
+        if series.len() < n {
+            series.push(value);
+        } else {
+            // Overwrite within the same tick (last write wins).
+            *series.last_mut().unwrap() = value;
+        }
+    }
+
+    /// A recorded series, NaN-padded to the tick count.
+    pub fn series(&self, name: &str) -> Vec<f64> {
+        let mut v = self.series.get(name).cloned().unwrap_or_default();
+        while v.len() < self.times.len() {
+            v.push(f64::NAN);
+        }
+        v
+    }
+
+    /// All series names.
+    pub fn names(&self) -> Vec<&str> {
+        self.series.keys().map(|s| s.as_str()).collect()
+    }
+
+    /// Number of ticks recorded.
+    pub fn len(&self) -> usize {
+        self.times.len()
+    }
+
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.times.is_empty()
+    }
+
+    /// Mean of a series over a time window `[from, to)`, ignoring NaN.
+    pub fn window_mean(&self, name: &str, from_secs: f64, to_secs: f64) -> f64 {
+        let s = self.series(name);
+        let vals: Vec<f64> = self
+            .times
+            .iter()
+            .zip(&s)
+            .filter(|(&t, &v)| t >= from_secs && t < to_secs && !v.is_nan())
+            .map(|(_, &v)| v)
+            .collect();
+        entitlement_core::stats::mean(&vals)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_aligned_series() {
+        let mut r = Recorder::new();
+        r.tick(0.0);
+        r.record("a", 1.0);
+        r.tick(1.0);
+        r.record("a", 2.0);
+        r.record("b", 10.0);
+        r.tick(2.0);
+        r.record("b", 20.0);
+        assert_eq!(r.len(), 3);
+        let a = r.series("a");
+        assert_eq!(a.len(), 3);
+        assert_eq!(a[0], 1.0);
+        assert_eq!(a[1], 2.0);
+        assert!(a[2].is_nan(), "unwritten tick backfills with NaN");
+        let b = r.series("b");
+        assert!(b[0].is_nan());
+        assert_eq!(b[1], 10.0);
+        assert_eq!(b[2], 20.0);
+    }
+
+    #[test]
+    fn window_mean_ignores_nan() {
+        let mut r = Recorder::new();
+        for t in 0..10 {
+            r.tick(t as f64);
+            if t % 2 == 0 {
+                r.record("x", t as f64);
+            }
+        }
+        let m = r.window_mean("x", 0.0, 10.0);
+        assert!((m - 4.0).abs() < 1e-12, "mean of 0,2,4,6,8 = 4, got {m}");
+    }
+
+    #[test]
+    fn overwrite_within_tick() {
+        let mut r = Recorder::new();
+        r.tick(0.0);
+        r.record("x", 1.0);
+        r.record("x", 5.0);
+        assert_eq!(r.series("x"), vec![5.0]);
+    }
+
+    #[test]
+    fn unknown_series_is_all_nan() {
+        let mut r = Recorder::new();
+        r.tick(0.0);
+        let s = r.series("nope");
+        assert_eq!(s.len(), 1);
+        assert!(s[0].is_nan());
+        assert!(r.names().is_empty());
+    }
+}

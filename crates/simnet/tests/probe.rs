@@ -1,0 +1,25 @@
+use entitlement_core::Rate;
+use entitlement_simnet::{Bottleneck, MarkingCommand, World, WorldConfig};
+
+#[test]
+fn per_host_sum_matches_total_sent() {
+    let mut w = World::new(
+        WorldConfig {
+            hosts: 100,
+            base_rate: Rate::tbps(2.0),
+            ..Default::default()
+        },
+        Bottleneck {
+            capacity: Rate::tbps(1.0),
+            ..Default::default()
+        },
+    );
+    let obs = w.step(0.0, &MarkingCommand::None);
+    let sum: f64 = obs.per_host_sent.iter().map(|r| r.as_bps()).sum();
+    let total = obs.total_sent.as_bps();
+    println!("sum per_host = {sum:.3e}, total_sent = {total:.3e}, fabric conf_loss = {}", obs.fabric.conf_loss);
+    assert!(
+        (sum - total).abs() < 0.01 * total,
+        "per-host sent {sum:.3e} disagrees with aggregate {total:.3e}"
+    );
+}

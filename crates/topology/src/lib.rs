@@ -1,0 +1,38 @@
+//! # entitlement-topology
+//!
+//! The backbone WAN substrate every granting-side component consumes:
+//!
+//! * [`graph`] — a capacitated, reliability-annotated region graph
+//!   (data centers and PoPs connected by long-haul fiber links);
+//! * [`generator`] — a synthetic Meta-like backbone generator standing in
+//!   for the production topology (see DESIGN.md substitution table);
+//! * [`path`] — Dijkstra shortest paths and Yen's k-shortest paths;
+//! * [`maxflow`] — Dinic's maximum flow for feasibility checks;
+//! * [`routing`] — greedy k-shortest-path multipath placement of a traffic
+//!   matrix, reporting admitted volume and per-link utilization;
+//! * [`failure`] — failure scenarios (fiber cuts) with probabilities,
+//!   exhaustive single/double-cut enumeration and Monte-Carlo sampling;
+//! * [`srlg`] — shared-risk link groups: conduit-correlated failures,
+//!   which make WAN availability strictly harder than the independent
+//!   model suggests.
+//!
+//! WANs, unlike data centers, have little built-in redundancy and
+//! heterogeneous region capacities (paper §3.1 challenge 2); the generator
+//! reproduces exactly that heterogeneity so downstream risk results keep
+//! the paper's shape.
+
+pub mod failure;
+pub mod generator;
+pub mod graph;
+pub mod maxflow;
+pub mod path;
+pub mod routing;
+pub mod srlg;
+
+pub use failure::{FailureScenario, ScenarioSet};
+pub use generator::{BackboneSpec, RegionKind};
+pub use graph::{Link, LinkId, Region, Topology};
+pub use maxflow::max_flow;
+pub use path::{k_shortest_paths, shortest_path, Path};
+pub use routing::{route_matrix, RoutingOutcome};
+pub use srlg::{Conduit, SrlgMap};

@@ -1,0 +1,176 @@
+//! Dinic's maximum-flow algorithm over the backbone capacity graph.
+//!
+//! Used by the risk simulator to decide how much of a pipe request the
+//! surviving network can carry under a failure scenario, and by tests as
+//! the ground truth that routing never admits more than the min-cut.
+
+use crate::graph::{LinkId, Topology};
+use entitlement_core::{Rate, RegionId};
+
+#[derive(Clone, Debug)]
+struct Edge {
+    to: usize,
+    cap: f64,
+    /// Index of the reverse edge in `graph[to]`.
+    rev: usize,
+}
+
+/// Residual-graph max-flow solver (Dinic). Capacities are f64 bps;
+/// the algorithm terminates because level graphs strictly shrink.
+pub struct Dinic {
+    graph: Vec<Vec<Edge>>,
+    level: Vec<i32>,
+    iter: Vec<usize>,
+}
+
+impl Dinic {
+    /// Create a solver over `n` nodes.
+    pub fn new(n: usize) -> Self {
+        Dinic {
+            graph: vec![Vec::new(); n],
+            level: vec![0; n],
+            iter: vec![0; n],
+        }
+    }
+
+    /// Add a directed edge with the given capacity.
+    pub fn add_edge(&mut self, from: usize, to: usize, cap: f64) {
+        let rev_from = self.graph[to].len();
+        let rev_to = self.graph[from].len();
+        self.graph[from].push(Edge {
+            to,
+            cap,
+            rev: rev_from,
+        });
+        self.graph[to].push(Edge {
+            to: from,
+            cap: 0.0,
+            rev: rev_to,
+        });
+    }
+
+    fn bfs(&mut self, s: usize, t: usize) -> bool {
+        self.level.iter_mut().for_each(|l| *l = -1);
+        let mut queue = std::collections::VecDeque::new();
+        self.level[s] = 0;
+        queue.push_back(s);
+        while let Some(v) = queue.pop_front() {
+            for e in &self.graph[v] {
+                if e.cap > 1e-9 && self.level[e.to] < 0 {
+                    self.level[e.to] = self.level[v] + 1;
+                    queue.push_back(e.to);
+                }
+            }
+        }
+        self.level[t] >= 0
+    }
+
+    fn dfs(&mut self, v: usize, t: usize, f: f64) -> f64 {
+        if v == t {
+            return f;
+        }
+        while self.iter[v] < self.graph[v].len() {
+            let i = self.iter[v];
+            let (to, cap) = {
+                let e = &self.graph[v][i];
+                (e.to, e.cap)
+            };
+            if cap > 1e-9 && self.level[v] < self.level[to] {
+                let d = self.dfs(to, t, f.min(cap));
+                if d > 1e-9 {
+                    let rev = self.graph[v][i].rev;
+                    self.graph[v][i].cap -= d;
+                    self.graph[to][rev].cap += d;
+                    return d;
+                }
+            }
+            self.iter[v] += 1;
+        }
+        0.0
+    }
+
+    /// Compute the maximum flow from `s` to `t`.
+    pub fn max_flow(&mut self, s: usize, t: usize) -> f64 {
+        let mut flow = 0.0;
+        while self.bfs(s, t) {
+            self.iter.iter_mut().for_each(|i| *i = 0);
+            loop {
+                let f = self.dfs(s, t, f64::INFINITY);
+                if f <= 1e-9 {
+                    break;
+                }
+                flow += f;
+            }
+        }
+        flow
+    }
+}
+
+/// Maximum flow between two regions over surviving links.
+pub fn max_flow(topo: &Topology, src: RegionId, dst: RegionId, dead: &[LinkId]) -> Rate {
+    if src == dst {
+        return Rate(f64::INFINITY);
+    }
+    let mut d = Dinic::new(topo.region_count());
+    for link in topo.links() {
+        if dead.contains(&link.id) {
+            continue;
+        }
+        d.add_edge(link.src.index(), link.dst.index(), link.capacity.as_bps());
+    }
+    Rate(d.max_flow(src.index(), dst.index()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::BackboneSpec;
+    use crate::graph::Topology;
+
+    #[test]
+    fn classic_max_flow() {
+        // s -> a (10), s -> b (10), a -> b (5), a -> t (8), b -> t (10)
+        let mut d = Dinic::new(4);
+        d.add_edge(0, 1, 10.0);
+        d.add_edge(0, 2, 10.0);
+        d.add_edge(1, 2, 5.0);
+        d.add_edge(1, 3, 8.0);
+        d.add_edge(2, 3, 10.0);
+        let f = d.max_flow(0, 3);
+        assert!((f - 18.0).abs() < 1e-6, "got {f}");
+    }
+
+    #[test]
+    fn max_flow_on_topology_respects_cut() {
+        let mut t = Topology::new();
+        let a = t.add_region("a", true, 1.0);
+        let b = t.add_region("b", true, 1.0);
+        let c = t.add_region("c", true, 1.0);
+        t.add_link(a, b, Rate::gbps(10.0), 0.99, 100.0).unwrap();
+        t.add_link(b, c, Rate::gbps(4.0), 0.99, 100.0).unwrap();
+        t.add_link(a, c, Rate::gbps(3.0), 0.99, 100.0).unwrap();
+        let f = max_flow(&t, a, c, &[]);
+        assert!((f.as_gbps() - 7.0).abs() < 1e-6);
+        // Kill the direct link; only the 4G relay path remains.
+        let direct = t.links()[2].id;
+        let f2 = max_flow(&t, a, c, &[direct]);
+        assert!((f2.as_gbps() - 4.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn self_flow_is_infinite() {
+        let t = BackboneSpec::small(1).build();
+        let r = t.region_ids()[0];
+        assert!(max_flow(&t, r, r, &[]).as_bps().is_infinite());
+    }
+
+    #[test]
+    fn flow_monotone_in_failures() {
+        let t = BackboneSpec::small(5).build();
+        let ids = t.region_ids();
+        let base = max_flow(&t, ids[0], ids[3], &[]);
+        let one_dead = [t.links()[0].id];
+        let degraded = max_flow(&t, ids[0], ids[3], &one_dead);
+        assert!(degraded.as_bps() <= base.as_bps() + 1e-6);
+    }
+}

@@ -1,0 +1,144 @@
+use entitlement_core::{DetRng, Rate, RegionId};
+use entitlement_topology::{k_shortest_paths, max_flow, Topology};
+
+fn all_paths(
+    topo: &Topology,
+    cur: RegionId,
+    dst: RegionId,
+    visited: &mut Vec<RegionId>,
+    links: &mut Vec<entitlement_topology::LinkId>,
+    out: &mut Vec<(f64, Vec<entitlement_topology::LinkId>)>,
+) {
+    if cur == dst {
+        let len: f64 = links
+            .iter()
+            .map(|l| topo.link(*l).unwrap().length_km)
+            .sum();
+        out.push((len, links.clone()));
+        return;
+    }
+    for &lid in topo.outgoing(cur) {
+        let l = topo.link(lid).unwrap();
+        if visited.contains(&l.dst) {
+            continue;
+        }
+        visited.push(l.dst);
+        links.push(lid);
+        all_paths(topo, l.dst, dst, visited, links, out);
+        links.pop();
+        visited.pop();
+    }
+}
+
+#[test]
+fn yen_matches_bruteforce() {
+    for seed in 0..30u64 {
+        let mut rng = DetRng::new(seed);
+        let mut t = Topology::new();
+        let n = 6;
+        let ids: Vec<RegionId> = (0..n)
+            .map(|i| t.add_region(format!("r{i}"), true, 1.0))
+            .collect();
+        // random directed links
+        for a in 0..n {
+            for b in 0..n {
+                if a != b && rng.chance(0.45) {
+                    t.add_link(ids[a], ids[b], Rate::gbps(10.0), 0.99, rng.range(50.0, 900.0))
+                        .unwrap();
+                }
+            }
+        }
+        let (s, d) = (ids[0], ids[n - 1]);
+        let mut brute = Vec::new();
+        let mut visited = vec![s];
+        all_paths(&t, s, d, &mut visited, &mut Vec::new(), &mut brute);
+        brute.sort_by(|a, b| {
+            a.0.partial_cmp(&b.0)
+                .unwrap()
+                .then_with(|| a.1.cmp(&b.1))
+        });
+        let k = 6.min(brute.len());
+        match k_shortest_paths(&t, s, d, 6, &[]) {
+            Ok(paths) => {
+                assert!(!brute.is_empty(), "seed {seed}: yen found paths, brute none");
+                assert_eq!(
+                    paths.len(),
+                    6.min(brute.len()),
+                    "seed {seed}: path count mismatch: yen {} brute {}",
+                    paths.len(),
+                    brute.len()
+                );
+                for (i, p) in paths.iter().take(k).enumerate() {
+                    assert!(
+                        (p.length_km - brute[i].0).abs() < 1e-6,
+                        "seed {seed}: path {i} length {} vs brute {}",
+                        p.length_km,
+                        brute[i].0
+                    );
+                }
+            }
+            Err(_) => assert!(brute.is_empty(), "seed {seed}: brute found a path, yen errored"),
+        }
+    }
+}
+
+// Brute-force max flow via LP-free check: compare Dinic against path-based
+// Ford-Fulkerson with BFS (Edmonds-Karp) implemented independently.
+#[test]
+fn dinic_matches_edmonds_karp() {
+    for seed in 100..130u64 {
+        let mut rng = DetRng::new(seed);
+        let n = 7usize;
+        let mut cap = vec![vec![0.0f64; n]; n];
+        let mut t = Topology::new();
+        let ids: Vec<RegionId> = (0..n)
+            .map(|i| t.add_region(format!("r{i}"), true, 1.0))
+            .collect();
+        for a in 0..n {
+            for b in 0..n {
+                if a != b && rng.chance(0.4) {
+                    let c = rng.range(1.0, 20.0);
+                    cap[a][b] += c;
+                    t.add_link(ids[a], ids[b], Rate::bps(c), 0.99, 100.0).unwrap();
+                }
+            }
+        }
+        // Edmonds-Karp
+        let mut res = cap.clone();
+        let mut flow = 0.0;
+        loop {
+            let mut prev = vec![usize::MAX; n];
+            prev[0] = 0;
+            let mut q = std::collections::VecDeque::from([0usize]);
+            while let Some(v) = q.pop_front() {
+                for w in 0..n {
+                    if prev[w] == usize::MAX && res[v][w] > 1e-9 {
+                        prev[w] = v;
+                        q.push_back(w);
+                    }
+                }
+            }
+            if prev[n - 1] == usize::MAX {
+                break;
+            }
+            let mut bott = f64::INFINITY;
+            let mut v = n - 1;
+            while v != 0 {
+                bott = bott.min(res[prev[v]][v]);
+                v = prev[v];
+            }
+            let mut v = n - 1;
+            while v != 0 {
+                res[prev[v]][v] -= bott;
+                res[v][prev[v]] += bott;
+                v = prev[v];
+            }
+            flow += bott;
+        }
+        let dinic = max_flow(&t, ids[0], ids[n - 1], &[]).as_bps();
+        assert!(
+            (dinic - flow).abs() < 1e-6,
+            "seed {seed}: dinic {dinic} vs ek {flow}"
+        );
+    }
+}

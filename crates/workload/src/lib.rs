@@ -1,0 +1,36 @@
+//! # entitlement-workload
+//!
+//! Synthetic Meta-like workloads. The paper's workload is production
+//! traffic from thousands of internal services; this crate generates
+//! statistically similar stand-ins (see DESIGN.md substitution table):
+//!
+//! * [`ontology`] — a catalog of services per QoS class with power-law
+//!   sizes: each class has fewer than ten dominating services plus a long
+//!   tail of thousands of small ones (paper Fig 1–2), storage services
+//!   dominating, and services spanning multiple classes (Warmstorage data
+//!   in Class B, control in Class A);
+//! * [`patterns`] — per-service traffic shapes: Coldstorage's rack-
+//!   rotation spikes, Warmstorage's time-of-day fluctuation (paper Fig 3),
+//!   plus flat and bursty shapes for the tail;
+//! * [`matrix`] — gravity-with-locality traffic matrices whose source
+//!   concentration reproduces Fig 7 (top-3 sources ≈ 67% of a
+//!   destination's traffic);
+//! * [`incident`] — misbehaving-service injection: the video-client bug
+//!   (+50% spike forming within three minutes, Fig 4) and the cache-
+//!   bypass feature (+10% regional surge, §2.2 incident 2);
+//! * [`history`] — synthetic multi-month demand histories with organic
+//!   (trend, weekly/yearly seasonality, holidays) and inorganic (region
+//!   moves, architecture changes tied to regressors) components — the
+//!   ground truth that the forecast crate is evaluated against.
+
+pub mod history;
+pub mod incident;
+pub mod matrix;
+pub mod ontology;
+pub mod patterns;
+
+pub use history::{DemandHistory, HistorySpec};
+pub use incident::{Incident, IncidentKind};
+pub use matrix::{MatrixSpec, TrafficMatrix};
+pub use ontology::{Service, ServiceCatalog};
+pub use patterns::TrafficPattern;

@@ -1,0 +1,53 @@
+//! The distributed enforcement fleet as real tokio tasks: N agents
+//! publish their host rates into the async KV store, read back the
+//! service-wide aggregates, and independently converge on the same
+//! marking decision — no controller anywhere (§5.1's second-generation
+//! architecture).
+//!
+//! ```sh
+//! cargo run --example enforcement_daemon
+//! ```
+
+use network_entitlement::enforcement::daemon::{run_fleet, DaemonConfig};
+use network_entitlement::prelude::*;
+use std::time::Duration;
+
+#[tokio::main]
+async fn main() {
+    let config = DaemonConfig {
+        hosts: 40,
+        npg: NpgId(3),
+        qos: QosClass::C2,
+        region: RegionId(0),
+        entitled: Rate::gbps(200.0),
+        per_host_rate: Rate::gbps(10.0), // 400G offered vs 200G entitled
+        cycle: Duration::from_millis(50),
+        cycles: 10,
+    };
+    println!(
+        "spawning {} agent tasks; offered {} vs entitled {}",
+        config.hosts,
+        config.per_host_rate * config.hosts as f64,
+        config.entitled
+    );
+
+    let outcome = run_fleet(config).await;
+
+    let first = outcome.conform_ratios[0];
+    let all_agree = outcome
+        .conform_ratios
+        .iter()
+        .all(|&c| (c - first).abs() < 1e-9);
+    println!(
+        "fleet aggregate total: {}",
+        outcome.final_total
+    );
+    println!(
+        "marked fraction per agent: {:.2} (all {} agents agree: {})",
+        first,
+        outcome.conform_ratios.len(),
+        all_agree
+    );
+    println!("\nhalf the offered traffic exceeds the contract, and every agent");
+    println!("independently remarks the same ~50% of host groups.");
+}

@@ -1,0 +1,404 @@
+//! `entitlectl` — the operator CLI for the entitlement workspace.
+//!
+//! ```text
+//! entitlectl plan   --out contracts.json [--seed N] [--slo 0.99]
+//!     Run a quarterly granting cycle on a synthetic backbone + catalog
+//!     and write the approved contracts as a JSON snapshot.
+//!
+//! entitlectl show   --db contracts.json [--npg N]
+//!     Print the stored contracts.
+//!
+//! entitlectl check  --db contracts.json --npg N --qos c2 --region R --rate GBPS
+//!     Ask whether a planned rate fits the stored entitlement
+//!     (the service-team pre-launch question).
+//!
+//! entitlectl drill  [--hosts N] [--csv out.csv]
+//!     Run the §6 enforcement drill and optionally dump every series
+//!     as CSV.
+//!
+//! entitlectl negotiate --rate GBPS [--accept FRACTION] [--seed N]
+//!     Negotiate an oversized egress request against the backbone
+//!     (§8 bandwidth negotiation) and print the agreement.
+//!
+//! entitlectl topo [--seed N] [--dot out.dot]
+//!     Generate a backbone and print (or write) its Graphviz DOT
+//!     rendering.
+//! ```
+
+use network_entitlement::core::DetRng;
+use network_entitlement::enforcement::drill::{run_drill, DrillConfig};
+use network_entitlement::hose::segment::FlowSeries;
+use network_entitlement::prelude::*;
+use network_entitlement::workload::matrix::MatrixSpec;
+use network_entitlement::workload::ontology::CatalogSpec;
+use std::collections::BTreeMap;
+
+fn arg_value(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn parse_qos(s: &str) -> Option<QosClass> {
+    match s.to_ascii_lowercase().as_str() {
+        "c1" | "a" => Some(QosClass::C1),
+        "c2" | "b" => Some(QosClass::C2),
+        "c3" | "c" => Some(QosClass::C3),
+        "c4" | "d" => Some(QosClass::C4),
+        _ => None,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(|s| s.as_str()) {
+        Some("plan") => plan(&args),
+        Some("show") => show(&args),
+        Some("check") => check(&args),
+        Some("drill") => drill(&args),
+        Some("negotiate") => negotiate_cmd(&args),
+        Some("topo") => topo_cmd(&args),
+        _ => {
+            eprintln!("usage: entitlectl <plan|show|check|drill|negotiate|topo> [options]");
+            eprintln!("see the module docs of src/bin/entitlectl.rs");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn plan(args: &[String]) {
+    let out = arg_value(args, "--out").unwrap_or_else(|| "contracts.json".into());
+    let seed: u64 = arg_value(args, "--seed")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0xE17);
+    let slo_v: f64 = arg_value(args, "--slo")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.99);
+    let slo = SloTarget::new(slo_v).expect("valid --slo in (0,1]");
+
+    let topo = BackboneSpec {
+        seed,
+        ..Default::default()
+    }
+    .build();
+    let catalog = ServiceCatalog::generate(&CatalogSpec {
+        tail_services: 200,
+        seed,
+        ..Default::default()
+    });
+    eprintln!(
+        "planning on {} regions for {} services (slo {slo})...",
+        topo.region_count(),
+        catalog.services().len()
+    );
+
+    // High-touch hoses via segmentation, exactly like the capacity
+    // planning example but trimmed for CLI latency.
+    let mut rng = DetRng::new(seed);
+    let mut hoses = Vec::new();
+    for service in catalog.high_touch(0.75) {
+        for (&qos, _) in &service.rate_by_class {
+            let tm = TrafficMatrix::synthesize(&topo, service, qos, &MatrixSpec::default());
+            for (src, egress) in tm.egress_by_src() {
+                if egress.as_gbps() < 50.0 {
+                    continue;
+                }
+                let mut flows = FlowSeries::new();
+                for (&(s, d), &r) in &tm.demands {
+                    if s == src {
+                        let j = rng.range(0.02, 0.08);
+                        flows.insert(
+                            d,
+                            (0..12)
+                                .map(|t| r.as_bps() * (1.0 + j * (t as f64).sin()))
+                                .collect(),
+                        );
+                    }
+                }
+                if flows.len() < 2 {
+                    continue;
+                }
+                if let Ok(h) =
+                    segment_flow_series(service.npg, qos, src, Direction::Egress, egress, &flows)
+                {
+                    hoses.push(h);
+                }
+            }
+        }
+    }
+    let slos = vec![slo; hoses.len()];
+    let approvals = hose_approval(
+        &topo,
+        &hoses,
+        &slos,
+        &ApprovalConfig {
+            tms_per_hose: 4,
+            max_cuts: 1,
+            ..Default::default()
+        },
+    );
+    let summary = ApprovalSummary::from_approvals(&approvals);
+    eprintln!(
+        "approved {:.1}% of {} across {} hoses",
+        summary.approval_rate() * 100.0,
+        summary.requested,
+        summary.total_hoses
+    );
+
+    let db = ContractDb::new();
+    for a in &approvals {
+        if a.approved_total.is_zero() {
+            continue;
+        }
+        db.insert(
+            a.request.npg,
+            a.slo,
+            vec![Entitlement {
+                npg: a.request.npg,
+                qos: a.request.qos,
+                region: a.request.region,
+                direction: a.request.direction,
+                entitled_rate: a.approved_total,
+                period: Quarter(0).period(),
+            }],
+        )
+        .expect("valid contract");
+    }
+    db.save(std::path::Path::new(&out)).expect("write contracts");
+    println!("{} contracts written to {out}", db.len());
+}
+
+fn load_db(args: &[String]) -> ContractDb {
+    let path = arg_value(args, "--db").unwrap_or_else(|| "contracts.json".into());
+    ContractDb::load(std::path::Path::new(&path)).unwrap_or_else(|e| {
+        eprintln!("cannot load {path}: {e}");
+        std::process::exit(1);
+    })
+}
+
+fn show(args: &[String]) {
+    use std::io::Write;
+    let db = load_db(args);
+    let filter: Option<u32> = arg_value(args, "--npg").and_then(|s| s.parse().ok());
+    let json = db.snapshot();
+    let contracts: Vec<EntitlementContract> = serde_json_from(&json);
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    // A closed pipe (e.g. `entitlectl show | head`) just ends the output.
+    let _ = writeln!(
+        out,
+        "{:<12} {:<14} {:>6} {:>8} {:>8} {:>16} {:>14}",
+        "contract", "npg", "qos", "region", "dir", "entitled", "period"
+    );
+    'outer: for c in contracts {
+        if let Some(n) = filter {
+            if c.npg != NpgId(n) {
+                continue;
+            }
+        }
+        for e in &c.entitlements {
+            let line = format!(
+                "{:<12} {:<14} {:>6} {:>8} {:>8} {:>16} {:>14}",
+                format!("#{}", c.id.0),
+                format!("{}", c.npg),
+                format!("{}", e.qos),
+                format!("{}", e.region),
+                format!("{}", e.direction),
+                format!("{}", e.entitled_rate),
+                format!("{}", e.period),
+            );
+            if writeln!(out, "{line}").is_err() {
+                break 'outer;
+            }
+        }
+    }
+}
+
+fn check(args: &[String]) {
+    let db = load_db(args);
+    let npg = NpgId(
+        arg_value(args, "--npg")
+            .and_then(|s| s.parse().ok())
+            .expect("--npg N"),
+    );
+    let qos_arg = arg_value(args, "--qos").unwrap_or_else(|| {
+        eprintln!("check requires --qos <c1|c2|c3|c4>");
+        std::process::exit(2);
+    });
+    let qos = parse_qos(&qos_arg).unwrap_or_else(|| {
+        eprintln!("unknown QoS class '{qos_arg}'; expected c1..c4 (or a..d)");
+        std::process::exit(2);
+    });
+    let region = RegionId(
+        arg_value(args, "--region")
+            .and_then(|s| s.parse().ok())
+            .expect("--region R"),
+    );
+    let rate = Rate::gbps(
+        arg_value(args, "--rate")
+            .and_then(|s| s.parse().ok())
+            .expect("--rate GBPS"),
+    );
+    match db.entitled_rate(npg, qos, region, Direction::Egress, 0) {
+        None => {
+            println!("no entitlement found for {npg} {qos} {region} egress");
+            std::process::exit(1);
+        }
+        Some(entitled) => {
+            if rate.as_bps() <= entitled.as_bps() {
+                println!(
+                    "OK: {rate} fits within the {entitled} entitlement ({:.0}% headroom)",
+                    (1.0 - rate.as_bps() / entitled.as_bps()) * 100.0
+                );
+            } else {
+                println!(
+                    "OVER: {rate} exceeds the {entitled} entitlement; the excess \
+                     will be remarked and dropped first under congestion"
+                );
+                std::process::exit(3);
+            }
+        }
+    }
+}
+
+fn drill(args: &[String]) {
+    let hosts: usize = arg_value(args, "--hosts")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1000);
+    let recorder = run_drill(&DrillConfig {
+        hosts,
+        ..Default::default()
+    });
+    if let Some(csv) = arg_value(args, "--csv") {
+        let names: Vec<&str> = vec![
+            "rate_total_tbps",
+            "rate_conform_tbps",
+            "rate_entitled_tbps",
+            "loss_conf",
+            "loss_nonconf",
+            "rtt_conf_ms",
+            "rtt_nonconf_ms",
+            "syn_conf",
+            "syn_nonconf",
+            "read_latency_s",
+            "write_latency_s",
+            "block_errors",
+            "marked_fraction",
+        ];
+        let mut outbuf = String::from("minute");
+        for n in &names {
+            outbuf.push(',');
+            outbuf.push_str(n);
+        }
+        outbuf.push('\n');
+        let series: BTreeMap<&str, Vec<f64>> =
+            names.iter().map(|&n| (n, recorder.series(n))).collect();
+        for (i, t) in recorder.times.iter().enumerate() {
+            outbuf.push_str(&format!("{:.2}", t / 60.0));
+            for n in &names {
+                outbuf.push_str(&format!(",{}", series[n][i]));
+            }
+            outbuf.push('\n');
+        }
+        std::fs::write(&csv, outbuf).expect("write csv");
+        println!("{} ticks written to {csv}", recorder.len());
+    } else {
+        let conf_loss_max = recorder
+            .series("loss_conf")
+            .into_iter()
+            .fold(0.0f64, f64::max);
+        println!(
+            "drill complete: {} ticks, max conforming loss {:.4}%",
+            recorder.len(),
+            conf_loss_max * 100.0
+        );
+    }
+}
+
+fn negotiate_cmd(args: &[String]) {
+    use network_entitlement::approval::negotiate::{negotiate, Agreement, ThresholdPolicy};
+
+    let rate = Rate::gbps(
+        arg_value(args, "--rate")
+            .and_then(|s| s.parse().ok())
+            .expect("--rate GBPS"),
+    );
+    let accept: f64 = arg_value(args, "--accept")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.8);
+    let seed: u64 = arg_value(args, "--seed")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0xE17);
+
+    let topo = BackboneSpec {
+        seed,
+        ..BackboneSpec::small(seed)
+    }
+    .build();
+    let dcs = topo.dc_ids();
+    let hose = HoseRequest::general(
+        NpgId(1),
+        QosClass::C2,
+        dcs[0],
+        Direction::Egress,
+        rate,
+        dcs[1..].iter().copied(),
+    );
+    let mut policy = ThresholdPolicy {
+        accept_fraction: accept,
+        patience: 3,
+    };
+    let slo = SloTarget::new(0.99).unwrap();
+    let outcome = negotiate(
+        &topo,
+        &hose,
+        slo,
+        &mut policy,
+        &ApprovalConfig {
+            tms_per_hose: 4,
+            max_cuts: 1,
+            ..Default::default()
+        },
+        8,
+    );
+    match outcome {
+        Agreement::Accepted {
+            granted, rounds, ..
+        } => println!("accepted after {rounds} round(s): {granted} guaranteed"),
+        Agreement::RiskAccepted {
+            guaranteed, rounds, ..
+        } => println!(
+            "service keeps its {rate} ask after {rounds} round(s); only {guaranteed} is guaranteed — the excess rides at risk"
+        ),
+        Agreement::Exhausted { best_counter } => {
+            println!("no agreement; best counter-proposal was {best_counter}")
+        }
+    }
+}
+
+fn topo_cmd(args: &[String]) {
+    let seed: u64 = arg_value(args, "--seed")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0xE17);
+    let topo = BackboneSpec {
+        seed,
+        ..Default::default()
+    }
+    .build();
+    let dot = topo.to_dot();
+    match arg_value(args, "--dot") {
+        Some(path) => {
+            std::fs::write(&path, dot).expect("write dot file");
+            eprintln!(
+                "{} regions / {} links written to {path}; render with `dot -Tsvg {path}`",
+                topo.region_count(),
+                topo.link_count()
+            );
+        }
+        None => print!("{dot}"),
+    }
+}
+
+fn serde_json_from(json: &str) -> Vec<EntitlementContract> {
+    serde_json::from_str(json).expect("valid contract snapshot")
+}

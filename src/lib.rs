@@ -1,0 +1,77 @@
+//! # network-entitlement
+//!
+//! A from-scratch Rust reproduction of *Network Entitlement:
+//! Contract-based Network Sharing with Agility and SLO Guarantees*
+//! (Ahuja et al., SIGCOMM 2022) — Meta's production WAN bandwidth
+//! reservation framework.
+//!
+//! This umbrella crate re-exports the workspace's public API:
+//!
+//! * [`core`] — contracts, QoS classes, rates, SLIs, deterministic RNG;
+//! * [`topology`] — the backbone WAN substrate (graph, generator,
+//!   routing, max-flow, failure scenarios);
+//! * [`workload`] — synthetic Meta-like services, patterns, matrices,
+//!   incidents, demand histories;
+//! * [`forecast`] — the §4.1 demand-forecast pipeline (decomposable
+//!   time-series model + quantile GBDT);
+//! * [`hose`] — pipe/hose/segmented-hose models, Algorithm 1,
+//!   representative traffic matrices, hose coverage;
+//! * [`risk`] — the Risk Simulation System (availability curves);
+//! * [`approval`] — Algorithm 2 (`Hose_Approval` / `Pipe_Approval`);
+//! * [`simnet`] — the enforcement-side network simulator;
+//! * [`kvstore`] — the distributed rate-aggregation store;
+//! * [`enforcement`] — metering, marking, BPF-style classification,
+//!   agents, the §6 drill, and the §7.4 convergence simulation.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use network_entitlement::prelude::*;
+//!
+//! // A backbone, a hose request, and an SLO-checked approval:
+//! let topo = BackboneSpec::small(7).build();
+//! let dcs = topo.dc_ids();
+//! let hose = HoseRequest::general(
+//!     NpgId(0), QosClass::C1, dcs[0], Direction::Egress,
+//!     Rate::gbps(200.0), dcs[1..].iter().copied(),
+//! );
+//! let approvals = hose_approval(
+//!     &topo, &[hose], &[SloTarget::new(0.99).unwrap()],
+//!     &ApprovalConfig::default(),
+//! );
+//! assert!(approvals[0].approved_total.as_bps() > 0.0);
+//! ```
+
+pub use entitlement_approval as approval;
+pub use entitlement_core as core;
+pub use entitlement_enforcement as enforcement;
+pub use entitlement_forecast as forecast;
+pub use entitlement_hose as hose;
+pub use entitlement_kvstore as kvstore;
+pub use entitlement_risk as risk;
+pub use entitlement_simnet as simnet;
+pub use entitlement_topology as topology;
+pub use entitlement_workload as workload;
+
+/// The most commonly used items in one import.
+pub mod prelude {
+    pub use entitlement_approval::{hose_approval, ApprovalConfig, ApprovalSummary, HoseApproval};
+    pub use entitlement_core::{
+        Direction, Entitlement, EntitlementContract, HostId, NpgId, Period, QosClass, Quarter,
+        Rate, RegionId, SloTarget,
+    };
+    pub use entitlement_enforcement::{
+        run_drill, Agent, AgentConfig, ContractDb, DrillConfig, Marker, MarkingStrategy, Meter,
+        StatefulMeter, StatelessMeter,
+    };
+    pub use entitlement_forecast::{ForecastPipeline, PipelineConfig, QuarterForecast};
+    pub use entitlement_hose::{
+        generate_tms, segment_flow_series, HoseRequest, HoseSegment, TmGenConfig,
+    };
+    pub use entitlement_risk::{assess_risk, AvailabilityCurve, RiskConfig};
+    pub use entitlement_simnet::{Bottleneck, MarkingCommand, World, WorldConfig};
+    pub use entitlement_topology::{BackboneSpec, ScenarioSet, Topology};
+    pub use entitlement_workload::{
+        HistorySpec, Incident, MatrixSpec, ServiceCatalog, TrafficMatrix, TrafficPattern,
+    };
+}
