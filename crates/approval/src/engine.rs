@@ -33,6 +33,12 @@ pub struct ApprovalConfig {
     pub mode: ApprovalMode,
     /// TM sampler seed.
     pub seed: u64,
+    /// Worker threads for the risk sweep (`1` = serial, `0` = one per
+    /// core). Curves are bitwise identical for any value.
+    pub workers: usize,
+    /// Route each distinct failure set once during the risk sweep
+    /// (output-invariant; see `entitlement_risk::sweep`).
+    pub dedup: bool,
 }
 
 impl Default for ApprovalConfig {
@@ -43,6 +49,8 @@ impl Default for ApprovalConfig {
             k_paths: 4,
             mode: ApprovalMode::Partial,
             seed: 0xA11,
+            workers: 1,
+            dedup: true,
         }
     }
 }
@@ -67,6 +75,8 @@ pub fn pipe_approval(
         &RiskConfig {
             k_paths: config.k_paths,
             background: background.to_vec(),
+            workers: config.workers,
+            dedup: config.dedup,
         },
     );
     let mut out: Vec<PipeApproval> = demands

@@ -370,7 +370,7 @@ mod tests {
             ],
         };
         let slo = SloTarget::new(0.99).unwrap();
-        let approvals = hose_approval(&topo, &[hose.clone()], &[slo], &config());
+        let approvals = hose_approval(&topo, std::slice::from_ref(&hose), &[slo], &config());
         let alt = propose_alternative(&hose, &approvals[0], 0.5);
         assert!(segments_consistent(&alt));
         assert!((alt.total.as_bps() - hose.total.as_bps()).abs() < 1.0);

@@ -18,7 +18,7 @@ fn bench_classify(c: &mut Criterion) {
             i = i.wrapping_add(1);
             table.classify(ClassifyInput {
                 npg: NpgId(1),
-                qos: if i % 2 == 0 { QosClass::C1 } else { QosClass::C2 },
+                qos: if i.is_multiple_of(2) { QosClass::C1 } else { QosClass::C2 },
                 flow_group: i % 100,
                 host_group: i.wrapping_mul(7) % 100,
             })

@@ -6,6 +6,11 @@
 //! repro all [--json]      everything
 //! repro list              show the experiment index
 //! ```
+//!
+//! `--workers N` / `--no-dedup` control the risk-simulation sweep for
+//! the approval experiments (fig22): `N` scoped threads route the
+//! failure scenarios (0 = one per core), and dedup routes each distinct
+//! failure set once. Both are output-invariant.
 
 use entitlement_bench::experiments as exp;
 use entitlement_enforcement::MarkingStrategy;
@@ -36,9 +41,25 @@ const INDEX: &[(&str, &str)] = &[
     ("ablations", "N-segments, recovery factor, gen-1 vs gen-2"),
 ];
 
+/// Risk-sweep knobs shared by the approval-pipeline experiments.
+#[derive(Clone, Copy)]
+struct SweepOpts {
+    workers: usize,
+    dedup: bool,
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let json = args.iter().any(|a| a == "--json");
+    let sweep = SweepOpts {
+        workers: args
+            .iter()
+            .position(|a| a == "--workers")
+            .and_then(|i| args.get(i + 1))
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(1),
+        dedup: !args.iter().any(|a| a == "--no-dedup"),
+    };
     let id = args.first().map(|s| s.as_str()).unwrap_or("list");
 
     match id {
@@ -54,10 +75,10 @@ fn main() {
                 "fig1", "fig2", "fig3", "fig4", "fig6", "fig7", "fig11", "fig18", "fig19",
                 "fig20", "fig21", "fig22", "fig23", "ablations",
             ] {
-                run(id, json);
+                run(id, json, sweep);
             }
         }
-        _ => run(id, json),
+        _ => run(id, json, sweep),
     }
 }
 
@@ -72,7 +93,7 @@ fn emit<T: serde::Serialize>(json: bool, id: &str, value: &T, print: impl FnOnce
     }
 }
 
-fn run(id: &str, json: bool) {
+fn run(id: &str, json: bool, sweep: SweepOpts) {
     match id {
         "fig1" | "fig2" => {
             let (high, low) = exp::service_distribution::run(0x51);
@@ -117,7 +138,13 @@ fn run(id: &str, json: bool) {
             emit(json, id, &c, || c.print());
         }
         "fig22" => {
-            let a = exp::approval_slo::run(&[0.9, 0.95, 0.99, 0.995, 0.999, 0.9995], 0.45, 0x22);
+            let a = exp::approval_slo::run_with_sweep(
+                &[0.9, 0.95, 0.99, 0.995, 0.999, 0.9995],
+                0.45,
+                0x22,
+                sweep.workers,
+                sweep.dedup,
+            );
             emit(json, id, &a, || a.print());
         }
         "fig23" | "fig24" | "fig25" => {

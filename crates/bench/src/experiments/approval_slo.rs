@@ -53,8 +53,21 @@ fn demand(topo: &Topology, direction: Direction, demand_scale: f64) -> Vec<HoseR
         .collect()
 }
 
-/// Run the sweep.
+/// Run the sweep with the default (serial) risk-sweep settings.
 pub fn run(targets: &[f64], demand_scale: f64, seed: u64) -> ApprovalSlo {
+    run_with_sweep(targets, demand_scale, seed, 1, true)
+}
+
+/// Run the sweep with explicit risk-sweep `workers` / `dedup` knobs. The
+/// result is bitwise identical for every knob combination — only the
+/// wall-clock changes (see `entitlement_risk::sweep`).
+pub fn run_with_sweep(
+    targets: &[f64],
+    demand_scale: f64,
+    seed: u64,
+    workers: usize,
+    dedup: bool,
+) -> ApprovalSlo {
     let topo = BackboneSpec {
         seed,
         ..BackboneSpec::small(seed)
@@ -63,6 +76,8 @@ pub fn run(targets: &[f64], demand_scale: f64, seed: u64) -> ApprovalSlo {
     let config = ApprovalConfig {
         tms_per_hose: 6,
         max_cuts: 2,
+        workers,
+        dedup,
         ..Default::default()
     };
     let mut out = ApprovalSlo {

@@ -70,7 +70,8 @@ impl DrillResult {
     pub fn print(&self) {
         let n = 26;
         let xs = super::downsample(&self.minutes, n);
-        let pairs: [(&str, &str, &Vec<f64>, Option<&Vec<f64>>); 7] = [
+        type Row<'a> = (&'a str, &'a str, &'a Vec<f64>, Option<&'a Vec<f64>>);
+        let pairs: [Row<'_>; 7] = [
             ("Fig 11: packet loss ratio", "conf / nonconf", &self.loss_conf, Some(&self.loss_nonconf)),
             ("Fig 12: traffic rate (Tbps)", "total / conform", &self.rate_total_tbps, Some(&self.rate_conform_tbps)),
             ("Fig 12b: entitled rate (Tbps)", "entitled", &self.rate_entitled_tbps, None),

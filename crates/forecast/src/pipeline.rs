@@ -292,11 +292,11 @@ mod tests {
         let months = 15usize;
         let days = months * DAYS_PER_MONTH as usize;
         let mut fleet = vec![1000.0; months];
-        for m in 6..months {
-            fleet[m] = 2000.0;
+        for f in fleet.iter_mut().skip(6) {
+            *f = 2000.0;
         }
-        for m in 12..months {
-            fleet[m] = 4000.0;
+        for f in fleet.iter_mut().skip(12) {
+            *f = 4000.0;
         }
         let daily: Vec<f64> = (0..days)
             .map(|d| {

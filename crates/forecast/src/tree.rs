@@ -122,6 +122,9 @@ impl Tree {
         let parent_score = total_sum * total_sum / total_cnt;
 
         let mut best: Option<(usize, f64, f64)> = None; // (feature, threshold, gain)
+        // `f` is a column index into every row, not a position in one
+        // slice — there is no single iterator to replace the range with.
+        #[allow(clippy::needless_range_loop)]
         for f in 0..n_features {
             let mut order: Vec<usize> = indices.to_vec();
             order.sort_by(|&a, &b| xs[a][f].partial_cmp(&xs[b][f]).unwrap());

@@ -18,6 +18,8 @@
 
 pub mod curve;
 pub mod simulate;
+pub mod sweep;
 
 pub use curve::AvailabilityCurve;
-pub use simulate::{assess_risk, RiskConfig};
+pub use simulate::{assess_risk, assess_risk_detailed, RiskAssessment, RiskConfig};
+pub use sweep::UniqueScenarios;

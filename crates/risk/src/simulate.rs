@@ -1,8 +1,10 @@
 //! Scenario-sweep risk simulation.
 
 use crate::curve::AvailabilityCurve;
+use crate::sweep::{sweep_ordered, UniqueScenarios};
+use entitlement_core::Rate;
 use entitlement_topology::routing::Demand;
-use entitlement_topology::{route_matrix, ScenarioSet, Topology};
+use entitlement_topology::{route_matrix, route_matrix_on_residual, ScenarioSet, Topology};
 use serde::{Deserialize, Serialize};
 
 /// Risk simulation knobs.
@@ -14,6 +16,14 @@ pub struct RiskConfig {
     /// are placed first in every scenario so lower classes only see
     /// leftover capacity (Algorithm 2's class-by-class sweep).
     pub background: Vec<Demand>,
+    /// Worker threads for the scenario sweep: `1` sweeps on the calling
+    /// thread, `0` uses one worker per available core. Any value yields
+    /// bitwise-identical curves (see [`crate::sweep`]).
+    pub workers: usize,
+    /// Route each distinct `dead_links` set once instead of once per
+    /// scenario. Output-invariant; a large win on Monte-Carlo scenario
+    /// sets, which sample the same few failure sets repeatedly.
+    pub dedup: bool,
 }
 
 impl Default for RiskConfig {
@@ -21,6 +31,30 @@ impl Default for RiskConfig {
         RiskConfig {
             k_paths: 4,
             background: Vec::new(),
+            workers: 1,
+            dedup: true,
+        }
+    }
+}
+
+/// Curves plus sweep statistics (what deduplication actually saved).
+#[derive(Clone, Debug)]
+pub struct RiskAssessment {
+    /// One availability curve per demand, in demand order.
+    pub curves: Vec<AvailabilityCurve>,
+    /// Scenarios in the input set.
+    pub total_scenarios: usize,
+    /// Distinct failure sets actually routed.
+    pub routed_scenarios: usize,
+}
+
+impl RiskAssessment {
+    /// Fraction of scenario routings skipped by deduplication.
+    pub fn dedup_savings(&self) -> f64 {
+        if self.total_scenarios == 0 {
+            0.0
+        } else {
+            1.0 - self.routed_scenarios as f64 / self.total_scenarios as f64
         }
     }
 }
@@ -37,34 +71,68 @@ pub fn assess_risk(
     scenarios: &ScenarioSet,
     config: &RiskConfig,
 ) -> Vec<AvailabilityCurve> {
-    let mut samples: Vec<Vec<(entitlement_core::Rate, f64)>> =
-        vec![Vec::with_capacity(scenarios.len()); demands.len()];
+    assess_risk_detailed(topo, demands, scenarios, config).curves
+}
 
-    // Combined demand vector: background first (placement is largest-first
-    // inside route_matrix, so enforce priority by splitting the call: route
-    // background, then route the batch on the residual graph). The router
-    // works on topologies, so emulate residual capacity by re-routing both
-    // and giving background strict priority via two passes.
-    for scenario in &scenarios.scenarios {
-        let admitted = if config.background.is_empty() {
-            route_matrix(topo, demands, &scenario.dead_links, config.k_paths).admitted
-        } else {
-            // Pass 1: background on the failed topology.
-            let bg = route_matrix(topo, &config.background, &scenario.dead_links, config.k_paths);
-            // Pass 2: batch on the residual. Build a residual topology by
-            // scaling link capacities down to what's left.
-            let mut residual_topo = topo.clone();
-            residual_topo.apply_residual(&bg.residual);
-            route_matrix(&residual_topo, demands, &scenario.dead_links, config.k_paths).admitted
-        };
-        for (i, a) in admitted.into_iter().enumerate() {
+/// [`assess_risk`] plus sweep statistics.
+///
+/// The sweep routes each *distinct* failure set once (when
+/// `config.dedup`), fanned out over `config.workers` scoped threads in
+/// fixed contiguous chunks, then emits one sample per *original*
+/// scenario — in scenario order, with that scenario's own probability.
+/// Because routing is a pure function of the failure set and samples are
+/// merged in input order, the curves are bitwise identical for every
+/// `(workers, dedup)` combination.
+pub fn assess_risk_detailed(
+    topo: &Topology,
+    demands: &[Demand],
+    scenarios: &ScenarioSet,
+    config: &RiskConfig,
+) -> RiskAssessment {
+    let index = if config.dedup {
+        UniqueScenarios::build(scenarios)
+    } else {
+        UniqueScenarios::identity(scenarios)
+    };
+
+    // Route every representative failure set. Background (higher
+    // priority) goes first in a pass of its own; the batch is then
+    // placed on the leftover capacity via a residual overlay — the
+    // router reads only fiber lengths for path selection, so overlaying
+    // residuals is exactly the old clone-and-rewrite-capacities path
+    // without the per-scenario topology clone.
+    let per_unique: Vec<Vec<Rate>> =
+        sweep_ordered(&index.representatives, config.workers, |scenario_idx| {
+            let dead = &scenarios.scenarios[scenario_idx].dead_links;
+            if config.background.is_empty() {
+                route_matrix(topo, demands, dead, config.k_paths).admitted
+            } else {
+                let bg = route_matrix(topo, &config.background, dead, config.k_paths);
+                route_matrix_on_residual(topo, demands, dead, config.k_paths, &bg.residual)
+                    .admitted
+            }
+        });
+
+    // Merge per original scenario, in scenario order: each scenario
+    // contributes its own (admitted, probability) sample even when its
+    // routing was shared, keeping the curve construction independent of
+    // the dedup decision.
+    let mut samples: Vec<Vec<(Rate, f64)>> =
+        vec![Vec::with_capacity(scenarios.len()); demands.len()];
+    for (s_idx, scenario) in scenarios.scenarios.iter().enumerate() {
+        let admitted = &per_unique[index.assignment[s_idx]];
+        for (i, &a) in admitted.iter().enumerate() {
             samples[i].push((a, scenario.probability));
         }
     }
-    samples
-        .into_iter()
-        .map(AvailabilityCurve::from_samples)
-        .collect()
+    RiskAssessment {
+        curves: samples
+            .into_iter()
+            .map(AvailabilityCurve::from_samples)
+            .collect(),
+        total_scenarios: scenarios.len(),
+        routed_scenarios: index.unique_len(),
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,192 @@
+//! Deduplicated, parallel scenario sweep machinery.
+//!
+//! Routing a failure scenario depends only on its `dead_links` *set* —
+//! not on its probability, label, or position in the scenario list — so
+//! a sweep only has to route each distinct failure set once. Enumerated
+//! sets are already distinct, but Monte-Carlo sampling draws the same
+//! few failure sets over and over (the healthy network alone is usually
+//! the large majority of draws), which makes deduplication a superlinear
+//! win on sampled sets.
+//!
+//! Parallelism uses a fixed chunk-per-worker partition of the unique
+//! list and merges results in list order, so the output is a pure
+//! function of the inputs: identical for any worker count, bitwise equal
+//! to the serial sweep.
+
+use entitlement_topology::{LinkId, ScenarioSet};
+use std::thread;
+
+/// Index of distinct `dead_links` sets within a [`ScenarioSet`].
+///
+/// `representatives[u]` is the index (into the original scenario list)
+/// of the first scenario with the `u`-th distinct failure set, in
+/// first-appearance order; `assignment[s]` maps every original scenario
+/// to its entry in `representatives`. `mass[u]` accumulates the total
+/// probability carried by each unique set — the sweep itself never uses
+/// it (per-scenario samples keep their own probabilities so that curve
+/// construction stays bitwise identical to the non-deduplicated sweep),
+/// but it is the interesting statistic: it says how much probability
+/// mass each routed failure set actually covers.
+#[derive(Clone, Debug)]
+pub struct UniqueScenarios {
+    /// First-occurrence scenario index per unique failure set.
+    pub representatives: Vec<usize>,
+    /// Unique-set index for every original scenario.
+    pub assignment: Vec<usize>,
+    /// Accumulated probability per unique failure set (stats only).
+    pub mass: Vec<f64>,
+}
+
+impl UniqueScenarios {
+    /// Deduplicate `scenarios` by failure set. Two scenarios collapse
+    /// when their `dead_links` contain the same links in any order.
+    pub fn build(scenarios: &ScenarioSet) -> UniqueScenarios {
+        let mut by_set: std::collections::BTreeMap<Vec<LinkId>, usize> =
+            std::collections::BTreeMap::new();
+        let mut representatives = Vec::new();
+        let mut assignment = Vec::with_capacity(scenarios.scenarios.len());
+        let mut mass = Vec::new();
+        for (idx, scenario) in scenarios.scenarios.iter().enumerate() {
+            let mut key = scenario.dead_links.clone();
+            key.sort_unstable();
+            key.dedup();
+            let unique = *by_set.entry(key).or_insert_with(|| {
+                representatives.push(idx);
+                mass.push(0.0);
+                representatives.len() - 1
+            });
+            assignment.push(unique);
+            mass[unique] += scenario.probability;
+        }
+        UniqueScenarios {
+            representatives,
+            assignment,
+            mass,
+        }
+    }
+
+    /// The no-dedup index: every scenario is its own representative.
+    pub fn identity(scenarios: &ScenarioSet) -> UniqueScenarios {
+        let n = scenarios.scenarios.len();
+        UniqueScenarios {
+            representatives: (0..n).collect(),
+            assignment: (0..n).collect(),
+            mass: scenarios.scenarios.iter().map(|s| s.probability).collect(),
+        }
+    }
+
+    /// Number of distinct failure sets.
+    pub fn unique_len(&self) -> usize {
+        self.representatives.len()
+    }
+
+    /// Fraction of scenarios that were duplicates of an earlier one.
+    pub fn duplicate_fraction(&self) -> f64 {
+        if self.assignment.is_empty() {
+            0.0
+        } else {
+            1.0 - self.unique_len() as f64 / self.assignment.len() as f64
+        }
+    }
+}
+
+/// Resolve a `workers` knob: `0` means one worker per available core,
+/// anything else is taken literally; always within `[1, jobs]`.
+pub fn effective_workers(workers: usize, jobs: usize) -> usize {
+    let requested = if workers == 0 {
+        thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    } else {
+        workers
+    };
+    requested.clamp(1, jobs.max(1))
+}
+
+/// Apply `job` to every element of `items`, fanned out over `workers`
+/// scoped threads, returning results in input order.
+///
+/// The partition is a fixed contiguous chunk per worker (the first
+/// `len % workers` chunks get one extra item), and chunk results are
+/// concatenated in chunk order after all workers join — thread timing
+/// can never reorder the output, so any worker count produces the exact
+/// byte-for-byte result of the `workers == 1` path.
+pub fn sweep_ordered<T, F>(items: &[usize], workers: usize, job: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let n = items.len();
+    let workers = effective_workers(workers, n);
+    if workers <= 1 {
+        return items.iter().map(|&i| job(i)).collect();
+    }
+    let base = n / workers;
+    let extra = n % workers;
+    let mut out = Vec::with_capacity(n);
+    thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(workers);
+        let mut start = 0;
+        for c in 0..workers {
+            let len = base + usize::from(c < extra);
+            let chunk = &items[start..start + len];
+            start += len;
+            let job = &job;
+            handles.push(scope.spawn(move || chunk.iter().map(|&i| job(i)).collect::<Vec<T>>()));
+        }
+        for handle in handles {
+            out.extend(handle.join().expect("sweep worker panicked"));
+        }
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use entitlement_topology::BackboneSpec;
+
+    #[test]
+    fn identity_index_is_one_to_one() {
+        let topo = BackboneSpec::small(3).build();
+        let scenarios = ScenarioSet::enumerate(&topo, 1);
+        let idx = UniqueScenarios::identity(&scenarios);
+        assert_eq!(idx.unique_len(), scenarios.len());
+        assert_eq!(idx.assignment, idx.representatives);
+        assert_eq!(idx.duplicate_fraction(), 0.0);
+    }
+
+    #[test]
+    fn enumerated_sets_have_no_duplicates() {
+        let topo = BackboneSpec::small(3).build();
+        let scenarios = ScenarioSet::enumerate(&topo, 2);
+        let idx = UniqueScenarios::build(&scenarios);
+        assert_eq!(idx.unique_len(), scenarios.len());
+    }
+
+    #[test]
+    fn monte_carlo_sets_deduplicate_heavily() {
+        let topo = BackboneSpec::small(3).build();
+        let scenarios = ScenarioSet::sample(&topo, 2000, 0xDED0);
+        let idx = UniqueScenarios::build(&scenarios);
+        assert!(idx.unique_len() < scenarios.len() / 2, "expected heavy duplication, got {} unique of {}", idx.unique_len(), scenarios.len());
+        // Mass is conserved exactly as a sum of the original samples.
+        let total: f64 = idx.mass.iter().sum();
+        assert!((total - scenarios.total_probability()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sweep_preserves_order_for_any_worker_count() {
+        let items: Vec<usize> = (0..103).collect();
+        let serial = sweep_ordered(&items, 1, |i| i * 7);
+        for workers in [2, 3, 8, 64] {
+            assert_eq!(sweep_ordered(&items, workers, |i| i * 7), serial);
+        }
+    }
+
+    #[test]
+    fn effective_workers_clamps() {
+        assert_eq!(effective_workers(8, 3), 3);
+        assert_eq!(effective_workers(1, 100), 1);
+        assert_eq!(effective_workers(5, 0), 1);
+        assert!(effective_workers(0, 100) >= 1);
+    }
+}

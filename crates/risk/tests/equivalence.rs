@@ -1,0 +1,147 @@
+//! The deterministic-equivalence harness: every `(workers, dedup)`
+//! combination of the risk sweep must produce availability curves that
+//! are **bitwise identical** to the serial, non-deduplicated baseline —
+//! on enumerated and Monte-Carlo scenario sets, across seeds, with and
+//! without background traffic.
+
+use entitlement_core::Rate;
+use entitlement_risk::{assess_risk_detailed, AvailabilityCurve, RiskConfig};
+use entitlement_topology::routing::Demand;
+use entitlement_topology::{BackboneSpec, ScenarioSet, Topology};
+
+/// Collapse curves to raw bits so equality is exact, not approximate.
+fn curve_bits(curves: &[AvailabilityCurve]) -> Vec<Vec<(u64, u64)>> {
+    curves
+        .iter()
+        .map(|c| {
+            c.samples()
+                .iter()
+                .map(|&(rate, p)| (rate.as_bps().to_bits(), p.to_bits()))
+                .collect()
+        })
+        .collect()
+}
+
+/// A demand batch that stresses the router: per-region pipes of mixed
+/// sizes, including one oversubscribed demand so partial admission and
+/// residual bookkeeping both matter.
+fn demand_batch(topo: &Topology, seed: u64) -> Vec<Demand> {
+    let ids = topo.region_ids();
+    let mut demands = Vec::new();
+    for (i, &src) in ids.iter().enumerate() {
+        let dst = ids[(i + 1 + (seed as usize % (ids.len() - 1))) % ids.len()];
+        if dst == src {
+            continue;
+        }
+        let gbps = 20.0 + 35.0 * (i as f64);
+        demands.push(Demand {
+            src,
+            dst,
+            amount: Rate::gbps(gbps),
+        });
+    }
+    // One demand over the min-cut: admitted < requested even healthy.
+    demands.push(Demand {
+        src: ids[0],
+        dst: ids[ids.len() - 1],
+        amount: Rate::tbps(40.0),
+    });
+    demands
+}
+
+fn assert_equivalent(topo: &Topology, demands: &[Demand], scenarios: &ScenarioSet, label: &str) {
+    for background in [
+        Vec::new(),
+        vec![Demand {
+            src: topo.region_ids()[0],
+            dst: topo.region_ids()[2],
+            amount: Rate::tbps(5.0),
+        }],
+    ] {
+        let baseline_cfg = RiskConfig {
+            workers: 1,
+            dedup: false,
+            background: background.clone(),
+            ..Default::default()
+        };
+        let baseline = assess_risk_detailed(topo, demands, scenarios, &baseline_cfg);
+        let baseline_bits = curve_bits(&baseline.curves);
+        assert_eq!(baseline.routed_scenarios, scenarios.len());
+
+        for workers in [1usize, 2, 8] {
+            for dedup in [false, true] {
+                let cfg = RiskConfig {
+                    workers,
+                    dedup,
+                    background: background.clone(),
+                    ..Default::default()
+                };
+                let out = assess_risk_detailed(topo, demands, scenarios, &cfg);
+                assert_eq!(
+                    curve_bits(&out.curves),
+                    baseline_bits,
+                    "{label}: curves diverged at workers={workers} dedup={dedup} \
+                     background={}",
+                    !background.is_empty()
+                );
+                if dedup {
+                    assert!(out.routed_scenarios <= out.total_scenarios);
+                } else {
+                    assert_eq!(out.routed_scenarios, out.total_scenarios);
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn enumerated_scenarios_equivalent_across_knobs() {
+    for seed in [3u64, 41, 0x22] {
+        let topo = BackboneSpec::small(seed).build();
+        let demands = demand_batch(&topo, seed);
+        let scenarios = ScenarioSet::enumerate(&topo, 2);
+        assert!(!scenarios.is_empty());
+        assert_equivalent(&topo, &demands, &scenarios, &format!("enumerate seed={seed}"));
+    }
+}
+
+#[test]
+fn monte_carlo_scenarios_equivalent_across_knobs() {
+    for seed in [7u64, 0xDED0, 0xBEEF] {
+        let topo = BackboneSpec::small(seed).build();
+        let demands = demand_batch(&topo, seed);
+        let scenarios = ScenarioSet::sample(&topo, 600, seed);
+        assert_eq!(scenarios.len(), 600);
+        assert_equivalent(
+            &topo,
+            &demands,
+            &scenarios,
+            &format!("monte-carlo seed={seed}"),
+        );
+    }
+}
+
+#[test]
+fn monte_carlo_dedup_actually_collapses_scenarios() {
+    // The win the bench banks on: Monte-Carlo draws repeat failure sets
+    // (mostly the healthy network), so dedup must route far fewer.
+    let topo = BackboneSpec::small(11).build();
+    let demands = demand_batch(&topo, 11);
+    let scenarios = ScenarioSet::sample(&topo, 2000, 0xD11);
+    let out = assess_risk_detailed(
+        &topo,
+        &demands,
+        &scenarios,
+        &RiskConfig {
+            workers: 2,
+            dedup: true,
+            ..Default::default()
+        },
+    );
+    assert_eq!(out.total_scenarios, 2000);
+    assert!(
+        out.dedup_savings() > 0.5,
+        "expected >50% of routings skipped, saved {:.1}%",
+        out.dedup_savings() * 100.0
+    );
+}

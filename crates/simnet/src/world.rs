@@ -226,8 +226,10 @@ impl World {
         // recovery when drops clear.
         const PROBE_FLOOR: f64 = 0.02;
         let throttle = |loss: f64| (1.0 - loss).max(PROBE_FLOOR) * (1.0 + cfg.retransmit_overhead * loss);
-        let conf_sent = conf_demand * throttle(self.last_conf_loss);
-        let nonconf_sent = nonconf_demand * throttle(self.last_nonconf_loss);
+        let conf_throttle = throttle(self.last_conf_loss);
+        let nonconf_throttle = throttle(self.last_nonconf_loss);
+        let conf_sent = conf_demand * conf_throttle;
+        let nonconf_sent = nonconf_demand * nonconf_throttle;
 
         let fabric = self.bottleneck.serve(t_secs, conf_sent, nonconf_sent);
         self.last_conf_loss = fabric.conf_loss;
@@ -243,13 +245,16 @@ impl World {
             .tcp
             .connect_stats(attempts * marked_frac, fabric.nonconf_loss);
 
-        // Per-host *sent* rates (what agents meter locally).
+        // Per-host *sent* rates (what agents meter locally). These must
+        // apply the same previous-tick throttle the aggregate used, so
+        // that they sum exactly to `total_sent`; `last_*_loss` has
+        // already been overwritten with this tick's result by now.
         let per_host_sent: Vec<Rate> = per_host_offered
             .iter()
             .zip(&per_host_marked_fraction)
             .map(|(&r, &mf)| {
-                let conf_part = r * (1.0 - mf) * (1.0 - self.last_conf_loss);
-                let nonconf_part = r * mf * (1.0 - self.last_nonconf_loss);
+                let conf_part = r * (1.0 - mf) * conf_throttle;
+                let nonconf_part = r * mf * nonconf_throttle;
                 conf_part + nonconf_part
             })
             .collect();

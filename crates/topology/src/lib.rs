@@ -34,5 +34,5 @@ pub use generator::{BackboneSpec, RegionKind};
 pub use graph::{Link, LinkId, Region, Topology};
 pub use maxflow::max_flow;
 pub use path::{k_shortest_paths, shortest_path, Path};
-pub use routing::{route_matrix, RoutingOutcome};
+pub use routing::{route_matrix, route_matrix_on_residual, RoutingOutcome};
 pub use srlg::{Conduit, SrlgMap};

@@ -71,13 +71,46 @@ pub fn route_matrix(
     dead: &[LinkId],
     k_paths: usize,
 ) -> RoutingOutcome {
-    let mut residual: BTreeMap<LinkId, Rate> = topo
+    let residual: BTreeMap<LinkId, Rate> = topo
         .links()
         .iter()
         .filter(|l| !dead.contains(&l.id))
         .map(|l| (l.id, l.capacity))
         .collect();
+    route_on_residual(topo, demands, dead, k_paths, residual)
+}
 
+/// Like [`route_matrix`], but placement starts from `overlay` residual
+/// capacities instead of the links' full capacities: links present in
+/// the overlay start at the overlay value, links absent from it at full
+/// capacity. This is how a second priority class is routed on what a
+/// first pass left behind, without cloning and mutating the topology —
+/// path selection only ever reads fiber lengths, so routing on the
+/// original topology with an overlaid residual is exactly equivalent to
+/// routing on a cloned topology with rewritten capacities.
+pub fn route_matrix_on_residual(
+    topo: &Topology,
+    demands: &[Demand],
+    dead: &[LinkId],
+    k_paths: usize,
+    overlay: &BTreeMap<LinkId, Rate>,
+) -> RoutingOutcome {
+    let residual: BTreeMap<LinkId, Rate> = topo
+        .links()
+        .iter()
+        .filter(|l| !dead.contains(&l.id))
+        .map(|l| (l.id, overlay.get(&l.id).copied().unwrap_or(l.capacity)))
+        .collect();
+    route_on_residual(topo, demands, dead, k_paths, residual)
+}
+
+fn route_on_residual(
+    topo: &Topology,
+    demands: &[Demand],
+    dead: &[LinkId],
+    k_paths: usize,
+    mut residual: BTreeMap<LinkId, Rate>,
+) -> RoutingOutcome {
     // Largest-first placement with a deterministic tie-break.
     let mut order: Vec<usize> = (0..demands.len()).collect();
     order.sort_by(|&a, &b| {

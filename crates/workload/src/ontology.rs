@@ -80,11 +80,14 @@ pub struct ServiceCatalog {
     services: Vec<Service>,
 }
 
+/// A head-service template: (name, class mix, pattern, weight).
+type HeadService = (&'static str, Vec<(QosClass, f64)>, TrafficPattern, f64);
+
 /// Named head services with (name, class mix, pattern, weight).
 /// Mixes follow §2.1: storage dominates; Warmstorage is mostly Class B
 /// data with a sliver of Class A control traffic; Ads/feed products sit
 /// in Class A.
-fn head_roster() -> Vec<(&'static str, Vec<(QosClass, f64)>, TrafficPattern, f64)> {
+fn head_roster() -> Vec<HeadService> {
     vec![
         (
             "logging", // Scribe

@@ -71,11 +71,11 @@ fn main() {
     let actual_arr = [actual[0], actual[1], actual[2]];
 
     println!("\n{:>8} {:>12} {:>14} {:>14}", "month", "actual", "full model", "organic-only");
-    for m in 0..3 {
+    for (m, &a) in actual.iter().enumerate().take(3) {
         println!(
             "{:>8} {:>12} {:>14} {:>14}",
             13 + m,
-            Rate::bps(actual[m]).to_string(),
+            Rate::bps(a).to_string(),
             Rate::bps(fc_full.monthly[m]).to_string(),
             Rate::bps(fc_org.monthly[m]).to_string()
         );

@@ -71,7 +71,7 @@ fn main() {
                 o.nonconf_sent,
             );
             // Approximate the victim's share of conforming loss.
-            if t >= 1200.0 && t < 4200.0 {
+            if (1200.0..4200.0).contains(&t) {
                 victim_loss_acc += outcome.conf_loss;
                 offender_delivered_acc +=
                     (o.conf_sent * (1.0 - outcome.conf_loss) + o.nonconf_sent * (1.0 - outcome.nonconf_loss))

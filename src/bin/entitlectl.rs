@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! entitlectl plan   --out contracts.json [--seed N] [--slo 0.99]
+//!                   [--workers N] [--no-dedup]
 //!     Run a quarterly granting cycle on a synthetic backbone + catalog
 //!     and write the approved contracts as a JSON snapshot.
 //!
@@ -9,8 +10,16 @@
 //!     Print the stored contracts.
 //!
 //! entitlectl check  --db contracts.json --npg N --qos c2 --region R --rate GBPS
+//!                   [--risk [--seed N] [--slo 0.99] [--workers N] [--no-dedup]]
 //!     Ask whether a planned rate fits the stored entitlement
-//!     (the service-team pre-launch question).
+//!     (the service-team pre-launch question). With --risk, also sweep
+//!     the failure scenarios and report what availability the network
+//!     itself could give that rate.
+//!
+//! The sweep flags apply wherever the risk simulator runs: --workers N
+//! fans the scenario sweep out over N threads (0 = one per core) and
+//! --no-dedup disables routing each distinct failure set once. Both
+//! change only wall-clock time, never results.
 //!
 //! entitlectl drill  [--hosts N] [--csv out.csv]
 //!     Run the §6 enforcement drill and optionally dump every series
@@ -37,6 +46,16 @@ fn arg_value(args: &[String], name: &str) -> Option<String> {
     args.iter()
         .position(|a| a == name)
         .and_then(|i| args.get(i + 1).cloned())
+}
+
+/// The risk-sweep knobs shared by every subcommand that runs the risk
+/// simulator: `(--workers N, !--no-dedup)`.
+fn sweep_args(args: &[String]) -> (usize, bool) {
+    let workers = arg_value(args, "--workers")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1);
+    let dedup = !args.iter().any(|a| a == "--no-dedup");
+    (workers, dedup)
 }
 
 fn parse_qos(s: &str) -> Option<QosClass> {
@@ -97,7 +116,7 @@ fn plan(args: &[String]) {
     let mut rng = DetRng::new(seed);
     let mut hoses = Vec::new();
     for service in catalog.high_touch(0.75) {
-        for (&qos, _) in &service.rate_by_class {
+        for &qos in service.rate_by_class.keys() {
             let tm = TrafficMatrix::synthesize(&topo, service, qos, &MatrixSpec::default());
             for (src, egress) in tm.egress_by_src() {
                 if egress.as_gbps() < 50.0 {
@@ -127,6 +146,7 @@ fn plan(args: &[String]) {
         }
     }
     let slos = vec![slo; hoses.len()];
+    let (workers, dedup) = sweep_args(args);
     let approvals = hose_approval(
         &topo,
         &hoses,
@@ -134,6 +154,8 @@ fn plan(args: &[String]) {
         &ApprovalConfig {
             tms_per_hose: 4,
             max_cuts: 1,
+            workers,
+            dedup,
             ..Default::default()
         },
     );
@@ -239,6 +261,7 @@ fn check(args: &[String]) {
             .and_then(|s| s.parse().ok())
             .expect("--rate GBPS"),
     );
+    let mut exit_code = 0;
     match db.entitled_rate(npg, qos, region, Direction::Egress, 0) {
         None => {
             println!("no entitlement found for {npg} {qos} {region} egress");
@@ -255,10 +278,82 @@ fn check(args: &[String]) {
                     "OVER: {rate} exceeds the {entitled} entitlement; the excess \
                      will be remarked and dropped first under congestion"
                 );
-                std::process::exit(3);
+                exit_code = 3;
             }
         }
     }
+    if args.iter().any(|a| a == "--risk") {
+        check_risk(args, region, rate);
+    }
+    std::process::exit(exit_code);
+}
+
+/// The `check --risk` what-if: sweep the failure scenarios of the
+/// planning backbone and report the availability the network could give
+/// the planned rate, independent of what the contract says.
+fn check_risk(args: &[String], region: RegionId, rate: Rate) {
+    use network_entitlement::topology::routing::Demand;
+
+    let seed: u64 = arg_value(args, "--seed")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0xE17);
+    let slo_v: f64 = arg_value(args, "--slo")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.99);
+    let (workers, dedup) = sweep_args(args);
+
+    let topo = BackboneSpec {
+        seed,
+        ..Default::default()
+    }
+    .build();
+    let dcs = topo.dc_ids();
+    let remotes: Vec<RegionId> = dcs.iter().copied().filter(|&r| r != region).collect();
+    if remotes.is_empty() || !dcs.contains(&region) {
+        eprintln!("--risk: region {region} is not a DC of the seed-{seed} backbone");
+        return;
+    }
+    // Hose-style spread: the planned rate split evenly across remotes.
+    let per_remote = rate * (1.0 / remotes.len() as f64);
+    let demands: Vec<Demand> = remotes
+        .iter()
+        .map(|&dst| Demand {
+            src: region,
+            dst,
+            amount: per_remote,
+        })
+        .collect();
+    let scenarios = ScenarioSet::enumerate(&topo, 2);
+    let assessment = assess_risk_detailed(
+        &topo,
+        &demands,
+        &scenarios,
+        &RiskConfig {
+            workers,
+            dedup,
+            ..Default::default()
+        },
+    );
+    // A demand's availability at its full share; the hose carries the
+    // planned rate only when every pipe does.
+    let worst = assessment
+        .curves
+        .iter()
+        .zip(&demands)
+        .map(|(c, d)| c.availability_of(d.amount))
+        .fold(1.0_f64, f64::min);
+    let at_slo: Rate = assessment
+        .curves
+        .iter()
+        .map(|c| c.bandwidth_at(slo_v))
+        .sum();
+    println!(
+        "risk: {rate} from {region} survives with availability {worst:.5} \
+         (network could carry {at_slo} at the {slo_v} SLO; routed {} of {} scenarios{})",
+        assessment.routed_scenarios,
+        assessment.total_scenarios,
+        if dedup { ", dedup on" } else { ", dedup off" },
+    );
 }
 
 fn drill(args: &[String]) {
@@ -349,6 +444,7 @@ fn negotiate_cmd(args: &[String]) {
         patience: 3,
     };
     let slo = SloTarget::new(0.99).unwrap();
+    let (workers, dedup) = sweep_args(args);
     let outcome = negotiate(
         &topo,
         &hose,
@@ -357,6 +453,8 @@ fn negotiate_cmd(args: &[String]) {
         &ApprovalConfig {
             tms_per_hose: 4,
             max_cuts: 1,
+            workers,
+            dedup,
             ..Default::default()
         },
         8,

@@ -68,7 +68,9 @@ pub mod prelude {
     pub use entitlement_hose::{
         generate_tms, segment_flow_series, HoseRequest, HoseSegment, TmGenConfig,
     };
-    pub use entitlement_risk::{assess_risk, AvailabilityCurve, RiskConfig};
+    pub use entitlement_risk::{
+        assess_risk, assess_risk_detailed, AvailabilityCurve, RiskAssessment, RiskConfig,
+    };
     pub use entitlement_simnet::{Bottleneck, MarkingCommand, World, WorldConfig};
     pub use entitlement_topology::{BackboneSpec, ScenarioSet, Topology};
     pub use entitlement_workload::{

@@ -8,7 +8,7 @@ use network_entitlement::enforcement::{Marker, Meter, StatefulMeter, StatelessMe
 use network_entitlement::hose::balance::balance_hoses;
 use network_entitlement::hose::polytope::HosePolytope;
 use network_entitlement::hose::segment::{alpha_minus, alpha_plus, two_segments, FlowSeries};
-use network_entitlement::hose::{generate_tms, HoseRequest, TmGenConfig};
+use network_entitlement::hose::{generate_tms, TmGenConfig};
 use network_entitlement::risk::AvailabilityCurve;
 use network_entitlement::topology::routing::Demand;
 use network_entitlement::topology::{max_flow, route_matrix, BackboneSpec};
@@ -262,7 +262,7 @@ proptest! {
                 prop_assert!((0.0..=1.0).contains(&o.conf_loss));
                 prop_assert!((0.0..=1.0).contains(&o.nonconf_loss));
             }
-            for (_, &u) in &tick.link_utilization {
+            for &u in tick.link_utilization.values() {
                 prop_assert!((0.0..=1.0).contains(&u));
             }
         }
@@ -296,10 +296,92 @@ proptest! {
         // no source got more than X's allocation (max-min property).
         for (r, a) in &alloc {
             if a.as_bps() + 1.0 < demands[r].as_bps() {
-                for (_, b) in &alloc {
+                for b in alloc.values() {
                     prop_assert!(b.as_bps() <= a.as_bps() + 10.0);
                 }
             }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Deduplicating the risk sweep conserves the curve's probability
+    /// mass and never moves the SLO lookup — for any SLO, any seed, any
+    /// Monte-Carlo draw count.
+    #[test]
+    fn dedup_preserves_mass_and_slo_lookup(
+        seed in any::<u64>(),
+        n_scenarios in 50usize..300,
+        slo in 0.5f64..0.9995,
+    ) {
+        use network_entitlement::risk::{assess_risk, RiskConfig};
+        use network_entitlement::topology::ScenarioSet;
+
+        let topo = BackboneSpec::small(seed % 64).build();
+        let ids = topo.region_ids();
+        let demands = vec![
+            Demand { src: ids[0], dst: ids[2], amount: Rate::gbps(80.0) },
+            Demand { src: ids[1], dst: ids[4], amount: Rate::tbps(20.0) },
+        ];
+        let scenarios = ScenarioSet::sample(&topo, n_scenarios, seed);
+        let deduped = assess_risk(&topo, &demands, &scenarios, &RiskConfig {
+            dedup: true, workers: 2, ..Default::default()
+        });
+        let plain = assess_risk(&topo, &demands, &scenarios, &RiskConfig {
+            dedup: false, workers: 1, ..Default::default()
+        });
+        for (a, b) in deduped.iter().zip(&plain) {
+            prop_assert!((a.total_mass() - 1.0).abs() < 1e-9);
+            prop_assert_eq!(
+                a.bandwidth_at(slo).as_bps().to_bits(),
+                b.bandwidth_at(slo).as_bps().to_bits()
+            );
+        }
+    }
+
+    /// Routing on a residual overlay admits exactly what the old
+    /// clone-the-topology-and-rewrite-capacities path admitted, for any
+    /// failure scenario and any background load.
+    #[test]
+    fn residual_overlay_matches_clone_routing(
+        seed in any::<u64>(),
+        bg_gbps in 10.0f64..4000.0,
+        batch_gbps in 10.0f64..4000.0,
+    ) {
+        use network_entitlement::topology::routing::route_matrix_on_residual;
+        use network_entitlement::topology::ScenarioSet;
+
+        let topo = BackboneSpec::small(seed % 64).build();
+        let ids = topo.region_ids();
+        let cuts = ScenarioSet::enumerate(&topo, 2);
+        let dead = cuts.scenarios[(seed as usize) % cuts.len()].dead_links.clone();
+        let background = vec![
+            Demand { src: ids[0], dst: ids[2], amount: Rate::gbps(bg_gbps) },
+        ];
+        let demands = vec![
+            Demand { src: ids[1], dst: ids[2], amount: Rate::gbps(batch_gbps) },
+            Demand { src: ids[0], dst: ids[ids.len() - 1], amount: Rate::tbps(30.0) },
+        ];
+        let bg = route_matrix(&topo, &background, &dead, 4);
+
+        // The sweep's path: overlay the background residual.
+        let overlay = route_matrix_on_residual(&topo, &demands, &dead, 4, &bg.residual);
+        // The seed path: clone the topology and rewrite capacities.
+        let mut cloned = topo.clone();
+        cloned.apply_residual(&bg.residual);
+        let via_clone = route_matrix(&cloned, &demands, &dead, 4);
+
+        prop_assert_eq!(overlay.admitted.len(), via_clone.admitted.len());
+        for (a, b) in overlay.admitted.iter().zip(&via_clone.admitted) {
+            prop_assert_eq!(a.as_bps().to_bits(), b.as_bps().to_bits());
+        }
+        for (link, r) in &overlay.residual {
+            prop_assert_eq!(
+                r.as_bps().to_bits(),
+                via_clone.residual[link].as_bps().to_bits()
+            );
         }
     }
 }

@@ -1,0 +1,171 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Same macro/builder surface (`criterion_group!`, `criterion_main!`,
+//! `benchmark_group`, `bench_function`, `bench_with_input`,
+//! `BenchmarkId`, `Bencher::iter`), much simpler statistics: each bench
+//! is warmed up briefly, then timed for a fixed number of samples, and
+//! the mean and minimum per-iteration wall-clock times are printed.
+//! There are no plots, baselines, or outlier analysis.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Upper bound on how long one bench sample loop runs.
+const SAMPLE_BUDGET: Duration = Duration::from_millis(200);
+
+/// A name plus an optional parameter, rendered as `name/param`.
+pub struct BenchmarkId {
+    full: String,
+}
+
+impl BenchmarkId {
+    pub fn new<P: fmt::Display>(name: &str, param: P) -> BenchmarkId {
+        BenchmarkId {
+            full: format!("{name}/{param}"),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.full)
+    }
+}
+
+/// Passed to every bench closure; [`Bencher::iter`] does the timing.
+pub struct Bencher {
+    samples: usize,
+    /// (mean, min) per-iteration durations, filled in by `iter`.
+    result: Option<(Duration, Duration)>,
+}
+
+impl Bencher {
+    /// Time `routine`: warm up, then run `samples` timed batches.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warmup + calibration: how many iterations fit in the budget?
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < SAMPLE_BUDGET / 4 && warm_iters < 1_000_000 {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed() / warm_iters.max(1) as u32;
+        let iters_per_sample = if per_iter.is_zero() {
+            1_000
+        } else {
+            (SAMPLE_BUDGET.as_nanos() / per_iter.as_nanos().max(1) / self.samples as u128)
+                .clamp(1, 1_000_000) as u64
+        };
+
+        let mut total = Duration::ZERO;
+        let mut min = Duration::MAX;
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed() / iters_per_sample as u32;
+            total += elapsed;
+            min = min.min(elapsed);
+        }
+        self.result = Some((total / self.samples as u32, min));
+    }
+}
+
+fn run_bench(label: &str, samples: usize, f: impl FnOnce(&mut Bencher)) {
+    let mut bencher = Bencher {
+        samples,
+        result: None,
+    };
+    f(&mut bencher);
+    match bencher.result {
+        Some((mean, min)) => {
+            println!("bench: {label:<55} mean {mean:>12.3?}   min {min:>12.3?}");
+        }
+        None => println!("bench: {label:<55} (no measurement)"),
+    }
+}
+
+/// A set of related benches sharing a name prefix and sample count.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    samples: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.samples = samples.max(1);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        run_bench(&format!("{}/{}", self.name, id), self.samples, f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        f: F,
+    ) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher, &I),
+    {
+        run_bench(&format!("{}/{}", self.name, id), self.samples, |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+/// Top-level bench driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            samples: 10,
+            _criterion: self,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        run_bench(&id.to_string(), 10, f);
+        self
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench` passes harness flags (e.g. `--bench`); none
+            // change behavior here.
+            $( $group(); )+
+        }
+    };
+}

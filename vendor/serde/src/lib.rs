@@ -1,0 +1,550 @@
+//! Offline stand-in for `serde`.
+//!
+//! Real serde abstracts over data formats; this workspace only ever
+//! serializes to and from JSON, so the stub collapses the data model to
+//! a JSON tree ([`JsonValue`]) and two object-safe-enough traits:
+//!
+//! * [`Serialize`] appends a compact JSON rendering to a `String`;
+//! * [`Deserialize`] reconstructs a value from a parsed [`JsonValue`].
+//!
+//! The derive macros (re-exported from `serde_derive`) generate both
+//! impls for structs and for enums with unit/struct variants — the only
+//! shapes this workspace uses. Maps serialize as arrays of
+//! `[key, value]` pairs so non-string keys (ids, tuples) round-trip.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A parsed JSON document.
+#[derive(Clone, Debug, PartialEq)]
+pub enum JsonValue {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number (integers beyond 2^53 lose precision here).
+    Number(f64),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<JsonValue>),
+    /// An object; insertion order preserved.
+    Object(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Object field lookup.
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+}
+
+/// Deserialization error: a human-readable path + expectation.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DeError(pub String);
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "deserialize error: {}", self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+impl DeError {
+    /// "expected X, got Y" constructor.
+    pub fn expected(what: &str, got: &JsonValue) -> DeError {
+        let kind = match got {
+            JsonValue::Null => "null",
+            JsonValue::Bool(_) => "bool",
+            JsonValue::Number(_) => "number",
+            JsonValue::String(_) => "string",
+            JsonValue::Array(_) => "array",
+            JsonValue::Object(_) => "object",
+        };
+        DeError(format!("expected {what}, got {kind}"))
+    }
+}
+
+/// Serialize to compact JSON text.
+pub trait Serialize {
+    /// Append this value's JSON rendering to `out`.
+    fn serialize_json(&self, out: &mut String);
+}
+
+/// Deserialize from a parsed JSON tree.
+pub trait Deserialize: Sized {
+    /// Reconstruct from a [`JsonValue`].
+    fn deserialize_json(v: &JsonValue) -> Result<Self, DeError>;
+}
+
+// ---- helpers the derive macro leans on ----------------------------------
+
+/// Escape and append a JSON string literal.
+pub fn write_json_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Fetch + deserialize a named struct field. Missing fields deserialize
+/// from `null`, which lets `Option` fields tolerate absence.
+pub fn de_field<T: Deserialize>(obj: &JsonValue, name: &str) -> Result<T, DeError> {
+    match obj.get(name) {
+        Some(v) => {
+            T::deserialize_json(v).map_err(|e| DeError(format!("field `{name}`: {}", e.0)))
+        }
+        None => T::deserialize_json(&JsonValue::Null)
+            .map_err(|_| DeError(format!("missing field `{name}`"))),
+    }
+}
+
+/// Expect an object (derive codegen for named structs).
+pub fn expect_object<'v>(v: &'v JsonValue, ty: &str) -> Result<&'v JsonValue, DeError> {
+    match v {
+        JsonValue::Object(_) => Ok(v),
+        other => Err(DeError::expected(ty, other)),
+    }
+}
+
+/// Expect an externally-tagged enum: a single-key object, returning
+/// `(variant_name, payload)`.
+pub fn expect_enum<'v>(v: &'v JsonValue, ty: &str) -> Result<(&'v str, &'v JsonValue), DeError> {
+    match v {
+        JsonValue::Object(fields) if fields.len() == 1 => {
+            Ok((fields[0].0.as_str(), &fields[0].1))
+        }
+        other => Err(DeError::expected(ty, other)),
+    }
+}
+
+/// Expect an array of exactly `n` elements (tuple structs / tuples).
+pub fn expect_array<'v>(v: &'v JsonValue, n: usize, ty: &str) -> Result<&'v [JsonValue], DeError> {
+    match v {
+        JsonValue::Array(items) if items.len() == n => Ok(items),
+        JsonValue::Array(items) => Err(DeError(format!(
+            "expected {ty} with {n} elements, got {}",
+            items.len()
+        ))),
+        other => Err(DeError::expected(ty, other)),
+    }
+}
+
+impl Serialize for std::time::Duration {
+    fn serialize_json(&self, out: &mut String) {
+        // Matches upstream serde: {"secs": u64, "nanos": u32}.
+        out.push_str("{\"secs\":");
+        self.as_secs().serialize_json(out);
+        out.push_str(",\"nanos\":");
+        self.subsec_nanos().serialize_json(out);
+        out.push('}');
+    }
+}
+
+impl Deserialize for std::time::Duration {
+    fn deserialize_json(v: &JsonValue) -> Result<Self, DeError> {
+        let obj = expect_object(v, "Duration")?;
+        let secs: u64 = de_field(obj, "secs")?;
+        let nanos: u32 = de_field(obj, "nanos")?;
+        Ok(std::time::Duration::new(secs, nanos))
+    }
+}
+
+// ---- impls for primitives -----------------------------------------------
+
+macro_rules! int_impls {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_json(&self, out: &mut String) {
+                out.push_str(itoa_buf(&mut [0u8; 40], *self as i128));
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize_json(v: &JsonValue) -> Result<Self, DeError> {
+                match v {
+                    JsonValue::Number(n) => Ok(*n as $t),
+                    other => Err(DeError::expected(stringify!($t), other)),
+                }
+            }
+        }
+    )*};
+}
+
+/// Exact decimal rendering of an integer without allocation churn.
+fn itoa_buf(buf: &mut [u8; 40], mut v: i128) -> &str {
+    let neg = v < 0;
+    let mut i = buf.len();
+    loop {
+        i -= 1;
+        buf[i] = b'0' + (v % 10).unsigned_abs() as u8;
+        v /= 10;
+        if v == 0 {
+            break;
+        }
+    }
+    if neg {
+        i -= 1;
+        buf[i] = b'-';
+    }
+    std::str::from_utf8(&buf[i..]).expect("ascii digits")
+}
+
+int_impls!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_impls {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_json(&self, out: &mut String) {
+                if self.is_finite() {
+                    // Rust's Display prints the shortest round-trip form.
+                    out.push_str(&format!("{}", self));
+                } else {
+                    out.push_str("null"); // serde_json convention for NaN/inf
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize_json(v: &JsonValue) -> Result<Self, DeError> {
+                match v {
+                    JsonValue::Number(n) => Ok(*n as $t),
+                    JsonValue::Null => Ok(<$t>::NAN),
+                    other => Err(DeError::expected(stringify!($t), other)),
+                }
+            }
+        }
+    )*};
+}
+
+float_impls!(f32, f64);
+
+impl Serialize for bool {
+    fn serialize_json(&self, out: &mut String) {
+        out.push_str(if *self { "true" } else { "false" });
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize_json(v: &JsonValue) -> Result<Self, DeError> {
+        match v {
+            JsonValue::Bool(b) => Ok(*b),
+            other => Err(DeError::expected("bool", other)),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn serialize_json(&self, out: &mut String) {
+        write_json_string(self, out);
+    }
+}
+
+impl Serialize for str {
+    fn serialize_json(&self, out: &mut String) {
+        write_json_string(self, out);
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize_json(v: &JsonValue) -> Result<Self, DeError> {
+        match v {
+            JsonValue::String(s) => Ok(s.clone()),
+            other => Err(DeError::expected("string", other)),
+        }
+    }
+}
+
+impl Serialize for char {
+    fn serialize_json(&self, out: &mut String) {
+        write_json_string(&self.to_string(), out);
+    }
+}
+
+impl Deserialize for char {
+    fn deserialize_json(v: &JsonValue) -> Result<Self, DeError> {
+        match v {
+            JsonValue::String(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            other => Err(DeError::expected("single-char string", other)),
+        }
+    }
+}
+
+// ---- impls for std containers -------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize_json(&self, out: &mut String) {
+        (**self).serialize_json(out);
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize_json(&self, out: &mut String) {
+        match self {
+            Some(v) => v.serialize_json(out),
+            None => out.push_str("null"),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize_json(v: &JsonValue) -> Result<Self, DeError> {
+        match v {
+            JsonValue::Null => Ok(None),
+            other => T::deserialize_json(other).map(Some),
+        }
+    }
+}
+
+fn ser_seq<'a, T: Serialize + 'a>(items: impl Iterator<Item = &'a T>, out: &mut String) {
+    out.push('[');
+    for (i, item) in items.enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        item.serialize_json(out);
+    }
+    out.push(']');
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize_json(&self, out: &mut String) {
+        ser_seq(self.iter(), out);
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize_json(&self, out: &mut String) {
+        ser_seq(self.iter(), out);
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize_json(&self, out: &mut String) {
+        ser_seq(self.iter(), out);
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize_json(v: &JsonValue) -> Result<Self, DeError> {
+        match v {
+            JsonValue::Array(items) => items.iter().map(T::deserialize_json).collect(),
+            other => Err(DeError::expected("array", other)),
+        }
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn deserialize_json(v: &JsonValue) -> Result<Self, DeError> {
+        let items = expect_array(v, N, "fixed-size array")?;
+        let parsed: Vec<T> = items.iter().map(T::deserialize_json).collect::<Result<_, _>>()?;
+        parsed
+            .try_into()
+            .map_err(|_| DeError("array length mismatch".into()))
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn serialize_json(&self, out: &mut String) {
+        // Arrays of [key, value] pairs: keys here are ids and tuples,
+        // which JSON objects can't hold.
+        out.push('[');
+        for (i, (k, v)) in self.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('[');
+            k.serialize_json(out);
+            out.push(',');
+            v.serialize_json(out);
+            out.push(']');
+        }
+        out.push(']');
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn deserialize_json(v: &JsonValue) -> Result<Self, DeError> {
+        match v {
+            JsonValue::Array(items) => items
+                .iter()
+                .map(|pair| {
+                    let kv = expect_array(pair, 2, "map entry")?;
+                    Ok((K::deserialize_json(&kv[0])?, V::deserialize_json(&kv[1])?))
+                })
+                .collect(),
+            other => Err(DeError::expected("map (array of pairs)", other)),
+        }
+    }
+}
+
+impl<K, V, S> Serialize for std::collections::HashMap<K, V, S>
+where
+    K: Serialize,
+    V: Serialize,
+    S: std::hash::BuildHasher,
+{
+    fn serialize_json(&self, out: &mut String) {
+        // Sorted by serialized key so the output is deterministic even
+        // though HashMap iteration order isn't.
+        let mut pairs: Vec<(String, String)> = self
+            .iter()
+            .map(|(k, v)| {
+                let (mut ks, mut vs) = (String::new(), String::new());
+                k.serialize_json(&mut ks);
+                v.serialize_json(&mut vs);
+                (ks, vs)
+            })
+            .collect();
+        pairs.sort();
+        out.push('[');
+        for (i, (k, v)) in pairs.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('[');
+            out.push_str(k);
+            out.push(',');
+            out.push_str(v);
+            out.push(']');
+        }
+        out.push(']');
+    }
+}
+
+impl<K, V, S> Deserialize for std::collections::HashMap<K, V, S>
+where
+    K: Deserialize + std::hash::Hash + Eq,
+    V: Deserialize,
+    S: std::hash::BuildHasher + Default,
+{
+    fn deserialize_json(v: &JsonValue) -> Result<Self, DeError> {
+        match v {
+            JsonValue::Array(items) => items
+                .iter()
+                .map(|pair| {
+                    let kv = expect_array(pair, 2, "map entry")?;
+                    Ok((K::deserialize_json(&kv[0])?, V::deserialize_json(&kv[1])?))
+                })
+                .collect(),
+            other => Err(DeError::expected("map (array of pairs)", other)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for std::collections::BTreeSet<T> {
+    fn serialize_json(&self, out: &mut String) {
+        out.push('[');
+        for (i, item) in self.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            item.serialize_json(out);
+        }
+        out.push(']');
+    }
+}
+
+impl<T: Deserialize + Ord> Deserialize for std::collections::BTreeSet<T> {
+    fn deserialize_json(v: &JsonValue) -> Result<Self, DeError> {
+        match v {
+            JsonValue::Array(items) => items.iter().map(T::deserialize_json).collect(),
+            other => Err(DeError::expected("set (array)", other)),
+        }
+    }
+}
+
+macro_rules! tuple_impls {
+    ($(($($t:ident : $idx:tt),+) -> $n:expr;)*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn serialize_json(&self, out: &mut String) {
+                out.push('[');
+                let mut first = true;
+                $(
+                    if !first { out.push(','); }
+                    first = false;
+                    self.$idx.serialize_json(out);
+                )+
+                let _ = first;
+                out.push(']');
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn deserialize_json(v: &JsonValue) -> Result<Self, DeError> {
+                let items = expect_array(v, $n, "tuple")?;
+                Ok(($($t::deserialize_json(&items[$idx])?,)+))
+            }
+        }
+    )*};
+}
+
+tuple_impls! {
+    (A: 0) -> 1;
+    (A: 0, B: 1) -> 2;
+    (A: 0, B: 1, C: 2) -> 3;
+    (A: 0, B: 1, C: 2, D: 3) -> 4;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_render() {
+        let mut s = String::new();
+        42u32.serialize_json(&mut s);
+        s.push(' ');
+        (-7i64).serialize_json(&mut s);
+        s.push(' ');
+        1.5f64.serialize_json(&mut s);
+        s.push(' ');
+        true.serialize_json(&mut s);
+        assert_eq!(s, "42 -7 1.5 true");
+    }
+
+    #[test]
+    fn strings_escape() {
+        let mut s = String::new();
+        "a\"b\\c\n".serialize_json(&mut s);
+        assert_eq!(s, r#""a\"b\\c\n""#);
+    }
+
+    #[test]
+    fn map_as_pairs() {
+        let mut m = BTreeMap::new();
+        m.insert((1u32, 2u32), 3.0f64);
+        let mut s = String::new();
+        m.serialize_json(&mut s);
+        assert_eq!(s, "[[[1,2],3]]");
+    }
+
+    #[test]
+    fn option_roundtrip() {
+        let some: Option<u32> = Option::deserialize_json(&JsonValue::Number(5.0)).unwrap();
+        assert_eq!(some, Some(5));
+        let none: Option<u32> = Option::deserialize_json(&JsonValue::Null).unwrap();
+        assert_eq!(none, None);
+    }
+
+    #[test]
+    fn big_u64_serializes_exactly() {
+        let mut s = String::new();
+        u64::MAX.serialize_json(&mut s);
+        assert_eq!(s, "18446744073709551615");
+    }
+}

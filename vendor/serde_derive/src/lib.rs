@@ -1,0 +1,360 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Generates [`serde::Serialize`]/[`serde::Deserialize`] impls for the
+//! shapes this workspace actually uses — structs (named, tuple, unit)
+//! and enums with unit or struct variants, no generics, no `#[serde]`
+//! attributes — by walking the raw `TokenStream` directly instead of
+//! pulling in `syn`/`quote` (which the offline container cannot fetch).
+//!
+//! Wire format (matches upstream serde's JSON defaults):
+//! * named struct      → `{"field": ...}` object
+//! * newtype struct    → the inner value, transparent
+//! * tuple struct      → array of fields
+//! * unit struct       → `null`
+//! * unit enum variant → `"Variant"` string
+//! * struct variant    → `{"Variant": {"field": ...}}` externally tagged
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Serialize)
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Serialize,
+    Deserialize,
+}
+
+enum Shape {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    /// `None` = unit variant; `Some(fields)` = struct variant.
+    fields: Option<Vec<String>>,
+}
+
+fn expand(input: TokenStream, mode: Mode) -> TokenStream {
+    match parse(input) {
+        Ok((name, shape)) => {
+            let code = match mode {
+                Mode::Serialize => gen_serialize(&name, &shape),
+                Mode::Deserialize => gen_deserialize(&name, &shape),
+            };
+            code.parse().expect("generated impl parses")
+        }
+        Err(msg) => format!("compile_error!({msg:?});").parse().unwrap(),
+    }
+}
+
+// ---- input parsing -------------------------------------------------------
+
+fn parse(input: TokenStream) -> Result<(String, Shape), String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    skip_attrs_and_vis(&tokens, &mut i);
+
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) if id.to_string() == "struct" => "struct",
+        Some(TokenTree::Ident(id)) if id.to_string() == "enum" => "enum",
+        other => return Err(format!("expected struct or enum, got {other:?}")),
+    };
+    i += 1;
+
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected type name, got {other:?}")),
+    };
+    i += 1;
+
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "stub serde_derive does not support generic type `{name}`"
+        ));
+    }
+
+    let shape = match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            let body: Vec<TokenTree> = g.stream().into_iter().collect();
+            if kind == "struct" {
+                Shape::NamedStruct(parse_named_fields(&body)?)
+            } else {
+                Shape::Enum(parse_variants(&body)?)
+            }
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis && kind == "struct" => {
+            Shape::TupleStruct(count_tuple_fields(&g.stream().into_iter().collect::<Vec<_>>()))
+        }
+        Some(TokenTree::Punct(p)) if p.as_char() == ';' && kind == "struct" => Shape::UnitStruct,
+        other => return Err(format!("unsupported {kind} body for `{name}`: {other:?}")),
+    };
+    Ok((name, shape))
+}
+
+/// Advance past `#[...]` attributes (incl. doc comments) and `pub`/`pub(...)`.
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 2; // '#' + bracket group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1;
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Field names of a named struct / struct variant body.
+fn parse_named_fields(body: &[TokenTree]) -> Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < body.len() {
+        skip_attrs_and_vis(body, &mut i);
+        if i >= body.len() {
+            break;
+        }
+        let name = match &body[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => return Err(format!("expected field name, got {other:?}")),
+        };
+        i += 1;
+        match body.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => return Err(format!("expected `:` after field `{name}`, got {other:?}")),
+        }
+        skip_type(body, &mut i);
+        fields.push(name);
+        if matches!(body.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+    }
+    Ok(fields)
+}
+
+/// Skip a type expression: consume until a top-level `,`, tracking
+/// angle-bracket depth so `BTreeMap<K, V>` commas don't split fields.
+/// (Parens/brackets/braces arrive as single `Group` tokens, so only
+/// `<`/`>` need explicit tracking.)
+fn skip_type(body: &[TokenTree], i: &mut usize) {
+    let mut depth = 0i32;
+    while *i < body.len() {
+        match &body[*i] {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => return,
+            _ => {}
+        }
+        *i += 1;
+    }
+}
+
+fn count_tuple_fields(body: &[TokenTree]) -> usize {
+    if body.is_empty() {
+        return 0;
+    }
+    let mut depth = 0i32;
+    let mut count = 1;
+    for t in body {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => count += 1,
+            _ => {}
+        }
+    }
+    // A trailing comma would overcount by one; tolerate it.
+    if matches!(body.last(), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+        count -= 1;
+    }
+    count
+}
+
+fn parse_variants(body: &[TokenTree]) -> Result<Vec<Variant>, String> {
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < body.len() {
+        skip_attrs_and_vis(body, &mut i);
+        if i >= body.len() {
+            break;
+        }
+        let name = match &body[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => return Err(format!("expected variant name, got {other:?}")),
+        };
+        i += 1;
+        let fields = match body.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Some(parse_named_fields(&g.stream().into_iter().collect::<Vec<_>>())?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                return Err(format!(
+                    "stub serde_derive does not support tuple variant `{name}`"
+                ));
+            }
+            _ => None,
+        };
+        variants.push(Variant { name, fields });
+        if matches!(body.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+    }
+    Ok(variants)
+}
+
+// ---- codegen -------------------------------------------------------------
+
+fn gen_serialize(name: &str, shape: &Shape) -> String {
+    let body = match shape {
+        Shape::NamedStruct(fields) => {
+            let mut b = String::from("__out.push('{');\n");
+            for (i, f) in fields.iter().enumerate() {
+                if i > 0 {
+                    b.push_str("__out.push(',');\n");
+                }
+                b.push_str(&format!(
+                    "__out.push_str(\"\\\"{f}\\\":\");\n::serde::Serialize::serialize_json(&self.{f}, __out);\n"
+                ));
+            }
+            b.push_str("__out.push('}');");
+            b
+        }
+        Shape::TupleStruct(1) => {
+            "::serde::Serialize::serialize_json(&self.0, __out);".to_string()
+        }
+        Shape::TupleStruct(n) => {
+            let mut b = String::from("__out.push('[');\n");
+            for i in 0..*n {
+                if i > 0 {
+                    b.push_str("__out.push(',');\n");
+                }
+                b.push_str(&format!(
+                    "::serde::Serialize::serialize_json(&self.{i}, __out);\n"
+                ));
+            }
+            b.push_str("__out.push(']');");
+            b
+        }
+        Shape::UnitStruct => "__out.push_str(\"null\");".to_string(),
+        Shape::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                match &v.fields {
+                    None => arms.push_str(&format!(
+                        "{name}::{v} => __out.push_str(\"\\\"{v}\\\"\"),\n",
+                        v = v.name
+                    )),
+                    Some(fields) => {
+                        let binds = fields.join(", ");
+                        let mut inner = format!(
+                            "__out.push_str(\"{{\\\"{v}\\\":{{\");\n",
+                            v = v.name
+                        );
+                        for (i, f) in fields.iter().enumerate() {
+                            if i > 0 {
+                                inner.push_str("__out.push(',');\n");
+                            }
+                            inner.push_str(&format!(
+                                "__out.push_str(\"\\\"{f}\\\":\");\n::serde::Serialize::serialize_json({f}, __out);\n"
+                            ));
+                        }
+                        inner.push_str("__out.push_str(\"}}\");");
+                        arms.push_str(&format!(
+                            "{name}::{v} {{ {binds} }} => {{ {inner} }}\n",
+                            v = v.name
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\n#[allow(clippy::all, unused_variables)]\nimpl ::serde::Serialize for {name} {{\n    fn serialize_json(&self, __out: &mut ::std::string::String) {{\n        {body}\n    }}\n}}\n"
+    )
+}
+
+fn gen_deserialize(name: &str, shape: &Shape) -> String {
+    let body = match shape {
+        Shape::NamedStruct(fields) => {
+            let mut b = format!("let __obj = ::serde::expect_object(__v, \"{name}\")?;\nOk({name} {{\n");
+            for f in fields {
+                b.push_str(&format!("{f}: ::serde::de_field(__obj, \"{f}\")?,\n"));
+            }
+            b.push_str("})");
+            b
+        }
+        Shape::TupleStruct(1) => {
+            format!("Ok({name}(::serde::Deserialize::deserialize_json(__v)?))")
+        }
+        Shape::TupleStruct(n) => {
+            let mut b = format!(
+                "let __items = ::serde::expect_array(__v, {n}, \"{name}\")?;\nOk({name}(\n"
+            );
+            for i in 0..*n {
+                b.push_str(&format!(
+                    "::serde::Deserialize::deserialize_json(&__items[{i}])?,\n"
+                ));
+            }
+            b.push_str("))");
+            b
+        }
+        Shape::UnitStruct => format!("Ok({name})"),
+        Shape::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for v in variants {
+                match &v.fields {
+                    None => unit_arms.push_str(&format!(
+                        "\"{v}\" => return Ok({name}::{v}),\n",
+                        v = v.name
+                    )),
+                    Some(fields) => {
+                        let mut inner = format!(
+                            "let __obj = ::serde::expect_object(__inner, \"{name}::{v}\")?;\nOk({name}::{v} {{\n",
+                            v = v.name
+                        );
+                        for f in fields {
+                            inner.push_str(&format!("{f}: ::serde::de_field(__obj, \"{f}\")?,\n"));
+                        }
+                        inner.push_str("})");
+                        data_arms.push_str(&format!("\"{v}\" => {{ {inner} }}\n", v = v.name));
+                    }
+                }
+            }
+            format!(
+                "if let ::serde::JsonValue::String(__s) = __v {{\n\
+                     match __s.as_str() {{\n{unit_arms}\
+                         __other => return Err(::serde::DeError(format!(\"unknown variant `{{__other}}` of {name}\"))),\n\
+                     }}\n\
+                 }}\n\
+                 let (__tag, __inner) = ::serde::expect_enum(__v, \"{name}\")?;\n\
+                 let _ = __inner;\n\
+                 match __tag {{\n{data_arms}\
+                     __other => Err(::serde::DeError(format!(\"unknown variant `{{__other}}` of {name}\"))),\n\
+                 }}"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n#[allow(clippy::all, unused_variables)]\nimpl ::serde::Deserialize for {name} {{\n    fn deserialize_json(__v: &::serde::JsonValue) -> ::std::result::Result<Self, ::serde::DeError> {{\n        {body}\n    }}\n}}\n"
+    )
+}

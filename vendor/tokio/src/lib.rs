@@ -1,0 +1,18 @@
+//! Offline stand-in for `tokio`.
+//!
+//! A real multi-threaded async runtime, just a very small one: a global
+//! fixed-size thread pool polls spawned tasks (with proper wakers and a
+//! lost-wakeup-free task state machine), a timer thread drives
+//! [`time::sleep`], and [`sync`] provides the mpsc / oneshot / watch
+//! channels the workspace uses. `#[tokio::test]` / `#[tokio::main]`
+//! come from the `tokio_macros` stub and run the body under
+//! [`runtime::block_on`]; flavor/worker-thread attribute arguments are
+//! accepted and ignored (the pool size is fixed).
+
+pub mod runtime;
+pub mod sync;
+pub mod task;
+pub mod time;
+
+pub use task::{spawn, JoinError, JoinHandle};
+pub use tokio_macros::{main, test};

@@ -1,0 +1,180 @@
+//! The executor: a global fixed-size thread pool plus [`block_on`].
+//!
+//! Tasks move through a small state machine (`IDLE → QUEUED → RUNNING →
+//! {IDLE, QUEUED via NOTIFIED, DONE}`) so a wake that lands while the
+//! task is being polled re-queues it instead of getting lost — the same
+//! discipline real executors use, minus work stealing.
+
+use std::collections::VecDeque;
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::task::{Context, Poll, Wake, Waker};
+use std::thread::{self, Thread};
+
+pub(crate) type BoxFuture = Pin<Box<dyn Future<Output = ()> + Send + 'static>>;
+
+const IDLE: u8 = 0;
+const QUEUED: u8 = 1;
+const RUNNING: u8 = 2;
+const NOTIFIED: u8 = 3;
+const DONE: u8 = 4;
+
+/// Worker threads in the global pool.
+const WORKERS: usize = 4;
+
+pub(crate) struct TaskCell {
+    state: AtomicU8,
+    future: Mutex<Option<BoxFuture>>,
+}
+
+impl Wake for TaskCell {
+    fn wake(self: Arc<Self>) {
+        schedule(self);
+    }
+}
+
+struct Pool {
+    queue: Mutex<VecDeque<Arc<TaskCell>>>,
+    available: Condvar,
+}
+
+fn pool() -> &'static Pool {
+    static POOL: OnceLock<&'static Pool> = OnceLock::new();
+    POOL.get_or_init(|| {
+        let pool: &'static Pool = Box::leak(Box::new(Pool {
+            queue: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+        }));
+        for _ in 0..WORKERS {
+            thread::Builder::new()
+                .name("tokio-stub-worker".into())
+                .spawn(move || worker_loop(pool))
+                .expect("spawn worker");
+        }
+        pool
+    })
+}
+
+fn schedule(task: Arc<TaskCell>) {
+    loop {
+        match task.state.load(Ordering::Acquire) {
+            IDLE => {
+                if task
+                    .state
+                    .compare_exchange(IDLE, QUEUED, Ordering::AcqRel, Ordering::Acquire)
+                    .is_ok()
+                {
+                    let p = pool();
+                    p.queue.lock().expect("queue lock").push_back(task);
+                    p.available.notify_one();
+                    return;
+                }
+            }
+            RUNNING => {
+                if task
+                    .state
+                    .compare_exchange(RUNNING, NOTIFIED, Ordering::AcqRel, Ordering::Acquire)
+                    .is_ok()
+                {
+                    return;
+                }
+            }
+            // Already queued / notified / finished: the wake is covered.
+            _ => return,
+        }
+    }
+}
+
+fn worker_loop(pool: &'static Pool) {
+    loop {
+        let task = {
+            let mut q = pool.queue.lock().expect("queue lock");
+            loop {
+                if let Some(t) = q.pop_front() {
+                    break t;
+                }
+                q = pool.available.wait(q).expect("queue wait");
+            }
+        };
+        task.state.store(RUNNING, Ordering::Release);
+        let Some(mut fut) = task.future.lock().expect("future slot").take() else {
+            task.state.store(DONE, Ordering::Release);
+            continue;
+        };
+        let waker = Waker::from(Arc::clone(&task));
+        let mut cx = Context::from_waker(&waker);
+        // Panics are caught by the CatchUnwind wrapper inside every
+        // spawned future (see task::spawn), so a poll here only panics
+        // on a broken Waker impl — let that abort the worker loudly.
+        match fut.as_mut().poll(&mut cx) {
+            Poll::Ready(()) => task.state.store(DONE, Ordering::Release),
+            Poll::Pending => {
+                *task.future.lock().expect("future slot") = Some(fut);
+                if task
+                    .state
+                    .compare_exchange(RUNNING, IDLE, Ordering::AcqRel, Ordering::Acquire)
+                    .is_err()
+                {
+                    // A wake arrived mid-poll (state = NOTIFIED): requeue.
+                    task.state.store(QUEUED, Ordering::Release);
+                    let p = pool;
+                    p.queue.lock().expect("queue lock").push_back(task);
+                    p.available.notify_one();
+                }
+            }
+        }
+    }
+}
+
+/// Hand a type-erased task to the pool.
+pub(crate) fn spawn_boxed(fut: BoxFuture) {
+    let task = Arc::new(TaskCell {
+        state: AtomicU8::new(QUEUED),
+        future: Mutex::new(Some(fut)),
+    });
+    let p = pool();
+    p.queue.lock().expect("queue lock").push_back(task);
+    p.available.notify_one();
+}
+
+struct ThreadWaker {
+    thread: Thread,
+    notified: AtomicBool,
+}
+
+impl Wake for ThreadWaker {
+    fn wake(self: Arc<Self>) {
+        self.notified.store(true, Ordering::Release);
+        self.thread.unpark();
+    }
+
+    fn wake_by_ref(self: &Arc<Self>) {
+        self.notified.store(true, Ordering::Release);
+        self.thread.unpark();
+    }
+}
+
+/// Drive a future to completion on the current thread; spawned tasks
+/// run on the pool meanwhile.
+pub fn block_on<F: Future>(future: F) -> F::Output {
+    let _ = pool(); // make sure workers exist before tasks queue up
+    let waker_state = Arc::new(ThreadWaker {
+        thread: thread::current(),
+        notified: AtomicBool::new(false),
+    });
+    let waker = Waker::from(Arc::clone(&waker_state));
+    let mut cx = Context::from_waker(&waker);
+    let mut fut = Box::pin(future);
+    loop {
+        match fut.as_mut().poll(&mut cx) {
+            Poll::Ready(v) => return v,
+            Poll::Pending => {
+                while !waker_state.notified.swap(false, Ordering::AcqRel) {
+                    thread::park();
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,448 @@
+//! Channels: bounded `mpsc`, `oneshot`, and `watch`.
+
+/// Bounded multi-producer single-consumer channel.
+pub mod mpsc {
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::future::Future;
+    use std::pin::Pin;
+    use std::sync::{Arc, Mutex};
+    use std::task::{Context, Poll, Waker};
+
+    /// The receiver was dropped; the unsent value is returned.
+    pub struct SendError<T>(pub T);
+
+    impl<T> fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "SendError(..)")
+        }
+    }
+
+    impl<T> fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "channel closed")
+        }
+    }
+
+    struct Inner<T> {
+        queue: VecDeque<T>,
+        cap: usize,
+        tx_count: usize,
+        rx_alive: bool,
+        rx_waker: Option<Waker>,
+        tx_wakers: Vec<Waker>,
+    }
+
+    pub struct Sender<T> {
+        inner: Arc<Mutex<Inner<T>>>,
+    }
+
+    pub struct Receiver<T> {
+        inner: Arc<Mutex<Inner<T>>>,
+    }
+
+    /// Create a bounded channel with room for `cap` queued messages.
+    pub fn channel<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        assert!(cap > 0, "mpsc bound must be positive");
+        let inner = Arc::new(Mutex::new(Inner {
+            queue: VecDeque::new(),
+            cap,
+            tx_count: 1,
+            rx_alive: true,
+            rx_waker: None,
+            tx_wakers: Vec::new(),
+        }));
+        (
+            Sender {
+                inner: Arc::clone(&inner),
+            },
+            Receiver { inner },
+        )
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.inner.lock().expect("mpsc").tx_count += 1;
+            Sender {
+                inner: Arc::clone(&self.inner),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let waker = {
+                let mut inner = self.inner.lock().expect("mpsc");
+                inner.tx_count -= 1;
+                if inner.tx_count == 0 {
+                    inner.rx_waker.take()
+                } else {
+                    None
+                }
+            };
+            if let Some(w) = waker {
+                w.wake();
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            let wakers = {
+                let mut inner = self.inner.lock().expect("mpsc");
+                inner.rx_alive = false;
+                std::mem::take(&mut inner.tx_wakers)
+            };
+            for w in wakers {
+                w.wake();
+            }
+        }
+    }
+
+    pub struct Send<'a, T> {
+        inner: &'a Mutex<Inner<T>>,
+        item: Option<T>,
+    }
+
+    impl<T> Unpin for Send<'_, T> {}
+
+    impl<T> Future for Send<'_, T> {
+        type Output = Result<(), SendError<T>>;
+
+        fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+            let mut inner = self.inner.lock().expect("mpsc");
+            if !inner.rx_alive {
+                let item = self.item.take().expect("polled after completion");
+                return Poll::Ready(Err(SendError(item)));
+            }
+            if inner.queue.len() < inner.cap {
+                let item = self.item.take().expect("polled after completion");
+                inner.queue.push_back(item);
+                let waker = inner.rx_waker.take();
+                drop(inner);
+                if let Some(w) = waker {
+                    w.wake();
+                }
+                return Poll::Ready(Ok(()));
+            }
+            inner.tx_wakers.push(cx.waker().clone());
+            Poll::Pending
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Queue a message, waiting while the channel is full.
+        pub fn send(&self, item: T) -> Send<'_, T> {
+            Send {
+                inner: &self.inner,
+                item: Some(item),
+            }
+        }
+    }
+
+    pub struct Recv<'a, T> {
+        inner: &'a Mutex<Inner<T>>,
+    }
+
+    impl<T> Unpin for Recv<'_, T> {}
+
+    impl<T> Future for Recv<'_, T> {
+        type Output = Option<T>;
+
+        fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+            let mut inner = self.inner.lock().expect("mpsc");
+            if let Some(item) = inner.queue.pop_front() {
+                // A queue slot freed up: let one blocked sender in.
+                let waker = inner.tx_wakers.pop();
+                drop(inner);
+                if let Some(w) = waker {
+                    w.wake();
+                }
+                return Poll::Ready(Some(item));
+            }
+            if inner.tx_count == 0 {
+                return Poll::Ready(None);
+            }
+            inner.rx_waker = Some(cx.waker().clone());
+            Poll::Pending
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Receive the next message; `None` once all senders are gone.
+        pub fn recv(&mut self) -> Recv<'_, T> {
+            Recv { inner: &self.inner }
+        }
+    }
+}
+
+/// Single-value, single-use channel.
+pub mod oneshot {
+    use std::fmt;
+    use std::future::Future;
+    use std::pin::Pin;
+    use std::sync::{Arc, Mutex};
+    use std::task::{Context, Poll, Waker};
+
+    /// The sender was dropped without sending.
+    pub struct RecvError(());
+
+    impl fmt::Debug for RecvError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "RecvError(..)")
+        }
+    }
+
+    impl fmt::Display for RecvError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "channel closed")
+        }
+    }
+
+    impl std::error::Error for RecvError {}
+
+    struct Inner<T> {
+        value: Option<T>,
+        tx_alive: bool,
+        rx_alive: bool,
+        waker: Option<Waker>,
+    }
+
+    pub struct Sender<T> {
+        inner: Arc<Mutex<Inner<T>>>,
+    }
+
+    pub struct Receiver<T> {
+        inner: Arc<Mutex<Inner<T>>>,
+    }
+
+    pub fn channel<T>() -> (Sender<T>, Receiver<T>) {
+        let inner = Arc::new(Mutex::new(Inner {
+            value: None,
+            tx_alive: true,
+            rx_alive: true,
+            waker: None,
+        }));
+        (
+            Sender {
+                inner: Arc::clone(&inner),
+            },
+            Receiver { inner },
+        )
+    }
+
+    impl<T> Sender<T> {
+        /// Deliver the value; returns it back if the receiver is gone.
+        pub fn send(self, value: T) -> Result<(), T> {
+            let waker = {
+                let mut inner = self.inner.lock().expect("oneshot");
+                if !inner.rx_alive {
+                    return Err(value);
+                }
+                inner.value = Some(value);
+                inner.waker.take()
+            };
+            if let Some(w) = waker {
+                w.wake();
+            }
+            Ok(())
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let waker = {
+                let mut inner = self.inner.lock().expect("oneshot");
+                inner.tx_alive = false;
+                inner.waker.take()
+            };
+            if let Some(w) = waker {
+                w.wake();
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            self.inner.lock().expect("oneshot").rx_alive = false;
+        }
+    }
+
+    impl<T> Future for Receiver<T> {
+        type Output = Result<T, RecvError>;
+
+        fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+            let mut inner = self.inner.lock().expect("oneshot");
+            if let Some(value) = inner.value.take() {
+                return Poll::Ready(Ok(value));
+            }
+            if !inner.tx_alive {
+                return Poll::Ready(Err(RecvError(())));
+            }
+            inner.waker = Some(cx.waker().clone());
+            Poll::Pending
+        }
+    }
+}
+
+/// Single-value broadcast with change notification.
+pub mod watch {
+    use std::fmt;
+    use std::future::Future;
+    use std::ops::Deref;
+    use std::pin::Pin;
+    use std::sync::{Arc, Mutex, MutexGuard};
+    use std::task::{Context, Poll, Waker};
+
+    /// All receivers were dropped; the unsent value is returned.
+    pub struct SendError<T>(pub T);
+
+    impl<T> fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "SendError(..)")
+        }
+    }
+
+    /// The sender was dropped.
+    pub struct RecvError(());
+
+    impl fmt::Debug for RecvError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "RecvError(..)")
+        }
+    }
+
+    struct Inner<T> {
+        value: T,
+        version: u64,
+        tx_alive: bool,
+        rx_count: usize,
+        wakers: Vec<Waker>,
+    }
+
+    pub struct Sender<T> {
+        inner: Arc<Mutex<Inner<T>>>,
+    }
+
+    pub struct Receiver<T> {
+        inner: Arc<Mutex<Inner<T>>>,
+        seen: u64,
+    }
+
+    /// Create a channel seeded with `initial` (already marked seen).
+    pub fn channel<T>(initial: T) -> (Sender<T>, Receiver<T>) {
+        let inner = Arc::new(Mutex::new(Inner {
+            value: initial,
+            version: 0,
+            tx_alive: true,
+            rx_count: 1,
+            wakers: Vec::new(),
+        }));
+        (
+            Sender {
+                inner: Arc::clone(&inner),
+            },
+            Receiver { inner, seen: 0 },
+        )
+    }
+
+    impl<T> Sender<T> {
+        /// Publish a new value, waking every waiting receiver.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let wakers = {
+                let mut inner = self.inner.lock().expect("watch");
+                if inner.rx_count == 0 {
+                    return Err(SendError(value));
+                }
+                inner.value = value;
+                inner.version += 1;
+                std::mem::take(&mut inner.wakers)
+            };
+            for w in wakers {
+                w.wake();
+            }
+            Ok(())
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let wakers = {
+                let mut inner = self.inner.lock().expect("watch");
+                inner.tx_alive = false;
+                std::mem::take(&mut inner.wakers)
+            };
+            for w in wakers {
+                w.wake();
+            }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            // Like tokio: a fresh receiver has already seen the current value.
+            let mut inner = self.inner.lock().expect("watch");
+            inner.rx_count += 1;
+            let seen = inner.version;
+            drop(inner);
+            Receiver {
+                inner: Arc::clone(&self.inner),
+                seen,
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            self.inner.lock().expect("watch").rx_count -= 1;
+        }
+    }
+
+    /// Borrow of the current value (holds the channel lock).
+    pub struct Ref<'a, T>(MutexGuard<'a, Inner<T>>);
+
+    impl<T> Deref for Ref<'_, T> {
+        type Target = T;
+
+        fn deref(&self) -> &T {
+            &self.0.value
+        }
+    }
+
+    pub struct Changed<'a, T> {
+        rx: &'a mut Receiver<T>,
+    }
+
+    impl<T> Unpin for Changed<'_, T> {}
+
+    impl<T> Future for Changed<'_, T> {
+        type Output = Result<(), RecvError>;
+
+        fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+            let mut inner = self.rx.inner.lock().expect("watch");
+            if inner.version > self.rx.seen {
+                let version = inner.version;
+                drop(inner);
+                self.rx.seen = version;
+                return Poll::Ready(Ok(()));
+            }
+            if !inner.tx_alive {
+                return Poll::Ready(Err(RecvError(())));
+            }
+            inner.wakers.push(cx.waker().clone());
+            Poll::Pending
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Latest value; does not affect change tracking.
+        pub fn borrow(&self) -> Ref<'_, T> {
+            Ref(self.inner.lock().expect("watch"))
+        }
+
+        /// Wait for a value newer than the last one seen by this receiver.
+        pub fn changed(&mut self) -> Changed<'_, T> {
+            Changed { rx: self }
+        }
+    }
+}

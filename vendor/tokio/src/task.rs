@@ -1,0 +1,100 @@
+//! `spawn` and `JoinHandle`.
+
+use crate::runtime;
+use std::fmt;
+use std::future::Future;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::pin::Pin;
+use std::sync::{Arc, Mutex};
+use std::task::{Context, Poll, Waker};
+
+/// The spawned task panicked.
+pub struct JoinError(());
+
+impl fmt::Debug for JoinError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "JoinError(task panicked)")
+    }
+}
+
+impl fmt::Display for JoinError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "task panicked")
+    }
+}
+
+impl std::error::Error for JoinError {}
+
+/// (finished result, waker to notify) — both set at most once.
+type JoinSlot<T> = (Option<Result<T, JoinError>>, Option<Waker>);
+
+struct JoinState<T> {
+    inner: Mutex<JoinSlot<T>>,
+}
+
+impl<T> JoinState<T> {
+    fn complete(&self, result: Result<T, JoinError>) {
+        let waker = {
+            let mut inner = self.inner.lock().expect("join state");
+            inner.0 = Some(result);
+            inner.1.take()
+        };
+        if let Some(w) = waker {
+            w.wake();
+        }
+    }
+}
+
+/// Await the result of a spawned task.
+pub struct JoinHandle<T> {
+    state: Arc<JoinState<T>>,
+}
+
+impl<T> Future for JoinHandle<T> {
+    type Output = Result<T, JoinError>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let mut inner = self.state.inner.lock().expect("join state");
+        if let Some(result) = inner.0.take() {
+            Poll::Ready(result)
+        } else {
+            inner.1 = Some(cx.waker().clone());
+            Poll::Pending
+        }
+    }
+}
+
+/// Polls the inner future inside `catch_unwind` so a panicking task
+/// resolves its `JoinHandle` with an error instead of killing a worker.
+struct CatchUnwind<F>(F);
+
+impl<F: Future> Future for CatchUnwind<F> {
+    type Output = Result<F::Output, ()>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        // Pin projection: `inner` is structurally pinned and never moved.
+        let inner = unsafe { self.map_unchecked_mut(|s| &mut s.0) };
+        match catch_unwind(AssertUnwindSafe(|| inner.poll(cx))) {
+            Ok(Poll::Ready(v)) => Poll::Ready(Ok(v)),
+            Ok(Poll::Pending) => Poll::Pending,
+            Err(_) => Poll::Ready(Err(())),
+        }
+    }
+}
+
+/// Spawn a future onto the pool, returning a handle to its output.
+pub fn spawn<F>(future: F) -> JoinHandle<F::Output>
+where
+    F: Future + Send + 'static,
+    F::Output: Send + 'static,
+{
+    let state = Arc::new(JoinState {
+        inner: Mutex::new((None, None)),
+    });
+    let completion = Arc::clone(&state);
+    runtime::spawn_boxed(Box::pin(async move {
+        let result = CatchUnwind(future).await;
+        completion.complete(result.map_err(|()| JoinError(())));
+    }));
+    JoinHandle { state }
+}

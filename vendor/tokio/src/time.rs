@@ -1,0 +1,104 @@
+//! Timers: a dedicated thread parks until the earliest registered
+//! deadline and fires wakers as deadlines pass.
+
+use std::cmp::Ordering as CmpOrdering;
+use std::collections::BinaryHeap;
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::{Condvar, Mutex, OnceLock};
+use std::task::{Context, Poll, Waker};
+use std::thread;
+use std::time::{Duration, Instant};
+
+struct TimerEntry {
+    deadline: Instant,
+    waker: Waker,
+}
+
+impl PartialEq for TimerEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.deadline == other.deadline
+    }
+}
+
+impl Eq for TimerEntry {}
+
+impl PartialOrd for TimerEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<CmpOrdering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for TimerEntry {
+    fn cmp(&self, other: &Self) -> CmpOrdering {
+        // BinaryHeap is a max-heap; invert so the earliest deadline wins.
+        other.deadline.cmp(&self.deadline)
+    }
+}
+
+struct Timer {
+    heap: Mutex<BinaryHeap<TimerEntry>>,
+    changed: Condvar,
+}
+
+fn timer() -> &'static Timer {
+    static TIMER: OnceLock<&'static Timer> = OnceLock::new();
+    TIMER.get_or_init(|| {
+        let t: &'static Timer = Box::leak(Box::new(Timer {
+            heap: Mutex::new(BinaryHeap::new()),
+            changed: Condvar::new(),
+        }));
+        thread::Builder::new()
+            .name("tokio-stub-timer".into())
+            .spawn(move || timer_loop(t))
+            .expect("spawn timer");
+        t
+    })
+}
+
+fn timer_loop(t: &'static Timer) {
+    let mut heap = t.heap.lock().expect("timer heap");
+    loop {
+        let now = Instant::now();
+        while heap.peek().is_some_and(|e| e.deadline <= now) {
+            let entry = heap.pop().expect("peeked entry");
+            entry.waker.wake();
+        }
+        heap = match heap.peek().map(|e| e.deadline) {
+            Some(next) => {
+                let wait = next.saturating_duration_since(now);
+                t.changed.wait_timeout(heap, wait).expect("timer wait").0
+            }
+            None => t.changed.wait(heap).expect("timer wait"),
+        };
+    }
+}
+
+/// Future returned by [`sleep`].
+pub struct Sleep {
+    deadline: Instant,
+}
+
+impl Future for Sleep {
+    type Output = ();
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        if Instant::now() >= self.deadline {
+            return Poll::Ready(());
+        }
+        let t = timer();
+        t.heap.lock().expect("timer heap").push(TimerEntry {
+            deadline: self.deadline,
+            waker: cx.waker().clone(),
+        });
+        t.changed.notify_one();
+        Poll::Pending
+    }
+}
+
+/// Resolve after `duration` has elapsed.
+pub fn sleep(duration: Duration) -> Sleep {
+    Sleep {
+        deadline: Instant::now() + duration,
+    }
+}

@@ -1,0 +1,71 @@
+//! `#[tokio::main]` and `#[tokio::test]` for the offline tokio stub.
+//!
+//! Both rewrite `async fn f() { body }` into a synchronous function whose
+//! body is `::tokio::runtime::block_on(async move { body })`. Attribute
+//! arguments (`flavor = "multi_thread"`, `worker_threads = N`, ...) are
+//! accepted and ignored — the stub runtime's pool size is fixed.
+
+use proc_macro::{Delimiter, Group, TokenStream, TokenTree};
+
+#[proc_macro_attribute]
+pub fn main(_args: TokenStream, item: TokenStream) -> TokenStream {
+    rewrite(item, false)
+}
+
+#[proc_macro_attribute]
+pub fn test(_args: TokenStream, item: TokenStream) -> TokenStream {
+    rewrite(item, true)
+}
+
+fn rewrite(item: TokenStream, is_test: bool) -> TokenStream {
+    let tokens: Vec<TokenTree> = item.into_iter().collect();
+
+    // The function body is the last top-level brace group.
+    let body_at = tokens.iter().rposition(
+        |t| matches!(t, TokenTree::Group(g) if g.delimiter() == Delimiter::Brace),
+    );
+    let Some(body_at) = body_at else {
+        return error("expected a function with a body");
+    };
+    let TokenTree::Group(body) = &tokens[body_at] else {
+        unreachable!("rposition matched a group");
+    };
+
+    if !tokens
+        .iter()
+        .any(|t| matches!(t, TokenTree::Ident(i) if i.to_string() == "async"))
+    {
+        return error("expected an async function");
+    }
+
+    // block_on(async move { <original body> })
+    let mut paren_inner: TokenStream = "async move".parse().expect("tokens");
+    paren_inner.extend([TokenTree::Group(Group::new(
+        Delimiter::Brace,
+        body.stream(),
+    ))]);
+    let mut brace_inner: TokenStream =
+        "::tokio::runtime::block_on".parse().expect("tokens");
+    brace_inner.extend([TokenTree::Group(Group::new(Delimiter::Parenthesis, paren_inner))]);
+
+    let mut out = TokenStream::new();
+    if is_test {
+        out.extend("#[test]".parse::<TokenStream>().expect("tokens"));
+    }
+    for (i, tok) in tokens.iter().enumerate() {
+        if i == body_at {
+            out.extend([TokenTree::Group(Group::new(Delimiter::Brace, brace_inner))]);
+            break;
+        }
+        // Drop the `async` qualifier; keep everything else verbatim.
+        if matches!(tok, TokenTree::Ident(id) if id.to_string() == "async") {
+            continue;
+        }
+        out.extend([tok.clone()]);
+    }
+    out
+}
+
+fn error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().expect("tokens")
+}
