@@ -39,6 +39,10 @@ pub struct ApprovalConfig {
     /// Route each distinct failure set once during the risk sweep
     /// (output-invariant; see `entitlement_risk::sweep`).
     pub dedup: bool,
+    /// Run the static analyzer over the batch before any risk
+    /// simulation; hoses with error-severity diagnostics are rejected
+    /// outright (zero approval) instead of reaching the sweep.
+    pub preflight: bool,
 }
 
 impl Default for ApprovalConfig {
@@ -51,8 +55,35 @@ impl Default for ApprovalConfig {
             seed: 0xA11,
             workers: 1,
             dedup: true,
+            preflight: true,
         }
     }
+}
+
+/// Which hoses of a batch the analyzer rejects: an error located at
+/// `hoses[i]…` rejects hose `i`; an error anywhere else (e.g. a broken
+/// topology) rejects the whole batch.
+fn preflight_rejections(
+    topo: &Topology,
+    hoses: &[HoseRequest],
+) -> Vec<bool> {
+    let report = entitlement_analyzer::preflight_hoses(Some(topo), hoses);
+    let mut rejected = vec![false; hoses.len()];
+    for d in &report.diagnostics {
+        if d.severity != entitlement_analyzer::Severity::Error {
+            continue;
+        }
+        let path = &d.location.path;
+        match path
+            .strip_prefix("hoses[")
+            .and_then(|rest| rest.split(']').next())
+            .and_then(|idx| idx.parse::<usize>().ok())
+        {
+            Some(i) if i < rejected.len() => rejected[i] = true,
+            _ => rejected.iter_mut().for_each(|r| *r = true),
+        }
+    }
+    rejected
 }
 
 /// `Pipe_Approval` for one class batch against the current background.
@@ -156,10 +187,23 @@ pub fn approve_requests(
     let hoses: Vec<&HoseRequest> = requests.iter().map(|r| &r.hose).collect();
     let scenarios = ScenarioSet::enumerate(topo, config.max_cuts);
 
+    // Pre-flight: reject statically invalid hoses before spending any
+    // simulation on them — they would at best produce garbage curves.
+    let rejected: Vec<bool> = if config.preflight {
+        let owned: Vec<HoseRequest> = requests.iter().map(|r| r.hose.clone()).collect();
+        preflight_rejections(topo, &owned)
+    } else {
+        vec![false; hoses.len()]
+    };
+
     // GEN_DEMAND: representative pipe realizations per hose.
     // realizations[h] = Vec<TM>, each TM = Vec<(dst, rate)>.
     let mut realizations: Vec<Vec<Vec<Demand>>> = Vec::with_capacity(hoses.len());
-    for &hose in &hoses {
+    for (hi, &hose) in hoses.iter().enumerate() {
+        if rejected[hi] {
+            realizations.push(Vec::new());
+            continue;
+        }
         let tms = generate_tms(
             hose,
             &TmGenConfig {
@@ -212,11 +256,26 @@ pub fn approve_requests(
     });
 
     let mut background: Vec<Demand> = Vec::new();
-    let mut results: Vec<Option<HoseApproval>> = vec![None; hoses.len()];
+    let mut results: Vec<(usize, HoseApproval)> = Vec::with_capacity(hoses.len());
 
     for &h in &order {
         let hose = hoses[h];
         let slo = requests[h].slo;
+        if rejected[h] {
+            // Analyzer-rejected: zero grant, no counter-proposal, and
+            // nothing added to the background of lower classes.
+            results.push((
+                h,
+                HoseApproval {
+                    request: hose.clone(),
+                    slo,
+                    approved_total: Rate::ZERO,
+                    per_realization: Vec::new(),
+                    counter_proposal: Rate::ZERO,
+                },
+            ));
+            continue;
+        }
         let mut per_realization: Vec<Rate> = Vec::with_capacity(realizations[h].len());
         let mut best_realization: Option<(Rate, Vec<PipeApproval>)> = None;
         for tm in &realizations[h] {
@@ -234,8 +293,7 @@ pub fn approve_requests(
             per_realization.push(sum);
             if best_realization
                 .as_ref()
-                .map(|(s, _)| sum.as_bps() < s.as_bps())
-                .unwrap_or(true)
+                .is_none_or(|(s, _)| sum.as_bps() < s.as_bps())
             {
                 best_realization = Some((sum, approvals));
             }
@@ -263,15 +321,20 @@ pub fn approve_requests(
                 }
             }
         }
-        results[h] = Some(HoseApproval {
-            request: hose.clone(),
-            slo,
-            approved_total,
-            per_realization,
-            counter_proposal,
-        });
+        results.push((
+            h,
+            HoseApproval {
+                request: hose.clone(),
+                slo,
+                approved_total,
+                per_realization,
+                counter_proposal,
+            },
+        ));
     }
-    results.into_iter().map(|r| r.expect("all hoses visited")).collect()
+    // Back to input order (the sweep visited hoses in bucket order).
+    results.sort_by_key(|&(i, _)| i);
+    results.into_iter().map(|(_, r)| r).collect()
 }
 
 #[cfg(test)]
@@ -427,6 +490,39 @@ mod tests {
             out[0].approved_total.as_bps() < out[1].approved_total.as_bps() * 0.9,
             "the high band should be visibly squeezed"
         );
+    }
+
+    #[test]
+    fn preflight_rejects_statically_invalid_hose() {
+        use entitlement_hose::HoseSegment;
+        let t = topo();
+        let dcs = t.dc_ids();
+        // Overlapping segments (E0202) and caps that don't sum to the
+        // total (E0203): must be rejected before any risk simulation.
+        let broken = HoseRequest {
+            npg: NpgId(1),
+            qos: QosClass::C1,
+            region: dcs[0],
+            direction: Direction::Egress,
+            total: Rate::gbps(100.0),
+            segments: vec![
+                HoseSegment {
+                    regions: [dcs[1], dcs[2]].into_iter().collect(),
+                    cap: Rate::gbps(80.0),
+                },
+                HoseSegment {
+                    regions: [dcs[2]].into_iter().collect(),
+                    cap: Rate::gbps(80.0),
+                },
+            ],
+        };
+        let ok = hose(2, QosClass::C1, dcs[1], Rate::gbps(10.0), &t);
+        let slo = SloTarget::new(0.99).unwrap();
+        let out = hose_approval(&t, &[broken, ok], &[slo, slo], &ApprovalConfig::default());
+        assert_eq!(out[0].approved_total, Rate::ZERO, "broken hose must be gated");
+        assert_eq!(out[0].counter_proposal, Rate::ZERO);
+        assert!(out[0].per_realization.is_empty(), "no sweep for gated hoses");
+        assert!(out[1].fully_approved(), "the valid hose still clears");
     }
 
     #[test]

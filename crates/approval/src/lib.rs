@@ -21,6 +21,8 @@
 //! * **partial** — grant `min(requested, slo_volume)`; the granted value
 //!   doubles as the §8 negotiation counter-proposal.
 
+#![forbid(unsafe_code)]
+
 pub mod engine;
 pub mod negotiate;
 pub mod types;

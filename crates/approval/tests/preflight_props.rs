@@ -1,0 +1,78 @@
+//! Property tests for the analyzer pre-flight gate: any hose the
+//! analyzer passes clean also satisfies the `Hose_Approval`
+//! preconditions (`HoseRequest::validate`), so the gate never lets a
+//! structurally invalid request reach the risk sweep — and never blocks
+//! a valid one.
+
+use entitlement_analyzer::preflight_hoses;
+use entitlement_core::{Direction, NpgId, QosClass, Rate, RegionId};
+use entitlement_hose::{HoseRequest, HoseSegment};
+use proptest::prelude::*;
+
+/// A well-formed two-segment hose from integer-Gbps caps: the caps sum
+/// exactly to the total and every remote sits in exactly one segment.
+fn build_hose(cap1_g: u64, cap2_g: u64, n_remotes: usize, split: usize) -> HoseRequest {
+    let split = split.clamp(1, n_remotes - 1);
+    let remotes: Vec<RegionId> = (1..=n_remotes as u16).map(RegionId).collect();
+    HoseRequest {
+        npg: NpgId(1),
+        qos: QosClass::C2,
+        region: RegionId(0),
+        direction: Direction::Egress,
+        total: Rate::gbps((cap1_g + cap2_g) as f64),
+        segments: vec![
+            HoseSegment {
+                regions: remotes[..split].iter().copied().collect(),
+                cap: Rate::gbps(cap1_g as f64),
+            },
+            HoseSegment {
+                regions: remotes[split..].iter().copied().collect(),
+                cap: Rate::gbps(cap2_g as f64),
+            },
+        ],
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn analyzer_clean_hoses_pass_approval_preconditions(
+        cap1_g in 1u64..400,
+        cap2_g in 1u64..400,
+        n_remotes in 2usize..8,
+        split in 1usize..7,
+    ) {
+        let hose = build_hose(cap1_g, cap2_g, n_remotes, split);
+        let report = preflight_hoses(None, std::slice::from_ref(&hose));
+        prop_assert!(
+            !report.has_errors(),
+            "constructed-valid hose flagged:\n{}",
+            report.render_text()
+        );
+        // The gate's contract: analyzer-clean implies validate() accepts.
+        prop_assert!(hose.validate().is_ok());
+    }
+
+    #[test]
+    fn broken_caps_are_caught_before_validate_would_reject(
+        cap1_g in 1u64..400,
+        extra_g in 1u64..100,
+        n_remotes in 2usize..8,
+        split in 1usize..7,
+    ) {
+        // Perturb the total so the caps no longer sum to it: whenever
+        // validate() would reject, the analyzer must already have an
+        // error — the gate is at least as strict as the precondition.
+        let mut hose = build_hose(cap1_g, cap1_g, n_remotes, split);
+        hose.total = Rate::gbps((2 * cap1_g + extra_g) as f64);
+        let report = preflight_hoses(None, std::slice::from_ref(&hose));
+        if hose.validate().is_err() {
+            prop_assert!(
+                report.has_errors(),
+                "validate() rejects but the analyzer is silent:\n{}",
+                report.render_text()
+            );
+        }
+    }
+}

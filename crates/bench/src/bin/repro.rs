@@ -60,7 +60,7 @@ fn main() {
             .unwrap_or(1),
         dedup: !args.iter().any(|a| a == "--no-dedup"),
     };
-    let id = args.first().map(|s| s.as_str()).unwrap_or("list");
+    let id = args.first().map_or("list", String::as_str);
 
     match id {
         "list" => {

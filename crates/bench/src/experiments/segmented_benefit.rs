@@ -173,8 +173,8 @@ mod tests {
         let flows = synth_flow_series(&mut rng, 6, 24);
         assert_eq!(flows.len(), 6);
         let totals: Vec<f64> = flows.values().map(|v| v.iter().sum()).collect();
-        let max = totals.iter().cloned().fold(0.0, f64::max);
-        let min = totals.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = totals.iter().copied().fold(0.0, f64::max);
+        let min = totals.iter().copied().fold(f64::INFINITY, f64::min);
         assert!(max / min > 2.0, "head/tail spread {}", max / min);
     }
 }

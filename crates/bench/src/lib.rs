@@ -13,6 +13,8 @@
 //! the crossovers sit — are asserted by the experiment tests and
 //! recorded in EXPERIMENTS.md.
 
+#![forbid(unsafe_code)]
+
 pub mod experiments;
 
 pub use experiments::*;

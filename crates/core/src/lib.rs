@@ -13,6 +13,8 @@
 //! (an availability such as `0.9998`) and a list of bandwidth entitlements,
 //! each `<NPG, QoS class, region, entitled rate, enforcement period>`.
 
+#![forbid(unsafe_code)]
+
 pub mod contract;
 pub mod error;
 pub mod ids;

@@ -118,10 +118,10 @@ impl Agent {
         }
         match self.config.strategy {
             MarkingStrategy::FlowBased => {
-                self.table.set_flow_cut(self.config.npg, self.config.qos, cut)
+                self.table.set_flow_cut(self.config.npg, self.config.qos, cut);
             }
             MarkingStrategy::HostBased => {
-                self.table.set_host_cut(self.config.npg, self.config.qos, cut)
+                self.table.set_host_cut(self.config.npg, self.config.qos, cut);
             }
         }
         cr

@@ -97,8 +97,7 @@ impl MarkingTable {
             qos: input.qos,
         });
         let remark = rule
-            .map(|r| input.flow_group < r.flow_cut || input.host_group < r.host_cut)
-            .unwrap_or(false);
+            .is_some_and(|r| input.flow_group < r.flow_cut || input.host_group < r.host_cut);
         if remark {
             self.packets_remarked += 1;
             (MarkAction::Remark, Dscp::NON_CONFORMING)

@@ -69,8 +69,8 @@ impl MarkingSimResult {
     /// Peak-to-trough swing over the final half (oscillation amplitude).
     pub fn steady_swing_tbps(&self) -> f64 {
         let half = &self.conforming_tbps[self.conforming_tbps.len() / 2..];
-        let max = half.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-        let min = half.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = half.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let min = half.iter().copied().fold(f64::INFINITY, f64::min);
         max - min
     }
 
@@ -154,7 +154,7 @@ mod tests {
         let max = stateless
             .conforming_tbps
             .iter()
-            .cloned()
+            .copied()
             .fold(0.0, f64::max);
         assert!(max > 9.0, "upper envelope near the 10T demand: {max}");
     }

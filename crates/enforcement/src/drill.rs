@@ -151,8 +151,7 @@ pub fn run_drill(config: &DrillConfig) -> Recorder {
         let end_min = config
             .stages
             .get(i + 1)
-            .map(|s| s.start_min)
-            .unwrap_or(config.rollback_min);
+            .map_or(config.rollback_min, |s| s.start_min);
         bottleneck.acls.push(AclRule {
             from_secs: stage.start_min * 60.0,
             to_secs: end_min * 60.0,

@@ -198,12 +198,12 @@ pub fn simulate_ingress_enforcement(
             // Coordinator observes the *offered* demand (sources publish
             // their total sending rate toward the destination).
             coordinator.update(demands);
-            for (r, m) in meters.iter_mut() {
+            for (r, m) in &mut meters {
                 m.set_sub_entitlement(coordinator.sub_entitlement(*r));
             }
         }
         let mut total_conform = Rate::ZERO;
-        for (&r, m) in meters.iter_mut() {
+        for (&r, m) in &mut meters {
             let cr = m.cycle(demands[&r], conform[&r]);
             conform.insert(r, demands[&r] * cr);
             total_conform += conform[&r];

@@ -23,6 +23,8 @@
 //! * [`daemon`] — a tokio runtime where agents run as real concurrent
 //!   tasks against the async KV store.
 
+#![forbid(unsafe_code)]
+
 pub mod agent;
 pub mod bpf;
 pub mod controller;

@@ -32,7 +32,7 @@ impl DailyAggregation {
         match self {
             DailyAggregation::Mean => entitlement_core::stats::mean(samples),
             DailyAggregation::P99 => entitlement_core::stats::percentile(samples, 99.0),
-            DailyAggregation::Max => samples.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
+            DailyAggregation::Max => samples.iter().copied().fold(f64::NEG_INFINITY, f64::max),
             DailyAggregation::MaxOf6hAverage => {
                 let window = (6 * samples_per_hour).max(1).min(samples.len());
                 let mut best = f64::NEG_INFINITY;

@@ -80,7 +80,7 @@ pub fn backtest(
             })
             .collect();
         let actual_arr = [actual[0], actual[1], actual[2]];
-        let realized_peak = actual.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let realized_peak = actual.iter().copied().fold(f64::NEG_INFINITY, f64::max);
         origins.push(OriginScore {
             train_months: m,
             smape: ForecastPipeline::score(&fc, &actual_arr),

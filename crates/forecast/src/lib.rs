@@ -20,6 +20,8 @@
 //! Forecast accuracy is scored with sMAPE
 //! ([`entitlement_core::stats::smape`]), reproducing Fig 18–19.
 
+#![forbid(unsafe_code)]
+
 pub mod aggregate;
 pub mod backtest;
 pub mod baselines;

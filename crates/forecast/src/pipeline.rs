@@ -200,7 +200,7 @@ impl ForecastPipeline {
                 // The tree's output on a "nothing changed" row isolates
                 // its organic baseline; dividing by it leaves the pure
                 // inorganic multiplier.
-                let width = regs.first().map(|r| r.len()).unwrap_or(0);
+                let width = regs.first().map_or(0, Vec::len);
                 let neutral = vec![1.0; width * 3];
                 let baseline = tree.predict(&neutral).max(1e-9);
 
@@ -214,7 +214,7 @@ impl ForecastPipeline {
                 }
             }
         }
-        let sli_bps = monthly.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let sli_bps = monthly.iter().copied().fold(f64::NEG_INFINITY, f64::max);
         QuarterForecast { monthly, sli_bps }
     }
 

@@ -144,7 +144,7 @@ impl Tree {
                 let score =
                     left_sum * left_sum / left_cnt + right_sum * right_sum / right_cnt;
                 let gain = score - parent_score;
-                if best.map(|(_, _, g)| gain > g).unwrap_or(gain > 1e-12) {
+                if best.map_or(gain > 1e-12, |(_, _, g)| gain > g) {
                     let threshold = if k + 1 < order.len() {
                         (xs[order[k]][f] + xs[order[k + 1]][f]) / 2.0
                     } else {

@@ -21,6 +21,8 @@
 //! * [`balance`] — §8's ingress/egress balancing preprocessing (dummy
 //!   service attribution).
 
+#![forbid(unsafe_code)]
+
 pub mod balance;
 pub mod coverage;
 pub mod polytope;

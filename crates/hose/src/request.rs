@@ -139,8 +139,7 @@ impl HoseRequest {
         self.segments
             .iter()
             .find(|s| s.regions.contains(&dst))
-            .map(|s| s.cap)
-            .unwrap_or(Rate::ZERO)
+            .map_or(Rate::ZERO, |s| s.cap)
     }
 }
 

@@ -27,7 +27,7 @@ pub type FlowSeries = BTreeMap<RegionId, Vec<f64>>;
 
 /// `R(S, t)` for every `t`: share of total flow going to set `S`.
 fn share_series(flows: &FlowSeries, set: &BTreeSet<RegionId>) -> Vec<f64> {
-    let t_len = flows.values().next().map(|v| v.len()).unwrap_or(0);
+    let t_len = flows.values().next().map_or(0, Vec::len);
     let mut out = Vec::with_capacity(t_len);
     for t in 0..t_len {
         let total: f64 = flows.values().map(|v| v[t]).sum();
@@ -64,7 +64,7 @@ pub fn two_segments(flows: &FlowSeries) -> Result<(BTreeSet<RegionId>, BTreeSet<
     if nodes.len() < 2 {
         return Err(EntitlementError::EmptyDestinationSet);
     }
-    if flows.values().any(|v| v.is_empty()) {
+    if flows.values().any(Vec::is_empty) {
         return Err(EntitlementError::SeriesTooShort { needed: 1, got: 0 });
     }
     // Line 2-4: per-node α⁻, sorted non-increasing.
@@ -75,7 +75,7 @@ pub fn two_segments(flows: &FlowSeries) -> Result<(BTreeSet<RegionId>, BTreeSet<
             (n, alpha_minus(flows, &singleton))
         })
         .collect();
-    ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then_with(|| a.0.cmp(&b.0)));
+    ranked.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
 
     // Line 5-9: grow SEG while α⁻(SEG) ≤ 0.5.
     let mut seg: BTreeSet<RegionId> = BTreeSet::new();
@@ -88,8 +88,9 @@ pub fn two_segments(flows: &FlowSeries) -> Result<(BTreeSet<RegionId>, BTreeSet<
     }
     // Never swallow the whole set: leave at least one node for SEG'.
     if seg.len() == nodes.len() {
-        let last = *ranked.last().map(|(n, _)| n).unwrap();
-        seg.remove(&last);
+        if let Some(&(last, _)) = ranked.last() {
+            seg.remove(&last);
+        }
     }
     let seg_prime: BTreeSet<RegionId> = nodes.iter().copied().filter(|n| !seg.contains(n)).collect();
     Ok((seg, seg_prime))

@@ -239,7 +239,7 @@ mod tests {
             let n = 500;
             for _ in 0..n {
                 let v = dirichlet(rng, 4, alpha);
-                max_means += v.iter().cloned().fold(0.0, f64::max);
+                max_means += v.iter().copied().fold(0.0, f64::max);
             }
             max_means / n as f64
         };

@@ -17,6 +17,8 @@
 //!   of agent tasks sees the service-wide TotalRate/ConformRate without
 //!   a central controller.
 
+#![forbid(unsafe_code)]
+
 pub mod service;
 pub mod store;
 

@@ -31,7 +31,7 @@ pub struct AvailabilityCurve {
 impl AvailabilityCurve {
     /// Build from raw `(admitted, probability)` samples.
     pub fn from_samples(mut samples: Vec<(Rate, f64)>) -> Self {
-        samples.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap());
+        samples.sort_by(|a, b| b.0.as_bps().total_cmp(&a.0.as_bps()));
         AvailabilityCurve { samples }
     }
 

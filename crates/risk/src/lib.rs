@@ -16,6 +16,8 @@
 //! the admitted volume per pipe per scenario, weighted by scenario
 //! probability, is the curve.
 
+#![forbid(unsafe_code)]
+
 pub mod curve;
 pub mod simulate;
 pub mod sweep;

@@ -94,7 +94,7 @@ impl UniqueScenarios {
 /// anything else is taken literally; always within `[1, jobs]`.
 pub fn effective_workers(workers: usize, jobs: usize) -> usize {
     let requested = if workers == 0 {
-        thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        thread::available_parallelism().map_or(1, std::num::NonZero::get)
     } else {
         workers
     };

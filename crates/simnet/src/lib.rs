@@ -33,6 +33,8 @@
 //! `entitlement-enforcement` crate can drive it, exactly like agents
 //! drive kernels in production.
 
+#![forbid(unsafe_code)]
+
 pub mod app;
 pub mod fabric;
 pub mod netfluid;

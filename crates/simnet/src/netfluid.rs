@@ -201,8 +201,7 @@ impl NetWorld {
             let mult = self
                 .multipliers
                 .get(&f.npg)
-                .map(|m| m(t_secs))
-                .unwrap_or(1.0);
+                .map_or(1.0, |m| m(t_secs));
             let offered = f.base_rate * f.pattern.factor_at(t_secs) * mult;
             offered_v[i] = offered;
             let m = self.marking.get(&f.npg).copied().unwrap_or(0.0);
@@ -230,7 +229,7 @@ impl NetWorld {
         let mut link_loss: BTreeMap<LinkId, (f64, f64)> = BTreeMap::new();
         let mut link_utilization: BTreeMap<LinkId, f64> = BTreeMap::new();
         for (&lid, &conf) in &link_conf {
-            let cap = self.topo.link(lid).map(|l| l.capacity.as_bps()).unwrap_or(0.0);
+            let cap = self.topo.link(lid).map_or(0.0, |l| l.capacity.as_bps());
             let nonconf = link_nonconf.get(&lid).copied().unwrap_or(0.0);
             let conf_deliv = conf.min(cap);
             let leftover = (cap - conf_deliv).max(0.0);

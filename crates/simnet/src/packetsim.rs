@@ -356,7 +356,7 @@ mod tests {
             ],
             &PortConfig::default(),
         );
-        for q in out.queues.iter() {
+        for q in &out.queues {
             assert!(q.transmitted <= q.accepted);
             // Anything accepted but not transmitted is still queued at the
             // horizon — bounded by the buffer.

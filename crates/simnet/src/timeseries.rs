@@ -51,7 +51,7 @@ impl Recorder {
 
     /// All series names.
     pub fn names(&self) -> Vec<&str> {
-        self.series.keys().map(|s| s.as_str()).collect()
+        self.series.keys().map(String::as_str).collect()
     }
 
     /// Number of ticks recorded.

@@ -151,9 +151,10 @@ impl BackboneSpec {
                 continue;
             }
             // Skip if a direct link already exists.
-            let exists = topo.outgoing(regions[a]).iter().any(|&lid| {
-                topo.link(lid).map(|l| l.dst == regions[b]).unwrap_or(false)
-            });
+            let exists = topo
+                .outgoing(regions[a])
+                .iter()
+                .any(|&lid| topo.link(lid).is_some_and(|l| l.dst == regions[b]));
             if exists {
                 continue;
             }
@@ -214,8 +215,8 @@ mod tests {
             .iter()
             .map(|&r| topo.egress_capacity(r).as_gbps())
             .collect();
-        let min = caps.iter().cloned().fold(f64::INFINITY, f64::min);
-        let max = caps.iter().cloned().fold(0.0, f64::max);
+        let min = caps.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = caps.iter().copied().fold(0.0, f64::max);
         assert!(
             max / min > 2.0,
             "expect >2x spread between regions, got {min}..{max}"

@@ -182,8 +182,7 @@ impl Topology {
     pub fn outgoing(&self, id: RegionId) -> &[LinkId] {
         self.adjacency
             .get(id.index())
-            .map(|v| v.as_slice())
-            .unwrap_or(&[])
+            .map_or(&[], Vec::as_slice)
     }
 
     /// Total egress capacity attached to a region.

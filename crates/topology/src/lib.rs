@@ -21,6 +21,8 @@
 //! reproduces exactly that heterogeneity so downstream risk results keep
 //! the paper's shape.
 
+#![forbid(unsafe_code)]
+
 pub mod failure;
 pub mod generator;
 pub mod graph;

@@ -34,7 +34,7 @@ impl Path {
         self.links
             .iter()
             .map(|l| topo.link(*l).unwrap().capacity)
-            .fold(entitlement_core::Rate(f64::INFINITY), |a, b| a.min(b))
+            .fold(entitlement_core::Rate(f64::INFINITY), entitlement_core::Rate::min)
     }
 
     /// One-way propagation delay in milliseconds.

@@ -54,7 +54,7 @@ impl RoutingOutcome {
 
     /// Utilization of a link given the original topology.
     pub fn utilization(&self, topo: &Topology, link: LinkId) -> f64 {
-        let cap = topo.link(link).map(|l| l.capacity).unwrap_or(Rate::ZERO);
+        let cap = topo.link(link).map_or(Rate::ZERO, |l| l.capacity);
         if cap.is_zero() {
             return 0.0;
         }
@@ -128,9 +128,8 @@ fn route_on_residual(
             admitted[i] = d.amount;
             continue;
         }
-        let paths = match k_shortest_paths(topo, d.src, d.dst, k_paths, dead) {
-            Ok(p) => p,
-            Err(_) => continue, // disconnected: nothing admitted
+        let Ok(paths) = k_shortest_paths(topo, d.src, d.dst, k_paths, dead) else {
+            continue; // disconnected: nothing admitted
         };
         let mut remaining = d.amount;
         for path in paths {
@@ -142,7 +141,7 @@ fn route_on_residual(
                 .links
                 .iter()
                 .map(|l| residual.get(l).copied().unwrap_or(Rate::ZERO))
-                .fold(Rate(f64::INFINITY), |a, b| a.min(b));
+                .fold(Rate(f64::INFINITY), Rate::min);
             let place = avail.min(remaining);
             if place.is_zero() {
                 continue;

@@ -23,6 +23,8 @@
 //!   moves, architecture changes tied to regressors) components — the
 //!   ground truth that the forecast crate is evaluated against.
 
+#![forbid(unsafe_code)]
+
 pub mod history;
 pub mod incident;
 pub mod matrix;

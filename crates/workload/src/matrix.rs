@@ -64,7 +64,7 @@ impl TrafficMatrix {
         let home_idx = rng.sample_indices(dcs.len(), k);
         let homes: Vec<RegionId> = home_idx.iter().map(|&i| dcs[i]).collect();
 
-        let scale = |r: RegionId| topo.region(r).map(|x| x.capacity_scale).unwrap_or(1.0);
+        let scale = |r: RegionId| topo.region(r).map_or(1.0, |x| x.capacity_scale);
         let conc = service.source_concentration;
 
         // Source weights: homes share `conc`, others share `1-conc`.

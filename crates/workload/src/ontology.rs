@@ -284,7 +284,7 @@ impl ServiceCatalog {
 
     /// Total backbone traffic.
     pub fn total_traffic(&self) -> Rate {
-        self.services.iter().map(|s| s.total_rate()).sum()
+        self.services.iter().map(Service::total_rate).sum()
     }
 }
 

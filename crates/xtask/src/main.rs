@@ -1,0 +1,422 @@
+//! Workspace automation. One subcommand so far:
+//!
+//! ```text
+//! cargo run -p xtask -- lint [--allowlist lint.allow]
+//! ```
+//!
+//! A source-level pass over the workspace's own `.rs` files enforcing
+//! the repository's determinism and robustness conventions:
+//!
+//! * `X0101` — wall-clock or ambient randomness (`Instant::now`,
+//!   `SystemTime`, `thread_rng`, `rand::`) inside the deterministic
+//!   crates (`risk`, `simnet`, `topology`). Their outputs must be a
+//!   pure function of their inputs, or approvals stop being
+//!   reproducible.
+//! * `X0102` / `X0103` — `.unwrap(` / `.expect(` in the library
+//!   (non-`#[cfg(test)]`) code of the hot-path crates (`risk`,
+//!   `approval`, `hose`); these run inside the granting loop and must
+//!   surface failures as `Result`s.
+//! * `X0104` — a library crate whose `lib.rs` does not declare
+//!   `#![forbid(unsafe_code)]`.
+//! * `X0105` — any `unsafe` block or function anywhere in workspace
+//!   sources.
+//!
+//! `#[cfg(test)]` modules, comments, and doc comments are skipped.
+//! Known-good exceptions live in `lint.allow` at the repository root,
+//! one per line: `CODE path-substring -- justification`. Entries that
+//! match nothing are reported (and fail the run) so the allowlist
+//! can't rot.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// Crates whose outputs must be deterministic (X0101).
+const DETERMINISTIC_CRATES: &[&str] = &["crates/risk", "crates/simnet", "crates/topology"];
+
+/// Crates whose library code is on the granting hot path (X0102/X0103).
+const HOT_PATH_CRATES: &[&str] = &["crates/risk", "crates/approval", "crates/hose"];
+
+struct Finding {
+    code: &'static str,
+    path: String,
+    line: usize,
+    message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}:{}: {}", self.code, self.path, self.line, self.message)
+    }
+}
+
+struct AllowEntry {
+    code: String,
+    path_substring: String,
+    reason: String,
+    used: bool,
+}
+
+fn parse_allowlist(text: &str) -> Result<Vec<AllowEntry>, String> {
+    let mut entries = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (head, reason) = line
+            .split_once("--")
+            .ok_or_else(|| format!("lint.allow:{}: missing `-- reason`", i + 1))?;
+        let mut parts = head.split_whitespace();
+        let (Some(code), Some(path_substring), None) = (parts.next(), parts.next(), parts.next())
+        else {
+            return Err(format!(
+                "lint.allow:{}: expected `CODE path-substring -- reason`",
+                i + 1
+            ));
+        };
+        let reason = reason.trim();
+        if reason.is_empty() {
+            return Err(format!("lint.allow:{}: empty justification", i + 1));
+        }
+        entries.push(AllowEntry {
+            code: code.to_string(),
+            path_substring: path_substring.to_string(),
+            reason: reason.to_string(),
+            used: false,
+        });
+    }
+    Ok(entries)
+}
+
+/// Every workspace-owned `.rs` file: the root package's `src/`, each
+/// `crates/*/src/`, plus integration tests and examples for the unsafe
+/// scan. `vendor/` and `target/` are never visited.
+fn workspace_sources(root: &Path) -> Vec<PathBuf> {
+    let mut files = Vec::new();
+    let mut roots = vec![root.join("src"), root.join("tests"), root.join("examples")];
+    if let Ok(dir) = std::fs::read_dir(root.join("crates")) {
+        for entry in dir.flatten() {
+            roots.push(entry.path());
+        }
+    }
+    for r in roots {
+        collect_rs(&r, &mut files);
+    }
+    files.sort();
+    files
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else { return };
+    for entry in entries.flatten() {
+        let p = entry.path();
+        if p.is_dir() {
+            collect_rs(&p, out);
+        } else if p.extension().is_some_and(|e| e == "rs") {
+            out.push(p);
+        }
+    }
+}
+
+/// Strip `//` comments (covers `///` and `//!` too). Good enough for a
+/// line lexer: a `//` inside a string literal will over-strip, which
+/// can only hide findings on lines that embed URLs, never invent them.
+fn strip_comment(line: &str) -> &str {
+    match line.find("//") {
+        Some(i) => &line[..i],
+        None => line,
+    }
+}
+
+/// Blank out the contents of double-quoted string literals so message
+/// text (including this linter's own) never matches a code pattern.
+/// Escaped quotes are honored; multi-line literals are out of scope for
+/// a line lexer and only risk a false positive, never a false negative.
+fn strip_strings(line: &str) -> String {
+    let mut out = String::with_capacity(line.len());
+    let mut in_string = false;
+    let mut escaped = false;
+    for ch in line.chars() {
+        if in_string {
+            if escaped {
+                escaped = false;
+            } else if ch == '\\' {
+                escaped = true;
+            } else if ch == '"' {
+                in_string = false;
+                out.push('"');
+            }
+        } else {
+            if ch == '"' {
+                in_string = true;
+            }
+            out.push(ch);
+        }
+    }
+    out
+}
+
+/// The line ranges (1-indexed, inclusive) covered by `#[cfg(test)]`
+/// items, found by brace-tracking the block that follows the attribute.
+fn test_ranges(lines: &[&str]) -> Vec<(usize, usize)> {
+    let mut ranges = Vec::new();
+    let mut i = 0;
+    while i < lines.len() {
+        if strip_comment(lines[i]).contains("#[cfg(test)]") {
+            let start = i + 1;
+            let mut depth: i64 = 0;
+            let mut opened = false;
+            let mut j = i;
+            while j < lines.len() {
+                for ch in strip_comment(lines[j]).chars() {
+                    match ch {
+                        '{' => {
+                            depth += 1;
+                            opened = true;
+                        }
+                        '}' => depth -= 1,
+                        _ => {}
+                    }
+                }
+                if opened && depth <= 0 {
+                    break;
+                }
+                j += 1;
+            }
+            ranges.push((start, j + 1));
+            i = j + 1;
+        } else {
+            i += 1;
+        }
+    }
+    ranges
+}
+
+fn in_ranges(ranges: &[(usize, usize)], line: usize) -> bool {
+    ranges.iter().any(|&(s, e)| (s..=e).contains(&line))
+}
+
+fn lint(root: &Path, allowlist_path: &Path) -> Result<Vec<Finding>, String> {
+    let allow_text = std::fs::read_to_string(allowlist_path).unwrap_or_default();
+    let mut allow = parse_allowlist(&allow_text)?;
+    let mut findings = Vec::new();
+
+    for file in workspace_sources(root) {
+        let rel = file
+            .strip_prefix(root)
+            .unwrap_or(&file)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let Ok(text) = std::fs::read_to_string(&file) else { continue };
+        let lines: Vec<&str> = text.lines().collect();
+        let tests = test_ranges(&lines);
+        let deterministic = DETERMINISTIC_CRATES.iter().any(|c| rel.starts_with(c));
+        let hot_path = HOT_PATH_CRATES.iter().any(|c| rel.starts_with(c))
+            && rel.contains("/src/");
+
+        if rel.ends_with("src/lib.rs") && !text.contains("#![forbid(unsafe_code)]") {
+            findings.push(Finding {
+                code: "X0104",
+                path: rel.clone(),
+                line: 1,
+                message: "library crate does not declare #![forbid(unsafe_code)]".into(),
+            });
+        }
+
+        for (idx, raw) in lines.iter().enumerate() {
+            let line_no = idx + 1;
+            if in_ranges(&tests, line_no) {
+                continue;
+            }
+            let code_part = strip_strings(strip_comment(raw));
+            if code_part.trim().is_empty() {
+                continue;
+            }
+            if deterministic {
+                for pat in ["Instant::now", "SystemTime", "thread_rng", "rand::"] {
+                    if code_part.contains(pat) {
+                        findings.push(Finding {
+                            code: "X0101",
+                            path: rel.clone(),
+                            line: line_no,
+                            message: format!(
+                                "`{pat}` in a deterministic crate; derive all variation \
+                                 from explicit seeds"
+                            ),
+                        });
+                    }
+                }
+            }
+            if hot_path {
+                if code_part.contains(".unwrap(") {
+                    findings.push(Finding {
+                        code: "X0102",
+                        path: rel.clone(),
+                        line: line_no,
+                        message: "`.unwrap()` in hot-path library code; return a Result".into(),
+                    });
+                }
+                if code_part.contains(".expect(") {
+                    findings.push(Finding {
+                        code: "X0103",
+                        path: rel.clone(),
+                        line: line_no,
+                        message: "`.expect()` in hot-path library code; return a Result".into(),
+                    });
+                }
+            }
+            let has_unsafe = code_part
+                .split(|c: char| !c.is_alphanumeric() && c != '_')
+                .any(|tok| tok == "unsafe");
+            if has_unsafe {
+                findings.push(Finding {
+                    code: "X0105",
+                    path: rel.clone(),
+                    line: line_no,
+                    message: "`unsafe` is not used anywhere in this workspace".into(),
+                });
+            }
+        }
+    }
+
+    // Apply the allowlist; every entry must earn its keep.
+    findings.retain(|f| {
+        for a in &mut allow {
+            if a.code == f.code && f.path.contains(&a.path_substring) {
+                a.used = true;
+                return false;
+            }
+        }
+        true
+    });
+    for a in &allow {
+        if !a.used {
+            findings.push(Finding {
+                code: "XDEAD",
+                path: allowlist_path.to_string_lossy().into_owned(),
+                line: 0,
+                message: format!(
+                    "allowlist entry `{} {}` ({}) matched nothing; remove it",
+                    a.code, a.path_substring, a.reason
+                ),
+            });
+        }
+    }
+    Ok(findings)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) != Some("lint") {
+        eprintln!("usage: cargo run -p xtask -- lint [--allowlist lint.allow]");
+        return ExitCode::from(2);
+    }
+    // CARGO_MANIFEST_DIR is crates/xtask; the workspace root is two up.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root")
+        .to_path_buf();
+    let allowlist = args
+        .iter()
+        .position(|a| a == "--allowlist")
+        .and_then(|i| args.get(i + 1))
+        .map_or_else(|| root.join("lint.allow"), PathBuf::from);
+
+    match lint(&root, &allowlist) {
+        Ok(findings) if findings.is_empty() => {
+            println!("source lint: clean");
+            ExitCode::SUCCESS
+        }
+        Ok(findings) => {
+            for f in &findings {
+                println!("{f}");
+            }
+            println!("{} finding(s)", findings.len());
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allowlist_requires_reasons() {
+        assert!(parse_allowlist("X0103 risk/sweep.rs").is_err());
+        assert!(parse_allowlist("X0103 risk/sweep.rs --   ").is_err());
+        let ok = parse_allowlist("# comment\nX0103 risk/sweep.rs -- worker panics propagate\n");
+        assert_eq!(ok.unwrap().len(), 1);
+    }
+
+    #[test]
+    fn test_ranges_cover_cfg_test_modules() {
+        let src = "fn a() {}\n#[cfg(test)]\nmod tests {\n    fn b() { x.unwrap(); }\n}\nfn c() {}\n";
+        let lines: Vec<&str> = src.lines().collect();
+        let ranges = test_ranges(&lines);
+        assert_eq!(ranges, vec![(2, 5)]);
+        assert!(in_ranges(&ranges, 4));
+        assert!(!in_ranges(&ranges, 6));
+    }
+
+    #[test]
+    fn comments_are_stripped() {
+        assert_eq!(strip_comment("let x = 1; // x.unwrap()"), "let x = 1; ");
+        assert_eq!(strip_comment("/// doc with .unwrap()"), "");
+    }
+
+    #[test]
+    fn string_literals_are_blanked() {
+        assert_eq!(strip_strings(r#"let m = "unsafe .unwrap()";"#), r#"let m = "";"#);
+        assert_eq!(strip_strings(r#"f("a\"b unsafe"); g()"#), r#"f(""); g()"#);
+        assert_eq!(strip_strings("no strings here"), "no strings here");
+    }
+
+    #[test]
+    fn findings_fire_on_bad_sources() {
+        let dir = Path::new(env!("CARGO_MANIFEST_DIR"))
+            .ancestors()
+            .nth(2)
+            .unwrap()
+            .join("target/xtask-lint-selftest");
+        let src = dir.join("crates/risk/src");
+        std::fs::create_dir_all(&src).unwrap();
+        std::fs::write(
+            src.join("lib.rs"),
+            "pub fn t() { let _ = std::time::Instant::now(); Some(1).unwrap(); }\n",
+        )
+        .unwrap();
+        let findings = lint(&dir, &dir.join("lint.allow")).unwrap();
+        let codes: Vec<&str> = findings.iter().map(|f| f.code).collect();
+        assert!(codes.contains(&"X0101"), "{codes:?}");
+        assert!(codes.contains(&"X0102"), "{codes:?}");
+        assert!(codes.contains(&"X0104"), "{codes:?}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn the_workspace_passes_its_own_lint() {
+        let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+            .ancestors()
+            .nth(2)
+            .unwrap();
+        let findings = lint(root, &root.join("lint.allow")).expect("allowlist parses");
+        assert!(
+            findings.is_empty(),
+            "source lint findings:\n{}",
+            findings
+                .iter()
+                .map(ToString::to_string)
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+    }
+}

@@ -60,7 +60,7 @@ fn main() {
     }
 
     // Headline checks, mirroring the paper's observations.
-    let conf_loss_max = series("loss_conf").iter().cloned().fold(0.0, f64::max);
+    let conf_loss_max = series("loss_conf").iter().copied().fold(0.0, f64::max);
     println!("\nmax conforming loss over the whole drill: {:.3}% (paper: ~0%)", conf_loss_max * 100.0);
     let late: Vec<f64> = recorder
         .times

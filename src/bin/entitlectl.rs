@@ -32,6 +32,16 @@
 //! entitlectl topo [--seed N] [--dot out.dot]
 //!     Generate a backbone and print (or write) its Graphviz DOT
 //!     rendering.
+//!
+//! entitlectl lint <bundle.json> [--json] [--list-rules]
+//!     Run the static analyzer over a contract snapshot (bare JSON
+//!     array, e.g. a `plan` output) or a lint bundle object with any
+//!     of: contracts, hoses, pipes, flows, topology, approval_order,
+//!     npgs, curves. Prints diagnostics with stable codes (E01xx
+//!     contracts, E02xx hoses, E03xx ordering, E04xx topology, E05xx
+//!     curves); exits 1 when any error-severity diagnostic fires, 0
+//!     otherwise. --json emits the report as JSON; --list-rules prints
+//!     the rule catalog and exits.
 //! ```
 
 use network_entitlement::core::DetRng;
@@ -70,15 +80,16 @@ fn parse_qos(s: &str) -> Option<QosClass> {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    match args.first().map(|s| s.as_str()) {
+    match args.first().map(String::as_str) {
         Some("plan") => plan(&args),
         Some("show") => show(&args),
         Some("check") => check(&args),
         Some("drill") => drill(&args),
         Some("negotiate") => negotiate_cmd(&args),
         Some("topo") => topo_cmd(&args),
+        Some("lint") => lint_cmd(&args),
         _ => {
-            eprintln!("usage: entitlectl <plan|show|check|drill|negotiate|topo> [options]");
+            eprintln!("usage: entitlectl <plan|show|check|drill|negotiate|topo|lint> [options]");
             eprintln!("see the module docs of src/bin/entitlectl.rs");
             std::process::exit(2);
         }
@@ -494,6 +505,46 @@ fn topo_cmd(args: &[String]) {
             );
         }
         None => print!("{dot}"),
+    }
+}
+
+fn lint_cmd(args: &[String]) {
+    use network_entitlement::analyzer::{Analyzer, LintBundle};
+
+    let analyzer = Analyzer::default();
+    if args.iter().any(|a| a == "--list-rules") {
+        for info in analyzer.rule_infos() {
+            let codes: Vec<&str> = info.codes.iter().map(|c| c.as_str()).collect();
+            println!("{:<24} {:<24} {}", info.name, codes.join(","), info.description);
+        }
+        return;
+    }
+    // The input file is the first non-flag argument after `lint`.
+    let path = args[1..]
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .unwrap_or_else(|| {
+            eprintln!("usage: entitlectl lint <bundle.json> [--json] [--list-rules]");
+            std::process::exit(2);
+        });
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read {path}: {e}");
+        std::process::exit(2);
+    });
+    let bundle = LintBundle::from_json(&text).unwrap_or_else(|e| {
+        eprintln!("cannot parse {path}: {e}");
+        std::process::exit(2);
+    });
+    let report = analyzer.run(&bundle);
+    if args.iter().any(|a| a == "--json") {
+        println!("{}", report.render_json());
+    } else if report.diagnostics.is_empty() {
+        println!("{path}: clean");
+    } else {
+        print!("{}", report.render_text());
+    }
+    if report.has_errors() {
+        std::process::exit(1);
     }
 }
 

@@ -21,7 +21,9 @@
 //! * [`simnet`] — the enforcement-side network simulator;
 //! * [`kvstore`] — the distributed rate-aggregation store;
 //! * [`enforcement`] — metering, marking, BPF-style classification,
-//!   agents, the §6 drill, and the §7.4 convergence simulation.
+//!   agents, the §6 drill, and the §7.4 convergence simulation;
+//! * [`analyzer`] — static diagnostics over contracts, hoses, pipes,
+//!   topologies, and availability curves (`entitlectl lint`).
 //!
 //! ## Quickstart
 //!
@@ -42,6 +44,9 @@
 //! assert!(approvals[0].approved_total.as_bps() > 0.0);
 //! ```
 
+#![forbid(unsafe_code)]
+
+pub use entitlement_analyzer as analyzer;
 pub use entitlement_approval as approval;
 pub use entitlement_core as core;
 pub use entitlement_enforcement as enforcement;

@@ -218,7 +218,7 @@ proptest! {
                 ..Default::default()
             },
         );
-        for q in out.queues.iter() {
+        for q in &out.queues {
             prop_assert!(q.transmitted <= q.accepted);
         }
         let premium = out.for_dscp(Dscp::for_class(QosClass::C1));

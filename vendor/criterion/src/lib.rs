@@ -119,7 +119,7 @@ impl BenchmarkGroup<'_> {
         F: FnOnce(&mut Bencher, &I),
     {
         run_bench(&format!("{}/{}", self.name, id), self.samples, |b| {
-            f(b, input)
+            f(b, input);
         });
         self
     }

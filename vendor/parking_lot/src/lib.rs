@@ -16,12 +16,12 @@ impl<T> Mutex<T> {
 
     /// Lock, ignoring poisoning.
     pub fn lock(&self) -> MutexGuard<'_, T> {
-        self.0.lock().unwrap_or_else(|e| e.into_inner())
+        self.0.lock().unwrap_or_else(sync::PoisonError::into_inner)
     }
 
     /// Consume, returning the inner value.
     pub fn into_inner(self) -> T {
-        self.0.into_inner().unwrap_or_else(|e| e.into_inner())
+        self.0.into_inner().unwrap_or_else(sync::PoisonError::into_inner)
     }
 }
 
@@ -37,17 +37,17 @@ impl<T> RwLock<T> {
 
     /// Shared lock, ignoring poisoning.
     pub fn read(&self) -> RwLockReadGuard<'_, T> {
-        self.0.read().unwrap_or_else(|e| e.into_inner())
+        self.0.read().unwrap_or_else(sync::PoisonError::into_inner)
     }
 
     /// Exclusive lock, ignoring poisoning.
     pub fn write(&self) -> RwLockWriteGuard<'_, T> {
-        self.0.write().unwrap_or_else(|e| e.into_inner())
+        self.0.write().unwrap_or_else(sync::PoisonError::into_inner)
     }
 
     /// Consume, returning the inner value.
     pub fn into_inner(self) -> T {
-        self.0.into_inner().unwrap_or_else(|e| e.into_inner())
+        self.0.into_inner().unwrap_or_else(sync::PoisonError::into_inner)
     }
 }
 
