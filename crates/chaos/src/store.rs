@@ -1,0 +1,374 @@
+//! Fault-injecting wrappers over the KV layers.
+//!
+//! [`ChaosStore`] wraps the synchronous [`ShardedStore`] behind the
+//! [`KvAccess`] trait, so anything written against the trait (the
+//! enforcement agent, the §6 drill) can be run against a degraded
+//! store without code changes. [`ChaosKv`] wraps the async
+//! [`KvClient`] the daemon fleet uses, adding the same faults plus a
+//! retry policy on reads.
+
+use crate::plan::FaultPlan;
+use entitlement_kvstore::{KvAccess, KvClient, KvError, RetryPolicy, ShardedStore};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// What the chaos layer injected, for test assertions and drill
+/// summaries.
+#[derive(Debug, Default)]
+pub struct ChaosMetrics {
+    /// Reads/aggregates failed by an injected outage.
+    pub unavailable_reads: AtomicU64,
+    /// Publishes failed by an injected outage.
+    pub unavailable_writes: AtomicU64,
+    /// Publishes silently dropped in transit.
+    pub dropped_publishes: AtomicU64,
+    /// Reads served from a frozen (stale) snapshot.
+    pub stale_reads: AtomicU64,
+}
+
+impl ChaosMetrics {
+    fn inc(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// (unavailable_reads, unavailable_writes, dropped_publishes,
+    /// stale_reads) — compact snapshot.
+    pub fn snapshot(&self) -> (u64, u64, u64, u64) {
+        (
+            self.unavailable_reads.load(Ordering::Relaxed),
+            self.unavailable_writes.load(Ordering::Relaxed),
+            self.dropped_publishes.load(Ordering::Relaxed),
+            self.stale_reads.load(Ordering::Relaxed),
+        )
+    }
+}
+
+/// A [`ShardedStore`] with a [`FaultPlan`] between it and the caller.
+pub struct ChaosStore {
+    inner: Arc<ShardedStore>,
+    plan: Arc<FaultPlan>,
+    /// Last healthy read per key/prefix, served during StaleReads
+    /// windows (a wedged replica replays its last snapshot).
+    frozen: Mutex<HashMap<String, f64>>,
+    /// Injection counters.
+    pub metrics: ChaosMetrics,
+}
+
+impl ChaosStore {
+    /// Wrap a store with a fault plan.
+    pub fn new(inner: Arc<ShardedStore>, plan: Arc<FaultPlan>) -> Self {
+        ChaosStore {
+            inner,
+            plan,
+            frozen: Mutex::new(HashMap::new()),
+            metrics: ChaosMetrics::default(),
+        }
+    }
+
+    /// The wrapped store.
+    pub fn inner(&self) -> &ShardedStore {
+        &self.inner
+    }
+
+    /// The plan driving the injections.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Serve from the frozen snapshot if a StaleReads window is
+    /// active; otherwise compute fresh and refresh the snapshot.
+    fn read_through_freeze(
+        &self,
+        cache_key: &str,
+        now_ms: u64,
+        fresh: impl FnOnce(u64) -> f64,
+    ) -> f64 {
+        if self.plan.reads_frozen_at(now_ms).is_some() {
+            if let Some(&v) = self.frozen.lock().get(cache_key) {
+                ChaosMetrics::inc(&self.metrics.stale_reads);
+                return v;
+            }
+        }
+        let v = fresh(self.plan.skewed_now(now_ms));
+        self.frozen.lock().insert(cache_key.to_string(), v);
+        v
+    }
+}
+
+impl KvAccess for ChaosStore {
+    fn try_put(&self, key: &str, value: f64, now_ms: u64) -> Result<(), KvError> {
+        if self.plan.shard_down(self.inner.shard_index(key), now_ms) {
+            ChaosMetrics::inc(&self.metrics.unavailable_writes);
+            return Err(KvError::ShardUnavailable);
+        }
+        if self
+            .plan
+            .drop_publish(entitlement_kvstore::key_hash(key), now_ms)
+        {
+            // Lost in transit: the writer sees success.
+            ChaosMetrics::inc(&self.metrics.dropped_publishes);
+            return Ok(());
+        }
+        self.inner.put(key, value, self.plan.skewed_now(now_ms));
+        Ok(())
+    }
+
+    fn try_get(&self, key: &str, now_ms: u64) -> Result<Option<f64>, KvError> {
+        if self.plan.shard_down(self.inner.shard_index(key), now_ms) {
+            ChaosMetrics::inc(&self.metrics.unavailable_reads);
+            return Err(KvError::ShardUnavailable);
+        }
+        if self.plan.reads_frozen_at(now_ms).is_some() {
+            if let Some(&v) = self.frozen.lock().get(key) {
+                ChaosMetrics::inc(&self.metrics.stale_reads);
+                return Ok(Some(v));
+            }
+        }
+        let v = self.inner.get(key, self.plan.skewed_now(now_ms));
+        if let Some(v) = v {
+            self.frozen.lock().insert(key.to_string(), v);
+        }
+        Ok(v)
+    }
+
+    fn try_aggregate(&self, prefix: &str, now_ms: u64) -> Result<f64, KvError> {
+        // One down shard poisons every prefix sum: report unavailable
+        // rather than a silent under-count.
+        if self.plan.any_shard_down(now_ms) {
+            ChaosMetrics::inc(&self.metrics.unavailable_reads);
+            return Err(KvError::ShardUnavailable);
+        }
+        Ok(self.read_through_freeze(prefix, now_ms, |now| {
+            self.inner.aggregate_sum(prefix, now)
+        }))
+    }
+}
+
+/// The daemon-side wrapper: a [`KvClient`] with the same fault plan
+/// plus a [`RetryPolicy`] on reads and injected per-op latency.
+#[derive(Clone)]
+pub struct ChaosKv {
+    client: KvClient,
+    plan: Arc<FaultPlan>,
+    /// Retry/backoff applied to aggregate reads.
+    pub retry: RetryPolicy,
+}
+
+impl ChaosKv {
+    /// Wrap a client.
+    pub fn new(client: KvClient, plan: Arc<FaultPlan>, retry: RetryPolicy) -> Self {
+        ChaosKv {
+            client,
+            plan,
+            retry,
+        }
+    }
+
+    /// The plan driving the injections.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    async fn injected_latency(&self, now_ms: u64) {
+        let ms = self.plan.latency_ms(now_ms);
+        if ms > 0 {
+            tokio::time::sleep(Duration::from_millis(ms)).await;
+        }
+    }
+
+    /// Publish; outages fail, drops succeed silently.
+    pub async fn put(&self, key: &str, value: f64, now_ms: u64) -> Result<(), KvError> {
+        self.injected_latency(now_ms).await;
+        let shard = self.client.store().shard_index(key);
+        if self.plan.shard_down(shard, now_ms) {
+            return Err(KvError::ShardUnavailable);
+        }
+        if self
+            .plan
+            .drop_publish(entitlement_kvstore::key_hash(key), now_ms)
+        {
+            return Ok(());
+        }
+        self.client
+            .put(key, value, self.plan.skewed_now(now_ms))
+            .await
+    }
+
+    /// Aggregate under the retry policy; an active outage fails every
+    /// attempt, so callers see `Err` after the policy is exhausted.
+    pub async fn aggregate(&self, prefix: &str, now_ms: u64) -> Result<f64, KvError> {
+        self.injected_latency(now_ms).await;
+        if self.plan.any_shard_down(now_ms) {
+            return Err(KvError::ShardUnavailable);
+        }
+        self.client
+            .aggregate_with_retry(prefix, self.plan.skewed_now(now_ms), &self.retry)
+            .await
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::{Fault, FaultKind, TimeWindow};
+    use entitlement_kvstore::StoreConfig;
+
+    fn store() -> Arc<ShardedStore> {
+        Arc::new(ShardedStore::new(StoreConfig {
+            shards: 8,
+            ttl: Duration::from_secs(60),
+        }))
+    }
+
+    fn plan(faults: Vec<Fault>) -> Arc<FaultPlan> {
+        Arc::new(FaultPlan { seed: 7, faults })
+    }
+
+    #[test]
+    fn outage_fails_reads_and_aggregates() {
+        let chaos = ChaosStore::new(
+            store(),
+            plan(vec![Fault {
+                window: TimeWindow::new(1000, 2000),
+                kind: FaultKind::ShardOutage { shards: vec![] },
+            }]),
+        );
+        chaos.try_put("rates/a/h0", 5.0, 0).unwrap();
+        assert_eq!(chaos.try_aggregate("rates/", 500), Ok(5.0));
+        // Inside the window everything is down.
+        assert_eq!(
+            chaos.try_aggregate("rates/", 1500),
+            Err(KvError::ShardUnavailable)
+        );
+        assert_eq!(
+            chaos.try_get("rates/a/h0", 1500),
+            Err(KvError::ShardUnavailable)
+        );
+        assert_eq!(
+            chaos.try_put("rates/a/h0", 6.0, 1500),
+            Err(KvError::ShardUnavailable)
+        );
+        // After the window the store recovers with its data intact.
+        assert_eq!(chaos.try_aggregate("rates/", 2500), Ok(5.0));
+        let (ur, uw, _, _) = chaos.metrics.snapshot();
+        assert_eq!((ur, uw), (2, 1));
+    }
+
+    #[test]
+    fn partial_outage_fails_only_affected_shards() {
+        let inner = store();
+        let key = "rates/a/h0";
+        let victim = inner.shard_index(key);
+        let other = (0..8).find(|&s| s != victim).unwrap();
+        // Find a key on a different shard.
+        let other_key = (0..1000)
+            .map(|i| format!("rates/a/h{i}"))
+            .find(|k| inner.shard_index(k) == other)
+            .expect("some key lands elsewhere");
+        let chaos = ChaosStore::new(
+            inner,
+            plan(vec![Fault {
+                window: TimeWindow::new(0, 100),
+                kind: FaultKind::ShardOutage {
+                    shards: vec![victim],
+                },
+            }]),
+        );
+        assert_eq!(chaos.try_get(key, 50), Err(KvError::ShardUnavailable));
+        assert_eq!(chaos.try_get(&other_key, 50), Ok(None), "other shard fine");
+        // But aggregates span the down shard: unavailable.
+        assert_eq!(
+            chaos.try_aggregate("rates/", 50),
+            Err(KvError::ShardUnavailable)
+        );
+    }
+
+    #[test]
+    fn dropped_publishes_never_land() {
+        let chaos = ChaosStore::new(
+            store(),
+            plan(vec![Fault {
+                window: TimeWindow::new(0, 1000),
+                kind: FaultKind::DropPublishes { fraction: 1.0 },
+            }]),
+        );
+        assert_eq!(chaos.try_put("k", 1.0, 10), Ok(()), "writer sees success");
+        assert_eq!(chaos.try_get("k", 10), Ok(None), "value never landed");
+        // Outside the window publishes land again.
+        chaos.try_put("k", 2.0, 1500).unwrap();
+        assert_eq!(chaos.try_get("k", 1500), Ok(Some(2.0)));
+        let (_, _, dropped, _) = chaos.metrics.snapshot();
+        assert_eq!(dropped, 1);
+    }
+
+    #[test]
+    fn stale_reads_serve_the_frozen_snapshot() {
+        let chaos = ChaosStore::new(
+            store(),
+            plan(vec![Fault {
+                window: TimeWindow::new(1000, 2000),
+                kind: FaultKind::StaleReads,
+            }]),
+        );
+        chaos.try_put("rates/a/h0", 5.0, 0).unwrap();
+        // Healthy reads prime the snapshot (per prefix and per key).
+        assert_eq!(chaos.try_aggregate("rates/", 500), Ok(5.0));
+        assert_eq!(chaos.try_get("rates/a/h0", 600), Ok(Some(5.0)));
+        // The value changes, but frozen reads keep seeing 5.0.
+        chaos.try_put("rates/a/h0", 50.0, 1100).unwrap();
+        assert_eq!(chaos.try_aggregate("rates/", 1200), Ok(5.0), "frozen");
+        assert_eq!(chaos.try_get("rates/a/h0", 1200), Ok(Some(5.0)));
+        // Window over: fresh values visible again.
+        assert_eq!(chaos.try_aggregate("rates/", 2500), Ok(50.0));
+        let (_, _, _, stale) = chaos.metrics.snapshot();
+        assert_eq!(stale, 2);
+    }
+
+    #[test]
+    fn clock_skew_ages_out_entries_early() {
+        let inner = Arc::new(ShardedStore::new(StoreConfig {
+            shards: 4,
+            ttl: Duration::from_millis(1000),
+        }));
+        let chaos = ChaosStore::new(
+            inner,
+            plan(vec![Fault {
+                window: TimeWindow::new(500, 2000),
+                kind: FaultKind::ClockSkew { skew_ms: 900 },
+            }]),
+        );
+        chaos.try_put("k", 1.0, 0).unwrap();
+        assert_eq!(chaos.try_get("k", 400), Ok(Some(1.0)), "live at 400");
+        // At t=600 the skewed clock reads 1500 — past the 1s TTL.
+        assert_eq!(chaos.try_get("k", 600), Ok(None), "skew expired it");
+    }
+
+    #[tokio::test]
+    async fn chaos_kv_injects_on_the_async_path() {
+        use entitlement_kvstore::{KvServer, StoreConfig};
+        let (server, client) = KvServer::new(StoreConfig::default());
+        tokio::spawn(server.run());
+        let chaos = ChaosKv::new(
+            client,
+            plan(vec![Fault {
+                window: TimeWindow::new(1000, 2000),
+                kind: FaultKind::ShardOutage { shards: vec![] },
+            }]),
+            RetryPolicy::none(),
+        );
+        chaos.put("rates/a/h0", 3.0, 0).await.unwrap();
+        assert_eq!(chaos.aggregate("rates/", 500).await, Ok(3.0));
+        assert_eq!(
+            chaos.aggregate("rates/", 1500).await,
+            Err(KvError::ShardUnavailable)
+        );
+        assert_eq!(
+            chaos.put("rates/a/h0", 9.0, 1500).await,
+            Err(KvError::ShardUnavailable)
+        );
+        assert_eq!(chaos.aggregate("rates/", 2500).await, Ok(3.0));
+    }
+}

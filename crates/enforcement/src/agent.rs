@@ -8,6 +8,15 @@
 //! table. Every agent sees the same aggregates and computes the same
 //! deterministic decision — that is what makes the architecture work
 //! without a controller.
+//!
+//! **Fail-static (§5.3):** shared aggregates are also a shared failure
+//! domain. When the KV store is unreachable the agent must *hold its
+//! last decision* — treating an outage as "aggregate = 0.0" would read
+//! as an idle service and unthrottle the entire fleet past its
+//! entitlement. [`Agent::cycle_observed`] encodes that: `Ok` runs a
+//! normal metering cycle, `Err` freezes the meter and the marking
+//! table, bumps `fail_static_cycles`, and tracks how stale the data
+//! behind the standing decision has become.
 
 use crate::bpf::MarkingTable;
 use crate::db::ContractDb;
@@ -15,7 +24,7 @@ use crate::marking::{Marker, MarkingStrategy};
 use crate::metering::{Meter, StatefulMeter};
 use crate::metrics::AgentMetrics;
 use entitlement_core::{Direction, HostId, NpgId, QosClass, Rate, RegionId};
-use entitlement_kvstore::ShardedStore;
+use entitlement_kvstore::{KvAccess, KvError};
 
 /// Static agent configuration.
 #[derive(Clone, Debug)]
@@ -30,6 +39,16 @@ pub struct AgentConfig {
     pub region: RegionId,
     /// Marking granularity.
     pub strategy: MarkingStrategy,
+    /// Bounded-staleness window for fail-static operation: beyond this
+    /// many milliseconds without a successful aggregate read the held
+    /// decision is flagged as expired (it is still held — unthrottling
+    /// on no data is never safe — but operators are expected to page).
+    pub max_staleness_ms: u64,
+}
+
+impl AgentConfig {
+    /// Default bounded-staleness window (5 minutes — ten 30 s cycles).
+    pub const DEFAULT_MAX_STALENESS_MS: u64 = 300_000;
 }
 
 /// One host's agent: meter + marker + kernel table + cached contract.
@@ -41,6 +60,9 @@ pub struct Agent {
     /// The simulated BPF map the agent programs.
     pub table: MarkingTable,
     cached_entitled: Option<Rate>,
+    /// Logical timestamp of the last successful aggregate read; the
+    /// basis of the staleness gauge while fail-static.
+    last_aggregates_ms: Option<u64>,
     /// Observability counters and gauges.
     pub metrics: AgentMetrics,
 }
@@ -55,12 +77,31 @@ impl Agent {
             marker,
             table: MarkingTable::new(),
             cached_entitled: None,
+            last_aggregates_ms: None,
             metrics: AgentMetrics::new(),
         }
     }
 
+    /// Crash recovery: the meter and kernel table restart empty (all
+    /// traffic conforming) but the contract cache survives — it is
+    /// re-read from the DB on the next refresh anyway. The first
+    /// healthy cycle after a restart re-derives the fleet decision
+    /// from the shared aggregates.
+    pub fn restart(&mut self) {
+        self.meter.reset();
+        self.table = MarkingTable::new();
+        self.last_aggregates_ms = None;
+        self.metrics.restarts.inc();
+    }
+
     /// Refresh the cached entitled rate from the contract database.
     /// Returns the (possibly stale) rate in effect afterwards.
+    ///
+    /// Metrics: a successful lookup counts as a refresh; a failed
+    /// lookup with a cached value counts as a stale fallback
+    /// (fail-static on the contract path); a failed lookup with no
+    /// cache counts as a lookup failure — the agent enforces nothing
+    /// for this contract and someone should know.
     pub fn refresh_contract(&mut self, db: &ContractDb, day: u32) -> Option<Rate> {
         if let Some(r) = db.entitled_rate(
             self.config.npg,
@@ -73,7 +114,9 @@ impl Agent {
             self.metrics.contract_refreshes.inc();
             self.metrics.entitled_bps.set(r.as_bps());
         } else if self.cached_entitled.is_some() {
-            self.metrics.contract_cache_hits.inc();
+            self.metrics.contract_stale_fallbacks.inc();
+        } else {
+            self.metrics.contract_lookup_failures.inc();
         }
         self.cached_entitled
     }
@@ -84,21 +127,62 @@ impl Agent {
         self.cached_entitled
     }
 
-    /// Publish this host's measured rates into the KV store (step 2).
-    pub fn publish(&self, store: &ShardedStore, sent: Rate, conforming: Rate, now_ms: u64) {
-        let h = self.config.host.0;
-        let base = format!("rates/{}/{}", self.config.npg.0, self.config.qos);
-        store.put(&format!("{base}/total/h{h}"), sent.as_bps(), now_ms);
-        store.put(&format!("{base}/conform/h{h}"), conforming.as_bps(), now_ms);
-        self.metrics.publishes.inc();
+    /// The meter's current conform ratio — the standing decision the
+    /// agent holds while fail-static.
+    pub fn meter_conform_ratio(&self) -> f64 {
+        self.meter.conform_ratio()
     }
 
-    /// Read the service-wide aggregates back (step 3).
-    pub fn read_aggregates(&self, store: &ShardedStore, now_ms: u64) -> (Rate, Rate) {
-        let base = format!("rates/{}/{}", self.config.npg.0, self.config.qos);
-        let total = store.aggregate_sum(&format!("{base}/total/"), now_ms);
-        let conform = store.aggregate_sum(&format!("{base}/conform/"), now_ms);
-        (Rate::bps(total), Rate::bps(conform))
+    /// The key prefix this agent's service publishes rates under.
+    pub fn key_base(&self) -> String {
+        format!("rates/{}/{}", self.config.npg.0, self.config.qos)
+    }
+
+    /// Publish this host's measured rates into the KV store (step 2).
+    /// Works against any [`KvAccess`] layer — the real store or a
+    /// fault-injecting wrapper. A failed publish is counted but not
+    /// fatal: the TTL ages this host out of the aggregates, exactly as
+    /// a dead host would.
+    pub fn publish<K: KvAccess + ?Sized>(
+        &self,
+        kv: &K,
+        sent: Rate,
+        conforming: Rate,
+        now_ms: u64,
+    ) -> Result<(), KvError> {
+        let h = self.config.host.0;
+        let base = self.key_base();
+        let r = kv
+            .try_put(&format!("{base}/total/h{h}"), sent.as_bps(), now_ms)
+            .and_then(|()| {
+                kv.try_put(&format!("{base}/conform/h{h}"), conforming.as_bps(), now_ms)
+            });
+        match r {
+            Ok(()) => self.metrics.publishes.inc(),
+            Err(_) => self.metrics.publish_failures.inc(),
+        }
+        r
+    }
+
+    /// Read the service-wide aggregates back (step 3). `Err` means the
+    /// store was unreachable — callers must go fail-static
+    /// ([`Agent::cycle_observed`]), never substitute zero.
+    pub fn read_aggregates<K: KvAccess + ?Sized>(
+        &self,
+        kv: &K,
+        now_ms: u64,
+    ) -> Result<(Rate, Rate), KvError> {
+        let base = self.key_base();
+        let r = kv
+            .try_aggregate(&format!("{base}/total/"), now_ms)
+            .and_then(|total| {
+                kv.try_aggregate(&format!("{base}/conform/"), now_ms)
+                    .map(|conform| (Rate::bps(total), Rate::bps(conform)))
+            });
+        if r.is_err() {
+            self.metrics.aggregate_read_failures.inc();
+        }
+        r
     }
 
     /// Run one metering cycle (steps 4–5): update the meter, program the
@@ -127,6 +211,58 @@ impl Agent {
         cr
     }
 
+    /// Run one cycle on a possibly-failed aggregate observation
+    /// (steps 3–5 with the failure path).
+    ///
+    /// * `Ok((total, conform))` — a normal metering cycle; the
+    ///   staleness clock resets.
+    /// * `Err(_)` — **fail-static**: the meter and marking table are
+    ///   left exactly as they are (the last decision keeps being
+    ///   enforced), `fail_static_cycles` is bumped, and the staleness
+    ///   gauge reports how old the data behind the standing decision
+    ///   is. The decision is held even past
+    ///   [`AgentConfig::max_staleness_ms`] — with no data,
+    ///   unthrottling is the one move that is never safe — but
+    ///   [`Agent::stale_beyond_bound`] flips so harnesses and
+    ///   operators can see the bound was blown.
+    ///
+    /// Returns the conform ratio in force afterwards.
+    pub fn cycle_observed(
+        &mut self,
+        obs: Result<(Rate, Rate), KvError>,
+        now_ms: u64,
+    ) -> f64 {
+        match obs {
+            Ok((total, conform)) => {
+                self.last_aggregates_ms = Some(now_ms);
+                self.metrics.aggregate_staleness_ms.set(0.0);
+                self.cycle(total, conform)
+            }
+            Err(_) => {
+                self.metrics.cycles.inc();
+                self.metrics.fail_static_cycles.inc();
+                self.metrics
+                    .aggregate_staleness_ms
+                    .set(self.staleness_ms(now_ms) as f64);
+                self.meter.conform_ratio()
+            }
+        }
+    }
+
+    /// Milliseconds since the last successful aggregate read (`now_ms`
+    /// itself if none ever succeeded).
+    pub fn staleness_ms(&self, now_ms: u64) -> u64 {
+        match self.last_aggregates_ms {
+            Some(t) => now_ms.saturating_sub(t),
+            None => now_ms,
+        }
+    }
+
+    /// Has fail-static operation exceeded the bounded-staleness window?
+    pub fn stale_beyond_bound(&self, now_ms: u64) -> bool {
+        self.staleness_ms(now_ms) > self.config.max_staleness_ms
+    }
+
     /// The fleet-wide marking command this agent's decision implies
     /// (identical on every host — used by the simulation harness).
     pub fn marking_command(&self, hosts: usize) -> entitlement_simnet::MarkingCommand {
@@ -145,7 +281,7 @@ impl Agent {
 mod tests {
     use super::*;
     use entitlement_core::{Entitlement, Period, SloTarget};
-    use entitlement_kvstore::StoreConfig;
+    use entitlement_kvstore::{ShardedStore, StoreConfig};
 
     fn db_with_contract(rate_g: f64) -> ContractDb {
         let db = ContractDb::new();
@@ -172,6 +308,7 @@ mod tests {
             qos: QosClass::C2,
             region: RegionId(0),
             strategy: MarkingStrategy::HostBased,
+            max_staleness_ms: AgentConfig::DEFAULT_MAX_STALENESS_MS,
         })
     }
 
@@ -203,9 +340,9 @@ mod tests {
         let mut agents: Vec<Agent> = (0..50).map(agent).collect();
         for a in &mut agents {
             a.refresh_contract(&db, 0);
-            a.publish(&store, Rate::gbps(2.0), Rate::gbps(2.0), 0);
+            a.publish(&store, Rate::gbps(2.0), Rate::gbps(2.0), 0).unwrap();
         }
-        let (total, conform) = agents[0].read_aggregates(&store, 10);
+        let (total, conform) = agents[0].read_aggregates(&store, 10).unwrap();
         assert!((total.as_gbps() - 100.0).abs() < 1e-6);
         assert!((conform.as_gbps() - 100.0).abs() < 1e-6);
     }
@@ -245,13 +382,13 @@ mod tests {
         let store = ShardedStore::new(StoreConfig::default());
         let mut a = agent(0);
         a.refresh_contract(&db, 0);
-        a.refresh_contract(&db, 500); // out of period: cache hit
-        a.publish(&store, Rate::gbps(1.0), Rate::gbps(1.0), 0);
+        a.refresh_contract(&db, 500); // out of period: stale fallback
+        a.publish(&store, Rate::gbps(1.0), Rate::gbps(1.0), 0).unwrap();
         a.cycle(Rate::gbps(100.0), Rate::gbps(100.0)); // throttles
         a.cycle(Rate::gbps(100.0), Rate::gbps(50.0)); // holds
         let s = a.metrics.snapshot();
         assert_eq!(s.contract_refreshes, 1);
-        assert_eq!(s.contract_cache_hits, 1);
+        assert_eq!(s.contract_stale_fallbacks, 1);
         assert_eq!(s.publishes, 1);
         assert_eq!(s.cycles, 2);
         assert_eq!(s.decision_changes, 1, "first cycle changed the cut");
@@ -259,6 +396,67 @@ mod tests {
         assert!((s.entitled_bps - 50e9).abs() < 1.0);
         let text = a.metrics.render(&Default::default());
         assert!(text.contains("entitlement_agent_cycles_total 2"));
+    }
+
+    #[test]
+    fn unavailable_aggregates_hold_the_standing_decision() {
+        let db = db_with_contract(50.0);
+        let mut a = agent(0);
+        a.refresh_contract(&db, 0);
+        // Healthy cycle throttles to CR 0.5.
+        let cr = a.cycle_observed(Ok((Rate::gbps(100.0), Rate::gbps(100.0))), 1_000);
+        assert!((cr - 0.5).abs() < 1e-9);
+        let probe = crate::bpf::ClassifyInput {
+            npg: NpgId(1),
+            qos: QosClass::C2,
+            flow_group: 99,
+            host_group: 10,
+        };
+        assert_eq!(a.table.classify(probe).0, crate::bpf::MarkAction::Remark);
+        // KV outage: the decision and the kernel table are frozen — a
+        // missing aggregate must never read as "no traffic".
+        let held = a.cycle_observed(Err(KvError::ShardUnavailable), 31_000);
+        assert!((held - 0.5).abs() < 1e-9, "held, not recomputed");
+        assert_eq!(
+            a.table.classify(probe).0,
+            crate::bpf::MarkAction::Remark,
+            "table still throttles during the outage"
+        );
+        let s = a.metrics.snapshot();
+        assert_eq!(s.cycles, 2);
+        assert_eq!(s.fail_static_cycles, 1);
+        assert!((s.aggregate_staleness_ms - 30_000.0).abs() < 1.0);
+        assert_eq!(a.staleness_ms(31_000), 30_000);
+        assert!(!a.stale_beyond_bound(31_000), "within the 5 min window");
+        assert!(a.stale_beyond_bound(1_000 + AgentConfig::DEFAULT_MAX_STALENESS_MS + 1));
+        // Recovery: a fresh aggregate resumes normal metering.
+        let cr = a.cycle_observed(Ok((Rate::gbps(100.0), Rate::gbps(50.0))), 61_000);
+        assert!((cr - 0.5).abs() < 1e-9);
+        assert_eq!(a.staleness_ms(61_000), 0);
+    }
+
+    #[test]
+    fn restart_clears_meter_state_and_counts() {
+        let db = db_with_contract(50.0);
+        let mut a = agent(0);
+        a.refresh_contract(&db, 0);
+        a.cycle(Rate::gbps(100.0), Rate::gbps(100.0));
+        assert!(a.meter_conform_ratio() < 1.0);
+        a.restart();
+        assert_eq!(a.meter_conform_ratio(), 1.0, "meter restarts full-open");
+        assert_eq!(a.metrics.snapshot().restarts, 1);
+        assert_eq!(a.entitled(), Some(Rate::gbps(50.0)), "contract cache survives");
+    }
+
+    #[test]
+    fn failed_lookup_with_no_cache_is_counted() {
+        let empty = ContractDb::new();
+        let mut a = agent(0);
+        assert_eq!(a.refresh_contract(&empty, 0), None);
+        let s = a.metrics.snapshot();
+        assert_eq!(s.contract_lookup_failures, 1);
+        assert_eq!(s.contract_stale_fallbacks, 0);
+        assert_eq!(s.contract_refreshes, 0);
     }
 
     #[test]

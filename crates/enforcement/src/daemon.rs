@@ -7,11 +7,21 @@
 //! loop `agent.rs` exposes synchronously, here exercised under real
 //! concurrency (task scheduling, channel backpressure, TTL'd rates from
 //! slow agents).
+//!
+//! The fleet can run against a [`FaultPlan`]: publishes go through a
+//! fault-injecting [`ChaosStore`], aggregate reads through a
+//! [`ChaosKv`] with the configured [`RetryPolicy`], and hosts listed in
+//! an `AgentCrash` fault skip their rounds and restart with empty state
+//! when the window closes. Agents go **fail-static** on unavailable
+//! aggregates ([`Agent::cycle_observed`]): a KV outage freezes the
+//! standing decision, it never unthrottles the fleet.
 
 use crate::agent::{Agent, AgentConfig};
 use crate::marking::MarkingStrategy;
+use entitlement_chaos::{ChaosKv, ChaosStore, FaultPlan};
 use entitlement_core::{HostId, NpgId, QosClass, Rate, RegionId};
-use entitlement_kvstore::{KvClient, KvServer, StoreConfig};
+use entitlement_kvstore::{KvClient, KvServer, RetryPolicy, StoreConfig};
+use std::sync::Arc;
 use std::time::Duration;
 use tokio::sync::watch;
 
@@ -35,39 +45,64 @@ pub struct DaemonConfig {
     pub cycle: Duration,
     /// Number of cycles to run.
     pub cycles: usize,
+    /// Fault plan injected between the agents and the store
+    /// (`None` = healthy run). Windows are in logical milliseconds:
+    /// round `r` of the run happens at `r * cycle` ms.
+    pub faults: Option<FaultPlan>,
+    /// Retry policy applied to aggregate reads.
+    pub retry: RetryPolicy,
 }
 
 /// Final state of a daemon run.
 #[derive(Clone, Debug)]
 pub struct DaemonOutcome {
-    /// The conform ratio each agent ended with (same order as hosts).
+    /// The meter conform ratio each agent ended with (eq. 6 output;
+    /// same order as hosts).
     pub conform_ratios: Vec<f64>,
+    /// The fraction of the fleet each agent's final decision marks
+    /// non-conforming (derived from the conform ratio via the marking
+    /// granularity — not the conform ratio itself).
+    pub marked_fractions: Vec<f64>,
     /// The service-wide total rate the store last aggregated.
     pub final_total: Rate,
+    /// Fleet-wide sum of cycles that ran fail-static on an
+    /// unavailable aggregate.
+    pub fail_static_cycles: u64,
+    /// Fleet-wide sum of failed aggregate reads.
+    pub aggregate_read_failures: u64,
+    /// Fleet-wide sum of agent crash/restart cycles.
+    pub restarts: u64,
 }
 
 /// Run a fleet of agent tasks to convergence.
 ///
 /// The "network" here is trivial (no drops): the point of this harness
 /// is the concurrency architecture — N tasks against one store, all
-/// reaching the same decision with no controller.
+/// reaching the same decision with no controller — and, with a fault
+/// plan, that the decision *survives* a degraded store.
+///
+/// Rounds advance on a watch channel and carry a logical clock
+/// (`round * cycle` ms), so fault windows hit the same rounds on every
+/// run regardless of scheduler timing.
 pub async fn run_fleet(config: DaemonConfig) -> DaemonOutcome {
     let (server, client) = KvServer::new(StoreConfig {
         shards: 32,
         ttl: config.cycle * 4,
     });
     tokio::spawn(server.run());
+    let plan = Arc::new(config.faults.clone().unwrap_or_default());
+    let cycle_ms = config.cycle.as_millis() as u64;
 
     // Broadcast of the logical cycle number: agents step in rounds so
     // the test is deterministic while still running concurrently.
     let (round_tx, round_rx) = watch::channel(0usize);
-    let t0 = std::time::Instant::now();
 
     let mut handles = Vec::with_capacity(config.hosts);
     for h in 0..config.hosts {
         let client: KvClient = client.clone();
         let mut round_rx = round_rx.clone();
         let cfg = config.clone();
+        let plan = Arc::clone(&plan);
         handles.push(tokio::spawn(async move {
             let mut agent = Agent::new(AgentConfig {
                 host: HostId(h as u32),
@@ -75,6 +110,7 @@ pub async fn run_fleet(config: DaemonConfig) -> DaemonOutcome {
                 qos: cfg.qos,
                 region: cfg.region,
                 strategy: MarkingStrategy::HostBased,
+                max_staleness_ms: AgentConfig::DEFAULT_MAX_STALENESS_MS,
             });
             // Fixed contract for the run.
             let db = crate::db::ContractDb::new();
@@ -93,7 +129,14 @@ pub async fn run_fleet(config: DaemonConfig) -> DaemonOutcome {
             .unwrap();
             agent.refresh_contract(&db, 0);
 
+            // Publishes go through the sync fault layer; aggregate
+            // reads through the async client under the retry policy.
+            let store = ChaosStore::new(client.store_arc(), Arc::clone(&plan));
+            let kv = ChaosKv::new(client.clone(), Arc::clone(&plan), cfg.retry);
+            let base = agent.key_base();
+
             let mut last_round = 0usize;
+            let mut was_down = false;
             loop {
                 if round_rx.changed().await.is_err() {
                     break;
@@ -106,17 +149,45 @@ pub async fn run_fleet(config: DaemonConfig) -> DaemonOutcome {
                     continue;
                 }
                 last_round = round;
-                let now_ms = t0.elapsed().as_millis() as u64;
+                let now_ms = round as u64 * cycle_ms;
+
+                // A crashed host does nothing this round: it neither
+                // publishes (the TTL ages it out of the aggregates,
+                // like any dead host) nor meters.
+                if plan.agent_down(h as u32, now_ms) {
+                    was_down = true;
+                    continue;
+                }
+                if was_down {
+                    // Process restart: meter and table come back empty
+                    // and the contract is re-read; the next healthy
+                    // cycle re-derives the fleet decision from the
+                    // shared aggregates.
+                    agent.restart();
+                    agent.refresh_contract(&db, 0);
+                    was_down = false;
+                }
+
                 // Publish this host's rates: conforming share follows the
                 // agent's own previous decision.
                 let cr = agent.marking_command(cfg.hosts);
                 let marked = agent.self_marked() && cr != entitlement_simnet::MarkingCommand::None;
                 let conforming = if marked { Rate::ZERO } else { cfg.per_host_rate };
-                agent.publish(client.store(), cfg.per_host_rate, conforming, now_ms);
+                let _ = agent.publish(&store, cfg.per_host_rate, conforming, now_ms);
                 // Wait for everyone to publish, then read aggregates.
                 tokio::time::sleep(cfg.cycle / 4).await;
-                let (total, conform) = agent.read_aggregates(client.store(), now_ms);
-                agent.cycle(total, conform);
+                let total = kv.aggregate(&format!("{base}/total/"), now_ms).await;
+                let obs = match total {
+                    Ok(t) => match kv.aggregate(&format!("{base}/conform/"), now_ms).await {
+                        Ok(c) => Ok((Rate::bps(t), Rate::bps(c))),
+                        Err(e) => Err(e),
+                    },
+                    Err(e) => Err(e),
+                };
+                if obs.is_err() {
+                    agent.metrics.aggregate_read_failures.inc();
+                }
+                agent.cycle_observed(obs, now_ms);
             }
             agent
         }));
@@ -127,28 +198,39 @@ pub async fn run_fleet(config: DaemonConfig) -> DaemonOutcome {
         round_tx.send(round).expect("agents alive");
         tokio::time::sleep(config.cycle).await;
     }
-    let now_ms = t0.elapsed().as_millis() as u64;
+    let end_ms = config.cycles as u64 * cycle_ms;
     let final_total = Rate::bps(client.store().aggregate_sum(
         &format!("rates/{}/{}/total/", config.npg.0, config.qos),
-        now_ms,
+        end_ms,
     ));
     round_tx.send(usize::MAX).ok();
     drop(round_tx);
 
-    let mut conform_ratios = Vec::with_capacity(config.hosts);
+    let mut out = DaemonOutcome {
+        conform_ratios: Vec::with_capacity(config.hosts),
+        marked_fractions: Vec::with_capacity(config.hosts),
+        final_total,
+        fail_static_cycles: 0,
+        aggregate_read_failures: 0,
+        restarts: 0,
+    };
     for h in handles {
         let agent = h.await.expect("agent task");
-        conform_ratios.push(agent.marking_command(config.hosts).marked_fraction(config.hosts));
+        let s = agent.metrics.snapshot();
+        out.conform_ratios.push(s.conform_ratio);
+        out.marked_fractions
+            .push(agent.marking_command(config.hosts).marked_fraction(config.hosts));
+        out.fail_static_cycles += s.fail_static_cycles;
+        out.aggregate_read_failures += s.aggregate_read_failures;
+        out.restarts += s.restarts;
     }
-    DaemonOutcome {
-        conform_ratios,
-        final_total,
-    }
+    out
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use entitlement_chaos::{Fault, FaultKind, TimeWindow};
 
     fn config(hosts: usize, entitled_g: f64, per_host_g: f64) -> DaemonConfig {
         DaemonConfig {
@@ -160,6 +242,8 @@ mod tests {
             per_host_rate: Rate::gbps(per_host_g),
             cycle: Duration::from_millis(40),
             cycles: 8,
+            faults: None,
+            retry: RetryPolicy::none(),
         }
     }
 
@@ -167,27 +251,85 @@ mod tests {
     async fn fleet_converges_to_marking_the_excess() {
         // 20 hosts × 10G = 200G total, entitled 100G → mark ~half.
         let out = run_fleet(config(20, 100.0, 10.0)).await;
-        // All agents agree.
-        let first = out.conform_ratios[0];
+        // All agents agree on the marked share of the fleet.
+        let first = out.marked_fractions[0];
         assert!(
-            out.conform_ratios.iter().all(|&c| (c - first).abs() < 1e-9),
+            out.marked_fractions.iter().all(|&m| (m - first).abs() < 1e-9),
             "agents disagree: {:?}",
-            out.conform_ratios
+            out.marked_fractions
         );
         assert!(
             (first - 0.5).abs() < 0.15,
             "marked fraction {first} should be near 0.5"
         );
+        // The meter output itself also agrees and sits near 1/2.
+        let cr = out.conform_ratios[0];
+        assert!(
+            out.conform_ratios.iter().all(|&c| (c - cr).abs() < 1e-9),
+            "meters disagree: {:?}",
+            out.conform_ratios
+        );
+        assert!((cr - 0.5).abs() < 0.2, "conform ratio {cr} near 0.5");
+        assert_eq!(out.fail_static_cycles, 0, "healthy run");
     }
 
     #[tokio::test(flavor = "multi_thread", worker_threads = 4)]
     async fn under_entitlement_fleet_marks_nothing() {
         let out = run_fleet(config(10, 1000.0, 10.0)).await;
         assert!(
-            out.conform_ratios.iter().all(|&c| c == 0.0),
+            out.marked_fractions.iter().all(|&m| m == 0.0),
             "nothing should be marked: {:?}",
+            out.marked_fractions
+        );
+        assert!(
+            out.conform_ratios.iter().all(|&c| c == 1.0),
+            "meters should stay fully conforming: {:?}",
             out.conform_ratios
         );
         assert!((out.final_total.as_gbps() - 100.0).abs() < 1.0);
+    }
+
+    #[tokio::test(flavor = "multi_thread", worker_threads = 4)]
+    async fn mid_run_outage_goes_fail_static_and_holds_the_throttle() {
+        // Rounds 1..=4 are healthy (the fleet converges on marking
+        // ~half), then the whole store goes dark for rounds 5..=8.
+        let mut cfg = config(10, 50.0, 10.0);
+        cfg.faults = Some(FaultPlan {
+            seed: 1,
+            faults: vec![Fault {
+                window: TimeWindow::new(4 * 40 + 1, u64::MAX),
+                kind: FaultKind::ShardOutage { shards: vec![] },
+            }],
+        });
+        let out = run_fleet(cfg).await;
+        assert!(out.fail_static_cycles > 0, "outage rounds ran fail-static");
+        assert!(out.aggregate_read_failures > 0);
+        // The fail-static guarantee: nobody read the outage as "no
+        // traffic" and unthrottled.
+        assert!(
+            out.marked_fractions.iter().all(|&m| m > 0.25),
+            "held decisions must keep marking: {:?}",
+            out.marked_fractions
+        );
+    }
+
+    #[tokio::test(flavor = "multi_thread", worker_threads = 4)]
+    async fn crashed_agent_restarts_and_rejoins() {
+        let mut cfg = config(4, 1000.0, 10.0);
+        cfg.cycles = 10;
+        // Host 0 is dead for rounds 3..=5 (logical ms 120..=200).
+        cfg.faults = Some(FaultPlan {
+            seed: 2,
+            faults: vec![Fault {
+                window: TimeWindow::new(3 * 40, 5 * 40 + 1),
+                kind: FaultKind::AgentCrash { hosts: vec![0] },
+            }],
+        });
+        let out = run_fleet(cfg).await;
+        assert_eq!(out.restarts, 1, "host 0 restarted once");
+        // After rejoining, the under-entitled fleet still marks nothing
+        // and every meter (including the restarted one) reads 1.0.
+        assert!(out.conform_ratios.iter().all(|&c| c == 1.0));
+        assert!((out.final_total.as_gbps() - 40.0).abs() < 0.5);
     }
 }

@@ -18,10 +18,14 @@ use crate::marking::MarkingStrategy;
 use entitlement_core::{
     Direction, Entitlement, HostId, NpgId, Period, QosClass, Rate, RegionId, SloTarget,
 };
+use entitlement_chaos::{ChaosStore, FaultPlan};
+use entitlement_kvstore::{ShardedStore, StoreConfig};
 use entitlement_simnet::{
     AclRule, AppConfig, Bottleneck, MarkingCommand, Recorder, StorageApp, World, WorldConfig,
 };
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+use std::time::Duration;
 
 /// One ACL stage of the drill.
 #[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
@@ -55,6 +59,10 @@ pub struct DrillConfig {
     pub strategy: MarkingStrategy,
     /// Seed.
     pub seed: u64,
+    /// Fault plan injected between the agent and the KV store
+    /// (`None` = healthy drill). Windows are in logical milliseconds
+    /// of drill time (tick `k` happens at `k * dt_secs * 1000` ms).
+    pub faults: Option<FaultPlan>,
 }
 
 impl Default for DrillConfig {
@@ -83,6 +91,7 @@ impl Default for DrillConfig {
             dt_secs: 30.0,
             strategy: MarkingStrategy::HostBased,
             seed: 0xD217,
+            faults: None,
         }
     }
 }
@@ -99,11 +108,22 @@ fn demand_multiplier(t_secs: f64) -> f64 {
 
 /// Run the drill; returns the recorder with every Fig 11–17 series.
 ///
+/// The metering loop runs through the real KV plumbing: each tick the
+/// agent publishes the observed rates into a [`ShardedStore`] (behind
+/// a fault-injecting [`ChaosStore`]) and reads the aggregates back
+/// before cycling. On a healthy store this is bitwise-identical to
+/// metering the observation directly; under a [`FaultPlan`] the agent
+/// goes fail-static on unavailable aggregates and the recorded series
+/// show the held decision.
+///
 /// Recorded series (one sample per tick, times in seconds):
 /// `loss_conf`, `loss_nonconf`, `rate_total_tbps`, `rate_conform_tbps`,
 /// `rate_entitled_tbps`, `rtt_conf_ms`, `rtt_nonconf_ms`, `syn_conf`,
 /// `syn_nonconf`, `read_latency_s`, `write_latency_s`, `block_errors`,
-/// `marked_fraction`.
+/// `marked_fraction` — plus the failure-mode series `kv_unavailable`
+/// (1.0 when this tick's aggregate read failed), `fail_static`
+/// (cumulative held-decision cycles) and `staleness_ms` (age of the
+/// aggregates behind the standing decision).
 pub fn run_drill(config: &DrillConfig) -> Recorder {
     // --- Contract database: the entitlement cut is a contract rollover.
     let db = ContractDb::new();
@@ -177,7 +197,17 @@ pub fn run_drill(config: &DrillConfig) -> Recorder {
         qos,
         region,
         strategy: config.strategy,
+        max_staleness_ms: AgentConfig::DEFAULT_MAX_STALENESS_MS,
     });
+
+    // --- The KV store the metering loop runs through, behind the
+    // fault plan (an empty plan injects nothing).
+    let store = Arc::new(ShardedStore::new(StoreConfig {
+        shards: 8,
+        ttl: Duration::from_secs_f64(config.dt_secs * 4.0),
+    }));
+    let plan = Arc::new(config.faults.clone().unwrap_or_default());
+    let kv = ChaosStore::new(store, plan);
 
     // --- The storage application.
     let mut app = StorageApp::new(AppConfig::default());
@@ -191,11 +221,21 @@ pub fn run_drill(config: &DrillConfig) -> Recorder {
     for k in 0..ticks {
         let t = k as f64 * config.dt_secs;
         let minute = (t / 60.0) as u32;
+        let now_ms = (t * 1000.0) as u64;
 
-        // Agent cycle: contract refresh + metering on last observations.
+        // Agent cycle: contract refresh, publish the last observation
+        // into the KV store, read the aggregates back, meter. The
+        // publish and the read both cross the fault layer; an
+        // unavailable aggregate holds the previous decision.
         let entitled = agent.refresh_contract(&db, minute).unwrap_or(Rate::ZERO);
+        let mut kv_unavailable = 0.0;
         if let Some(obs) = &last_obs {
-            agent.cycle(obs.total_sent, obs.conf_sent);
+            let _ = agent.publish(&kv, obs.total_sent, obs.conf_sent, now_ms);
+            let observed = agent.read_aggregates(&kv, now_ms);
+            if observed.is_err() {
+                kv_unavailable = 1.0;
+            }
+            agent.cycle_observed(observed, now_ms);
             marking = agent.marking_command(config.hosts);
         }
 
@@ -227,6 +267,9 @@ pub fn run_drill(config: &DrillConfig) -> Recorder {
         recorder.record("write_latency_s", app_metrics.write_latency_secs);
         recorder.record("block_errors", app_metrics.block_errors);
         recorder.record("marked_fraction", m);
+        recorder.record("kv_unavailable", kv_unavailable);
+        recorder.record("fail_static", agent.metrics.fail_static_cycles.get() as f64);
+        recorder.record("staleness_ms", agent.staleness_ms(now_ms) as f64);
 
         last_obs = Some(obs);
     }

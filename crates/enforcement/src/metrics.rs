@@ -58,10 +58,23 @@ pub struct AgentMetrics {
     pub decision_changes: Counter,
     /// Contract database refreshes that succeeded.
     pub contract_refreshes: Counter,
-    /// Contract refreshes served from the stale cache.
-    pub contract_cache_hits: Counter,
+    /// Contract refreshes the DB could not answer, served from the
+    /// stale cached entitlement (fail-static on the contract path).
+    pub contract_stale_fallbacks: Counter,
+    /// Contract lookups that failed with no cached value to fall back
+    /// on (the agent is flying blind on this contract).
+    pub contract_lookup_failures: Counter,
     /// Rate publications into the KV store.
     pub publishes: Counter,
+    /// Publications the KV store could not accept.
+    pub publish_failures: Counter,
+    /// Aggregate reads that failed (store unavailable).
+    pub aggregate_read_failures: Counter,
+    /// Cycles that held the previous decision because aggregates were
+    /// unavailable (fail-static).
+    pub fail_static_cycles: Counter,
+    /// Agent restarts (crash recovery; meter state was lost).
+    pub restarts: Counter,
     /// Packets classified by the kernel component.
     pub packets_seen: Counter,
     /// Packets remarked non-conforming.
@@ -72,6 +85,9 @@ pub struct AgentMetrics {
     pub entitled_bps: Gauge,
     /// Last observed service total rate, bps.
     pub total_rate_bps: Gauge,
+    /// Milliseconds since the last successful aggregate read — how
+    /// stale the data behind the current decision is (0 when fresh).
+    pub aggregate_staleness_ms: Gauge,
 }
 
 impl AgentMetrics {
@@ -114,14 +130,39 @@ impl AgentMetrics {
             self.contract_refreshes.get(),
         );
         counter(
-            "entitlement_agent_contract_cache_hits_total",
-            "Refreshes served from the stale cache",
-            self.contract_cache_hits.get(),
+            "entitlement_agent_contract_stale_fallbacks_total",
+            "Failed refreshes served from the stale cached entitlement",
+            self.contract_stale_fallbacks.get(),
+        );
+        counter(
+            "entitlement_agent_contract_lookup_failures_total",
+            "Failed contract lookups with no cached fallback",
+            self.contract_lookup_failures.get(),
         );
         counter(
             "entitlement_agent_publishes_total",
             "Rate publications to the KV store",
             self.publishes.get(),
+        );
+        counter(
+            "entitlement_agent_publish_failures_total",
+            "Publications the KV store could not accept",
+            self.publish_failures.get(),
+        );
+        counter(
+            "entitlement_agent_aggregate_read_failures_total",
+            "Aggregate reads that failed (store unavailable)",
+            self.aggregate_read_failures.get(),
+        );
+        counter(
+            "entitlement_agent_fail_static_cycles_total",
+            "Cycles that held the last decision on unavailable aggregates",
+            self.fail_static_cycles.get(),
+        );
+        counter(
+            "entitlement_agent_restarts_total",
+            "Agent restarts (meter state lost)",
+            self.restarts.get(),
         );
         counter(
             "entitlement_agent_packets_seen_total",
@@ -153,6 +194,11 @@ impl AgentMetrics {
             "Last observed service total rate",
             self.total_rate_bps.get(),
         );
+        gauge(
+            "entitlement_agent_aggregate_staleness_ms",
+            "Age of the aggregates behind the current decision",
+            self.aggregate_staleness_ms.get(),
+        );
         out
     }
 
@@ -162,13 +208,19 @@ impl AgentMetrics {
             cycles: self.cycles.get(),
             decision_changes: self.decision_changes.get(),
             contract_refreshes: self.contract_refreshes.get(),
-            contract_cache_hits: self.contract_cache_hits.get(),
+            contract_stale_fallbacks: self.contract_stale_fallbacks.get(),
+            contract_lookup_failures: self.contract_lookup_failures.get(),
             publishes: self.publishes.get(),
+            publish_failures: self.publish_failures.get(),
+            aggregate_read_failures: self.aggregate_read_failures.get(),
+            fail_static_cycles: self.fail_static_cycles.get(),
+            restarts: self.restarts.get(),
             packets_seen: self.packets_seen.get(),
             packets_remarked: self.packets_remarked.get(),
             conform_ratio: self.conform_ratio.get(),
             entitled_bps: self.entitled_bps.get(),
             total_rate_bps: self.total_rate_bps.get(),
+            aggregate_staleness_ms: self.aggregate_staleness_ms.get(),
         }
     }
 }
@@ -182,10 +234,20 @@ pub struct MetricsSnapshot {
     pub decision_changes: u64,
     /// Successful contract refreshes.
     pub contract_refreshes: u64,
-    /// Stale-cache refreshes.
-    pub contract_cache_hits: u64,
+    /// Failed refreshes served from the stale cached entitlement.
+    pub contract_stale_fallbacks: u64,
+    /// Failed lookups with no cached fallback.
+    pub contract_lookup_failures: u64,
     /// KV publications.
     pub publishes: u64,
+    /// Failed KV publications.
+    pub publish_failures: u64,
+    /// Failed aggregate reads.
+    pub aggregate_read_failures: u64,
+    /// Fail-static (held-decision) cycles.
+    pub fail_static_cycles: u64,
+    /// Agent restarts.
+    pub restarts: u64,
     /// Packets classified.
     pub packets_seen: u64,
     /// Packets remarked.
@@ -196,6 +258,8 @@ pub struct MetricsSnapshot {
     pub entitled_bps: f64,
     /// Last total rate, bps.
     pub total_rate_bps: f64,
+    /// Aggregate staleness, ms.
+    pub aggregate_staleness_ms: f64,
 }
 
 #[cfg(test)]

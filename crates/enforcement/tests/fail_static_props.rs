@@ -1,0 +1,108 @@
+//! Property tests for the fail-static invariants: the stateful meter's
+//! output is always a usable conform ratio, and a cycle observing an
+//! unavailable store never perturbs the standing decision.
+
+use entitlement_core::{
+    Direction, Entitlement, HostId, NpgId, Period, QosClass, Rate, RegionId, SloTarget,
+};
+use entitlement_enforcement::{
+    Agent, AgentConfig, ContractDb, MarkingStrategy, Meter, StatefulMeter,
+};
+use entitlement_kvstore::KvError;
+use proptest::prelude::*;
+
+fn agent_with_contract(entitled_g: f64) -> Agent {
+    let db = ContractDb::new();
+    db.insert(
+        NpgId(1),
+        SloTarget::new(0.999).unwrap(),
+        vec![Entitlement {
+            npg: NpgId(1),
+            qos: QosClass::C2,
+            region: RegionId(0),
+            direction: Direction::Egress,
+            entitled_rate: Rate::gbps(entitled_g),
+            period: Period::new(0, u32::MAX),
+        }],
+    )
+    .unwrap();
+    let mut a = Agent::new(AgentConfig {
+        host: HostId(0),
+        npg: NpgId(1),
+        qos: QosClass::C2,
+        region: RegionId(0),
+        strategy: MarkingStrategy::HostBased,
+        max_staleness_ms: AgentConfig::DEFAULT_MAX_STALENESS_MS,
+    });
+    a.refresh_contract(&db, 0);
+    a
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Equations (6)–(7): whatever rates the meter observes — including
+    /// zero conforming traffic, totals far past the entitlement, and
+    /// conform > total glitches — its output stays inside the clamp
+    /// window `[1e-4, 1.0]`, so the marking layer always receives a
+    /// usable ratio.
+    #[test]
+    fn stateful_meter_output_stays_in_bounds(
+        cycles in proptest::collection::vec(
+            (0.0f64..5e12, 0.0f64..5e12, 1e6f64..4e12),
+            1..40,
+        ),
+    ) {
+        let mut meter = StatefulMeter::new();
+        for (total, conform, entitled) in cycles {
+            let cr = meter.update(
+                Rate::bps(total),
+                Rate::bps(conform),
+                Rate::bps(entitled),
+            );
+            prop_assert!((1e-4..=1.0).contains(&cr), "cr out of bounds: {cr}");
+            prop_assert!(cr == meter.conform_ratio());
+        }
+    }
+
+    /// Fail-static: after any healthy history, a cycle observing an
+    /// unavailable store leaves the conform ratio, the marking command,
+    /// and the kernel table decision untouched — no matter how many
+    /// unavailable cycles pile up.
+    #[test]
+    fn unavailable_aggregates_never_move_the_decision(
+        history in proptest::collection::vec((0.0f64..3e12, 0.0f64..3e12), 1..20),
+        outage_cycles in 1usize..30,
+        entitled_g in 1.0f64..2000.0,
+    ) {
+        let mut a = agent_with_contract(entitled_g);
+        let mut now = 0u64;
+        for (total, conform) in history {
+            now += 30_000;
+            a.cycle_observed(Ok((Rate::bps(total), Rate::bps(conform))), now);
+        }
+        let held_cr = a.meter_conform_ratio();
+        let held_cmd = a.marking_command(1000);
+        let probe = entitlement_enforcement::ClassifyInput {
+            npg: NpgId(1),
+            qos: QosClass::C2,
+            flow_group: 17,
+            host_group: 3,
+        };
+        let held_action = a.table.classify(probe).0;
+        for err in [KvError::ShardUnavailable, KvError::ServerDown, KvError::Timeout]
+            .iter()
+            .cycle()
+            .take(outage_cycles)
+        {
+            now += 30_000;
+            let cr = a.cycle_observed(Err(*err), now);
+            prop_assert_eq!(cr, held_cr, "decision held through the outage");
+            prop_assert_eq!(a.marking_command(1000), held_cmd);
+            prop_assert_eq!(a.table.classify(probe).0, held_action);
+        }
+        let s = a.metrics.snapshot();
+        prop_assert_eq!(s.fail_static_cycles, outage_cycles as u64);
+        prop_assert_eq!(a.staleness_ms(now), 30_000 * outage_cycles as u64);
+    }
+}

@@ -1,0 +1,99 @@
+//! Fallible access to the rate store.
+//!
+//! The paper's runtime (§5.3) prescribes *fail-static* degradation:
+//! when the telemetry plane is unhealthy, agents must keep enforcing
+//! the last known decision rather than treating silence as "no
+//! traffic". That only works if the type system distinguishes the two:
+//! a missing key is **data** (`Ok(None)` — e.g. a drained host), while
+//! an unreachable store is **absence of data** (`Err(KvError)`).
+//!
+//! [`KvAccess`] is the synchronous capability trait every store-like
+//! layer implements: the real [`ShardedStore`] (infallible, always
+//! `Ok`) and fault-injecting wrappers such as `entitlement-chaos`'s
+//! `ChaosStore`. Enforcement agents are written against the trait, so
+//! the same agent code runs against a healthy store in production
+//! paths and a degraded one under chaos tests.
+
+use crate::store::ShardedStore;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Why a KV operation could not be served. Distinct from `Ok(None)`:
+/// absence of a key is data, unavailability is absence of data.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum KvError {
+    /// The server task is gone (command channel closed) or a full
+    /// outage is in effect.
+    ServerDown,
+    /// The shard holding the key — or at least one shard spanned by an
+    /// aggregate — is unreachable.
+    ShardUnavailable,
+    /// The operation did not complete within the client's deadline.
+    Timeout,
+}
+
+impl fmt::Display for KvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KvError::ServerDown => write!(f, "kv server unreachable"),
+            KvError::ShardUnavailable => write!(f, "kv shard unavailable"),
+            KvError::Timeout => write!(f, "kv operation timed out"),
+        }
+    }
+}
+
+impl std::error::Error for KvError {}
+
+/// Synchronous, possibly-degraded access to a rate store.
+pub trait KvAccess {
+    /// Write a value at logical time `now_ms`.
+    fn try_put(&self, key: &str, value: f64, now_ms: u64) -> Result<(), KvError>;
+
+    /// Read a live value. `Ok(None)` means the key is absent or
+    /// TTL-expired — a real observation, not a failure.
+    fn try_get(&self, key: &str, now_ms: u64) -> Result<Option<f64>, KvError>;
+
+    /// Sum of live values under `prefix`.
+    fn try_aggregate(&self, prefix: &str, now_ms: u64) -> Result<f64, KvError>;
+}
+
+impl KvAccess for ShardedStore {
+    fn try_put(&self, key: &str, value: f64, now_ms: u64) -> Result<(), KvError> {
+        self.put(key, value, now_ms);
+        Ok(())
+    }
+
+    fn try_get(&self, key: &str, now_ms: u64) -> Result<Option<f64>, KvError> {
+        Ok(self.get(key, now_ms))
+    }
+
+    fn try_aggregate(&self, prefix: &str, now_ms: u64) -> Result<f64, KvError> {
+        Ok(self.aggregate_sum(prefix, now_ms))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::StoreConfig;
+    use std::time::Duration;
+
+    #[test]
+    fn sharded_store_is_infallible() {
+        let s = ShardedStore::new(StoreConfig {
+            shards: 4,
+            ttl: Duration::from_secs(10),
+        });
+        assert_eq!(s.try_put("k", 1.0, 0), Ok(()));
+        assert_eq!(s.try_get("k", 0), Ok(Some(1.0)));
+        assert_eq!(s.try_get("absent", 0), Ok(None), "absence is data");
+        assert_eq!(s.try_aggregate("k", 0), Ok(1.0));
+    }
+
+    #[test]
+    fn kv_error_renders() {
+        assert_eq!(KvError::ServerDown.to_string(), "kv server unreachable");
+        assert_eq!(KvError::ShardUnavailable.to_string(), "kv shard unavailable");
+        assert_eq!(KvError::Timeout.to_string(), "kv operation timed out");
+    }
+}

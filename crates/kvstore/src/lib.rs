@@ -16,11 +16,22 @@
 //!   prefix sums on a `tokio::sync::watch` channel, which is how a fleet
 //!   of agent tasks sees the service-wide TotalRate/ConformRate without
 //!   a central controller.
+//! * [`access`] — the fallible access layer: [`access::KvError`]
+//!   distinguishes "store unreachable" from "key absent" (zero is a
+//!   legitimate aggregate; an outage is not), and the
+//!   [`access::KvAccess`] trait lets fault-injection wrappers stand in
+//!   for the real store so agents can be tested fail-static.
+//!
+//! This crate is deterministic: no ambient wall-clock or randomness —
+//! every operation takes a caller-supplied logical `now_ms`, and
+//! [`service::AggregateWatch`] takes the clock as a closure.
 
 #![forbid(unsafe_code)]
 
+pub mod access;
 pub mod service;
 pub mod store;
 
-pub use service::{AggregateWatch, KvClient, KvServer};
-pub use store::{ShardedStore, StoreConfig};
+pub use access::{KvAccess, KvError};
+pub use service::{with_deadline, AggregateWatch, KvClient, KvServer, RetryPolicy};
+pub use store::{key_hash, ShardedStore, StoreConfig};

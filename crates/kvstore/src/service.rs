@@ -6,9 +6,19 @@
 //! TotalRate / ConformRate) and broadcasts it on a watch channel every
 //! agent subscribes to — fully distributed reads, no controller in the
 //! decision path (§5.1's second-generation architecture).
+//!
+//! Reads are **fallible**: a dead server task surfaces as
+//! [`KvError::ServerDown`], never as a phantom `0.0` aggregate (which
+//! the fleet would read as "no traffic" and unthrottle on). Callers
+//! that cannot tolerate a transient failure wrap calls with a
+//! [`RetryPolicy`].
 
+use crate::access::KvError;
 use crate::store::{ShardedStore, StoreConfig};
+use serde::{Deserialize, Serialize};
+use std::future::Future;
 use std::sync::Arc;
+use std::task::Poll;
 use std::time::Duration;
 use tokio::sync::{mpsc, oneshot, watch};
 
@@ -45,6 +55,75 @@ pub struct KvServer {
 pub struct KvClient {
     tx: mpsc::Sender<Command>,
     store: Arc<ShardedStore>,
+}
+
+/// Retry/timeout/backoff for client operations against a degraded
+/// store: `attempts` tries total, exponential backoff starting at
+/// `backoff` and capped at `max_backoff`, each attempt bounded by
+/// `op_timeout` (None = wait forever on the reply channel).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RetryPolicy {
+    /// Total attempts (≥ 1).
+    pub attempts: u32,
+    /// Initial backoff between attempts.
+    pub backoff: Duration,
+    /// Backoff ceiling.
+    pub max_backoff: Duration,
+    /// Per-attempt deadline.
+    pub op_timeout: Option<Duration>,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            attempts: 3,
+            backoff: Duration::from_millis(5),
+            max_backoff: Duration::from_millis(50),
+            op_timeout: None,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A single attempt, no backoff, no deadline.
+    pub fn none() -> Self {
+        RetryPolicy {
+            attempts: 1,
+            backoff: Duration::ZERO,
+            max_backoff: Duration::ZERO,
+            op_timeout: None,
+        }
+    }
+
+    /// The backoff before retry number `i` (0-based retry index).
+    fn backoff_for(&self, i: u32) -> Duration {
+        let mut b = self.backoff;
+        for _ in 0..i {
+            b = (b * 2).min(self.max_backoff);
+        }
+        b.min(self.max_backoff)
+    }
+}
+
+/// Bound a future by a deadline; `Err(KvError::Timeout)` on expiry.
+/// (The vendored tokio stub has no `tokio::time::timeout`, so this is
+/// a minimal two-future race.)
+pub async fn with_deadline<T>(
+    dur: Duration,
+    fut: impl Future<Output = T>,
+) -> Result<T, KvError> {
+    let mut fut = Box::pin(fut);
+    let mut sleep = Box::pin(tokio::time::sleep(dur));
+    std::future::poll_fn(move |cx| {
+        if let Poll::Ready(v) = fut.as_mut().poll(cx) {
+            return Poll::Ready(Ok(v));
+        }
+        if sleep.as_mut().poll(cx).is_ready() {
+            return Poll::Ready(Err(KvError::Timeout));
+        }
+        Poll::Pending
+    })
+    .await
 }
 
 impl KvServer {
@@ -85,52 +164,99 @@ impl KvServer {
 }
 
 impl KvClient {
-    /// Publish a value (fire-and-forget, like a UDP stats publish).
-    pub async fn put(&self, key: &str, value: f64, now_ms: u64) {
-        let _ = self
-            .tx
+    /// Publish a value. `Err(ServerDown)` when the server task is gone
+    /// — publishers may ignore it (UDP-style) but metrics should count.
+    pub async fn put(&self, key: &str, value: f64, now_ms: u64) -> Result<(), KvError> {
+        self.tx
             .send(Command::Put {
                 key: key.to_string(),
                 value,
                 now_ms,
             })
-            .await;
+            .await
+            .map_err(|_| KvError::ServerDown)
     }
 
-    /// Read a value.
-    pub async fn get(&self, key: &str, now_ms: u64) -> Option<f64> {
+    /// Read a value. `Ok(None)` = key absent/expired (data);
+    /// `Err(ServerDown)` = store unreachable (no data).
+    pub async fn get(&self, key: &str, now_ms: u64) -> Result<Option<f64>, KvError> {
         let (reply, rx) = oneshot::channel();
-        if self
-            .tx
+        self.tx
             .send(Command::Get {
                 key: key.to_string(),
                 now_ms,
                 reply,
             })
             .await
-            .is_err()
-        {
-            return None;
-        }
-        rx.await.ok().flatten()
+            .map_err(|_| KvError::ServerDown)?;
+        rx.await.map_err(|_| KvError::ServerDown)
     }
 
-    /// Aggregate a prefix.
-    pub async fn aggregate(&self, prefix: &str, now_ms: u64) -> f64 {
+    /// Aggregate a prefix. A dead server is an error, **not** `0.0`:
+    /// zero is a legitimate aggregate ("fleet idle") and must never be
+    /// conflated with "store unreachable".
+    pub async fn aggregate(&self, prefix: &str, now_ms: u64) -> Result<f64, KvError> {
         let (reply, rx) = oneshot::channel();
-        if self
-            .tx
+        self.tx
             .send(Command::Aggregate {
                 prefix: prefix.to_string(),
                 now_ms,
                 reply,
             })
             .await
-            .is_err()
-        {
-            return 0.0;
+            .map_err(|_| KvError::ServerDown)?;
+        rx.await.map_err(|_| KvError::ServerDown)
+    }
+
+    /// [`KvClient::aggregate`] under a [`RetryPolicy`]: retries with
+    /// exponential backoff, each attempt optionally deadline-bounded.
+    pub async fn aggregate_with_retry(
+        &self,
+        prefix: &str,
+        now_ms: u64,
+        policy: &RetryPolicy,
+    ) -> Result<f64, KvError> {
+        let mut last = KvError::ServerDown;
+        for i in 0..policy.attempts.max(1) {
+            if i > 0 {
+                tokio::time::sleep(policy.backoff_for(i - 1)).await;
+            }
+            let attempt = self.aggregate(prefix, now_ms);
+            let outcome = match policy.op_timeout {
+                Some(d) => with_deadline(d, attempt).await.and_then(|r| r),
+                None => attempt.await,
+            };
+            match outcome {
+                Ok(v) => return Ok(v),
+                Err(e) => last = e,
+            }
         }
-        rx.await.unwrap_or(0.0)
+        Err(last)
+    }
+
+    /// [`KvClient::get`] under a [`RetryPolicy`].
+    pub async fn get_with_retry(
+        &self,
+        key: &str,
+        now_ms: u64,
+        policy: &RetryPolicy,
+    ) -> Result<Option<f64>, KvError> {
+        let mut last = KvError::ServerDown;
+        for i in 0..policy.attempts.max(1) {
+            if i > 0 {
+                tokio::time::sleep(policy.backoff_for(i - 1)).await;
+            }
+            let attempt = self.get(key, now_ms);
+            let outcome = match policy.op_timeout {
+                Some(d) => with_deadline(d, attempt).await.and_then(|r| r),
+                None => attempt.await,
+            };
+            match outcome {
+                Ok(v) => return Ok(v),
+                Err(e) => last = e,
+            }
+        }
+        Err(last)
     }
 
     /// Request a TTL sweep.
@@ -143,27 +269,52 @@ impl KvClient {
     pub fn store(&self) -> &ShardedStore {
         &self.store
     }
+
+    /// Shared handle to the backing store (fault-injection wrappers
+    /// need ownership to outlive the borrow).
+    pub fn store_arc(&self) -> Arc<ShardedStore> {
+        Arc::clone(&self.store)
+    }
 }
 
 /// A periodically-updated aggregate subscription.
+///
+/// Fail-static at the subscription layer: when an aggregate read
+/// fails, nothing is broadcast and subscribers keep observing the last
+/// good value instead of a phantom zero.
 pub struct AggregateWatch {
     /// The latest aggregate value.
     pub rx: watch::Receiver<f64>,
 }
 
 impl AggregateWatch {
-    /// Spawn an aggregator task summing `prefix` every `interval` using
-    /// wall-clock milliseconds since `t0`. Returns the watch handle.
-    pub fn spawn(client: KvClient, prefix: String, interval: Duration) -> AggregateWatch {
+    /// Spawn an aggregator task summing `prefix` every `interval`. The
+    /// caller supplies the clock (`now_ms`, logical milliseconds) so
+    /// this crate stays free of ambient wall-clock reads and
+    /// simulations can drive it deterministically.
+    pub fn spawn<C>(
+        client: KvClient,
+        prefix: String,
+        interval: Duration,
+        clock: C,
+    ) -> AggregateWatch
+    where
+        C: Fn() -> u64 + Send + 'static,
+    {
         let (tx, rx) = watch::channel(0.0);
         tokio::spawn(async move {
-            let t0 = std::time::Instant::now();
             loop {
                 tokio::time::sleep(interval).await;
-                let now_ms = t0.elapsed().as_millis() as u64;
-                let sum = client.aggregate(&prefix, now_ms).await;
-                if tx.send(sum).is_err() {
-                    break; // all subscribers gone
+                let now_ms = clock();
+                match client.aggregate(&prefix, now_ms).await {
+                    Ok(sum) => {
+                        if tx.send(sum).is_err() {
+                            break; // all subscribers gone
+                        }
+                    }
+                    // Server gone: stop broadcasting; subscribers hold
+                    // the last good value (fail-static).
+                    Err(_) => break,
                 }
             }
         });
@@ -179,9 +330,67 @@ mod tests {
     async fn put_get_through_service() {
         let (server, client) = KvServer::new(StoreConfig::default());
         tokio::spawn(server.run());
-        client.put("k", 42.0, 0).await;
-        assert_eq!(client.get("k", 100).await, Some(42.0));
-        assert_eq!(client.get("missing", 100).await, None);
+        client.put("k", 42.0, 0).await.unwrap();
+        assert_eq!(client.get("k", 100).await, Ok(Some(42.0)));
+        assert_eq!(client.get("missing", 100).await, Ok(None));
+    }
+
+    #[tokio::test]
+    async fn server_down_is_an_error_not_zero() {
+        // The server is dropped without ever running: every client call
+        // must surface ServerDown — and an aggregate must NOT read as
+        // an innocent 0.0 (that would unthrottle a whole fleet).
+        let (server, client) = KvServer::new(StoreConfig::default());
+        drop(server);
+        assert_eq!(client.put("k", 1.0, 0).await, Err(KvError::ServerDown));
+        assert_eq!(client.get("k", 0).await, Err(KvError::ServerDown));
+        assert_eq!(
+            client.aggregate("rates/", 0).await,
+            Err(KvError::ServerDown)
+        );
+        // Contrast: a *live* server with an absent key is Ok(None) —
+        // "value absent" and "server dropped" are different worlds.
+        let (server, client) = KvServer::new(StoreConfig::default());
+        tokio::spawn(server.run());
+        assert_eq!(client.get("k", 0).await, Ok(None));
+        assert_eq!(client.aggregate("rates/", 0).await, Ok(0.0));
+    }
+
+    #[tokio::test]
+    async fn retry_policy_retries_then_gives_up() {
+        let (server, client) = KvServer::new(StoreConfig::default());
+        drop(server);
+        let policy = RetryPolicy {
+            attempts: 3,
+            backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(2),
+            op_timeout: Some(Duration::from_millis(20)),
+        };
+        let r = client.aggregate_with_retry("rates/", 0, &policy).await;
+        assert_eq!(r, Err(KvError::ServerDown));
+        let r = client.get_with_retry("k", 0, &policy).await;
+        assert_eq!(r, Err(KvError::ServerDown));
+    }
+
+    #[tokio::test]
+    async fn retry_policy_succeeds_on_healthy_store() {
+        let (server, client) = KvServer::new(StoreConfig::default());
+        tokio::spawn(server.run());
+        client.put("rates/x/h0", 5.0, 0).await.unwrap();
+        let r = client
+            .aggregate_with_retry("rates/", 10, &RetryPolicy::default())
+            .await;
+        assert_eq!(r, Ok(5.0));
+    }
+
+    #[tokio::test]
+    async fn deadline_times_out_a_stuck_future() {
+        let stuck = std::future::pending::<u64>();
+        let r = with_deadline(Duration::from_millis(5), stuck).await;
+        assert_eq!(r, Err(KvError::Timeout));
+        let quick = async { 7u64 };
+        let r = with_deadline(Duration::from_millis(50), quick).await;
+        assert_eq!(r, Ok(7));
     }
 
     #[tokio::test]
@@ -192,13 +401,13 @@ mod tests {
         for h in 0..100 {
             let c = client.clone();
             handles.push(tokio::spawn(async move {
-                c.put(&format!("rates/cold/h{h}"), 1.5, 0).await;
+                c.put(&format!("rates/cold/h{h}"), 1.5, 0).await.unwrap();
             }));
         }
         for h in handles {
             h.await.unwrap();
         }
-        let sum = client.aggregate("rates/cold/", 100).await;
+        let sum = client.aggregate("rates/cold/", 100).await.unwrap();
         assert!((sum - 150.0).abs() < 1e-9);
     }
 
@@ -206,12 +415,14 @@ mod tests {
     async fn aggregate_watch_broadcasts() {
         let (server, client) = KvServer::new(StoreConfig::default());
         tokio::spawn(server.run());
-        client.put("rates/x/h0", 10.0, 0).await;
-        client.put("rates/x/h1", 20.0, 0).await;
+        client.put("rates/x/h0", 10.0, 0).await.unwrap();
+        client.put("rates/x/h1", 20.0, 0).await.unwrap();
+        let t0 = std::time::Instant::now();
         let mut w = AggregateWatch::spawn(
             client.clone(),
             "rates/x/".to_string(),
             Duration::from_millis(10),
+            move || t0.elapsed().as_millis() as u64,
         );
         // Wait for at least one broadcast.
         w.rx.changed().await.unwrap();
@@ -226,20 +437,24 @@ mod tests {
             ttl: Duration::from_millis(100),
         });
         tokio::spawn(server.run());
-        client.put("old", 1.0, 0).await;
+        client.put("old", 1.0, 0).await.unwrap();
         client.sweep(10_000).await;
         // Give the sweep command time to process.
         tokio::time::sleep(Duration::from_millis(20)).await;
-        assert_eq!(client.get("old", 0).await, None, "swept even at old ts");
+        assert_eq!(
+            client.get("old", 0).await,
+            Ok(None),
+            "swept even at old ts"
+        );
     }
 
     #[tokio::test]
     async fn direct_store_access_is_consistent() {
         let (server, client) = KvServer::new(StoreConfig::default());
         tokio::spawn(server.run());
-        client.put("k", 7.0, 0).await;
+        client.put("k", 7.0, 0).await.unwrap();
         // The async put has been processed once get returns.
-        assert_eq!(client.get("k", 0).await, Some(7.0));
+        assert_eq!(client.get("k", 0).await, Ok(Some(7.0)));
         assert_eq!(client.store().get("k", 0), Some(7.0));
     }
 }

@@ -38,12 +38,13 @@ pub struct ShardedStore {
     shards: Vec<Mutex<HashMap<String, Entry>>>,
 }
 
-fn key_hash(key: &str) -> u64 {
-    // FNV-1a: stable across runs, good enough for shard spreading.
+/// FNV-1a 64-bit: stable across runs, good enough for shard spreading.
+/// Public so fault-injection layers can reproduce the key→shard map.
+pub fn key_hash(key: &str) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     for b in key.as_bytes() {
         h ^= *b as u64;
-        h = h.wrapping_mul(0x1000_0000_01b3);
+        h = h.wrapping_mul(0x100_0000_01b3);
     }
     h
 }
@@ -59,8 +60,17 @@ impl ShardedStore {
     }
 
     fn shard(&self, key: &str) -> &Mutex<HashMap<String, Entry>> {
-        let idx = (key_hash(key) % self.shards.len() as u64) as usize;
-        &self.shards[idx]
+        &self.shards[self.shard_index(key)]
+    }
+
+    /// The shard a key lives on (fault plans target shards by index).
+    pub fn shard_index(&self, key: &str) -> usize {
+        (key_hash(key) % self.shards.len() as u64) as usize
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
     }
 
     /// Write a value at logical time `now_ms`.
@@ -145,6 +155,39 @@ mod tests {
             shards: 8,
             ttl: Duration::from_secs(10),
         })
+    }
+
+    #[test]
+    fn key_hash_is_fnv1a_64() {
+        // Known FNV-1a 64-bit vectors (offset basis 0xcbf29ce484222325,
+        // prime 0x100000001b3).
+        assert_eq!(key_hash(""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(key_hash("a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(key_hash("foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn shard_distribution_is_even() {
+        // Sequentially-named keys (the agent key shape) must spread
+        // across shards instead of clustering; with the broken FNV
+        // multiplier the low bits degenerated badly.
+        let shards = 16usize;
+        let s = ShardedStore::new(StoreConfig {
+            shards,
+            ttl: Duration::from_secs(10),
+        });
+        let n = 4000usize;
+        let mut counts = vec![0usize; shards];
+        for h in 0..n {
+            counts[s.shard_index(&format!("rates/7/c2/total/h{h}"))] += 1;
+        }
+        let expected = n / shards;
+        for (i, &c) in counts.iter().enumerate() {
+            assert!(
+                c > expected / 2 && c < expected * 2,
+                "shard {i} has {c} keys (expected ~{expected}): {counts:?}"
+            );
+        }
     }
 
     #[test]

@@ -34,7 +34,13 @@ use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 /// Crates whose outputs must be deterministic (X0101).
-const DETERMINISTIC_CRATES: &[&str] = &["crates/risk", "crates/simnet", "crates/topology"];
+const DETERMINISTIC_CRATES: &[&str] = &[
+    "crates/risk",
+    "crates/simnet",
+    "crates/topology",
+    "crates/kvstore",
+    "crates/chaos",
+];
 
 /// Crates whose library code is on the granting hot path (X0102/X0103).
 const HOT_PATH_CRATES: &[&str] = &["crates/risk", "crates/approval", "crates/hose"];

@@ -21,9 +21,13 @@
 //! --no-dedup disables routing each distinct failure set once. Both
 //! change only wall-clock time, never results.
 //!
-//! entitlectl drill  [--hosts N] [--csv out.csv]
+//! entitlectl drill  [--hosts N] [--csv out.csv] [--faults plan.json]
 //!     Run the §6 enforcement drill and optionally dump every series
-//!     as CSV.
+//!     as CSV. With --faults, a JSON fault plan (see
+//!     examples/faults/) is injected between the metering agent and
+//!     the KV store — shard outages, dropped publishes, stale reads,
+//!     clock skew — and the run summary reports how many cycles ran
+//!     fail-static on the held decision.
 //!
 //! entitlectl negotiate --rate GBPS [--accept FRACTION] [--seed N]
 //!     Negotiate an oversized egress request against the backbone
@@ -44,6 +48,7 @@
 //!     the rule catalog and exits.
 //! ```
 
+use network_entitlement::chaos::FaultPlan;
 use network_entitlement::core::DetRng;
 use network_entitlement::enforcement::drill::{run_drill, DrillConfig};
 use network_entitlement::hose::segment::FlowSeries;
@@ -371,8 +376,20 @@ fn drill(args: &[String]) {
     let hosts: usize = arg_value(args, "--hosts")
         .and_then(|s| s.parse().ok())
         .unwrap_or(1000);
+    let faults = arg_value(args, "--faults").map(|path| {
+        let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            eprintln!("cannot read {path}: {e}");
+            std::process::exit(2);
+        });
+        FaultPlan::from_json(&text).unwrap_or_else(|e| {
+            eprintln!("cannot parse fault plan {path}: {e}");
+            std::process::exit(2);
+        })
+    });
+    let faulted = faults.as_ref().is_some_and(|p| !p.is_empty());
     let recorder = run_drill(&DrillConfig {
         hosts,
+        faults,
         ..Default::default()
     });
     if let Some(csv) = arg_value(args, "--csv") {
@@ -390,6 +407,9 @@ fn drill(args: &[String]) {
             "write_latency_s",
             "block_errors",
             "marked_fraction",
+            "kv_unavailable",
+            "fail_static",
+            "staleness_ms",
         ];
         let mut outbuf = String::from("minute");
         for n in &names {
@@ -417,6 +437,24 @@ fn drill(args: &[String]) {
             "drill complete: {} ticks, max conforming loss {:.4}%",
             recorder.len(),
             conf_loss_max * 100.0
+        );
+    }
+    if faulted {
+        let unavailable: f64 = recorder.series("kv_unavailable").iter().sum();
+        let fail_static = recorder
+            .series("fail_static")
+            .last()
+            .copied()
+            .unwrap_or(0.0);
+        let max_staleness = recorder
+            .series("staleness_ms")
+            .into_iter()
+            .fold(0.0f64, f64::max);
+        println!(
+            "fault plan: {unavailable} tick(s) with the KV store unavailable; \
+{fail_static} cycle(s) held the last decision (fail-static); \
+max aggregate staleness {:.0} s",
+            max_staleness / 1000.0
         );
     }
 }

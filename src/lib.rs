@@ -20,6 +20,8 @@
 //! * [`approval`] — Algorithm 2 (`Hose_Approval` / `Pipe_Approval`);
 //! * [`simnet`] — the enforcement-side network simulator;
 //! * [`kvstore`] — the distributed rate-aggregation store;
+//! * [`chaos`] — deterministic fault injection for the runtime
+//!   (fault plans, degraded stores, fail-static drills);
 //! * [`enforcement`] — metering, marking, BPF-style classification,
 //!   agents, the §6 drill, and the §7.4 convergence simulation;
 //! * [`analyzer`] — static diagnostics over contracts, hoses, pipes,
@@ -47,6 +49,7 @@
 #![forbid(unsafe_code)]
 
 pub use entitlement_analyzer as analyzer;
+pub use entitlement_chaos as chaos;
 pub use entitlement_approval as approval;
 pub use entitlement_core as core;
 pub use entitlement_enforcement as enforcement;
@@ -65,6 +68,7 @@ pub mod prelude {
         Direction, Entitlement, EntitlementContract, HostId, NpgId, Period, QosClass, Quarter,
         Rate, RegionId, SloTarget,
     };
+    pub use entitlement_chaos::{Fault, FaultKind, FaultPlan, TimeWindow};
     pub use entitlement_enforcement::{
         run_drill, Agent, AgentConfig, ContractDb, DrillConfig, Marker, MarkingStrategy, Meter,
         StatefulMeter, StatelessMeter,

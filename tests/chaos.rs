@@ -1,0 +1,203 @@
+//! End-to-end fail-static chaos tests: a KV outage in the middle of the
+//! §6 drill (and of a daemon fleet run) must never unthrottle the
+//! service, and the fleet must reconverge once the store recovers.
+//!
+//! Every scenario runs over a fixed seed matrix so CI exercises more
+//! than one trajectory; set `CHAOS_SEED=<n>` to pin a single seed when
+//! reproducing a failure.
+
+use network_entitlement::chaos::{Fault, FaultKind, FaultPlan, TimeWindow};
+use network_entitlement::enforcement::daemon::{run_fleet, DaemonConfig};
+use network_entitlement::kvstore::RetryPolicy;
+use network_entitlement::prelude::*;
+use std::time::Duration;
+
+/// The CI seed matrix, or the single `CHAOS_SEED` override.
+fn seeds() -> Vec<u64> {
+    match std::env::var("CHAOS_SEED") {
+        Ok(s) => vec![s.parse().expect("CHAOS_SEED must be a u64")],
+        Err(_) => vec![0xD217, 0xBEEF, 0x5EED],
+    }
+}
+
+/// Minutes 80..110 of drill time, in the drill's logical milliseconds.
+const OUTAGE_FROM_MIN: f64 = 80.0;
+const OUTAGE_TO_MIN: f64 = 110.0;
+
+fn outage_plan(seed: u64) -> FaultPlan {
+    FaultPlan {
+        seed,
+        faults: vec![Fault {
+            window: TimeWindow::new(
+                (OUTAGE_FROM_MIN * 60_000.0) as u64,
+                (OUTAGE_TO_MIN * 60_000.0) as u64,
+            ),
+            kind: FaultKind::ShardOutage { shards: vec![] },
+        }],
+    }
+}
+
+fn drill_config(seed: u64, faults: Option<FaultPlan>) -> DrillConfig {
+    DrillConfig {
+        hosts: 300,
+        seed,
+        faults,
+        ..Default::default()
+    }
+}
+
+/// The fail-static guarantee end to end: while the KV store is dark the
+/// drill agent holds its marking decision exactly — it never reads the
+/// outage as "no traffic" and unthrottles the fleet back to CR 1.0.
+#[test]
+fn mid_drill_outage_never_unthrottles() {
+    for seed in seeds() {
+        let r = run_drill(&drill_config(seed, Some(outage_plan(seed))));
+        let unavailable = r.series("kv_unavailable");
+        let marked = r.series("marked_fraction");
+        let fail_static = r.series("fail_static");
+        let staleness = r.series("staleness_ms");
+
+        // The outage window covers exactly the expected ticks.
+        let dark_ticks: usize = unavailable.iter().filter(|&&v| v == 1.0).count();
+        assert_eq!(dark_ticks, 60, "seed {seed:#x}: 30 min at 30 s ticks");
+        assert_eq!(
+            *fail_static.last().unwrap() as usize,
+            dark_ticks,
+            "seed {seed:#x}: every dark tick ran fail-static"
+        );
+
+        // Entering the outage the service was over entitlement and
+        // being marked; the held decision must stay put, tick by tick.
+        let first_dark = unavailable.iter().position(|&v| v == 1.0).unwrap();
+        let held = marked[first_dark];
+        assert!(
+            held > 0.05,
+            "seed {seed:#x}: marking active before the outage, got {held}"
+        );
+        for (i, &u) in unavailable.iter().enumerate() {
+            if u == 1.0 {
+                assert!(
+                    (marked[i] - held).abs() < 1e-9,
+                    "seed {seed:#x}: tick {i} moved the held decision: {} vs {held}",
+                    marked[i]
+                );
+            }
+        }
+
+        // Staleness climbs to the full outage and resets on recovery.
+        let max_staleness = staleness.iter().fold(0.0f64, |a, &b| a.max(b));
+        assert!(
+            (max_staleness - 30.0 * 60_000.0).abs() <= 30_000.0 + 1.0,
+            "seed {seed:#x}: staleness should reach ~30 min, got {max_staleness}"
+        );
+        let last_dark = unavailable.iter().rposition(|&v| v == 1.0).unwrap();
+        assert_eq!(
+            staleness[last_dark + 1],
+            0.0,
+            "seed {seed:#x}: fresh aggregates after recovery"
+        );
+    }
+}
+
+/// After the store recovers, the faulted drill reconverges to the
+/// healthy drill's trajectory within a bounded number of cycles.
+#[test]
+fn drill_reconverges_after_recovery() {
+    const RECONVERGE_TICKS: usize = 10; // 5 minutes of 30 s cycles
+    for seed in seeds() {
+        let healthy = run_drill(&drill_config(seed, None));
+        let faulted = run_drill(&drill_config(seed, Some(outage_plan(seed))));
+        let hm = healthy.series("marked_fraction");
+        let fm = faulted.series("marked_fraction");
+        let unavailable = faulted.series("kv_unavailable");
+        let last_dark = unavailable.iter().rposition(|&v| v == 1.0).unwrap();
+
+        // From recovery + N ticks until the ACL rollback, the faulted
+        // run tracks the healthy one again.
+        let rollback_tick = (225.0 * 2.0) as usize; // minute 225 at 30 s ticks
+        for i in (last_dark + RECONVERGE_TICKS)..rollback_tick {
+            assert!(
+                (fm[i] - hm[i]).abs() < 0.15,
+                "seed {seed:#x}: tick {i} still diverged after recovery: \
+                 faulted {} vs healthy {}",
+                fm[i],
+                hm[i]
+            );
+        }
+        // And the healthy prefix (before the outage) is bit-identical:
+        // routing the metering loop through the KV store is exact.
+        let first_dark = unavailable.iter().position(|&v| v == 1.0).unwrap();
+        assert_eq!(
+            &hm[..first_dark],
+            &fm[..first_dark],
+            "seed {seed:#x}: pre-outage trajectories must match exactly"
+        );
+    }
+}
+
+/// The daemon fleet under a mid-run outage: every agent goes
+/// fail-static (nobody unthrottles), and once the store recovers the
+/// fleet reconverges on the same decision within the remaining rounds.
+#[tokio::test(flavor = "multi_thread", worker_threads = 4)]
+async fn fleet_outage_holds_then_reconverges() {
+    for seed in seeds() {
+        let out = run_fleet(DaemonConfig {
+            hosts: 10,
+            npg: NpgId(7),
+            qos: QosClass::C2,
+            region: RegionId(0),
+            entitled: Rate::gbps(50.0),
+            per_host_rate: Rate::gbps(10.0), // 100G offered vs 50G entitled
+            cycle: Duration::from_millis(40),
+            cycles: 16,
+            // Rounds 5..=9 dark (logical ms 200..=360), 7 healthy
+            // rounds afterwards to reconverge.
+            faults: Some(FaultPlan {
+                seed,
+                faults: vec![Fault {
+                    window: TimeWindow::new(5 * 40, 9 * 40 + 1),
+                    kind: FaultKind::ShardOutage { shards: vec![] },
+                }],
+            }),
+            retry: RetryPolicy::default(),
+        })
+        .await;
+
+        assert!(
+            out.fail_static_cycles > 0,
+            "seed {seed:#x}: the outage rounds ran fail-static"
+        );
+        // Nobody unthrottled on "no data"...
+        assert!(
+            out.marked_fractions.iter().all(|&m| m > 0.25),
+            "seed {seed:#x}: an agent unthrottled: {:?}",
+            out.marked_fractions
+        );
+        // ...and after recovery the fleet agrees on ~half marked again.
+        let first = out.marked_fractions[0];
+        assert!(
+            out.marked_fractions.iter().all(|&m| (m - first).abs() < 1e-9),
+            "seed {seed:#x}: agents disagree after recovery: {:?}",
+            out.marked_fractions
+        );
+        assert!(
+            (first - 0.5).abs() < 0.2,
+            "seed {seed:#x}: reconverged marked fraction {first} near 0.5"
+        );
+    }
+}
+
+/// The shipped example fault plans stay parseable — they are the CLI's
+/// documented entry point (`entitlectl drill --faults`).
+#[test]
+fn example_fault_plans_parse() {
+    for path in ["examples/faults/kv_outage.json", "examples/faults/degraded_store.json"] {
+        let text = std::fs::read_to_string(path).expect(path);
+        let plan = FaultPlan::from_json(&text).expect(path);
+        assert!(!plan.is_empty(), "{path} should describe faults");
+        // Round-trip through the serializer.
+        let again = FaultPlan::from_json(&plan.to_json()).expect(path);
+        assert_eq!(plan, again);
+    }
+}
