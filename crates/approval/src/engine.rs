@@ -3,7 +3,8 @@
 use crate::types::{HoseApproval, PipeApproval};
 use entitlement_core::{NpgId, Rate, SloTarget};
 use entitlement_hose::{generate_tms, HoseRequest, TmGenConfig};
-use entitlement_risk::{assess_risk, RiskConfig};
+use entitlement_obs::Obs;
+use entitlement_risk::{assess_risk_detailed_obs, RiskConfig};
 use entitlement_topology::routing::Demand;
 use entitlement_topology::{ScenarioSet, Topology};
 use serde::{Deserialize, Serialize};
@@ -99,7 +100,39 @@ pub fn pipe_approval(
     background: &[Demand],
     config: &ApprovalConfig,
 ) -> Vec<PipeApproval> {
-    let curves = assess_risk(
+    pipe_approval_obs(
+        topo,
+        scenarios,
+        demands,
+        requested,
+        slo,
+        background,
+        config,
+        &Obs::disabled(),
+    )
+}
+
+/// [`pipe_approval`] with telemetry: an `approval`/`pipe_approval` span
+/// labelled with the pipe count and SLO target, plus the risk sweep's
+/// own spans and histograms (see
+/// [`entitlement_risk::assess_risk_detailed_obs`]). Approvals are
+/// identical to the un-instrumented path.
+#[allow(clippy::too_many_arguments)]
+pub fn pipe_approval_obs(
+    topo: &Topology,
+    scenarios: &ScenarioSet,
+    demands: &[Demand],
+    requested: &[Rate],
+    slo: SloTarget,
+    background: &[Demand],
+    config: &ApprovalConfig,
+    obs: &Obs,
+) -> Vec<PipeApproval> {
+    let span = obs
+        .span("approval", "pipe_approval")
+        .label("pipes", &demands.len().to_string())
+        .label("slo", &format!("{:.4}", slo.availability()));
+    let curves = assess_risk_detailed_obs(
         topo,
         demands,
         scenarios,
@@ -109,7 +142,9 @@ pub fn pipe_approval(
             workers: config.workers,
             dedup: config.dedup,
         },
-    );
+        obs,
+    )
+    .curves;
     let mut out: Vec<PipeApproval> = demands
         .iter()
         .zip(requested)
@@ -133,6 +168,7 @@ pub fn pipe_approval(
             p.approved = Rate::ZERO;
         }
     }
+    span.finish();
     out
 }
 
@@ -162,6 +198,17 @@ pub fn hose_approval(
     slos: &[SloTarget],
     config: &ApprovalConfig,
 ) -> Vec<HoseApproval> {
+    hose_approval_obs(topo, hoses, slos, config, &Obs::disabled())
+}
+
+/// [`hose_approval`] with telemetry (see [`approve_requests_obs`]).
+pub fn hose_approval_obs(
+    topo: &Topology,
+    hoses: &[HoseRequest],
+    slos: &[SloTarget],
+    config: &ApprovalConfig,
+    obs: &Obs,
+) -> Vec<HoseApproval> {
     assert_eq!(hoses.len(), slos.len());
     let requests: Vec<ApprovalRequest> = hoses
         .iter()
@@ -172,7 +219,7 @@ pub fn hose_approval(
             slo,
         })
         .collect();
-    approve_requests(topo, &requests, config)
+    approve_requests_obs(topo, &requests, config, obs)
 }
 
 /// Algorithm 2 with the paper's full eight-bucket priority order:
@@ -184,20 +231,48 @@ pub fn approve_requests(
     requests: &[ApprovalRequest],
     config: &ApprovalConfig,
 ) -> Vec<HoseApproval> {
+    approve_requests_obs(topo, requests, config, &Obs::disabled())
+}
+
+/// [`approve_requests`] with telemetry: per-phase spans (`preflight`,
+/// `gen_demand`, one `hose_approval` per hose labelled with its QoS
+/// class and NPG, `aggregate`), a per-hose wall-time histogram
+/// `entitlement_approval_hose_ms{qos}` and an outcome counter
+/// `entitlement_approval_hoses_total{qos,outcome}` in `obs.registry`.
+/// Approvals are identical to the un-instrumented path.
+pub fn approve_requests_obs(
+    topo: &Topology,
+    requests: &[ApprovalRequest],
+    config: &ApprovalConfig,
+    obs: &Obs,
+) -> Vec<HoseApproval> {
     let hoses: Vec<&HoseRequest> = requests.iter().map(|r| &r.hose).collect();
     let scenarios = ScenarioSet::enumerate(topo, config.max_cuts);
 
     // Pre-flight: reject statically invalid hoses before spending any
     // simulation on them — they would at best produce garbage curves.
     let rejected: Vec<bool> = if config.preflight {
+        let mut span = obs
+            .span("approval", "preflight")
+            .label("hoses", &requests.len().to_string());
         let owned: Vec<HoseRequest> = requests.iter().map(|r| r.hose.clone()).collect();
-        preflight_rejections(topo, &owned)
+        let r = preflight_rejections(topo, &owned);
+        span.add_label(
+            "rejected",
+            &r.iter().filter(|&&x| x).count().to_string(),
+        );
+        span.finish();
+        r
     } else {
         vec![false; hoses.len()]
     };
 
     // GEN_DEMAND: representative pipe realizations per hose.
     // realizations[h] = Vec<TM>, each TM = Vec<(dst, rate)>.
+    let gen_span = obs
+        .span("approval", "gen_demand")
+        .label("hoses", &hoses.len().to_string())
+        .label("tms_per_hose", &config.tms_per_hose.to_string());
     let mut realizations: Vec<Vec<Vec<Demand>>> = Vec::with_capacity(hoses.len());
     for (hi, &hose) in hoses.iter().enumerate() {
         if rejected[hi] {
@@ -239,6 +314,7 @@ pub fn approve_requests(
         }
         realizations.push(per_hose);
     }
+    gen_span.finish();
 
     // Bucket order: the eight c1_low…c4_high buckets, low-touch first
     // within a bucket, then NPG id for determinism.
@@ -258,12 +334,37 @@ pub fn approve_requests(
     let mut background: Vec<Demand> = Vec::new();
     let mut results: Vec<(usize, HoseApproval)> = Vec::with_capacity(hoses.len());
 
+    let hose_ms = |qos: &str| {
+        obs.registry.histogram(
+            "entitlement_approval_hose_ms",
+            "Per-hose approval wall time in milliseconds (obs clock)",
+            &[("qos", qos)],
+        )
+    };
+    let outcome_counter = |qos: &str, outcome: &str| {
+        obs.registry.counter(
+            "entitlement_approval_hoses_total",
+            "Hose approvals by QoS class and outcome",
+            &[("qos", qos), ("outcome", outcome)],
+        )
+    };
+
     for &h in &order {
         let hose = hoses[h];
         let slo = requests[h].slo;
+        let qos = format!("{:?}", hose.qos);
+        let t0 = obs.clock.now_ms();
+        let mut hose_span = obs
+            .span("approval", "hose_approval")
+            .label("qos", &qos)
+            .label("npg", &hose.npg.0.to_string());
         if rejected[h] {
             // Analyzer-rejected: zero grant, no counter-proposal, and
             // nothing added to the background of lower classes.
+            hose_span.add_label("outcome", "rejected");
+            hose_span.finish();
+            outcome_counter(&qos, "rejected").inc();
+            hose_ms(&qos).record(obs.clock.now_ms().saturating_sub(t0) as f64);
             results.push((
                 h,
                 HoseApproval {
@@ -280,7 +381,7 @@ pub fn approve_requests(
         let mut best_realization: Option<(Rate, Vec<PipeApproval>)> = None;
         for tm in &realizations[h] {
             let requested: Vec<Rate> = tm.iter().map(|d| d.amount).collect();
-            let approvals = pipe_approval(
+            let approvals = pipe_approval_obs(
                 topo,
                 &scenarios,
                 tm,
@@ -288,6 +389,7 @@ pub fn approve_requests(
                 slo,
                 &background,
                 config,
+                obs,
             );
             let sum: Rate = approvals.iter().map(|p| p.approved).sum();
             per_realization.push(sum);
@@ -321,6 +423,17 @@ pub fn approve_requests(
                 }
             }
         }
+        let outcome = if approved_total.as_bps() >= hose.total.as_bps() {
+            "approved"
+        } else if approved_total.is_zero() {
+            "zero"
+        } else {
+            "partial"
+        };
+        hose_span.add_label("outcome", outcome);
+        hose_span.finish();
+        outcome_counter(&qos, outcome).inc();
+        hose_ms(&qos).record(obs.clock.now_ms().saturating_sub(t0) as f64);
         results.push((
             h,
             HoseApproval {
@@ -333,8 +446,13 @@ pub fn approve_requests(
         ));
     }
     // Back to input order (the sweep visited hoses in bucket order).
+    let agg_span = obs
+        .span("approval", "aggregate")
+        .label("hoses", &results.len().to_string());
     results.sort_by_key(|&(i, _)| i);
-    results.into_iter().map(|(_, r)| r).collect()
+    let out: Vec<HoseApproval> = results.into_iter().map(|(_, r)| r).collect();
+    agg_span.finish();
+    out
 }
 
 #[cfg(test)]
@@ -523,6 +641,39 @@ mod tests {
         assert_eq!(out[0].counter_proposal, Rate::ZERO);
         assert!(out[0].per_realization.is_empty(), "no sweep for gated hoses");
         assert!(out[1].fully_approved(), "the valid hose still clears");
+    }
+
+    #[test]
+    fn instrumented_approval_emits_phase_spans_and_matches_plain() {
+        let t = topo();
+        let dcs = t.dc_ids();
+        let mk = || hose(1, QosClass::C1, dcs[0], Rate::gbps(10.0), &t);
+        let slo = SloTarget::new(0.99).unwrap();
+        let obs = Obs::new(entitlement_obs::Clock::counting(1));
+        let cfg = ApprovalConfig::default();
+        let traced = hose_approval_obs(&t, &[mk()], &[slo], &cfg, &obs);
+        let plain = hose_approval(&t, &[mk()], &[slo], &cfg);
+        assert_eq!(traced[0].approved_total, plain[0].approved_total);
+
+        let phases: std::collections::BTreeSet<String> =
+            obs.trace.events().iter().map(|e| e.phase.clone()).collect();
+        for p in [
+            "preflight",
+            "gen_demand",
+            "hose_approval",
+            "pipe_approval",
+            "aggregate",
+            "sweep",
+            "merge",
+        ] {
+            assert!(phases.contains(p), "missing phase {p}: {phases:?}");
+        }
+        let text = obs.registry.render();
+        assert!(
+            text.contains("entitlement_approval_hoses_total{outcome=\"approved\",qos=\"C1\"} 1"),
+            "{text}"
+        );
+        assert!(text.contains("entitlement_approval_hose_ms_count{qos=\"C1\"} 1"));
     }
 
     #[test]

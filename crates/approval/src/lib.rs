@@ -27,6 +27,6 @@ pub mod engine;
 pub mod negotiate;
 pub mod types;
 
-pub use engine::{approve_requests, hose_approval, pipe_approval, ApprovalConfig, ApprovalMode, ApprovalRequest};
+pub use engine::{approve_requests, approve_requests_obs, hose_approval, hose_approval_obs, pipe_approval, pipe_approval_obs, ApprovalConfig, ApprovalMode, ApprovalRequest};
 pub use negotiate::{negotiate, shrink_to_fit, Agreement, ServicePolicy, ThresholdPolicy};
 pub use types::{ApprovalSummary, HoseApproval, PipeApproval};

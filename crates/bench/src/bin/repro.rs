@@ -11,9 +11,16 @@
 //! the approval experiments (fig22): `N` scoped threads route the
 //! failure scenarios (0 = one per core), and dedup routes each distinct
 //! failure set once. Both are output-invariant.
+//!
+//! `--trace out.jsonl` / `--metrics out.prom` collect span traces and a
+//! Prometheus snapshot from the drill experiments (fig11–fig17): agent
+//! cycles, KV operations, and staleness histograms, stamped by a
+//! deterministic logical clock. Validate or summarize the outputs with
+//! `entitlectl obs summarize`.
 
 use entitlement_bench::experiments as exp;
 use entitlement_enforcement::MarkingStrategy;
+use entitlement_obs::{Clock, Obs};
 
 const INDEX: &[(&str, &str)] = &[
     ("fig1", "service distribution of a high QoS class"),
@@ -48,6 +55,50 @@ struct SweepOpts {
     dedup: bool,
 }
 
+/// `--trace` / `--metrics` output paths (drill experiments only).
+#[derive(Clone, Default)]
+struct TeleOpts {
+    trace: Option<String>,
+    metrics: Option<String>,
+}
+
+impl TeleOpts {
+    fn from_args(args: &[String]) -> Self {
+        let value = |name: &str| {
+            args.iter()
+                .position(|a| a == name)
+                .and_then(|i| args.get(i + 1).cloned())
+        };
+        TeleOpts {
+            trace: value("--trace"),
+            metrics: value("--metrics"),
+        }
+    }
+
+    fn requested(&self) -> bool {
+        self.trace.is_some() || self.metrics.is_some()
+    }
+
+    fn make_obs(&self) -> Obs {
+        if self.requested() {
+            Obs::new(Clock::counting(1))
+        } else {
+            Obs::disabled()
+        }
+    }
+
+    fn write(&self, obs: &Obs) {
+        if let Some(path) = &self.trace {
+            std::fs::write(path, obs.trace.to_jsonl()).expect("write trace");
+            eprintln!("{} trace event(s) written to {path}", obs.trace.len());
+        }
+        if let Some(path) = &self.metrics {
+            std::fs::write(path, obs.registry.render()).expect("write metrics");
+            eprintln!("metrics written to {path}");
+        }
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let json = args.iter().any(|a| a == "--json");
@@ -60,6 +111,7 @@ fn main() {
             .unwrap_or(1),
         dedup: !args.iter().any(|a| a == "--no-dedup"),
     };
+    let tele = TeleOpts::from_args(&args);
     let id = args.first().map_or("list", String::as_str);
 
     match id {
@@ -75,10 +127,10 @@ fn main() {
                 "fig1", "fig2", "fig3", "fig4", "fig6", "fig7", "fig11", "fig18", "fig19",
                 "fig20", "fig21", "fig22", "fig23", "ablations",
             ] {
-                run(id, json, sweep);
+                run(id, json, sweep, &tele);
             }
         }
-        _ => run(id, json, sweep),
+        _ => run(id, json, sweep, &tele),
     }
 }
 
@@ -93,32 +145,34 @@ fn emit<T: serde::Serialize>(json: bool, id: &str, value: &T, print: impl FnOnce
     }
 }
 
-fn run(id: &str, json: bool, sweep: SweepOpts) {
+fn run(id: &str, json: bool, sweep: SweepOpts, tele: &TeleOpts) {
     match id {
         "fig1" | "fig2" => {
             let (high, low) = exp::service_distribution::run(0x51);
             let d = if id == "fig1" { high } else { low };
-            emit(json, id, &d, || d.print());
+            emit(json, id, &d, || print!("{}", d.render()));
         }
         "fig3" => {
             let p = exp::storage_patterns::run(2.0);
-            emit(json, id, &p, || p.print());
+            emit(json, id, &p, || print!("{}", p.render()));
         }
         "fig4" | "fig5" => {
             let r = exp::incident::run(5);
-            emit(json, id, &r, || r.print());
+            emit(json, id, &r, || print!("{}", r.render()));
         }
         "fig6" => {
             let e = exp::hose_example::run();
-            emit(json, id, &e, || e.print());
+            emit(json, id, &e, || print!("{}", e.render()));
         }
         "fig7" => {
             let d = exp::src_distribution::run(0x51);
-            emit(json, id, &d, || d.print());
+            emit(json, id, &d, || print!("{}", d.render()));
         }
         "fig11" | "fig12" | "fig13" | "fig14" | "fig15" | "fig16" | "fig17" => {
-            let r = exp::drill::run(MarkingStrategy::HostBased);
-            emit(json, id, &r, || r.print());
+            let obs = tele.make_obs();
+            let r = exp::drill::run_obs(MarkingStrategy::HostBased, &obs);
+            emit(json, id, &r, || print!("{}", r.render()));
+            tele.write(&obs);
         }
         "fig18" | "fig19" => {
             let seed = if id == "fig18" { 0xF18 } else { 0xF19 };
@@ -127,15 +181,15 @@ fn run(id: &str, json: bool, sweep: SweepOpts) {
                 ..Default::default()
             });
             let label = if id == "fig18" { "QoS A" } else { "QoS B" };
-            emit(json, id, &acc, || acc.print(label));
+            emit(json, id, &acc, || print!("{}", acc.render(label)));
         }
         "fig20" => {
             let b = exp::segmented_benefit::run(&Default::default());
-            emit(json, id, &b, || b.print());
+            emit(json, id, &b, || print!("{}", b.render()));
         }
         "fig21" => {
             let c = exp::coverage_tradeoff::run(4000, 400, 0xF21);
-            emit(json, id, &c, || c.print());
+            emit(json, id, &c, || print!("{}", c.render()));
         }
         "fig22" => {
             let a = exp::approval_slo::run_with_sweep(
@@ -145,11 +199,11 @@ fn run(id: &str, json: bool, sweep: SweepOpts) {
                 sweep.workers,
                 sweep.dedup,
             );
-            emit(json, id, &a, || a.print());
+            emit(json, id, &a, || print!("{}", a.render()));
         }
         "fig23" | "fig24" | "fig25" => {
             let m = exp::marking::run(60);
-            emit(json, id, &m, || m.print());
+            emit(json, id, &m, || print!("{}", m.render()));
         }
         "ablations" => {
             let s = exp::ablations::segments_ablation(20, 0xAB1);
@@ -162,10 +216,7 @@ fn run(id: &str, json: bool, sweep: SweepOpts) {
                 emit(json, "ablation_architecture", &a, || {});
                 emit(json, "ablation_srlg", &g, || {});
             } else {
-                s.print();
-                r.print();
-                a.print();
-                g.print();
+                print!("{}{}{}{}", s.render(), r.render(), a.render(), g.render());
             }
         }
         other => {

@@ -4,6 +4,7 @@
 //! * the stateful meter's recovery factor;
 //! * centralized (gen-1) vs distributed (gen-2) enforcement.
 
+use std::fmt::Write as _;
 use entitlement_core::{DetRng, Direction, NpgId, QosClass, Rate, RegionId};
 use entitlement_enforcement::controller::{centralized_waste, ControllerConfig};
 use entitlement_enforcement::convergence::{simulate_marking, MarkingSim};
@@ -54,13 +55,16 @@ pub fn segments_ablation(cases: usize, seed: u64) -> SegmentsAblation {
 }
 
 impl SegmentsAblation {
-    /// Print the table.
-    pub fn print(&self) {
-        println!("\n## Ablation: N-segment hose reserved capacity");
-        println!("{:>10}  {:>16}", "segments", "mean reserved G");
+    /// Render the table.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "\n## Ablation: N-segment hose reserved capacity");
+        let _ = writeln!(out, "{:>10}  {:>16}", "segments", "mean reserved G");
         for (n, r) in self.segments.iter().zip(&self.mean_reserved_gbps) {
-            println!("{n:>10}  {r:>16.0}");
+            let _ = writeln!(out, "{n:>10}  {r:>16.0}");
         }
+        out
     }
 }
 
@@ -105,10 +109,12 @@ pub fn recovery_ablation() -> RecoveryAblation {
 }
 
 impl RecoveryAblation {
-    /// Print the table.
-    pub fn print(&self) {
-        println!("\n## Ablation: stateful recovery factor");
-        println!(
+    /// Render the table.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "\n## Ablation: stateful recovery factor");
+        let _ = writeln!(out, 
             "{:>8}  {:>12}  {:>14}",
             "factor", "conv. iter", "steady Tbps"
         );
@@ -119,11 +125,12 @@ impl RecoveryAblation {
             } else {
                 c.to_string()
             };
-            println!(
+            let _ = writeln!(out, 
                 "{:>8.1}  {cs:>12}  {:>14.2}",
                 self.factors[i], self.steady_mean_tbps[i]
             );
         }
+        out
     }
 }
 
@@ -173,17 +180,20 @@ pub fn architecture_ablation() -> ArchitectureAblation {
 }
 
 impl ArchitectureAblation {
-    /// Print the table.
-    pub fn print(&self) {
-        println!("\n## Ablation: centralized (gen-1) vs distributed (gen-2)");
-        println!("{:>18}  {:>14}", "decision interval", "wasted Tbps·t");
+    /// Render the table.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "\n## Ablation: centralized (gen-1) vs distributed (gen-2)");
+        let _ = writeln!(out, "{:>18}  {:>14}", "decision interval", "wasted Tbps·t");
         for (i, w) in self.intervals.iter().zip(&self.wasted_tbps) {
-            println!("{i:>18}  {w:>14.2}");
+            let _ = writeln!(out, "{i:>18}  {w:>14.2}");
         }
-        println!(
+        let _ = writeln!(out, 
             "controller compute per round at 100k hosts: {:.1}s (distributed: none)",
             self.compute_cost_100k_secs
         );
+        out
     }
 }
 
@@ -234,16 +244,19 @@ pub fn srlg_ablation(seed: u64) -> SrlgAblation {
 }
 
 impl SrlgAblation {
-    /// Print the table.
-    pub fn print(&self) {
-        println!("\n## Ablation: correlated (SRLG) vs independent failures");
-        println!("{:>12}  {:>10}  {:>14}", "merge prob", "conduits", "granted @99%");
+    /// Render the table.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "\n## Ablation: correlated (SRLG) vs independent failures");
+        let _ = writeln!(out, "{:>12}  {:>10}  {:>14}", "merge prob", "conduits", "granted @99%");
         for i in 0..self.merge_probabilities.len() {
-            println!(
+            let _ = writeln!(out, 
                 "{:>12.1}  {:>10}  {:>13.0}G",
                 self.merge_probabilities[i], self.conduit_counts[i], self.granted_gbps[i]
             );
         }
+        out
     }
 }
 

@@ -3,6 +3,7 @@
 //! reserved against failures and the approved share of requests falls;
 //! egress and ingress exhibit the same trend.
 
+use std::fmt::Write as _;
 use entitlement_approval::{hose_approval, ApprovalConfig, ApprovalSummary};
 use entitlement_core::{Direction, NpgId, QosClass, SloTarget};
 use entitlement_hose::HoseRequest;
@@ -102,17 +103,20 @@ pub fn run_with_sweep(
 }
 
 impl ApprovalSlo {
-    /// Print the two series.
-    pub fn print(&self) {
-        println!("\n## Fig 22: approval percentage vs availability SLO");
-        println!("{:>14}  {:>10}  {:>10}", "availability", "egress", "ingress");
+    /// Render the two series.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "\n## Fig 22: approval percentage vs availability SLO");
+        let _ = writeln!(out, "{:>14}  {:>10}  {:>10}", "availability", "egress", "ingress");
         for (i, a) in self.availability.iter().enumerate() {
-            println!(
+            let _ = writeln!(out, 
                 "{a:>14.4}  {:>9.1}%  {:>9.1}%",
                 self.egress_approval[i] * 100.0,
                 self.ingress_approval[i] * 100.0
             );
         }
+        out
     }
 }
 

@@ -2,6 +2,7 @@
 //! rises with more TMs but with diminishing returns past ~2000, and the
 //! trend is consistent across QoS classes.
 
+use std::fmt::Write as _;
 use entitlement_core::{DetRng, Direction, NpgId, QosClass, Rate, RegionId};
 use entitlement_hose::coverage::coverage_curve;
 use entitlement_hose::HoseRequest;
@@ -56,21 +57,24 @@ pub fn run(max_tms: usize, probes: usize, seed: u64) -> CoverageTradeoff {
 }
 
 impl CoverageTradeoff {
-    /// Print every class's curve.
-    pub fn print(&self) {
-        println!("\n## Fig 21: hose coverage vs number of TMs");
-        print!("{:>8}", "tms");
+    /// Render every class's curve.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "\n## Fig 21: hose coverage vs number of TMs");
+        let _ = write!(out, "{:>8}", "tms");
         for c in &self.curves {
-            print!("  {:>8}", c.qos);
+            let _ = write!(out, "  {:>8}", c.qos);
         }
-        println!();
+        let _ = writeln!(out);
         for (row, &tms) in self.curves[0].tm_counts.iter().enumerate() {
-            print!("{tms:>8}");
+            let _ = write!(out, "{tms:>8}");
             for c in &self.curves {
-                print!("  {:>8.3}", c.coverage[row]);
+                let _ = write!(out, "  {:>8.3}", c.coverage[row]);
             }
-            println!();
+            let _ = writeln!(out);
         }
+        out
     }
 }
 

@@ -2,7 +2,8 @@
 //! [`entitlement_enforcement::drill::run_drill`] and slices the recorder
 //! into the seven figures.
 
-use entitlement_enforcement::drill::{run_drill, DrillConfig};
+use entitlement_enforcement::drill::{run_drill_obs, DrillConfig};
+use entitlement_obs::Obs;
 use entitlement_enforcement::MarkingStrategy;
 use entitlement_simnet::Recorder;
 use serde::{Deserialize, Serialize};
@@ -58,16 +59,28 @@ fn slice(r: &Recorder) -> DrillResult {
 
 /// Run the drill with the default (paper) timeline.
 pub fn run(strategy: MarkingStrategy) -> DrillResult {
-    let r = run_drill(&DrillConfig {
-        strategy,
-        ..Default::default()
-    });
+    run_obs(strategy, &Obs::disabled())
+}
+
+/// [`run`] with telemetry: agent-cycle spans, KV latency histograms,
+/// and staleness metrics land in `obs` (see
+/// [`entitlement_enforcement::drill::run_drill_obs`]).
+pub fn run_obs(strategy: MarkingStrategy, obs: &Obs) -> DrillResult {
+    let r = run_drill_obs(
+        &DrillConfig {
+            strategy,
+            ..Default::default()
+        },
+        obs,
+    );
     slice(&r)
 }
 
 impl DrillResult {
-    /// Print all seven figures.
-    pub fn print(&self) {
+    /// Render all seven figures.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
         let n = 26;
         let xs = super::downsample(&self.minutes, n);
         type Row<'a> = (&'a str, &'a str, &'a Vec<f64>, Option<&'a Vec<f64>>);
@@ -85,11 +98,12 @@ impl DrillResult {
             match b {
                 Some(b) => {
                     let db = super::downsample(b, n);
-                    super::print_multi(title, "minute", &xs, &[(label, &da), ("", &db)]);
+                    out.push_str(&super::render_multi(title, "minute", &xs, &[(label, &da), ("", &db)]));
                 }
-                None => super::print_series(title, "minute", label, &xs, &da),
+                None => out.push_str(&super::render_series(title, "minute", label, &xs, &da)),
             }
         }
+        out
     }
 }
 

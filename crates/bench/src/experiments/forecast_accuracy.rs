@@ -10,6 +10,7 @@
 //! fraction of services surprise fleet events that are present in the
 //! ground truth but hidden from the model's regressors.
 
+use std::fmt::Write as _;
 use entitlement_core::period::DAYS_PER_MONTH;
 use entitlement_core::stats::{percentile, smape};
 use entitlement_core::{DetRng, Rate};
@@ -186,13 +187,15 @@ impl ForecastAccuracy {
         self.smape_p50.iter().filter(|&&e| e > 1.0).count()
     }
 
-    /// Print the CDF at decile points.
-    pub fn print(&self, label: &str) {
-        println!("\n## Fig 18/19: forecast sMAPE CDF ({label})");
-        println!("{:>10}  {:>8}  {:>8}  {:>8}", "fraction", "p50", "p75", "p90");
+    /// Render the CDF at decile points.
+    #[must_use]
+    pub fn render(&self, label: &str) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "\n## Fig 18/19: forecast sMAPE CDF ({label})");
+        let _ = writeln!(out, "{:>10}  {:>8}  {:>8}  {:>8}", "fraction", "p50", "p75", "p90");
         for decile in 1..=10 {
             let f = decile as f64 * 10.0;
-            println!(
+            let _ = writeln!(out, 
                 "{:>9.0}%  {:>8.3}  {:>8.3}  {:>8.3}",
                 f,
                 percentile(&self.smape_p50, f),
@@ -200,11 +203,12 @@ impl ForecastAccuracy {
                 percentile(&self.smape_p90, f),
             );
         }
-        println!(
+        let _ = writeln!(out, 
             "below 0.4: {:.0}%  anomalies (>1.0): {}",
             self.fraction_below(0.4) * 100.0,
             self.anomalies()
         );
+        out
     }
 }
 

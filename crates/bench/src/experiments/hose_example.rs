@@ -2,6 +2,7 @@
 //! paper's worked example (Ads in region A, forecast 300/100/250/250 G
 //! to B/C/D/E): pipe 900G, general hose 3600G, segmented hose 1800G.
 
+use std::fmt::Write as _;
 use entitlement_core::{Direction, NpgId, QosClass, Rate, RegionId};
 use entitlement_hose::request::{HoseSegment, PipeRequest};
 use entitlement_hose::HoseRequest;
@@ -64,18 +65,21 @@ pub fn run() -> HoseExample {
 }
 
 impl HoseExample {
-    /// Print the comparison.
-    pub fn print(&self) {
-        println!("\n## Fig 6: reserved capacity per contract model");
-        println!("pipe model       {:>8.0} G (paper: 900 G)", self.pipe_gbps);
-        println!(
+    /// Render the comparison.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "\n## Fig 6: reserved capacity per contract model");
+        let _ = writeln!(out, "pipe model       {:>8.0} G (paper: 900 G)", self.pipe_gbps);
+        let _ = writeln!(out, 
             "general hose     {:>8.0} G (paper: 3600 G)",
             self.general_hose_gbps
         );
-        println!(
+        let _ = writeln!(out, 
             "segmented hose   {:>8.0} G (paper: 1800 G)",
             self.segmented_hose_gbps
         );
+        out
     }
 }
 

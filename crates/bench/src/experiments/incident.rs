@@ -7,6 +7,7 @@
 //! modeled as its own (already highly utilized) queue; the misbehaving
 //! service has most of its traffic in Class A and some in Class B.
 
+use std::fmt::Write as _;
 use entitlement_core::Rate;
 use entitlement_simnet::{Bottleneck, MarkingCommand, World, WorldConfig};
 use entitlement_workload::Incident;
@@ -107,30 +108,33 @@ pub fn run(seed: u64) -> IncidentResult {
 }
 
 impl IncidentResult {
-    /// Print Fig 4 and Fig 5 series.
-    pub fn print(&self) {
+    /// Render Fig 4 and Fig 5 series.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
         let xs = super::downsample(&self.minutes, 24);
         let rate = super::downsample(&self.service_rate_tbps, 24);
-        super::print_series(
+        out.push_str(&super::render_series(
             "Fig 4: misbehaving service rate (Tbps)",
             "minute",
             "rate",
             &xs,
             &rate,
-        );
+        ));
         let a = super::downsample(&self.class_a_loss, 24);
         let b = super::downsample(&self.class_b_loss, 24);
-        super::print_multi(
+        out.push_str(&super::render_multi(
             "Fig 5: loss induced on two QoS classes",
             "minute",
             &xs,
             &[("classA_loss", &a), ("classB_loss", &b)],
-        );
-        println!(
+        ));
+        let _ = writeln!(out, 
             "peak loss: classA {:.1}%, classB {:.1}%",
             self.peak_a_loss * 100.0,
             self.peak_b_loss * 100.0
         );
+        out
     }
 }
 

@@ -2,6 +2,7 @@
 //! [`entitlement_enforcement::convergence`] across the paper's loss
 //! stages (0%, 12.5%, 25%, 50%, 100%).
 
+use std::fmt::Write as _;
 use entitlement_enforcement::convergence::{run_both, MarkingSimResult};
 use serde::{Deserialize, Serialize};
 
@@ -35,46 +36,51 @@ pub fn run(iterations: usize) -> MarkingConvergence {
 }
 
 impl MarkingConvergence {
-    /// Print the three figures' content.
-    pub fn print(&self) {
-        println!("\n## Fig 23: stateless marking, instantaneous conforming rate (Tbps)");
-        self.print_algo(|r| &r.conforming_tbps, &self.stateless);
-        println!("\n## Fig 24: stateless marking, average conforming rate (Tbps)");
-        self.print_algo(|r| &r.average_tbps, &self.stateless);
-        println!("\n## Fig 25: stateful marking, instantaneous conforming rate (Tbps)");
-        self.print_algo(|r| &r.conforming_tbps, &self.stateful);
-        println!("\nsteady-state summary (entitlement = 5 Tbps):");
-        println!(
+    /// Render the three figures' content.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "\n## Fig 23: stateless marking, instantaneous conforming rate (Tbps)");
+        out.push_str(&self.render_algo(|r| &r.conforming_tbps, &self.stateless));
+        let _ = writeln!(out, "\n## Fig 24: stateless marking, average conforming rate (Tbps)");
+        out.push_str(&self.render_algo(|r| &r.average_tbps, &self.stateless));
+        let _ = writeln!(out, "\n## Fig 25: stateful marking, instantaneous conforming rate (Tbps)");
+        out.push_str(&self.render_algo(|r| &r.conforming_tbps, &self.stateful));
+        let _ = writeln!(out, "\nsteady-state summary (entitlement = 5 Tbps):");
+        let _ = writeln!(out, 
             "{:>8}  {:>18}  {:>18}",
             "loss", "stateless mean", "stateful mean"
         );
         for (i, loss) in self.losses.iter().enumerate() {
-            println!(
+            let _ = writeln!(out, 
                 "{loss:>8.3}  {:>18.2}  {:>18.2}",
                 self.stateless[i].steady_mean_tbps(),
                 self.stateful[i].steady_mean_tbps()
             );
         }
+        out
     }
 
-    fn print_algo<'a>(
+    fn render_algo<'a>(
         &self,
         series: impl Fn(&'a MarkingSimResult) -> &'a Vec<f64>,
         results: &'a [MarkingSimResult],
-    ) {
-        print!("{:>6}", "iter");
+    ) -> String {
+        let mut out = String::new();
+        let _ = write!(out, "{:>6}", "iter");
         for loss in &self.losses {
-            print!("  loss={loss:<6.3}");
+            let _ = write!(out, "  loss={loss:<6.3}");
         }
-        println!();
+        let _ = writeln!(out);
         let n = results[0].conforming_tbps.len().min(20);
         for i in 0..n {
-            print!("{i:>6}");
+            let _ = write!(out, "{i:>6}");
             for r in results {
-                print!("  {:>11.2}", series(r)[i]);
+                let _ = write!(out, "  {:>11.2}", series(r)[i]);
             }
-            println!();
+            let _ = writeln!(out);
         }
+        out
     }
 }
 

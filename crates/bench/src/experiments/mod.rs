@@ -13,31 +13,39 @@ pub mod service_distribution;
 pub mod src_distribution;
 pub mod storage_patterns;
 
-/// A printable two-column series.
-pub fn print_series(title: &str, x_label: &str, y_label: &str, xs: &[f64], ys: &[f64]) {
-    println!("\n## {title}");
-    println!("{x_label:>14}  {y_label}");
+use std::fmt::Write as _;
+
+/// Render a two-column series as an aligned table.
+#[must_use]
+pub fn render_series(title: &str, x_label: &str, y_label: &str, xs: &[f64], ys: &[f64]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "\n## {title}");
+    let _ = writeln!(out, "{x_label:>14}  {y_label}");
     for (x, y) in xs.iter().zip(ys) {
-        println!("{x:>14.3}  {y:.4}");
+        let _ = writeln!(out, "{x:>14.3}  {y:.4}");
     }
+    out
 }
 
-/// Print several aligned series under one title.
-pub fn print_multi(title: &str, x_label: &str, xs: &[f64], series: &[(&str, &[f64])]) {
-    println!("\n## {title}");
-    print!("{x_label:>14}");
+/// Render several aligned series under one title.
+#[must_use]
+pub fn render_multi(title: &str, x_label: &str, xs: &[f64], series: &[(&str, &[f64])]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "\n## {title}");
+    let _ = write!(out, "{x_label:>14}");
     for (name, _) in series {
-        print!("  {name:>18}");
+        let _ = write!(out, "  {name:>18}");
     }
-    println!();
+    let _ = writeln!(out);
     for (i, x) in xs.iter().enumerate() {
-        print!("{x:>14.2}");
+        let _ = write!(out, "{x:>14.2}");
         for (_, ys) in series {
             let v = ys.get(i).copied().unwrap_or(f64::NAN);
-            print!("  {v:>18.4}");
+            let _ = write!(out, "  {v:>18.4}");
         }
-        println!();
+        let _ = writeln!(out);
     }
+    out
 }
 
 /// Downsample a series to at most `n` evenly spaced points (keeps print

@@ -3,6 +3,7 @@
 //! coverage. Paper: "in 90% of the cases, Segmented Hose needs 60% fewer
 //! TMs".
 
+use std::fmt::Write as _;
 use entitlement_core::stats::percentile;
 use entitlement_core::{DetRng, Direction, NpgId, QosClass, Rate, RegionId};
 use entitlement_hose::segment::FlowSeries;
@@ -127,20 +128,23 @@ impl SegmentedBenefit {
         percentile(&self.reductions, (1.0 - fraction) * 100.0)
     }
 
-    /// Print the CDF of reductions.
-    pub fn print(&self) {
-        println!("\n## Fig 20: TM-count reduction from segmentation (CDF)");
-        println!("cases resolved: {}", self.reductions.len());
+    /// Render the CDF of reductions.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "\n## Fig 20: TM-count reduction from segmentation (CDF)");
+        let _ = writeln!(out, "cases resolved: {}", self.reductions.len());
         for decile in [10.0, 25.0, 50.0, 75.0, 90.0] {
-            println!(
+            let _ = writeln!(out, 
                 "p{decile:<4} reduction: {:.1}%",
                 percentile(&self.reductions, decile) * 100.0
             );
         }
-        println!(
+        let _ = writeln!(out, 
             "reduction achieved in 90% of cases: {:.1}% (paper: ~60%)",
             self.at_fraction(0.9) * 100.0
         );
+        out
     }
 }
 

@@ -5,6 +5,7 @@
 //! the mix of dominating services differs between classes; storage
 //! services dominate overall.
 
+use std::fmt::Write as _;
 use entitlement_core::QosClass;
 use entitlement_workload::ontology::CatalogSpec;
 use entitlement_workload::ServiceCatalog;
@@ -52,16 +53,19 @@ fn distribution(catalog: &ServiceCatalog, qos: QosClass) -> ClassDistribution {
 }
 
 impl ClassDistribution {
-    /// Print the figure's pie-chart data as a table.
-    pub fn print(&self) {
-        println!("\n## Service distribution of QoS {}", self.qos);
-        println!("services with traffic: {}", self.service_count);
-        println!("top-10 share: {:.1}%", self.top10_share * 100.0);
+    /// Render the figure's pie-chart data as a table.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "\n## Service distribution of QoS {}", self.qos);
+        let _ = writeln!(out, "services with traffic: {}", self.service_count);
+        let _ = writeln!(out, "top-10 share: {:.1}%", self.top10_share * 100.0);
         for (name, share) in self.shares.iter().take(12) {
-            println!("{name:>20}  {:.2}%", share * 100.0);
+            let _ = writeln!(out, "{name:>20}  {:.2}%", share * 100.0);
         }
         let rest: f64 = self.shares.iter().skip(12).map(|(_, s)| s).sum();
-        println!("{:>20}  {:.2}%", "(long tail)", rest * 100.0);
+        let _ = writeln!(out, "{:>20}  {:.2}%", "(long tail)", rest * 100.0);
+        out
     }
 }
 

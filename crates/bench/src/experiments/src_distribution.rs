@@ -2,6 +2,7 @@
 //! destination DC for a storage service — the top three sources carry
 //! about 67% of the traffic, which is what makes segmentation work.
 
+use std::fmt::Write as _;
 use entitlement_core::QosClass;
 use entitlement_workload::matrix::MatrixSpec;
 use entitlement_workload::ontology::CatalogSpec;
@@ -47,16 +48,19 @@ pub fn run(seed: u64) -> SrcDistribution {
 }
 
 impl SrcDistribution {
-    /// Print the distribution.
-    pub fn print(&self) {
-        println!("\n## Fig 7: per-source share into one destination DC");
+    /// Render the distribution.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "\n## Fig 7: per-source share into one destination DC");
         for (r, s) in self.shares.iter().take(10) {
-            println!("  src r{r:<4} {:.1}%", s * 100.0);
+            let _ = writeln!(out, "  src r{r:<4} {:.1}%", s * 100.0);
         }
-        println!(
+        let _ = writeln!(out, 
             "top-3 sources: {:.1}% (paper: 67%)",
             self.top3_share * 100.0
         );
+        out
     }
 }
 

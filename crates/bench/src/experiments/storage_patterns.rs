@@ -2,6 +2,7 @@
 //! Coldstorage's regular rack-rotation spikes vs. Warmstorage's smooth
 //! time-of-day fluctuation.
 
+use std::fmt::Write as _;
 use entitlement_workload::TrafficPattern;
 use serde::{Deserialize, Serialize};
 
@@ -39,21 +40,24 @@ pub fn run(days: f64) -> StoragePatterns {
 }
 
 impl StoragePatterns {
-    /// Print a condensed view of the two series.
-    pub fn print(&self) {
+    /// Render a condensed view of the two series.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
         let xs = super::downsample(&self.hours, 25);
         let cold = super::downsample(&self.coldstorage, 25);
         let warm = super::downsample(&self.warmstorage, 25);
-        super::print_multi(
+        out.push_str(&super::render_multi(
             "Fig 3: storage traffic patterns (rate factor)",
             "hour",
             &xs,
             &[("coldstorage", &cold), ("warmstorage", &warm)],
-        );
-        println!(
+        ));
+        let _ = writeln!(out, 
             "CV: coldstorage {:.2}, warmstorage {:.2}",
             self.cold_cv, self.warm_cv
         );
+        out
     }
 }
 

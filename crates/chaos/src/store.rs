@@ -9,6 +9,7 @@
 
 use crate::plan::FaultPlan;
 use entitlement_kvstore::{KvAccess, KvClient, KvError, RetryPolicy, ShardedStore};
+use entitlement_obs::Obs;
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -155,16 +156,28 @@ pub struct ChaosKv {
     plan: Arc<FaultPlan>,
     /// Retry/backoff applied to aggregate reads.
     pub retry: RetryPolicy,
+    /// Telemetry bundle; disabled unless [`ChaosKv::with_obs`] is used.
+    obs: Obs,
 }
 
 impl ChaosKv {
-    /// Wrap a client.
+    /// Wrap a client (no telemetry).
     pub fn new(client: KvClient, plan: Arc<FaultPlan>, retry: RetryPolicy) -> Self {
         ChaosKv {
             client,
             plan,
             retry,
+            obs: Obs::disabled(),
         }
+    }
+
+    /// Route op outcomes and retry counts into `obs`: per-op outcome
+    /// counters plus an `entitlement_kv_retry_attempts` histogram, so
+    /// the retry amplification a fault plan causes is visible.
+    #[must_use]
+    pub fn with_obs(mut self, obs: &Obs) -> Self {
+        self.obs = obs.clone();
+        self
     }
 
     /// The plan driving the injections.
@@ -179,22 +192,44 @@ impl ChaosKv {
         }
     }
 
+    fn record_op<T>(&self, op: &str, result: &Result<T, KvError>, attempts: u32) {
+        let outcome = if result.is_ok() { "ok" } else { "error" };
+        self.obs
+            .registry
+            .counter(
+                "entitlement_kv_async_ops_total",
+                "Async (daemon-path) KV operations by kind and outcome",
+                &[("op", op), ("outcome", outcome)],
+            )
+            .inc();
+        self.obs
+            .registry
+            .histogram(
+                "entitlement_kv_retry_attempts",
+                "Attempts consumed per retried KV operation",
+                &[("op", op)],
+            )
+            .record(f64::from(attempts));
+    }
+
     /// Publish; outages fail, drops succeed silently.
     pub async fn put(&self, key: &str, value: f64, now_ms: u64) -> Result<(), KvError> {
         self.injected_latency(now_ms).await;
         let shard = self.client.store().shard_index(key);
-        if self.plan.shard_down(shard, now_ms) {
-            return Err(KvError::ShardUnavailable);
-        }
-        if self
+        let result = if self.plan.shard_down(shard, now_ms) {
+            Err(KvError::ShardUnavailable)
+        } else if self
             .plan
             .drop_publish(entitlement_kvstore::key_hash(key), now_ms)
         {
-            return Ok(());
-        }
-        self.client
-            .put(key, value, self.plan.skewed_now(now_ms))
-            .await
+            Ok(())
+        } else {
+            self.client
+                .put(key, value, self.plan.skewed_now(now_ms))
+                .await
+        };
+        self.record_op("put", &result, 1);
+        result
     }
 
     /// Aggregate under the retry policy; an active outage fails every
@@ -202,11 +237,18 @@ impl ChaosKv {
     pub async fn aggregate(&self, prefix: &str, now_ms: u64) -> Result<f64, KvError> {
         self.injected_latency(now_ms).await;
         if self.plan.any_shard_down(now_ms) {
-            return Err(KvError::ShardUnavailable);
+            // The outage sits in front of the client: the policy's
+            // budget would be burned without reaching the store.
+            let result = Err(KvError::ShardUnavailable);
+            self.record_op("aggregate", &result, self.retry.attempts.max(1));
+            return result;
         }
-        self.client
-            .aggregate_with_retry(prefix, self.plan.skewed_now(now_ms), &self.retry)
-            .await
+        let (result, attempts) = self
+            .client
+            .aggregate_with_retry_counted(prefix, self.plan.skewed_now(now_ms), &self.retry)
+            .await;
+        self.record_op("aggregate", &result, attempts);
+        result
     }
 }
 

@@ -18,9 +18,11 @@
 
 use crate::agent::{Agent, AgentConfig};
 use crate::marking::MarkingStrategy;
+use crate::metrics::{aggregate_fleet, MetricsSnapshot};
 use entitlement_chaos::{ChaosKv, ChaosStore, FaultPlan};
 use entitlement_core::{HostId, NpgId, QosClass, Rate, RegionId};
 use entitlement_kvstore::{KvClient, KvServer, RetryPolicy, StoreConfig};
+use entitlement_obs::Obs;
 use std::sync::Arc;
 use std::time::Duration;
 use tokio::sync::watch;
@@ -85,6 +87,29 @@ pub struct DaemonOutcome {
 /// (`round * cycle` ms), so fault windows hit the same rounds on every
 /// run regardless of scheduler timing.
 pub async fn run_fleet(config: DaemonConfig) -> DaemonOutcome {
+    run_fleet_obs(config, &Obs::disabled()).await
+}
+
+/// [`run_fleet`] with telemetry: every agent's aggregate reads cross a
+/// [`ChaosKv`] recording retry-attempt histograms and outcome counters,
+/// each metering cycle records the agent's marked-fraction decision and
+/// aggregate staleness into fleet-wide histograms
+/// (`entitlement_agent_marked_fraction`,
+/// `entitlement_agent_staleness_ms`), and on completion every agent's
+/// [`AgentMetrics`](crate::AgentMetrics) snapshot is folded into
+/// `obs.registry` by [`aggregate_fleet`] — one scrapeable registry for
+/// the whole fleet. The outcome is identical to [`run_fleet`].
+pub async fn run_fleet_obs(config: DaemonConfig, obs: &Obs) -> DaemonOutcome {
+    let decision_hist = obs.registry.histogram(
+        "entitlement_agent_marked_fraction",
+        "Per-cycle marked fraction decided by each agent",
+        &[],
+    );
+    let staleness_hist = obs.registry.histogram(
+        "entitlement_agent_staleness_ms",
+        "Age of the aggregates behind the agent's standing decision",
+        &[],
+    );
     let (server, client) = KvServer::new(StoreConfig {
         shards: 32,
         ttl: config.cycle * 4,
@@ -103,6 +128,9 @@ pub async fn run_fleet(config: DaemonConfig) -> DaemonOutcome {
         let mut round_rx = round_rx.clone();
         let cfg = config.clone();
         let plan = Arc::clone(&plan);
+        let obs = obs.clone();
+        let decision_hist = decision_hist.clone();
+        let staleness_hist = staleness_hist.clone();
         handles.push(tokio::spawn(async move {
             let mut agent = Agent::new(AgentConfig {
                 host: HostId(h as u32),
@@ -132,7 +160,7 @@ pub async fn run_fleet(config: DaemonConfig) -> DaemonOutcome {
             // Publishes go through the sync fault layer; aggregate
             // reads through the async client under the retry policy.
             let store = ChaosStore::new(client.store_arc(), Arc::clone(&plan));
-            let kv = ChaosKv::new(client.clone(), Arc::clone(&plan), cfg.retry);
+            let kv = ChaosKv::new(client.clone(), Arc::clone(&plan), cfg.retry).with_obs(&obs);
             let base = agent.key_base();
 
             let mut last_round = 0usize;
@@ -177,17 +205,19 @@ pub async fn run_fleet(config: DaemonConfig) -> DaemonOutcome {
                 // Wait for everyone to publish, then read aggregates.
                 tokio::time::sleep(cfg.cycle / 4).await;
                 let total = kv.aggregate(&format!("{base}/total/"), now_ms).await;
-                let obs = match total {
+                let observed = match total {
                     Ok(t) => match kv.aggregate(&format!("{base}/conform/"), now_ms).await {
                         Ok(c) => Ok((Rate::bps(t), Rate::bps(c))),
                         Err(e) => Err(e),
                     },
                     Err(e) => Err(e),
                 };
-                if obs.is_err() {
+                if observed.is_err() {
                     agent.metrics.aggregate_read_failures.inc();
                 }
-                agent.cycle_observed(obs, now_ms);
+                agent.cycle_observed(observed, now_ms);
+                decision_hist.record(agent.marking_command(cfg.hosts).marked_fraction(cfg.hosts));
+                staleness_hist.record(agent.staleness_ms(now_ms) as f64);
             }
             agent
         }));
@@ -214,6 +244,7 @@ pub async fn run_fleet(config: DaemonConfig) -> DaemonOutcome {
         aggregate_read_failures: 0,
         restarts: 0,
     };
+    let mut snapshots: Vec<MetricsSnapshot> = Vec::with_capacity(config.hosts);
     for h in handles {
         let agent = h.await.expect("agent task");
         let s = agent.metrics.snapshot();
@@ -223,7 +254,10 @@ pub async fn run_fleet(config: DaemonConfig) -> DaemonOutcome {
         out.fail_static_cycles += s.fail_static_cycles;
         out.aggregate_read_failures += s.aggregate_read_failures;
         out.restarts += s.restarts;
+        snapshots.push(s);
     }
+    // Fleet-level aggregation: every agent's metrics in one registry.
+    aggregate_fleet(&snapshots, &obs.registry);
     out
 }
 
@@ -311,6 +345,23 @@ mod tests {
             "held decisions must keep marking: {:?}",
             out.marked_fractions
         );
+    }
+
+    #[tokio::test(flavor = "multi_thread", worker_threads = 4)]
+    async fn instrumented_fleet_aggregates_metrics_into_one_registry() {
+        let obs = Obs::new(entitlement_obs::Clock::manual(0));
+        let out = run_fleet_obs(config(6, 30.0, 10.0), &obs).await;
+        assert_eq!(out.conform_ratios.len(), 6);
+        let text = obs.registry.render();
+        assert!(text.contains("entitlement_fleet_agents 6"), "{text}");
+        // Per-cycle decision and staleness histograms saw every cycle.
+        assert!(text.contains("entitlement_agent_marked_fraction_count"));
+        assert!(text.contains("entitlement_agent_staleness_ms_count"));
+        // The async KV layer recorded op outcomes and retry attempts.
+        assert!(text.contains("entitlement_kv_async_ops_total"));
+        assert!(text.contains("entitlement_kv_retry_attempts"));
+        // Fleet counters carry the summed agent counters.
+        assert!(text.contains("entitlement_agent_cycles_total"));
     }
 
     #[tokio::test(flavor = "multi_thread", worker_threads = 4)]

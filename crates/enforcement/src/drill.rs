@@ -19,7 +19,8 @@ use entitlement_core::{
     Direction, Entitlement, HostId, NpgId, Period, QosClass, Rate, RegionId, SloTarget,
 };
 use entitlement_chaos::{ChaosStore, FaultPlan};
-use entitlement_kvstore::{ShardedStore, StoreConfig};
+use entitlement_kvstore::{ObservedKv, ShardedStore, StoreConfig};
+use entitlement_obs::Obs;
 use entitlement_simnet::{
     AclRule, AppConfig, Bottleneck, MarkingCommand, Recorder, StorageApp, World, WorldConfig,
 };
@@ -125,6 +126,19 @@ fn demand_multiplier(t_secs: f64) -> f64 {
 /// (cumulative held-decision cycles) and `staleness_ms` (age of the
 /// aggregates behind the standing decision).
 pub fn run_drill(config: &DrillConfig) -> Recorder {
+    run_drill_obs(config, &Obs::disabled())
+}
+
+/// [`run_drill`] with telemetry: the drill's logical time drives
+/// `obs.clock` (one `set_ms` per tick, so a manual clock tracks drill
+/// time exactly), every KV operation crosses an
+/// [`ObservedKv`] decorator (latency histograms, outcome counters, and
+/// `kv` trace spans), each metering cycle emits an `agent`/`cycle`
+/// span labelled with the KV outcome and standing decision, and agent
+/// staleness lands in the `entitlement_agent_staleness_ms` histogram.
+/// The recorded series are bitwise identical to [`run_drill`] — same
+/// seeds, same arithmetic, decoration only.
+pub fn run_drill_obs(config: &DrillConfig, obs: &Obs) -> Recorder {
     // --- Contract database: the entitlement cut is a contract rollover.
     let db = ContractDb::new();
     let npg = NpgId(2); // "coldstorage" in the catalog ordering
@@ -207,7 +221,12 @@ pub fn run_drill(config: &DrillConfig) -> Recorder {
         ttl: Duration::from_secs_f64(config.dt_secs * 4.0),
     }));
     let plan = Arc::new(config.faults.clone().unwrap_or_default());
-    let kv = ChaosStore::new(store, plan);
+    let kv = ObservedKv::new(ChaosStore::new(store, plan), obs);
+    let staleness_hist = obs.registry.histogram(
+        "entitlement_agent_staleness_ms",
+        "Age of the aggregates behind the agent's standing decision",
+        &[],
+    );
 
     // --- The storage application.
     let mut app = StorageApp::new(AppConfig::default());
@@ -227,17 +246,29 @@ pub fn run_drill(config: &DrillConfig) -> Recorder {
         // into the KV store, read the aggregates back, meter. The
         // publish and the read both cross the fault layer; an
         // unavailable aggregate holds the previous decision.
+        obs.clock.set_ms(now_ms);
         let entitled = agent.refresh_contract(&db, minute).unwrap_or(Rate::ZERO);
         let mut kv_unavailable = 0.0;
-        if let Some(obs) = &last_obs {
-            let _ = agent.publish(&kv, obs.total_sent, obs.conf_sent, now_ms);
+        if let Some(o) = &last_obs {
+            let mut cycle_span = obs.span("agent", "cycle");
+            let _ = agent.publish(&kv, o.total_sent, o.conf_sent, now_ms);
             let observed = agent.read_aggregates(&kv, now_ms);
             if observed.is_err() {
                 kv_unavailable = 1.0;
             }
             agent.cycle_observed(observed, now_ms);
             marking = agent.marking_command(config.hosts);
+            cycle_span.add_label(
+                "kv",
+                if kv_unavailable > 0.0 { "unavailable" } else { "ok" },
+            );
+            cycle_span.add_label(
+                "marked_fraction",
+                &format!("{:.4}", marking.marked_fraction(config.hosts)),
+            );
+            cycle_span.finish();
         }
+        staleness_hist.record(agent.staleness_ms(now_ms) as f64);
 
         // World step.
         let obs = world.step(t, &marking);
@@ -409,5 +440,36 @@ mod tests {
         let a = drill();
         let b = drill();
         assert_eq!(a.series("rate_total_tbps"), b.series("rate_total_tbps"));
+    }
+
+    #[test]
+    fn instrumented_drill_matches_plain_and_traces_are_reproducible() {
+        let cfg = DrillConfig {
+            hosts: 200,
+            duration_min: 20.0,
+            ..Default::default()
+        };
+        let run = || {
+            let obs = Obs::new(entitlement_obs::Clock::manual(0));
+            let r = run_drill_obs(&cfg, &obs);
+            (r, obs)
+        };
+        let (traced, obs_a) = run();
+        let (_, obs_b) = run();
+        let plain = run_drill(&cfg);
+        // Decoration only: recorded series are bitwise identical.
+        assert_eq!(
+            traced.series("rate_total_tbps"),
+            plain.series("rate_total_tbps")
+        );
+        // Identical seeds → byte-identical traces.
+        assert_eq!(obs_a.trace.to_jsonl(), obs_b.trace.to_jsonl());
+        // The trace covers both the agent cycle and the KV layer.
+        let events = obs_a.trace.events();
+        assert!(events.iter().any(|e| e.span == "agent" && e.phase == "cycle"));
+        assert!(events.iter().any(|e| e.span == "kv"));
+        let text = obs_a.registry.render();
+        assert!(text.contains("entitlement_kv_ops_total"));
+        assert!(text.contains("entitlement_agent_staleness_ms_count"));
     }
 }

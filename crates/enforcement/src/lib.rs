@@ -49,9 +49,9 @@ pub use agent::{Agent, AgentConfig};
 pub use bpf::{ClassifyInput, MarkAction, MarkingTable};
 pub use convergence::{simulate_marking, MarkingSim, MarkingSimResult};
 pub use db::ContractDb;
-pub use drill::{run_drill, DrillConfig, DrillStage};
+pub use drill::{run_drill, run_drill_obs, DrillConfig, DrillStage};
 pub use ingress::{IngressCoordinator, SourceMeter};
-pub use metrics::{AgentMetrics, MetricsSnapshot};
+pub use metrics::{aggregate_fleet, AgentMetrics, Counter, Gauge, MetricsSnapshot};
 pub use multidrill::{run_multi_drill, MultiDrillConfig, ServiceSpec};
 pub use marking::{MarkingStrategy, Marker};
 pub use metering::{Meter, StatefulMeter, StatelessMeter};

@@ -7,47 +7,18 @@
 //! half of that story: cheap counters and gauges every component bumps,
 //! rendered in the Prometheus text exposition format so any scraper can
 //! ingest them.
+//!
+//! The metric primitives themselves live in [`entitlement_obs`] (one
+//! implementation workspace-wide) and are re-exported here. The gauge
+//! stores the `f64` bit pattern in its atomic — the earlier fixed-point
+//! `(v * 1e6) as u64` encoding saturated every negative value to zero
+//! and quantised sub-micro magnitudes away (see the regression tests).
 
+pub use entitlement_obs::{Counter, Gauge};
+
+use entitlement_obs::{escape_label_value, Registry};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicU64, Ordering};
-
-/// A monotone counter (atomic; agents are multi-threaded under tokio).
-#[derive(Debug, Default)]
-pub struct Counter(AtomicU64);
-
-impl Counter {
-    /// Increment by one.
-    pub fn inc(&self) {
-        self.0.fetch_add(1, Ordering::Relaxed);
-    }
-
-    /// Increment by `n`.
-    pub fn add(&self, n: u64) {
-        self.0.fetch_add(n, Ordering::Relaxed);
-    }
-
-    /// Current value.
-    pub fn get(&self) -> u64 {
-        self.0.load(Ordering::Relaxed)
-    }
-}
-
-/// A last-value gauge stored as micro-units (f64 × 1e6) in an atomic.
-#[derive(Debug, Default)]
-pub struct Gauge(AtomicU64);
-
-impl Gauge {
-    /// Set the gauge.
-    pub fn set(&self, v: f64) {
-        self.0.store((v * 1e6) as u64, Ordering::Relaxed);
-    }
-
-    /// Current value.
-    pub fn get(&self) -> f64 {
-        self.0.load(Ordering::Relaxed) as f64 / 1e6
-    }
-}
 
 /// The agent's metric registry.
 #[derive(Debug, Default)]
@@ -90,6 +61,87 @@ pub struct AgentMetrics {
     pub aggregate_staleness_ms: Gauge,
 }
 
+/// A metric's `(name, help, snapshot accessor)` row.
+type MetricRow<T> = (&'static str, &'static str, fn(&MetricsSnapshot) -> T);
+
+/// `(name, help)` for each counter, in render order, paired with an
+/// accessor — shared by [`AgentMetrics::render`] and the fleet
+/// aggregation so the two can never drift apart.
+const COUNTERS: [MetricRow<u64>; 12] = [
+    ("entitlement_agent_cycles_total", "Metering cycles executed", |s| s.cycles),
+    (
+        "entitlement_agent_decision_changes_total",
+        "Cycles that changed the marking decision",
+        |s| s.decision_changes,
+    ),
+    (
+        "entitlement_agent_contract_refreshes_total",
+        "Successful contract refreshes",
+        |s| s.contract_refreshes,
+    ),
+    (
+        "entitlement_agent_contract_stale_fallbacks_total",
+        "Failed refreshes served from the stale cached entitlement",
+        |s| s.contract_stale_fallbacks,
+    ),
+    (
+        "entitlement_agent_contract_lookup_failures_total",
+        "Failed contract lookups with no cached fallback",
+        |s| s.contract_lookup_failures,
+    ),
+    (
+        "entitlement_agent_publishes_total",
+        "Rate publications to the KV store",
+        |s| s.publishes,
+    ),
+    (
+        "entitlement_agent_publish_failures_total",
+        "Publications the KV store could not accept",
+        |s| s.publish_failures,
+    ),
+    (
+        "entitlement_agent_aggregate_read_failures_total",
+        "Aggregate reads that failed (store unavailable)",
+        |s| s.aggregate_read_failures,
+    ),
+    (
+        "entitlement_agent_fail_static_cycles_total",
+        "Cycles that held the last decision on unavailable aggregates",
+        |s| s.fail_static_cycles,
+    ),
+    (
+        "entitlement_agent_restarts_total",
+        "Agent restarts (meter state lost)",
+        |s| s.restarts,
+    ),
+    ("entitlement_agent_packets_seen_total", "Packets classified", |s| s.packets_seen),
+    (
+        "entitlement_agent_packets_remarked_total",
+        "Packets remarked non-conforming",
+        |s| s.packets_remarked,
+    ),
+];
+
+/// `(name, help)` for each gauge, with an accessor.
+const GAUGES: [MetricRow<f64>; 4] = [
+    ("entitlement_agent_conform_ratio", "Current conform ratio", |s| s.conform_ratio),
+    (
+        "entitlement_agent_entitled_bps",
+        "Entitled rate in bits per second",
+        |s| s.entitled_bps,
+    ),
+    (
+        "entitlement_agent_total_rate_bps",
+        "Last observed service total rate",
+        |s| s.total_rate_bps,
+    ),
+    (
+        "entitlement_agent_aggregate_staleness_ms",
+        "Age of the aggregates behind the current decision",
+        |s| s.aggregate_staleness_ms,
+    ),
+];
+
 impl AgentMetrics {
     /// Fresh registry.
     pub fn new() -> Self {
@@ -97,108 +149,32 @@ impl AgentMetrics {
     }
 
     /// Render in the Prometheus text exposition format, with the given
-    /// constant labels (e.g. `{npg="7",qos="c2"}`).
+    /// constant labels (e.g. `{npg="7",qos="c2"}`). Label values are
+    /// escaped per the exposition spec.
     pub fn render(&self, labels: &BTreeMap<&str, String>) -> String {
         let label_str = if labels.is_empty() {
             String::new()
         } else {
             let inner: Vec<String> = labels
                 .iter()
-                .map(|(k, v)| format!("{k}=\"{v}\""))
+                .map(|(k, v)| format!("{k}=\"{}\"", escape_label_value(v)))
                 .collect();
             format!("{{{}}}", inner.join(","))
         };
+        let snap = self.snapshot();
         let mut out = String::new();
-        let mut counter = |name: &str, help: &str, v: u64| {
+        for (name, help, get) in COUNTERS {
             out.push_str(&format!(
-                "# HELP {name} {help}\n# TYPE {name} counter\n{name}{label_str} {v}\n"
+                "# HELP {name} {help}\n# TYPE {name} counter\n{name}{label_str} {}\n",
+                get(&snap)
             ));
-        };
-        counter(
-            "entitlement_agent_cycles_total",
-            "Metering cycles executed",
-            self.cycles.get(),
-        );
-        counter(
-            "entitlement_agent_decision_changes_total",
-            "Cycles that changed the marking decision",
-            self.decision_changes.get(),
-        );
-        counter(
-            "entitlement_agent_contract_refreshes_total",
-            "Successful contract refreshes",
-            self.contract_refreshes.get(),
-        );
-        counter(
-            "entitlement_agent_contract_stale_fallbacks_total",
-            "Failed refreshes served from the stale cached entitlement",
-            self.contract_stale_fallbacks.get(),
-        );
-        counter(
-            "entitlement_agent_contract_lookup_failures_total",
-            "Failed contract lookups with no cached fallback",
-            self.contract_lookup_failures.get(),
-        );
-        counter(
-            "entitlement_agent_publishes_total",
-            "Rate publications to the KV store",
-            self.publishes.get(),
-        );
-        counter(
-            "entitlement_agent_publish_failures_total",
-            "Publications the KV store could not accept",
-            self.publish_failures.get(),
-        );
-        counter(
-            "entitlement_agent_aggregate_read_failures_total",
-            "Aggregate reads that failed (store unavailable)",
-            self.aggregate_read_failures.get(),
-        );
-        counter(
-            "entitlement_agent_fail_static_cycles_total",
-            "Cycles that held the last decision on unavailable aggregates",
-            self.fail_static_cycles.get(),
-        );
-        counter(
-            "entitlement_agent_restarts_total",
-            "Agent restarts (meter state lost)",
-            self.restarts.get(),
-        );
-        counter(
-            "entitlement_agent_packets_seen_total",
-            "Packets classified",
-            self.packets_seen.get(),
-        );
-        counter(
-            "entitlement_agent_packets_remarked_total",
-            "Packets remarked non-conforming",
-            self.packets_remarked.get(),
-        );
-        let mut gauge = |name: &str, help: &str, v: f64| {
+        }
+        for (name, help, get) in GAUGES {
             out.push_str(&format!(
-                "# HELP {name} {help}\n# TYPE {name} gauge\n{name}{label_str} {v}\n"
+                "# HELP {name} {help}\n# TYPE {name} gauge\n{name}{label_str} {}\n",
+                get(&snap)
             ));
-        };
-        gauge(
-            "entitlement_agent_conform_ratio",
-            "Current conform ratio",
-            self.conform_ratio.get(),
-        );
-        gauge(
-            "entitlement_agent_entitled_bps",
-            "Entitled rate in bits per second",
-            self.entitled_bps.get(),
-        );
-        gauge(
-            "entitlement_agent_total_rate_bps",
-            "Last observed service total rate",
-            self.total_rate_bps.get(),
-        );
-        gauge(
-            "entitlement_agent_aggregate_staleness_ms",
-            "Age of the aggregates behind the current decision",
-            self.aggregate_staleness_ms.get(),
-        );
+        }
         out
     }
 
@@ -221,6 +197,34 @@ impl AgentMetrics {
             entitled_bps: self.entitled_bps.get(),
             total_rate_bps: self.total_rate_bps.get(),
             aggregate_staleness_ms: self.aggregate_staleness_ms.get(),
+        }
+    }
+}
+
+/// Fold a fleet of per-agent snapshots into one scrapeable registry:
+/// each counter family becomes a fleet-wide sum (same metric name, so
+/// dashboards written against a single agent keep working), and each
+/// gauge becomes a cross-agent distribution histogram
+/// (`<name>_distribution`) — per-host gauge labels at fleet scale
+/// (thousands of hosts) would explode cardinality.
+pub fn aggregate_fleet(snapshots: &[MetricsSnapshot], registry: &Registry) {
+    registry
+        .gauge(
+            "entitlement_fleet_agents",
+            "Number of agents aggregated into this scrape",
+            &[],
+        )
+        .set(snapshots.len() as f64);
+    for (name, help, get) in COUNTERS {
+        let total: u64 = snapshots.iter().map(get).sum();
+        let c = registry.counter(name, help, &[]);
+        c.add(total.saturating_sub(c.get()));
+    }
+    for (name, help, get) in GAUGES {
+        let dist_name = format!("{name}_distribution");
+        let h = registry.histogram(&dist_name, help, &[]);
+        for s in snapshots {
+            h.record(get(s));
         }
     }
 }
@@ -279,6 +283,31 @@ mod tests {
         assert!((s.conform_ratio - 0.75).abs() < 1e-6);
     }
 
+    /// Regression (satellite): the old fixed-point gauge encoding
+    /// `(v * 1e6) as u64` saturated negatives to 0 and truncated
+    /// sub-micro values. The bit-pattern encoding round-trips both.
+    #[test]
+    fn gauge_preserves_negative_and_sub_micro_values() {
+        let g = Gauge::new();
+        g.set(-1.5);
+        assert_eq!(g.get(), -1.5, "negative values must not saturate to 0");
+        g.set(-3.2e8);
+        assert_eq!(g.get(), -3.2e8);
+        g.set(4.2e-7); // below one micro-unit of the old encoding
+        assert_eq!(g.get(), 4.2e-7, "sub-micro values must not truncate");
+        g.set(0.0);
+        assert_eq!(g.get(), 0.0);
+    }
+
+    #[test]
+    fn staleness_gauge_survives_clock_skew_negatives() {
+        // A skewed chaos clock can make "now - last_read" negative;
+        // the gauge must report it rather than clamping to zero.
+        let m = AgentMetrics::new();
+        m.aggregate_staleness_ms.set(-250.0);
+        assert_eq!(m.snapshot().aggregate_staleness_ms, -250.0);
+    }
+
     #[test]
     fn prometheus_rendering() {
         let m = AgentMetrics::new();
@@ -302,10 +331,44 @@ mod tests {
     }
 
     #[test]
+    fn rendered_labels_are_escaped() {
+        let m = AgentMetrics::new();
+        let labels: BTreeMap<&str, String> =
+            [("svc", "a\"b\\c\nd".to_string())].into_iter().collect();
+        let text = m.render(&labels);
+        assert!(
+            text.contains(r#"svc="a\"b\\c\nd""#),
+            "escaped label: {text}"
+        );
+        entitlement_obs::validate_prometheus(&text).expect("parseable exposition");
+    }
+
+    #[test]
     fn render_without_labels() {
         let m = AgentMetrics::new();
         let text = m.render(&BTreeMap::new());
         assert!(text.contains("entitlement_agent_cycles_total 0\n"));
+    }
+
+    #[test]
+    fn fleet_aggregation_sums_counters_and_distributes_gauges() {
+        let mut snaps = Vec::new();
+        for i in 0..4u64 {
+            let m = AgentMetrics::new();
+            m.cycles.add(10 + i);
+            m.conform_ratio.set(0.25 * (i + 1) as f64);
+            snaps.push(m.snapshot());
+        }
+        let registry = Registry::new();
+        aggregate_fleet(&snaps, &registry);
+        let text = registry.render();
+        assert!(text.contains("entitlement_fleet_agents 4\n"));
+        assert!(
+            text.contains("entitlement_agent_cycles_total 46\n"),
+            "10+11+12+13: {text}"
+        );
+        assert!(text.contains("entitlement_agent_conform_ratio_distribution_count 4\n"));
+        entitlement_obs::validate_prometheus(&text).expect("parseable exposition");
     }
 
     #[test]

@@ -29,9 +29,11 @@
 #![forbid(unsafe_code)]
 
 pub mod access;
+pub mod observed;
 pub mod service;
 pub mod store;
 
 pub use access::{KvAccess, KvError};
+pub use observed::ObservedKv;
 pub use service::{with_deadline, AggregateWatch, KvClient, KvServer, RetryPolicy};
 pub use store::{key_hash, ShardedStore, StoreConfig};

@@ -1,0 +1,183 @@
+//! Telemetry-wrapping store access.
+//!
+//! [`ObservedKv`] wraps any [`KvAccess`] implementation — the real
+//! [`crate::ShardedStore`] or a fault-injecting chaos wrapper — and
+//! records per-operation latency histograms, outcome counters, and
+//! trace spans into an [`Obs`] bundle. Because it composes over the
+//! trait, the same instrumentation sees healthy stores and degraded
+//! ones: under a chaos fault plan the `outcome="error"` counters and
+//! the latency histograms tell the fail-static story from the store's
+//! side.
+
+use crate::access::{KvAccess, KvError};
+use entitlement_obs::{Counter, Histogram, Obs};
+
+/// Cached metric handles for one operation kind.
+struct OpMetrics {
+    latency_ms: Histogram,
+    ok: Counter,
+    err: Counter,
+}
+
+/// A [`KvAccess`] decorator recording latency, outcomes, and spans.
+pub struct ObservedKv<K> {
+    inner: K,
+    obs: Obs,
+    put: OpMetrics,
+    get: OpMetrics,
+    aggregate: OpMetrics,
+}
+
+impl<K> ObservedKv<K> {
+    /// Wrap `inner`, registering the KV metric families in
+    /// `obs.registry` (handles are cached, so the per-op cost is a few
+    /// atomic updates).
+    pub fn new(inner: K, obs: &Obs) -> Self {
+        let op_metrics = |op: &str| OpMetrics {
+            latency_ms: obs.registry.histogram(
+                "entitlement_kv_op_ms",
+                "KV operation latency in milliseconds (from the injected clock)",
+                &[("op", op)],
+            ),
+            ok: obs.registry.counter(
+                "entitlement_kv_ops_total",
+                "KV operations by kind and outcome",
+                &[("op", op), ("outcome", "ok")],
+            ),
+            err: obs.registry.counter(
+                "entitlement_kv_ops_total",
+                "KV operations by kind and outcome",
+                &[("op", op), ("outcome", "error")],
+            ),
+        };
+        ObservedKv {
+            inner,
+            obs: obs.clone(),
+            put: op_metrics("put"),
+            get: op_metrics("get"),
+            aggregate: op_metrics("aggregate"),
+        }
+    }
+
+    /// The wrapped store.
+    pub fn inner(&self) -> &K {
+        &self.inner
+    }
+
+    fn observe<T>(
+        &self,
+        metrics: &OpMetrics,
+        phase: &str,
+        result: Result<T, KvError>,
+        start_ms: u64,
+    ) -> Result<T, KvError> {
+        let end_ms = self.obs.clock.now_ms();
+        metrics.latency_ms.record(end_ms.saturating_sub(start_ms) as f64);
+        match &result {
+            Ok(_) => metrics.ok.inc(),
+            Err(_) => metrics.err.inc(),
+        }
+        if self.obs.enabled() {
+            let outcome = match &result {
+                Ok(_) => "ok".to_string(),
+                Err(e) => format!("error:{e:?}"),
+            };
+            self.obs.trace.push(entitlement_obs::TraceEvent {
+                ts_ms: start_ms,
+                span: "kv".to_string(),
+                phase: phase.to_string(),
+                labels: vec![("outcome".to_string(), outcome)],
+                dur_ms: end_ms.saturating_sub(start_ms) as f64,
+            });
+        }
+        result
+    }
+}
+
+impl<K: KvAccess> KvAccess for ObservedKv<K> {
+    fn try_put(&self, key: &str, value: f64, now_ms: u64) -> Result<(), KvError> {
+        let start = self.obs.clock.now_ms();
+        let r = self.inner.try_put(key, value, now_ms);
+        self.observe(&self.put, "put", r, start)
+    }
+
+    fn try_get(&self, key: &str, now_ms: u64) -> Result<Option<f64>, KvError> {
+        let start = self.obs.clock.now_ms();
+        let r = self.inner.try_get(key, now_ms);
+        self.observe(&self.get, "get", r, start)
+    }
+
+    fn try_aggregate(&self, prefix: &str, now_ms: u64) -> Result<f64, KvError> {
+        let start = self.obs.clock.now_ms();
+        let r = self.inner.try_aggregate(prefix, now_ms);
+        self.observe(&self.aggregate, "aggregate", r, start)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::{ShardedStore, StoreConfig};
+    use entitlement_obs::Clock;
+
+    fn flaky_error_store() -> impl KvAccess {
+        struct Down;
+        impl KvAccess for Down {
+            fn try_put(&self, _: &str, _: f64, _: u64) -> Result<(), KvError> {
+                Err(KvError::ShardUnavailable)
+            }
+            fn try_get(&self, _: &str, _: u64) -> Result<Option<f64>, KvError> {
+                Err(KvError::ServerDown)
+            }
+            fn try_aggregate(&self, _: &str, _: u64) -> Result<f64, KvError> {
+                Err(KvError::Timeout)
+            }
+        }
+        Down
+    }
+
+    #[test]
+    fn records_ok_ops_and_latency() {
+        let obs = Obs::new(Clock::counting(2));
+        let store = ObservedKv::new(ShardedStore::new(StoreConfig::default()), &obs);
+        store.try_put("rates/x/h0", 5.0, 0).unwrap();
+        assert_eq!(store.try_get("rates/x/h0", 0).unwrap(), Some(5.0));
+        assert_eq!(store.try_aggregate("rates/", 0).unwrap(), 5.0);
+        let text = obs.registry.render();
+        assert!(text.contains("entitlement_kv_ops_total{op=\"put\",outcome=\"ok\"} 1"));
+        assert!(text.contains("entitlement_kv_ops_total{op=\"get\",outcome=\"ok\"} 1"));
+        assert!(text.contains("entitlement_kv_ops_total{op=\"aggregate\",outcome=\"ok\"} 1"));
+        // The counting clock gives every op a 2 ms duration.
+        assert!(text.contains("entitlement_kv_op_ms_count{op=\"put\"} 1"));
+        let events = obs.trace.events();
+        assert_eq!(events.len(), 3);
+        assert!(events.iter().all(|e| e.span == "kv" && e.dur_ms == 2.0));
+    }
+
+    #[test]
+    fn records_errors_with_kind() {
+        let obs = Obs::new(Clock::manual(10));
+        let store = ObservedKv::new(flaky_error_store(), &obs);
+        assert!(store.try_put("k", 1.0, 10).is_err());
+        assert!(store.try_get("k", 10).is_err());
+        assert!(store.try_aggregate("k", 10).is_err());
+        let text = obs.registry.render();
+        assert!(text.contains("entitlement_kv_ops_total{op=\"put\",outcome=\"error\"} 1"));
+        let events = obs.trace.events();
+        assert!(events
+            .iter()
+            .any(|e| e.labels.iter().any(|(_, v)| v == "error:Timeout")));
+    }
+
+    #[test]
+    fn disabled_obs_still_counts_but_emits_no_events() {
+        let obs = Obs::disabled();
+        let store = ObservedKv::new(ShardedStore::new(StoreConfig::default()), &obs);
+        store.try_put("k", 1.0, 0).unwrap();
+        assert!(obs.trace.is_empty());
+        assert!(obs
+            .registry
+            .render()
+            .contains("entitlement_kv_ops_total{op=\"put\",outcome=\"ok\"} 1"));
+    }
+}

@@ -216,8 +216,23 @@ impl KvClient {
         now_ms: u64,
         policy: &RetryPolicy,
     ) -> Result<f64, KvError> {
+        self.aggregate_with_retry_counted(prefix, now_ms, policy)
+            .await
+            .0
+    }
+
+    /// [`KvClient::aggregate_with_retry`], also reporting how many
+    /// attempts were consumed (≥ 1) so callers can feed retry
+    /// histograms.
+    pub async fn aggregate_with_retry_counted(
+        &self,
+        prefix: &str,
+        now_ms: u64,
+        policy: &RetryPolicy,
+    ) -> (Result<f64, KvError>, u32) {
         let mut last = KvError::ServerDown;
-        for i in 0..policy.attempts.max(1) {
+        let attempts = policy.attempts.max(1);
+        for i in 0..attempts {
             if i > 0 {
                 tokio::time::sleep(policy.backoff_for(i - 1)).await;
             }
@@ -227,11 +242,11 @@ impl KvClient {
                 None => attempt.await,
             };
             match outcome {
-                Ok(v) => return Ok(v),
+                Ok(v) => return (Ok(v), i + 1),
                 Err(e) => last = e,
             }
         }
-        Err(last)
+        (Err(last), attempts)
     }
 
     /// [`KvClient::get`] under a [`RetryPolicy`].
@@ -241,8 +256,19 @@ impl KvClient {
         now_ms: u64,
         policy: &RetryPolicy,
     ) -> Result<Option<f64>, KvError> {
+        self.get_with_retry_counted(key, now_ms, policy).await.0
+    }
+
+    /// [`KvClient::get_with_retry`], also reporting attempts consumed.
+    pub async fn get_with_retry_counted(
+        &self,
+        key: &str,
+        now_ms: u64,
+        policy: &RetryPolicy,
+    ) -> (Result<Option<f64>, KvError>, u32) {
         let mut last = KvError::ServerDown;
-        for i in 0..policy.attempts.max(1) {
+        let attempts = policy.attempts.max(1);
+        for i in 0..attempts {
             if i > 0 {
                 tokio::time::sleep(policy.backoff_for(i - 1)).await;
             }
@@ -252,11 +278,11 @@ impl KvClient {
                 None => attempt.await,
             };
             match outcome {
-                Ok(v) => return Ok(v),
+                Ok(v) => return (Ok(v), i + 1),
                 Err(e) => last = e,
             }
         }
-        Err(last)
+        (Err(last), attempts)
     }
 
     /// Request a TTL sweep.

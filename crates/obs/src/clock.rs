@@ -1,0 +1,127 @@
+//! Caller-supplied time sources.
+//!
+//! Nothing in this workspace's libraries reads the wall clock on its
+//! own: simulations stamp telemetry with their logical time via
+//! [`Clock::manual`], CLI paths that want monotonically increasing but
+//! reproducible timestamps use [`Clock::counting`], and only the
+//! opt-in [`Clock::wall`] touches real time (for interactive use where
+//! reproducibility does not matter).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+enum Source {
+    /// Logical time, advanced explicitly by the owner (e.g. a
+    /// simulation loop calling [`Clock::set_ms`] once per tick).
+    Manual(AtomicU64),
+    /// Deterministic pseudo-time: every read returns the previous
+    /// value plus a fixed step, so spans get non-zero, reproducible
+    /// durations without any wall-clock dependence.
+    Counting { next: AtomicU64, step_ms: u64 },
+    /// Real elapsed time since the clock was created. Opt-in only.
+    Wall(Instant),
+}
+
+/// A cloneable, thread-safe time source reporting milliseconds.
+#[derive(Clone)]
+pub struct Clock {
+    source: Arc<Source>,
+}
+
+impl Clock {
+    /// A logical clock starting at `start_ms`; reads return the last
+    /// value passed to [`Clock::set_ms`] (or `start_ms`).
+    #[must_use]
+    pub fn manual(start_ms: u64) -> Self {
+        Self {
+            source: Arc::new(Source::Manual(AtomicU64::new(start_ms))),
+        }
+    }
+
+    /// A counting clock: the first read returns 0, each subsequent
+    /// read advances by `step_ms` (minimum 1).
+    #[must_use]
+    pub fn counting(step_ms: u64) -> Self {
+        Self {
+            source: Arc::new(Source::Counting {
+                next: AtomicU64::new(0),
+                step_ms: step_ms.max(1),
+            }),
+        }
+    }
+
+    /// Real elapsed milliseconds since this call. Not deterministic;
+    /// never used by library code in this workspace.
+    #[must_use]
+    pub fn wall() -> Self {
+        Self {
+            source: Arc::new(Source::Wall(Instant::now())),
+        }
+    }
+
+    /// Current time in milliseconds. Counting clocks advance on read.
+    #[must_use]
+    pub fn now_ms(&self) -> u64 {
+        match &*self.source {
+            Source::Manual(ms) => ms.load(Ordering::Relaxed),
+            Source::Counting { next, step_ms } => next.fetch_add(*step_ms, Ordering::Relaxed),
+            Source::Wall(t0) => t0.elapsed().as_millis() as u64,
+        }
+    }
+
+    /// Set a manual clock to `ms`. No-op for other sources.
+    pub fn set_ms(&self, ms: u64) {
+        if let Source::Manual(cur) = &*self.source {
+            cur.store(ms, Ordering::Relaxed);
+        }
+    }
+
+    /// Advance a manual clock by `delta_ms`. No-op for other sources.
+    pub fn advance_ms(&self, delta_ms: u64) {
+        if let Source::Manual(cur) = &*self.source {
+            cur.fetch_add(delta_ms, Ordering::Relaxed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manual_holds_until_set() {
+        let c = Clock::manual(5);
+        assert_eq!(c.now_ms(), 5);
+        assert_eq!(c.now_ms(), 5);
+        c.set_ms(9);
+        assert_eq!(c.now_ms(), 9);
+        c.advance_ms(3);
+        assert_eq!(c.now_ms(), 12);
+    }
+
+    #[test]
+    fn counting_advances_per_read() {
+        let c = Clock::counting(2);
+        assert_eq!(c.now_ms(), 0);
+        assert_eq!(c.now_ms(), 2);
+        assert_eq!(c.now_ms(), 4);
+        c.set_ms(100); // no-op for counting clocks
+        assert_eq!(c.now_ms(), 6);
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let a = Clock::manual(0);
+        let b = a.clone();
+        a.set_ms(42);
+        assert_eq!(b.now_ms(), 42);
+    }
+
+    #[test]
+    fn counting_zero_step_clamps_to_one() {
+        let c = Clock::counting(0);
+        assert_eq!(c.now_ms(), 0);
+        assert_eq!(c.now_ms(), 1);
+    }
+}

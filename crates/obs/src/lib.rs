@@ -1,0 +1,107 @@
+//! # entitlement-obs
+//!
+//! The workspace's telemetry core: metric primitives (counters, gauges,
+//! log-bucketed histograms), a [`Registry`] that renders the Prometheus
+//! text exposition format, and a [`TraceSink`] that emits structured
+//! span events as JSONL with a stable schema.
+//!
+//! Two constraints shape the design:
+//!
+//! * **No globals.** Every handle ([`Registry`], [`TraceSink`], [`Clock`],
+//!   and the [`Obs`] bundle that carries all three) is an explicit,
+//!   cheaply cloneable value threaded through call sites. Library code
+//!   that is not handed an `Obs` pays nothing.
+//! * **Determinism.** Timestamps come from a caller-supplied [`Clock`],
+//!   never from the wall implicitly, so the deterministic crates stay
+//!   X0101-clean and identical seeds produce byte-identical traces.
+//!   Simulations drive a [`Clock::manual`] clock from their own logical
+//!   time; CLI paths that want non-zero durations without wall time use
+//!   [`Clock::counting`].
+//!
+//! ```
+//! use entitlement_obs::{Clock, Obs};
+//!
+//! let obs = Obs::new(Clock::counting(1));
+//! {
+//!     let _span = obs.span("approval", "hose_approval").label("qos", "C1");
+//! } // emitted on drop
+//! obs.registry.histogram("demo_ms", "demo latency", &[]).record(4.2);
+//! assert!(obs.trace.to_jsonl().contains("\"span\":\"approval\""));
+//! assert!(obs.registry.render().contains("demo_ms_count"));
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub mod clock;
+pub mod metrics;
+pub mod registry;
+pub mod summary;
+pub mod trace;
+
+pub use clock::Clock;
+pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot};
+pub use registry::{escape_label_value, Registry};
+pub use summary::{parse_trace, summarize_trace, validate_prometheus};
+pub use trace::{SpanTimer, TraceEvent, TraceSink};
+
+/// The telemetry bundle threaded through instrumented call paths: a
+/// metric [`Registry`], a [`TraceSink`], and the [`Clock`] that stamps
+/// both. Cloning shares all three.
+#[derive(Clone)]
+pub struct Obs {
+    /// Metric registry (counters, gauges, histograms).
+    pub registry: Registry,
+    /// Structured span/event sink (JSONL).
+    pub trace: TraceSink,
+    /// The time source used for span timestamps and durations.
+    pub clock: Clock,
+}
+
+impl Obs {
+    /// An enabled bundle stamped by `clock`.
+    #[must_use]
+    pub fn new(clock: Clock) -> Self {
+        Self {
+            registry: Registry::new(),
+            trace: TraceSink::new(),
+            clock,
+        }
+    }
+
+    /// A no-op bundle: spans and events vanish, metric handles still
+    /// function but nothing retains the registry. This is what
+    /// un-instrumented entry points pass down, so the instrumented
+    /// variants are the only implementation.
+    #[must_use]
+    pub fn disabled() -> Self {
+        Self {
+            registry: Registry::new(),
+            trace: TraceSink::disabled(),
+            clock: Clock::manual(0),
+        }
+    }
+
+    /// Whether the trace sink records events.
+    #[must_use]
+    pub fn enabled(&self) -> bool {
+        self.trace.enabled()
+    }
+
+    /// Start a span; the event is emitted (with `dur_ms`) when the
+    /// returned timer drops.
+    #[must_use]
+    pub fn span(&self, span: &str, phase: &str) -> SpanTimer {
+        self.trace.span(&self.clock, span, phase)
+    }
+
+    /// Emit an instantaneous event (`dur_ms` = 0).
+    pub fn event(&self, span: &str, phase: &str, labels: &[(&str, &str)]) {
+        self.trace.event(&self.clock, span, phase, labels);
+    }
+}
+
+impl Default for Obs {
+    fn default() -> Self {
+        Self::disabled()
+    }
+}

@@ -1,0 +1,331 @@
+//! A handle-based metric registry rendering the Prometheus text
+//! exposition format. No globals: callers clone the [`Registry`] and
+//! thread it to wherever metrics are recorded; `render()` produces the
+//! scrape payload.
+
+use crate::metrics::{Counter, Gauge, Histogram};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::{Arc, Mutex};
+
+/// One `(name, sorted labels)` family member.
+type LabelSet = BTreeMap<String, String>;
+
+enum Instrument {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+struct Entry {
+    name: String,
+    help: String,
+    labels: LabelSet,
+    instrument: Instrument,
+}
+
+#[derive(Default)]
+struct Inner {
+    entries: Vec<Entry>,
+}
+
+/// A cloneable metric registry. Registration is idempotent: asking for
+/// the same `(name, labels)` again returns a handle to the same cell,
+/// so fan-out call sites need no coordination.
+#[derive(Clone, Default)]
+pub struct Registry {
+    inner: Arc<Mutex<Inner>>,
+}
+
+impl Registry {
+    /// New empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Get or create a counter.
+    #[must_use]
+    pub fn counter(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Counter {
+        let want = to_label_set(labels);
+        let mut inner = self.lock();
+        for e in &inner.entries {
+            if e.name == name && e.labels == want {
+                if let Instrument::Counter(c) = &e.instrument {
+                    return c.clone();
+                }
+            }
+        }
+        let c = Counter::new();
+        inner.entries.push(Entry {
+            name: name.to_string(),
+            help: help.to_string(),
+            labels: want,
+            instrument: Instrument::Counter(c.clone()),
+        });
+        c
+    }
+
+    /// Get or create a gauge.
+    #[must_use]
+    pub fn gauge(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Gauge {
+        let want = to_label_set(labels);
+        let mut inner = self.lock();
+        for e in &inner.entries {
+            if e.name == name && e.labels == want {
+                if let Instrument::Gauge(g) = &e.instrument {
+                    return g.clone();
+                }
+            }
+        }
+        let g = Gauge::new();
+        inner.entries.push(Entry {
+            name: name.to_string(),
+            help: help.to_string(),
+            labels: want,
+            instrument: Instrument::Gauge(g.clone()),
+        });
+        g
+    }
+
+    /// Get or create a histogram.
+    #[must_use]
+    pub fn histogram(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Histogram {
+        let want = to_label_set(labels);
+        let mut inner = self.lock();
+        for e in &inner.entries {
+            if e.name == name && e.labels == want {
+                if let Instrument::Histogram(h) = &e.instrument {
+                    return h.clone();
+                }
+            }
+        }
+        let h = Histogram::new();
+        inner.entries.push(Entry {
+            name: name.to_string(),
+            help: help.to_string(),
+            labels: want,
+            instrument: Instrument::Histogram(h.clone()),
+        });
+        h
+    }
+
+    /// Render every registered metric in the Prometheus text
+    /// exposition format, deterministically ordered by
+    /// `(name, labels)`. Histograms render as cumulative `_bucket`
+    /// series plus `_sum` and `_count`.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let inner = self.lock();
+        let mut order: Vec<&Entry> = inner.entries.iter().collect();
+        order.sort_by(|a, b| (&a.name, &a.labels).cmp(&(&b.name, &b.labels)));
+        let mut out = String::new();
+        let mut last_name: Option<&str> = None;
+        for e in order {
+            if last_name != Some(e.name.as_str()) {
+                let kind = match &e.instrument {
+                    Instrument::Counter(_) => "counter",
+                    Instrument::Gauge(_) => "gauge",
+                    Instrument::Histogram(_) => "histogram",
+                };
+                let _ = writeln!(out, "# HELP {} {}", e.name, e.help);
+                let _ = writeln!(out, "# TYPE {} {}", e.name, kind);
+                last_name = Some(e.name.as_str());
+            }
+            match &e.instrument {
+                Instrument::Counter(c) => {
+                    let _ = writeln!(
+                        out,
+                        "{}{} {}",
+                        e.name,
+                        render_labels(&e.labels, &[]),
+                        c.get()
+                    );
+                }
+                Instrument::Gauge(g) => {
+                    let _ = writeln!(
+                        out,
+                        "{}{} {}",
+                        e.name,
+                        render_labels(&e.labels, &[]),
+                        fmt_f64(g.get())
+                    );
+                }
+                Instrument::Histogram(h) => {
+                    let snap = h.snapshot();
+                    for (le, cum) in &snap.cumulative {
+                        let _ = writeln!(
+                            out,
+                            "{}_bucket{} {}",
+                            e.name,
+                            render_labels(&e.labels, &[("le", &fmt_f64(*le))]),
+                            cum
+                        );
+                    }
+                    let _ = writeln!(
+                        out,
+                        "{}_bucket{} {}",
+                        e.name,
+                        render_labels(&e.labels, &[("le", "+Inf")]),
+                        snap.count
+                    );
+                    let _ = writeln!(
+                        out,
+                        "{}_sum{} {}",
+                        e.name,
+                        render_labels(&e.labels, &[]),
+                        fmt_f64(snap.sum)
+                    );
+                    let _ = writeln!(
+                        out,
+                        "{}_count{} {}",
+                        e.name,
+                        render_labels(&e.labels, &[]),
+                        snap.count
+                    );
+                }
+            }
+        }
+        out
+    }
+}
+
+fn to_label_set(labels: &[(&str, &str)]) -> LabelSet {
+    labels
+        .iter()
+        .map(|(k, v)| ((*k).to_string(), (*v).to_string()))
+        .collect()
+}
+
+/// Escape a label value per the Prometheus text exposition format:
+/// backslash, double-quote, and line-feed become `\\`, `\"`, and `\n`.
+#[must_use]
+pub fn escape_label_value(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for ch in v.chars() {
+        match ch {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(ch),
+        }
+    }
+    out
+}
+
+/// Render `{k="v",...}` (or the empty string for no labels), with
+/// `extra` pairs appended after the sorted base labels.
+fn render_labels(base: &LabelSet, extra: &[(&str, &str)]) -> String {
+    if base.is_empty() && extra.is_empty() {
+        return String::new();
+    }
+    let mut parts = Vec::with_capacity(base.len() + extra.len());
+    for (k, v) in base {
+        parts.push(format!("{k}=\"{}\"", escape_label_value(v)));
+    }
+    for (k, v) in extra {
+        parts.push(format!("{k}=\"{}\"", escape_label_value(v)));
+    }
+    format!("{{{}}}", parts.join(","))
+}
+
+/// Format an `f64` for exposition: integral values print without a
+/// trailing `.0` mantissa mismatch run-to-run, everything else uses
+/// Rust's shortest round-trip formatting.
+fn fmt_f64(v: f64) -> String {
+    if v == f64::INFINITY {
+        "+Inf".to_string()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".to_string()
+    } else {
+        format!("{v}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idempotent_registration_shares_cells() {
+        let r = Registry::new();
+        let a = r.counter("ops_total", "ops", &[("kind", "get")]);
+        let b = r.counter("ops_total", "ops", &[("kind", "get")]);
+        a.inc();
+        b.inc();
+        assert_eq!(a.get(), 2);
+        // Different labels are a different cell.
+        let c = r.counter("ops_total", "ops", &[("kind", "put")]);
+        assert_eq!(c.get(), 0);
+    }
+
+    #[test]
+    fn renders_help_type_once_per_family() {
+        let r = Registry::new();
+        r.counter("x_total", "the xs", &[("a", "1")]).inc();
+        r.counter("x_total", "the xs", &[("a", "2")]).add(2);
+        let text = r.render();
+        assert_eq!(text.matches("# HELP x_total the xs").count(), 1);
+        assert_eq!(text.matches("# TYPE x_total counter").count(), 1);
+        assert!(text.contains("x_total{a=\"1\"} 1\n"));
+        assert!(text.contains("x_total{a=\"2\"} 2\n"));
+    }
+
+    #[test]
+    fn histogram_renders_cumulative_buckets() {
+        let r = Registry::new();
+        let h = r.histogram("lat_ms", "latency", &[]);
+        h.record(1.0);
+        h.record(100.0);
+        let text = r.render();
+        assert!(text.contains("# TYPE lat_ms histogram"));
+        assert!(text.contains("lat_ms_bucket{le=\"+Inf\"} 2\n"));
+        assert!(text.contains("lat_ms_sum 101\n"));
+        assert!(text.contains("lat_ms_count 2\n"));
+        // Cumulative counts never decrease down the bucket list.
+        let mut prev = 0u64;
+        for line in text.lines().filter(|l| l.starts_with("lat_ms_bucket")) {
+            let v: u64 = line.rsplit(' ').next().unwrap().parse().unwrap();
+            assert!(v >= prev, "cumulative: {line}");
+            prev = v;
+        }
+    }
+
+    /// Golden test (satellite): a label value containing backslash,
+    /// double-quote, and newline escapes per the exposition spec.
+    #[test]
+    fn golden_label_escaping() {
+        let r = Registry::new();
+        r.counter("esc_total", "escapes", &[("path", "a\\b\"c\nd")])
+            .inc();
+        let text = r.render();
+        let expected = "# HELP esc_total escapes\n\
+                        # TYPE esc_total counter\n\
+                        esc_total{path=\"a\\\\b\\\"c\\nd\"} 1\n";
+        assert_eq!(text, expected);
+    }
+
+    #[test]
+    fn escape_label_value_cases() {
+        assert_eq!(escape_label_value("plain"), "plain");
+        assert_eq!(escape_label_value("a\\b"), "a\\\\b");
+        assert_eq!(escape_label_value("a\"b"), "a\\\"b");
+        assert_eq!(escape_label_value("a\nb"), "a\\nb");
+    }
+
+    #[test]
+    fn render_is_deterministic() {
+        let build = || {
+            let r = Registry::new();
+            r.gauge("g", "a gauge", &[("z", "1")]).set(-2.5);
+            r.gauge("g", "a gauge", &[("a", "2")]).set(1e-9);
+            r.counter("c_total", "a counter", &[]).add(3);
+            r.render()
+        };
+        assert_eq!(build(), build());
+    }
+}

@@ -1,0 +1,307 @@
+//! Offline analysis of emitted telemetry: parse a JSONL trace back
+//! into events, render a per-phase latency table, and validate a
+//! Prometheus text exposition payload. This is what backs
+//! `entitlectl obs summarize` and the CI telemetry check.
+
+use crate::metrics::Histogram;
+use crate::trace::TraceEvent;
+use serde::JsonValue;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Parse a JSONL trace (one event per line; blank lines ignored),
+/// validating the stable schema: `ts_ms` (non-negative number),
+/// `span`/`phase` (strings), `labels` (string→string object),
+/// `dur_ms` (number).
+pub fn parse_trace(jsonl: &str) -> Result<Vec<TraceEvent>, String> {
+    let mut events = Vec::new();
+    for (i, line) in jsonl.lines().enumerate() {
+        let lineno = i + 1;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let v = serde_json::parse(line).map_err(|e| format!("line {lineno}: {e}"))?;
+        events.push(parse_event(&v).map_err(|e| format!("line {lineno}: {e}"))?);
+    }
+    Ok(events)
+}
+
+fn parse_event(v: &JsonValue) -> Result<TraceEvent, String> {
+    let ts_ms = match v.get("ts_ms") {
+        Some(JsonValue::Number(n)) if *n >= 0.0 && n.fract() == 0.0 => *n as u64,
+        Some(_) => return Err("`ts_ms` must be a non-negative integer".to_string()),
+        None => return Err("missing `ts_ms`".to_string()),
+    };
+    let span = match v.get("span") {
+        Some(JsonValue::String(s)) => s.clone(),
+        _ => return Err("missing or non-string `span`".to_string()),
+    };
+    let phase = match v.get("phase") {
+        Some(JsonValue::String(s)) => s.clone(),
+        _ => return Err("missing or non-string `phase`".to_string()),
+    };
+    let labels = match v.get("labels") {
+        Some(JsonValue::Object(fields)) => {
+            let mut out = Vec::with_capacity(fields.len());
+            for (k, lv) in fields {
+                match lv {
+                    JsonValue::String(s) => out.push((k.clone(), s.clone())),
+                    _ => return Err(format!("label `{k}` must be a string")),
+                }
+            }
+            out
+        }
+        Some(_) => return Err("`labels` must be an object".to_string()),
+        None => return Err("missing `labels`".to_string()),
+    };
+    let dur_ms = match v.get("dur_ms") {
+        Some(JsonValue::Number(n)) if n.is_finite() && *n >= 0.0 => *n,
+        Some(_) => return Err("`dur_ms` must be a non-negative number".to_string()),
+        None => return Err("missing `dur_ms`".to_string()),
+    };
+    Ok(TraceEvent {
+        ts_ms,
+        span,
+        phase,
+        labels,
+        dur_ms,
+    })
+}
+
+/// Render a per-`(span, phase)` latency table: event count, total and
+/// mean duration, p50/p95 estimates, and max. Rows sort by span then
+/// phase; durations are whatever unit the trace used (milliseconds
+/// for every emitter in this workspace).
+#[must_use]
+pub fn summarize_trace(events: &[TraceEvent]) -> String {
+    let mut groups: BTreeMap<(String, String), Histogram> = BTreeMap::new();
+    for e in events {
+        groups
+            .entry((e.span.clone(), e.phase.clone()))
+            .or_default()
+            .record(e.dur_ms.max(0.0));
+    }
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<14} {:<22} {:>7} {:>12} {:>10} {:>10} {:>10} {:>10}",
+        "span", "phase", "count", "total_ms", "mean_ms", "p50_ms", "p95_ms", "max_ms"
+    );
+    for ((span, phase), h) in &groups {
+        let count = h.count();
+        let total = h.sum();
+        let mean = if count > 0 { total / count as f64 } else { 0.0 };
+        let p50 = h.quantile(0.50).unwrap_or(0.0);
+        let p95 = h.quantile(0.95).unwrap_or(0.0);
+        let max = h.max().unwrap_or(0.0);
+        let _ = writeln!(
+            out,
+            "{span:<14} {phase:<22} {count:>7} {total:>12.1} {mean:>10.2} {p50:>10.2} {p95:>10.2} {max:>10.2}"
+        );
+    }
+    if groups.is_empty() {
+        let _ = writeln!(out, "(no events)");
+    }
+    out
+}
+
+/// Validate a Prometheus text exposition payload: every line must be
+/// a `# HELP`/`# TYPE` comment or a sample of the form
+/// `name{label="value",...} value`, with correctly escaped label
+/// values and a parseable float sample value. Returns the number of
+/// samples on success.
+pub fn validate_prometheus(text: &str) -> Result<usize, String> {
+    let mut samples = 0usize;
+    for (i, line) in text.lines().enumerate() {
+        let lineno = i + 1;
+        if line.trim().is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('#') {
+            let rest = rest.trim_start();
+            if !(rest.starts_with("HELP ") || rest.starts_with("TYPE ") || rest.is_empty()) {
+                // Bare comments are legal in the format; only flag
+                // malformed HELP/TYPE-looking lines.
+                continue;
+            }
+            if rest.starts_with("TYPE ") {
+                let mut parts = rest.split_whitespace();
+                let _type_kw = parts.next();
+                let name = parts.next().ok_or(format!("line {lineno}: TYPE without name"))?;
+                let kind = parts.next().ok_or(format!("line {lineno}: TYPE without kind"))?;
+                if !is_metric_name(name) {
+                    return Err(format!("line {lineno}: bad metric name `{name}`"));
+                }
+                if !matches!(kind, "counter" | "gauge" | "histogram" | "summary" | "untyped") {
+                    return Err(format!("line {lineno}: unknown TYPE kind `{kind}`"));
+                }
+            }
+            continue;
+        }
+        parse_sample_line(line).map_err(|e| format!("line {lineno}: {e}"))?;
+        samples += 1;
+    }
+    Ok(samples)
+}
+
+fn is_metric_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+fn parse_sample_line(line: &str) -> Result<(), String> {
+    let bytes = line.as_bytes();
+    let name_end = bytes
+        .iter()
+        .position(|&b| b == b'{' || b == b' ')
+        .ok_or("sample has no value")?;
+    let name = &line[..name_end];
+    if !is_metric_name(name) {
+        return Err(format!("bad metric name `{name}`"));
+    }
+    let mut pos = name_end;
+    if bytes[pos] == b'{' {
+        pos = parse_label_block(line, pos)?;
+    }
+    let value = line[pos..].trim();
+    if value.is_empty() {
+        return Err("sample has no value".to_string());
+    }
+    // A sample may carry an optional trailing timestamp.
+    let mut fields = value.split_whitespace();
+    let v = fields.next().unwrap_or("");
+    if !(v == "+Inf" || v == "-Inf" || v == "NaN" || v.parse::<f64>().is_ok()) {
+        return Err(format!("unparseable sample value `{v}`"));
+    }
+    if let Some(ts) = fields.next() {
+        if ts.parse::<i64>().is_err() {
+            return Err(format!("unparseable timestamp `{ts}`"));
+        }
+    }
+    Ok(())
+}
+
+/// Parse `{k="v",...}` starting at `open` (the `{`); returns the byte
+/// index just past the closing `}`.
+fn parse_label_block(line: &str, open: usize) -> Result<usize, String> {
+    let bytes = line.as_bytes();
+    let mut pos = open + 1;
+    loop {
+        if bytes.get(pos) == Some(&b'}') {
+            return Ok(pos + 1);
+        }
+        // label name
+        let start = pos;
+        while matches!(bytes.get(pos), Some(c) if c.is_ascii_alphanumeric() || *c == b'_') {
+            pos += 1;
+        }
+        if pos == start {
+            return Err(format!("expected label name at byte {pos}"));
+        }
+        if bytes.get(pos) != Some(&b'=') {
+            return Err(format!("expected `=` at byte {pos}"));
+        }
+        pos += 1;
+        if bytes.get(pos) != Some(&b'"') {
+            return Err(format!("expected `\"` at byte {pos}"));
+        }
+        pos += 1;
+        // quoted value with \\, \", \n escapes
+        loop {
+            match bytes.get(pos) {
+                Some(b'\\') => {
+                    match bytes.get(pos + 1) {
+                        Some(b'\\' | b'"' | b'n') => pos += 2,
+                        _ => return Err(format!("bad escape at byte {pos}")),
+                    }
+                }
+                Some(b'"') => {
+                    pos += 1;
+                    break;
+                }
+                Some(_) => pos += 1,
+                None => return Err("unterminated label value".to_string()),
+            }
+        }
+        match bytes.get(pos) {
+            Some(b',') => pos += 1,
+            Some(b'}') => {}
+            other => return Err(format!("expected `,` or `}}`, got {other:?}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+    use crate::{Clock, Obs};
+
+    #[test]
+    fn parse_rejects_schema_violations() {
+        assert!(parse_trace(r#"{"span":"a"}"#).is_err()); // missing ts_ms
+        assert!(parse_trace(r#"{"ts_ms":-1,"span":"a","phase":"b","labels":{},"dur_ms":0}"#).is_err());
+        assert!(parse_trace(r#"{"ts_ms":1,"span":"a","phase":"b","labels":[],"dur_ms":0}"#).is_err());
+        assert!(parse_trace(r#"{"ts_ms":1,"span":"a","phase":"b","labels":{"x":3},"dur_ms":0}"#).is_err());
+        assert!(parse_trace("not json").is_err());
+    }
+
+    #[test]
+    fn emitted_traces_roundtrip() {
+        let obs = Obs::new(Clock::counting(2));
+        obs.event("kv", "put", &[("outcome", "ok")]);
+        {
+            let _s = obs.span("risk", "sweep").label("scenarios", "9");
+        }
+        let jsonl = obs.trace.to_jsonl();
+        let parsed = parse_trace(&jsonl).expect("roundtrip");
+        assert_eq!(parsed, obs.trace.events());
+    }
+
+    #[test]
+    fn summary_table_has_one_row_per_phase() {
+        let obs = Obs::new(Clock::manual(0));
+        for d in [5.0, 10.0, 15.0] {
+            obs.trace.push(crate::TraceEvent {
+                ts_ms: 0,
+                span: "approval".to_string(),
+                phase: "pipe_approval".to_string(),
+                labels: Vec::new(),
+                dur_ms: d,
+            });
+        }
+        obs.event("kv", "get", &[]);
+        let table = summarize_trace(&obs.trace.events());
+        let rows: Vec<&str> = table.lines().collect();
+        assert_eq!(rows.len(), 3, "header + 2 groups: {table}");
+        assert!(rows[1].contains("approval") && rows[1].contains("pipe_approval"));
+        assert!(rows[1].contains("30.0"), "total: {table}");
+        assert!(rows[2].contains("kv"));
+    }
+
+    #[test]
+    fn validates_registry_output() {
+        let r = Registry::new();
+        r.counter("ops_total", "ops", &[("kind", "weird \"x\"\\\n")])
+            .inc();
+        r.gauge("level", "level", &[]).set(-3.25);
+        r.histogram("lat_ms", "latency", &[("op", "get")]).record(2.0);
+        let text = r.render();
+        let n = validate_prometheus(&text).expect("valid exposition");
+        assert!(n > 40, "histogram buckets + counter + gauge: {n}");
+    }
+
+    #[test]
+    fn rejects_malformed_prometheus() {
+        assert!(validate_prometheus("1bad_name 3\n").is_err());
+        assert!(validate_prometheus("x{unterminated=\"v 3\n").is_err());
+        assert!(validate_prometheus("x{l=\"bad\\q\"} 3\n").is_err());
+        assert!(validate_prometheus("x notanumber\n").is_err());
+        assert!(validate_prometheus("# TYPE x wibble\n").is_err());
+        assert!(validate_prometheus("x 3\nx{l=\"v\"} 4.5\n# TYPE x counter\n").is_ok());
+    }
+}

@@ -1,0 +1,344 @@
+//! Structured span events and the JSONL trace sink.
+//!
+//! Every event serializes to one JSON line with a **stable schema**:
+//!
+//! ```json
+//! {"ts_ms":1234,"span":"approval","phase":"hose_approval","labels":{"qos":"C1"},"dur_ms":4.5}
+//! ```
+//!
+//! * `ts_ms` — u64, span start time from the caller-supplied [`Clock`];
+//! * `span` — the subsystem (e.g. `approval`, `risk`, `kv`, `agent`);
+//! * `phase` — the step within the subsystem;
+//! * `labels` — a flat string→string object (sorted by key);
+//! * `dur_ms` — f64 duration (0 for instantaneous events).
+//!
+//! The JSONL is hand-emitted (the vendored serde stub serializes maps
+//! as arrays of pairs, which would break the `labels` object), and
+//! keys always appear in the order above so identical runs produce
+//! byte-identical traces.
+
+use crate::clock::Clock;
+use std::fmt::Write as _;
+use std::sync::{Arc, Mutex};
+
+/// One structured event.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TraceEvent {
+    /// Start time in milliseconds (from the injected clock).
+    pub ts_ms: u64,
+    /// Subsystem name.
+    pub span: String,
+    /// Step within the subsystem.
+    pub phase: String,
+    /// Flat key→value labels, sorted by key at emit time.
+    pub labels: Vec<(String, String)>,
+    /// Duration in milliseconds (0 for point events).
+    pub dur_ms: f64,
+}
+
+impl TraceEvent {
+    /// Render this event as its canonical single JSON line (no
+    /// trailing newline).
+    #[must_use]
+    pub fn to_json_line(&self) -> String {
+        let mut out = String::with_capacity(96);
+        let _ = write!(out, "{{\"ts_ms\":{},\"span\":", self.ts_ms);
+        serde::write_json_string(&self.span, &mut out);
+        out.push_str(",\"phase\":");
+        serde::write_json_string(&self.phase, &mut out);
+        out.push_str(",\"labels\":{");
+        for (i, (k, v)) in self.labels.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            serde::write_json_string(k, &mut out);
+            out.push(':');
+            serde::write_json_string(v, &mut out);
+        }
+        let _ = write!(out, "}},\"dur_ms\":{}}}", fmt_dur(self.dur_ms));
+        out
+    }
+}
+
+/// `dur_ms` formatting: plain shortest-round-trip decimal, with
+/// non-finite values (which valid spans never produce) mapped to 0.
+fn fmt_dur(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "0".to_string()
+    }
+}
+
+#[derive(Default)]
+struct SinkInner {
+    events: Vec<TraceEvent>,
+}
+
+/// A cloneable, append-only event sink. Disabled sinks drop events at
+/// the door so un-traced runs pay almost nothing.
+#[derive(Clone)]
+pub struct TraceSink {
+    inner: Option<Arc<Mutex<SinkInner>>>,
+}
+
+impl TraceSink {
+    /// An enabled sink.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            inner: Some(Arc::new(Mutex::new(SinkInner::default()))),
+        }
+    }
+
+    /// A sink that records nothing.
+    #[must_use]
+    pub fn disabled() -> Self {
+        Self { inner: None }
+    }
+
+    /// Whether events are recorded.
+    #[must_use]
+    pub fn enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Append a fully formed event.
+    pub fn push(&self, mut event: TraceEvent) {
+        if let Some(inner) = &self.inner {
+            event.labels.sort();
+            let mut guard = inner
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            guard.events.push(event);
+        }
+    }
+
+    /// Emit an instantaneous event stamped by `clock`.
+    pub fn event(&self, clock: &Clock, span: &str, phase: &str, labels: &[(&str, &str)]) {
+        if self.inner.is_none() {
+            return;
+        }
+        self.push(TraceEvent {
+            ts_ms: clock.now_ms(),
+            span: span.to_string(),
+            phase: phase.to_string(),
+            labels: labels
+                .iter()
+                .map(|(k, v)| ((*k).to_string(), (*v).to_string()))
+                .collect(),
+            dur_ms: 0.0,
+        });
+    }
+
+    /// Start a span; the event is emitted when the returned
+    /// [`SpanTimer`] drops (with `dur_ms` = clock delta).
+    #[must_use]
+    pub fn span(&self, clock: &Clock, span: &str, phase: &str) -> SpanTimer {
+        if self.inner.is_none() {
+            return SpanTimer::noop();
+        }
+        SpanTimer {
+            sink: self.clone(),
+            clock: clock.clone(),
+            span: span.to_string(),
+            phase: phase.to_string(),
+            labels: Vec::new(),
+            start_ms: clock.now_ms(),
+            armed: true,
+        }
+    }
+
+    /// Number of buffered events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        match &self.inner {
+            Some(inner) => inner
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .events
+                .len(),
+            None => 0,
+        }
+    }
+
+    /// Whether the sink holds no events.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Copy out all buffered events.
+    #[must_use]
+    pub fn events(&self) -> Vec<TraceEvent> {
+        match &self.inner {
+            Some(inner) => inner
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .events
+                .clone(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Render every buffered event as JSONL (one event per line,
+    /// trailing newline when non-empty).
+    #[must_use]
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for e in self.events() {
+            out.push_str(&e.to_json_line());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl Default for TraceSink {
+    fn default() -> Self {
+        Self::disabled()
+    }
+}
+
+/// RAII span: stamps the start on creation, emits the event with the
+/// measured duration when dropped.
+pub struct SpanTimer {
+    sink: TraceSink,
+    clock: Clock,
+    span: String,
+    phase: String,
+    labels: Vec<(String, String)>,
+    start_ms: u64,
+    armed: bool,
+}
+
+impl SpanTimer {
+    fn noop() -> Self {
+        Self {
+            sink: TraceSink::disabled(),
+            clock: Clock::manual(0),
+            span: String::new(),
+            phase: String::new(),
+            labels: Vec::new(),
+            start_ms: 0,
+            armed: false,
+        }
+    }
+
+    /// Attach a label (builder style).
+    #[must_use]
+    pub fn label(mut self, k: &str, v: &str) -> Self {
+        if self.armed {
+            self.labels.push((k.to_string(), v.to_string()));
+        }
+        self
+    }
+
+    /// Attach a label to a span by reference (for spans held across
+    /// loop bodies).
+    pub fn add_label(&mut self, k: &str, v: &str) {
+        if self.armed {
+            self.labels.push((k.to_string(), v.to_string()));
+        }
+    }
+
+    /// End the span now (equivalent to dropping it).
+    pub fn finish(self) {}
+}
+
+impl Drop for SpanTimer {
+    fn drop(&mut self) {
+        if !self.armed {
+            return;
+        }
+        let end = self.clock.now_ms();
+        self.sink.push(TraceEvent {
+            ts_ms: self.start_ms,
+            span: std::mem::take(&mut self.span),
+            phase: std::mem::take(&mut self.phase),
+            labels: std::mem::take(&mut self.labels),
+            dur_ms: end.saturating_sub(self.start_ms) as f64,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn event_line_matches_schema_golden() {
+        let e = TraceEvent {
+            ts_ms: 12,
+            span: "approval".to_string(),
+            phase: "hose_approval".to_string(),
+            labels: vec![("qos".to_string(), "C1".to_string())],
+            dur_ms: 4.5,
+        };
+        assert_eq!(
+            e.to_json_line(),
+            r#"{"ts_ms":12,"span":"approval","phase":"hose_approval","labels":{"qos":"C1"},"dur_ms":4.5}"#
+        );
+    }
+
+    #[test]
+    fn span_timer_measures_clock_delta() {
+        let sink = TraceSink::new();
+        let clock = Clock::manual(100);
+        {
+            let _t = sink.span(&clock, "kv", "aggregate").label("op", "sum");
+            clock.set_ms(130);
+        }
+        let events = sink.events();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].ts_ms, 100);
+        assert_eq!(events[0].dur_ms, 30.0);
+        assert_eq!(events[0].labels, vec![("op".to_string(), "sum".to_string())]);
+    }
+
+    #[test]
+    fn disabled_sink_records_nothing() {
+        let sink = TraceSink::disabled();
+        let clock = Clock::counting(1);
+        sink.event(&clock, "a", "b", &[]);
+        {
+            let _t = sink.span(&clock, "a", "b");
+        }
+        assert!(sink.is_empty());
+        assert_eq!(sink.to_jsonl(), "");
+    }
+
+    #[test]
+    fn labels_sorted_at_emit() {
+        let sink = TraceSink::new();
+        let clock = Clock::manual(0);
+        {
+            let _t = sink
+                .span(&clock, "s", "p")
+                .label("zeta", "1")
+                .label("alpha", "2");
+        }
+        let line = sink.to_jsonl();
+        let zeta = line.find("zeta").unwrap();
+        let alpha = line.find("alpha").unwrap();
+        assert!(alpha < zeta, "{line}");
+    }
+
+    #[test]
+    fn jsonl_roundtrips_through_parser() {
+        let sink = TraceSink::new();
+        let clock = Clock::counting(3);
+        sink.event(&clock, "risk", "sweep", &[("scenarios", "42")]);
+        {
+            let _t = sink.span(&clock, "agent", "cycle");
+        }
+        for line in sink.to_jsonl().lines() {
+            let v = serde_json::parse(line).expect("valid json");
+            assert!(v.get("ts_ms").is_some());
+            assert!(v.get("span").is_some());
+            assert!(v.get("phase").is_some());
+            assert!(v.get("labels").is_some());
+            assert!(v.get("dur_ms").is_some());
+        }
+    }
+}

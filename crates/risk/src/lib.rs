@@ -23,5 +23,5 @@ pub mod simulate;
 pub mod sweep;
 
 pub use curve::AvailabilityCurve;
-pub use simulate::{assess_risk, assess_risk_detailed, RiskAssessment, RiskConfig};
-pub use sweep::UniqueScenarios;
+pub use simulate::{assess_risk, assess_risk_detailed, assess_risk_detailed_obs, RiskAssessment, RiskConfig};
+pub use sweep::{sweep_ordered_obs, UniqueScenarios};

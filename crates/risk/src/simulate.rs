@@ -1,8 +1,9 @@
 //! Scenario-sweep risk simulation.
 
 use crate::curve::AvailabilityCurve;
-use crate::sweep::{sweep_ordered, UniqueScenarios};
+use crate::sweep::{sweep_ordered_obs, UniqueScenarios};
 use entitlement_core::Rate;
+use entitlement_obs::Obs;
 use entitlement_topology::routing::Demand;
 use entitlement_topology::{route_matrix, route_matrix_on_residual, ScenarioSet, Topology};
 use serde::{Deserialize, Serialize};
@@ -89,6 +90,23 @@ pub fn assess_risk_detailed(
     scenarios: &ScenarioSet,
     config: &RiskConfig,
 ) -> RiskAssessment {
+    assess_risk_detailed_obs(topo, demands, scenarios, config, &Obs::disabled())
+}
+
+/// [`assess_risk_detailed`] with telemetry: a `risk`/`sweep` span
+/// around the scenario fan-out (labelled with scenario, unique-set,
+/// and demand counts), a `risk`/`merge` span around the per-scenario
+/// sample merge, and the sweep's per-scenario timing and
+/// worker-utilization histograms in `obs.registry` (see
+/// [`crate::sweep::sweep_ordered_obs`]). Curves are bitwise identical
+/// to the un-instrumented path.
+pub fn assess_risk_detailed_obs(
+    topo: &Topology,
+    demands: &[Demand],
+    scenarios: &ScenarioSet,
+    config: &RiskConfig,
+    obs: &Obs,
+) -> RiskAssessment {
     let index = if config.dedup {
         UniqueScenarios::build(scenarios)
     } else {
@@ -101,8 +119,13 @@ pub fn assess_risk_detailed(
     // router reads only fiber lengths for path selection, so overlaying
     // residuals is exactly the old clone-and-rewrite-capacities path
     // without the per-scenario topology clone.
+    let sweep_span = obs
+        .span("risk", "sweep")
+        .label("scenarios", &scenarios.len().to_string())
+        .label("unique", &index.unique_len().to_string())
+        .label("demands", &demands.len().to_string());
     let per_unique: Vec<Vec<Rate>> =
-        sweep_ordered(&index.representatives, config.workers, |scenario_idx| {
+        sweep_ordered_obs(&index.representatives, config.workers, obs, |scenario_idx| {
             let dead = &scenarios.scenarios[scenario_idx].dead_links;
             if config.background.is_empty() {
                 route_matrix(topo, demands, dead, config.k_paths).admitted
@@ -112,11 +135,13 @@ pub fn assess_risk_detailed(
                     .admitted
             }
         });
+    sweep_span.finish();
 
     // Merge per original scenario, in scenario order: each scenario
     // contributes its own (admitted, probability) sample even when its
     // routing was shared, keeping the curve construction independent of
     // the dedup decision.
+    let merge_span = obs.span("risk", "merge");
     let mut samples: Vec<Vec<(Rate, f64)>> =
         vec![Vec::with_capacity(scenarios.len()); demands.len()];
     for (s_idx, scenario) in scenarios.scenarios.iter().enumerate() {
@@ -125,6 +150,7 @@ pub fn assess_risk_detailed(
             samples[i].push((a, scenario.probability));
         }
     }
+    merge_span.finish();
     RiskAssessment {
         curves: samples
             .into_iter()

@@ -20,6 +20,11 @@
 //!   `#![forbid(unsafe_code)]`.
 //! * `X0105` — any `unsafe` block or function anywhere in workspace
 //!   sources.
+//! * `X0106` — `println!`/`print!`/`eprintln!`/`eprint!`/`dbg!` in
+//!   library code. Libraries report through returned values and the
+//!   telemetry registry (`entitlement-obs`), never stdout; binaries
+//!   (`src/bin/`, `crates/*/src/bin/`), `examples/`, integration
+//!   `tests/`, and this xtask are exempt.
 //!
 //! `#[cfg(test)]` modules, comments, and doc comments are skipped.
 //! Known-good exceptions live in `lint.allow` at the repository root,
@@ -40,6 +45,7 @@ const DETERMINISTIC_CRATES: &[&str] = &[
     "crates/topology",
     "crates/kvstore",
     "crates/chaos",
+    "crates/obs",
 ];
 
 /// Crates whose library code is on the granting hot path (X0102/X0103).
@@ -222,6 +228,14 @@ fn lint(root: &Path, allowlist_path: &Path) -> Result<Vec<Finding>, String> {
         let deterministic = DETERMINISTIC_CRATES.iter().any(|c| rel.starts_with(c));
         let hot_path = HOT_PATH_CRATES.iter().any(|c| rel.starts_with(c))
             && rel.contains("/src/");
+        // X0106 applies to library code only: not binaries, examples,
+        // integration tests, or this xtask (whose job is to print).
+        let library = !rel.contains("/bin/")
+            && !rel.starts_with("examples/")
+            && !rel.contains("/examples/")
+            && !rel.starts_with("tests/")
+            && !rel.contains("/tests/")
+            && !rel.starts_with("crates/xtask");
 
         if rel.ends_with("src/lib.rs") && !text.contains("#![forbid(unsafe_code)]") {
             findings.push(Finding {
@@ -272,6 +286,22 @@ fn lint(root: &Path, allowlist_path: &Path) -> Result<Vec<Finding>, String> {
                         line: line_no,
                         message: "`.expect()` in hot-path library code; return a Result".into(),
                     });
+                }
+            }
+            if library {
+                for pat in ["println!", "eprintln!", "print!", "eprint!", "dbg!"] {
+                    if code_part.contains(pat) {
+                        findings.push(Finding {
+                            code: "X0106",
+                            path: rel.clone(),
+                            line: line_no,
+                            message: format!(
+                                "`{pat}` in library code; return strings or record \
+                                 through the obs registry"
+                            ),
+                        });
+                        break; // `print!` is a substring of `println!`
+                    }
                 }
             }
             let has_unsafe = code_part
@@ -397,7 +427,8 @@ mod tests {
         std::fs::create_dir_all(&src).unwrap();
         std::fs::write(
             src.join("lib.rs"),
-            "pub fn t() { let _ = std::time::Instant::now(); Some(1).unwrap(); }\n",
+            "pub fn t() { let _ = std::time::Instant::now(); Some(1).unwrap(); \
+             println!(\"t\"); }\n",
         )
         .unwrap();
         let findings = lint(&dir, &dir.join("lint.allow")).unwrap();
@@ -405,6 +436,28 @@ mod tests {
         assert!(codes.contains(&"X0101"), "{codes:?}");
         assert!(codes.contains(&"X0102"), "{codes:?}");
         assert!(codes.contains(&"X0104"), "{codes:?}");
+        assert!(codes.contains(&"X0106"), "{codes:?}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn prints_are_allowed_in_binaries_tests_and_examples() {
+        let dir = Path::new(env!("CARGO_MANIFEST_DIR"))
+            .ancestors()
+            .nth(2)
+            .unwrap()
+            .join("target/xtask-lint-print-selftest");
+        for sub in ["crates/demo/src/bin", "crates/demo/tests", "examples"] {
+            let d = dir.join(sub);
+            std::fs::create_dir_all(&d).unwrap();
+            std::fs::write(d.join("p.rs"), "fn main() { println!(\"ok\"); }\n").unwrap();
+        }
+        let findings = lint(&dir, &dir.join("lint.allow")).unwrap();
+        assert!(
+            !findings.iter().any(|f| f.code == "X0106"),
+            "{:?}",
+            findings.iter().map(ToString::to_string).collect::<Vec<_>>()
+        );
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

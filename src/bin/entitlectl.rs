@@ -22,12 +22,28 @@
 //! change only wall-clock time, never results.
 //!
 //! entitlectl drill  [--hosts N] [--csv out.csv] [--faults plan.json]
+//!                   [--trace out.jsonl] [--metrics out.prom]
 //!     Run the §6 enforcement drill and optionally dump every series
 //!     as CSV. With --faults, a JSON fault plan (see
 //!     examples/faults/) is injected between the metering agent and
 //!     the KV store — shard outages, dropped publishes, stale reads,
 //!     clock skew — and the run summary reports how many cycles ran
 //!     fail-static on the held decision.
+//!
+//! --trace out.jsonl / --metrics out.prom (drill, check --risk)
+//!     Collect structured span events (JSONL, one event per line with
+//!     ts_ms/span/phase/labels/dur_ms) and/or a Prometheus text
+//!     snapshot of every counter/gauge/histogram the run touched.
+//!     Timestamps come from a deterministic logical clock, so the same
+//!     seed writes byte-identical traces. `drill --trace` also runs a
+//!     small traced approval round first, so one file covers the
+//!     approval, risk, KV, and agent span families.
+//!
+//! entitlectl obs summarize <trace.jsonl> [--metrics m.prom]
+//!     Validate a trace file against the span schema and print a
+//!     per-(span, phase) latency table (count, total, mean, p50, p95,
+//!     max). With --metrics, also validate the Prometheus text file.
+//!     Exits 1 when either file fails validation.
 //!
 //! entitlectl negotiate --rate GBPS [--accept FRACTION] [--seed N]
 //!     Negotiate an oversized egress request against the backbone
@@ -50,9 +66,10 @@
 
 use network_entitlement::chaos::FaultPlan;
 use network_entitlement::core::DetRng;
-use network_entitlement::enforcement::drill::{run_drill, DrillConfig};
+use network_entitlement::enforcement::drill::{run_drill_obs, DrillConfig};
 use network_entitlement::hose::segment::FlowSeries;
 use network_entitlement::prelude::*;
+use network_entitlement::telemetry::{traced_approval_preamble, TelemetrySpec};
 use network_entitlement::workload::matrix::MatrixSpec;
 use network_entitlement::workload::ontology::CatalogSpec;
 use std::collections::BTreeMap;
@@ -93,8 +110,9 @@ fn main() {
         Some("negotiate") => negotiate_cmd(&args),
         Some("topo") => topo_cmd(&args),
         Some("lint") => lint_cmd(&args),
+        Some("obs") => obs_cmd(&args),
         _ => {
-            eprintln!("usage: entitlectl <plan|show|check|drill|negotiate|topo|lint> [options]");
+            eprintln!("usage: entitlectl <plan|show|check|drill|negotiate|topo|lint|obs> [options]");
             eprintln!("see the module docs of src/bin/entitlectl.rs");
             std::process::exit(2);
         }
@@ -304,6 +322,22 @@ fn check(args: &[String]) {
     std::process::exit(exit_code);
 }
 
+/// Flush `--trace`/`--metrics` outputs, printing one line per file (or
+/// the error, exiting 1).
+fn write_telemetry(tele: &TelemetrySpec, obs: &network_entitlement::obs::Obs) {
+    match tele.write(obs) {
+        Ok(lines) => {
+            for line in lines {
+                eprintln!("{line}");
+            }
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(1);
+        }
+    }
+}
+
 /// The `check --risk` what-if: sweep the failure scenarios of the
 /// planning backbone and report the availability the network could give
 /// the planned rate, independent of what the contract says.
@@ -339,8 +373,10 @@ fn check_risk(args: &[String], region: RegionId, rate: Rate) {
             amount: per_remote,
         })
         .collect();
+    let tele = TelemetrySpec::from_args(args);
+    let obs = tele.make_obs();
     let scenarios = ScenarioSet::enumerate(&topo, 2);
-    let assessment = assess_risk_detailed(
+    let assessment = assess_risk_detailed_obs(
         &topo,
         &demands,
         &scenarios,
@@ -349,6 +385,7 @@ fn check_risk(args: &[String], region: RegionId, rate: Rate) {
             dedup,
             ..Default::default()
         },
+        &obs,
     );
     // A demand's availability at its full share; the hose carries the
     // planned rate only when every pipe does.
@@ -370,6 +407,7 @@ fn check_risk(args: &[String], region: RegionId, rate: Rate) {
         assessment.total_scenarios,
         if dedup { ", dedup on" } else { ", dedup off" },
     );
+    write_telemetry(&tele, &obs);
 }
 
 fn drill(args: &[String]) {
@@ -387,11 +425,25 @@ fn drill(args: &[String]) {
         })
     });
     let faulted = faults.as_ref().is_some_and(|p| !p.is_empty());
-    let recorder = run_drill(&DrillConfig {
-        hosts,
-        faults,
-        ..Default::default()
-    });
+    let tele = TelemetrySpec::from_args(args);
+    let obs = tele.make_obs();
+    if tele.requested() {
+        // One traced approval round first, so the trace file covers the
+        // approval and risk span families alongside the drill's own
+        // agent/KV spans.
+        let seed: u64 = arg_value(args, "--seed")
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(0xE17);
+        traced_approval_preamble(seed, &obs);
+    }
+    let recorder = run_drill_obs(
+        &DrillConfig {
+            hosts,
+            faults,
+            ..Default::default()
+        },
+        &obs,
+    );
     if let Some(csv) = arg_value(args, "--csv") {
         let names: Vec<&str> = vec![
             "rate_total_tbps",
@@ -456,6 +508,45 @@ fn drill(args: &[String]) {
 max aggregate staleness {:.0} s",
             max_staleness / 1000.0
         );
+    }
+    write_telemetry(&tele, &obs);
+}
+
+fn obs_cmd(args: &[String]) {
+    use network_entitlement::obs::{parse_trace, summarize_trace, validate_prometheus};
+
+    if args.get(1).map(String::as_str) != Some("summarize") {
+        eprintln!("usage: entitlectl obs summarize <trace.jsonl> [--metrics m.prom]");
+        std::process::exit(2);
+    }
+    let path = args[2..]
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .unwrap_or_else(|| {
+            eprintln!("usage: entitlectl obs summarize <trace.jsonl> [--metrics m.prom]");
+            std::process::exit(2);
+        });
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read {path}: {e}");
+        std::process::exit(1);
+    });
+    let events = parse_trace(&text).unwrap_or_else(|e| {
+        eprintln!("{path}: invalid trace: {e}");
+        std::process::exit(1);
+    });
+    print!("{}", summarize_trace(&events));
+    if let Some(mpath) = arg_value(args, "--metrics") {
+        let mtext = std::fs::read_to_string(&mpath).unwrap_or_else(|e| {
+            eprintln!("cannot read {mpath}: {e}");
+            std::process::exit(1);
+        });
+        match validate_prometheus(&mtext) {
+            Ok(samples) => println!("{mpath}: {samples} valid metric sample(s)"),
+            Err(e) => {
+                eprintln!("{mpath}: invalid metrics: {e}");
+                std::process::exit(1);
+            }
+        }
     }
 }
 

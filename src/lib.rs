@@ -16,6 +16,9 @@
 //!   time-series model + quantile GBDT);
 //! * [`hose`] — pipe/hose/segmented-hose models, Algorithm 1,
 //!   representative traffic matrices, hose coverage;
+//! * [`obs`] — the telemetry core (counters/gauges/histograms, span
+//!   traces as JSONL, Prometheus text export — see `src/telemetry.rs`
+//!   for the CLI plumbing);
 //! * [`risk`] — the Risk Simulation System (availability curves);
 //! * [`approval`] — Algorithm 2 (`Hose_Approval` / `Pipe_Approval`);
 //! * [`simnet`] — the enforcement-side network simulator;
@@ -48,6 +51,8 @@
 
 #![forbid(unsafe_code)]
 
+pub mod telemetry;
+
 pub use entitlement_analyzer as analyzer;
 pub use entitlement_chaos as chaos;
 pub use entitlement_approval as approval;
@@ -56,6 +61,7 @@ pub use entitlement_enforcement as enforcement;
 pub use entitlement_forecast as forecast;
 pub use entitlement_hose as hose;
 pub use entitlement_kvstore as kvstore;
+pub use entitlement_obs as obs;
 pub use entitlement_risk as risk;
 pub use entitlement_simnet as simnet;
 pub use entitlement_topology as topology;
@@ -70,15 +76,18 @@ pub mod prelude {
     };
     pub use entitlement_chaos::{Fault, FaultKind, FaultPlan, TimeWindow};
     pub use entitlement_enforcement::{
-        run_drill, Agent, AgentConfig, ContractDb, DrillConfig, Marker, MarkingStrategy, Meter,
+        run_drill, run_drill_obs, Agent, AgentConfig, ContractDb, DrillConfig, Marker,
+        MarkingStrategy, Meter,
         StatefulMeter, StatelessMeter,
     };
     pub use entitlement_forecast::{ForecastPipeline, PipelineConfig, QuarterForecast};
     pub use entitlement_hose::{
         generate_tms, segment_flow_series, HoseRequest, HoseSegment, TmGenConfig,
     };
+    pub use entitlement_obs::{Clock, Obs};
     pub use entitlement_risk::{
-        assess_risk, assess_risk_detailed, AvailabilityCurve, RiskAssessment, RiskConfig,
+        assess_risk, assess_risk_detailed, assess_risk_detailed_obs, AvailabilityCurve,
+        RiskAssessment, RiskConfig,
     };
     pub use entitlement_simnet::{Bottleneck, MarkingCommand, World, WorldConfig};
     pub use entitlement_topology::{BackboneSpec, ScenarioSet, Topology};
