@@ -41,7 +41,8 @@ impl fmt::Display for Severity {
 /// A stable diagnostic code.
 ///
 /// Numbering scheme: `E01xx` contracts, `E02xx` hoses/pipes, `E03xx`
-/// QoS ordering, `E04xx` topology, `E05xx` availability curves.
+/// QoS ordering, `E04xx` topology, `E05xx` availability curves,
+/// `E06xx` SLO evaluation policies.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum Code {
     /// Entitled rate must be positive and finite.
@@ -92,6 +93,14 @@ pub enum Code {
     E0502,
     /// Curve point invalid: non-finite volume or availability outside [0, 1].
     E0503,
+    /// SLO policy window or hysteresis is zero, or a tolerance/band is
+    /// outside its range.
+    E0601,
+    /// SLO policy fast window is not strictly shorter than the slow window.
+    E0602,
+    /// SLO policy burn threshold does not exceed 1, or the clear
+    /// fraction is outside (0, 1).
+    E0603,
 }
 
 /// One row of the rule catalog: what the code means and where in the
@@ -110,7 +119,7 @@ pub struct CatalogEntry {
 
 impl Code {
     /// The full rule catalog, in code order.
-    pub const CATALOG: [CatalogEntry; 24] = [
+    pub const CATALOG: [CatalogEntry; 27] = [
         CatalogEntry {
             code: Code::E0101,
             severity: Severity::Error,
@@ -255,6 +264,24 @@ impl Code {
             invariant: "curve points are finite with availability in [0, 1]",
             paper: "§4.3",
         },
+        CatalogEntry {
+            code: Code::E0601,
+            severity: Severity::Error,
+            invariant: "SLO policy windows, hysteresis, and tolerances are in range",
+            paper: "§3.2 / §7 (SLO attainment is windowed)",
+        },
+        CatalogEntry {
+            code: Code::E0602,
+            severity: Severity::Error,
+            invariant: "the fast burn window is strictly shorter than the slow one",
+            paper: "§7 (multi-window burn-rate alerting)",
+        },
+        CatalogEntry {
+            code: Code::E0603,
+            severity: Severity::Error,
+            invariant: "burn thresholds exceed 1× and the clear fraction is in (0, 1)",
+            paper: "§7 (alerts page on budget-exhausting burns)",
+        },
     ];
 
     /// The stable textual form, e.g. `"E0203"`.
@@ -284,6 +311,9 @@ impl Code {
             Code::E0501 => "E0501",
             Code::E0502 => "E0502",
             Code::E0503 => "E0503",
+            Code::E0601 => "E0601",
+            Code::E0602 => "E0602",
+            Code::E0603 => "E0603",
         }
     }
 

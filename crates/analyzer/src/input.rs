@@ -67,6 +67,28 @@ pub struct CurveCheck {
     pub points: Vec<CurvePoint>,
 }
 
+/// An SLO evaluation policy to sanity-check (the knobs `entitlectl
+/// slo` accepts, as they would appear in monitoring config). Window
+/// and hysteresis counts are `f64` so a fractional value in the JSON
+/// is caught by the rule rather than by the parser.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SloPolicyCheck {
+    /// Label for diagnostics, e.g. the service the policy watches.
+    pub name: String,
+    /// Fast burn window, cycles.
+    pub fast_window: f64,
+    /// Slow burn window, cycles.
+    pub slow_window: f64,
+    /// Fast-window burn threshold (× the error budget).
+    pub fast_burn: f64,
+    /// Slow-window burn threshold.
+    pub slow_burn: f64,
+    /// Consecutive calm cycles before a firing alert clears.
+    pub hysteresis: f64,
+    /// Fractional delivery slack, in [0, 1).
+    pub delivery_tolerance: f64,
+}
+
 /// Everything the analyzer can look at. All sections optional.
 #[derive(Clone, Debug, Default, Serialize, Deserialize)]
 pub struct LintBundle {
@@ -87,6 +109,8 @@ pub struct LintBundle {
     pub npgs: Option<Vec<u32>>,
     /// Availability curves paired with their SLO targets.
     pub curves: Option<Vec<CurveCheck>>,
+    /// SLO evaluation policies (burn-rate alerting configs).
+    pub slo_policies: Option<Vec<SloPolicyCheck>>,
 }
 
 impl LintBundle {

@@ -809,6 +809,93 @@ impl Rule for CurveDomain {
     }
 }
 
+// ---- SLO policy rules ----------------------------------------------------
+
+/// E0601 + E0602 + E0603: a burn-rate alerting policy is internally
+/// consistent — positive integer windows, fast strictly shorter than
+/// slow, thresholds past 1×, tolerance in range. Mirrors
+/// `entitlement-slo`'s `SloPolicy::validate` so a monitoring config
+/// lints the same way it would fail at `entitlectl slo` startup.
+pub struct SloPolicySanity;
+
+impl SloPolicySanity {
+    /// Whether `v` is a positive whole number (cycle counts come in as
+    /// `f64` so fractional JSON values land here, not in the parser).
+    fn positive_count(v: f64) -> bool {
+        v.is_finite() && v >= 1.0 && v.fract() == 0.0
+    }
+}
+
+impl Rule for SloPolicySanity {
+    fn info(&self) -> RuleInfo {
+        RuleInfo {
+            name: "slo-policy-sanity",
+            codes: &[Code::E0601, Code::E0602, Code::E0603],
+            description: "burn-rate alert policies have sane windows, thresholds, tolerances",
+        }
+    }
+
+    fn check(&self, bundle: &LintBundle, out: &mut Vec<Diagnostic>) {
+        let Some(policies) = &bundle.slo_policies else { return };
+        for (pi, p) in policies.iter().enumerate() {
+            let loc = Location::root("slo_policies").index(pi);
+            for (field, v) in [
+                ("fast_window", p.fast_window),
+                ("slow_window", p.slow_window),
+                ("hysteresis", p.hysteresis),
+            ] {
+                if !Self::positive_count(v) {
+                    out.push(Diagnostic::new(
+                        Code::E0601,
+                        loc.child(field),
+                        format!(
+                            "policy '{}': {field} {v} is not a positive whole cycle count",
+                            p.name
+                        ),
+                    ));
+                }
+            }
+            if !p.delivery_tolerance.is_finite()
+                || p.delivery_tolerance < 0.0
+                || p.delivery_tolerance >= 1.0
+            {
+                out.push(Diagnostic::new(
+                    Code::E0601,
+                    loc.child("delivery_tolerance"),
+                    format!(
+                        "policy '{}': delivery tolerance {} outside [0, 1)",
+                        p.name, p.delivery_tolerance
+                    ),
+                ));
+            }
+            if p.fast_window >= p.slow_window {
+                out.push(Diagnostic::new(
+                    Code::E0602,
+                    loc.child("fast_window"),
+                    format!(
+                        "policy '{}': fast window ({} cycles) must be strictly shorter \
+                         than the slow window ({} cycles)",
+                        p.name, p.fast_window, p.slow_window
+                    ),
+                ));
+            }
+            for (field, v) in [("fast_burn", p.fast_burn), ("slow_burn", p.slow_burn)] {
+                if !v.is_finite() || v <= 1.0 {
+                    out.push(Diagnostic::new(
+                        Code::E0603,
+                        loc.child(field),
+                        format!(
+                            "policy '{}': {field} threshold {v} must exceed 1 (1× burn \
+                             just spends the budget exactly)",
+                            p.name
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+}
+
 // ---- the engine ----------------------------------------------------------
 
 /// The rule engine: a fixed set of [`Rule`]s run over a [`LintBundle`].
@@ -833,6 +920,7 @@ impl Default for Analyzer {
                 Box::new(LinkAttributes),
                 Box::new(CurveShape),
                 Box::new(CurveDomain),
+                Box::new(SloPolicySanity),
             ],
         }
     }

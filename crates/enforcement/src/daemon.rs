@@ -23,6 +23,7 @@ use entitlement_chaos::{ChaosKv, ChaosStore, FaultPlan};
 use entitlement_core::{HostId, NpgId, QosClass, Rate, RegionId};
 use entitlement_kvstore::{KvClient, KvServer, RetryPolicy, StoreConfig};
 use entitlement_obs::Obs;
+use entitlement_slo::{IntervalObs, SloEvaluator, SloPolicy, SloReport};
 use std::sync::Arc;
 use std::time::Duration;
 use tokio::sync::watch;
@@ -100,6 +101,22 @@ pub async fn run_fleet(config: DaemonConfig) -> DaemonOutcome {
 /// `obs.registry` by [`aggregate_fleet`] — one scrapeable registry for
 /// the whole fleet. The outcome is identical to [`run_fleet`].
 pub async fn run_fleet_obs(config: DaemonConfig, obs: &Obs) -> DaemonOutcome {
+    run_fleet_slo(config, obs, &SloPolicy::default()).await.0
+}
+
+/// [`run_fleet_obs`] plus the SLO fold: after each round the driver
+/// reads the fleet-wide conforming aggregate and feeds one
+/// [`IntervalObs`] into a streaming [`SloEvaluator`] (fleet demand vs.
+/// the entitled rate; a round inside a shard-outage window is
+/// unmeasurable and counts bad, fail-closed). Unlike the synchronous
+/// drill, the mid-round aggregate races real agent tasks, so the
+/// per-round *values* are not byte-stable — tests assert structure, not
+/// exact burn rates.
+pub async fn run_fleet_slo(
+    config: DaemonConfig,
+    obs: &Obs,
+    policy: &SloPolicy,
+) -> (DaemonOutcome, SloReport) {
     let decision_hist = obs.registry.histogram(
         "entitlement_agent_marked_fraction",
         "Per-cycle marked fraction decided by each agent",
@@ -223,10 +240,30 @@ pub async fn run_fleet_obs(config: DaemonConfig, obs: &Obs) -> DaemonOutcome {
         }));
     }
 
-    // Drive the rounds.
+    // Drive the rounds; each round ends with one SLO interval folded
+    // from the store's conforming aggregate.
+    let mut evaluator = SloEvaluator::new(policy.clone());
+    let fleet_demand_bps = config.hosts as f64 * config.per_host_rate.as_bps();
     for round in 1..=config.cycles {
         round_tx.send(round).expect("agents alive");
         tokio::time::sleep(config.cycle).await;
+        let now_ms = round as u64 * cycle_ms;
+        let delivered_bps = client.store().aggregate_sum(
+            &format!("rates/{}/{}/conform/", config.npg.0, config.qos),
+            now_ms,
+        );
+        evaluator.observe(
+            obs,
+            &IntervalObs {
+                entity: config.npg.to_string(),
+                qos: config.qos.to_string(),
+                target: 0.999,
+                demand_bps: fleet_demand_bps,
+                delivered_bps,
+                approved_bps: config.entitled.as_bps(),
+                measurable: !plan.any_shard_down(now_ms),
+            },
+        );
     }
     let end_ms = config.cycles as u64 * cycle_ms;
     let final_total = Rate::bps(client.store().aggregate_sum(
@@ -258,7 +295,7 @@ pub async fn run_fleet_obs(config: DaemonConfig, obs: &Obs) -> DaemonOutcome {
     }
     // Fleet-level aggregation: every agent's metrics in one registry.
     aggregate_fleet(&snapshots, &obs.registry);
-    out
+    (out, evaluator.report())
 }
 
 #[cfg(test)]

@@ -24,6 +24,7 @@ use entitlement_obs::Obs;
 use entitlement_simnet::{
     AclRule, AppConfig, Bottleneck, MarkingCommand, Recorder, StorageApp, World, WorldConfig,
 };
+use entitlement_slo::{IntervalObs, SloEvaluator, SloPolicy, SloReport};
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 use std::time::Duration;
@@ -139,6 +140,21 @@ pub fn run_drill(config: &DrillConfig) -> Recorder {
 /// The recorded series are bitwise identical to [`run_drill`] — same
 /// seeds, same arithmetic, decoration only.
 pub fn run_drill_obs(config: &DrillConfig, obs: &Obs) -> Recorder {
+    run_drill_slo(config, obs, &SloPolicy::default()).0
+}
+
+/// [`run_drill_obs`] plus the SLO fold: every tick with a completed
+/// agent cycle feeds one [`IntervalObs`] into a streaming
+/// [`SloEvaluator`] — conforming delivery vs. the entitled rate in
+/// force, fail-closed on KV-unavailable ticks — which also emits
+/// `slo`/`interval` (and any `alert_*`) trace events into `obs`. The
+/// recorded series stay bitwise identical; the second return is the
+/// final [`SloReport`] for `entitlectl slo report|audit`.
+pub fn run_drill_slo(
+    config: &DrillConfig,
+    obs: &Obs,
+    policy: &SloPolicy,
+) -> (Recorder, SloReport) {
     // --- Contract database: the entitlement cut is a contract rollover.
     let db = ContractDb::new();
     let npg = NpgId(2); // "coldstorage" in the catalog ordering
@@ -231,7 +247,12 @@ pub fn run_drill_obs(config: &DrillConfig, obs: &Obs) -> Recorder {
     // --- The storage application.
     let mut app = StorageApp::new(AppConfig::default());
 
-    // --- Main loop.
+    // --- Main loop. `obs` is shadowed by the world observation inside
+    // the loop; keep the telemetry handle under its own name for the
+    // SLO fold at the bottom of each tick.
+    let telemetry = obs;
+    let slo_target = 0.99;
+    let mut evaluator = SloEvaluator::new(policy.clone());
     let mut recorder = Recorder::new();
     let ticks = (config.duration_min * 60.0 / config.dt_secs) as usize;
     let mut marking = MarkingCommand::None;
@@ -249,6 +270,7 @@ pub fn run_drill_obs(config: &DrillConfig, obs: &Obs) -> Recorder {
         obs.clock.set_ms(now_ms);
         let entitled = agent.refresh_contract(&db, minute).unwrap_or(Rate::ZERO);
         let mut kv_unavailable = 0.0;
+        let cycled = last_obs.is_some();
         if let Some(o) = &last_obs {
             let mut cycle_span = obs.span("agent", "cycle");
             let _ = agent.publish(&kv, o.total_sent, o.conf_sent, now_ms);
@@ -302,9 +324,27 @@ pub fn run_drill_obs(config: &DrillConfig, obs: &Obs) -> Recorder {
         recorder.record("fail_static", agent.metrics.fail_static_cycles.get() as f64);
         recorder.record("staleness_ms", agent.staleness_ms(now_ms) as f64);
 
+        // SLO fold: one interval per metered tick. A tick whose
+        // aggregate read failed is unmeasurable and counts bad
+        // (fail-closed), regardless of what the wire delivered.
+        if cycled {
+            evaluator.observe(
+                telemetry,
+                &IntervalObs {
+                    entity: npg.to_string(),
+                    qos: qos.to_string(),
+                    target: slo_target,
+                    demand_bps: obs.total_sent.as_bps(),
+                    delivered_bps: obs.conf_sent.as_bps(),
+                    approved_bps: entitled.as_bps(),
+                    measurable: kv_unavailable == 0.0,
+                },
+            );
+        }
+
         last_obs = Some(obs);
     }
-    recorder
+    (recorder, evaluator.report())
 }
 
 #[cfg(test)]

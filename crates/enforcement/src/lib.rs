@@ -49,7 +49,7 @@ pub use agent::{Agent, AgentConfig};
 pub use bpf::{ClassifyInput, MarkAction, MarkingTable};
 pub use convergence::{simulate_marking, MarkingSim, MarkingSimResult};
 pub use db::ContractDb;
-pub use drill::{run_drill, run_drill_obs, DrillConfig, DrillStage};
+pub use drill::{run_drill, run_drill_obs, run_drill_slo, DrillConfig, DrillStage};
 pub use ingress::{IngressCoordinator, SourceMeter};
 pub use metrics::{aggregate_fleet, AgentMetrics, Counter, Gauge, MetricsSnapshot};
 pub use multidrill::{run_multi_drill, MultiDrillConfig, ServiceSpec};

@@ -41,7 +41,7 @@ pub mod trace;
 pub use clock::Clock;
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot};
 pub use registry::{escape_label_value, Registry};
-pub use summary::{parse_trace, summarize_trace, validate_prometheus};
+pub use summary::{parse_trace, summarize_trace, summarize_trace_by_label, validate_prometheus};
 pub use trace::{SpanTimer, TraceEvent, TraceSink};
 
 /// The telemetry bundle threaded through instrumented call paths: a

@@ -199,10 +199,16 @@ impl Histogram {
             }
             // The overflow bucket has no finite upper bound; use the
             // observed maximum as its upper edge.
+            // The first bucket has no finite lower bound either; its
+            // lower edge is the observed minimum (any count in bucket 0
+            // implies min landed there), not 0.0 — interpolating from
+            // zero drags low quantiles below every actual observation.
             let (lower, upper) = if i >= N_BOUNDS {
                 (bs[N_BOUNDS - 1], max)
+            } else if i == 0 {
+                (min, bs[0])
             } else {
-                (if i == 0 { 0.0 } else { bs[i - 1] }, bs[i])
+                (bs[i - 1], bs[i])
             };
             let frac = ((target - prev as f64) / n as f64).clamp(0.0, 1.0);
             return Some((lower + frac * (upper - lower)).clamp(min, max));
@@ -346,6 +352,30 @@ mod tests {
             assert!((1e-9..=1e12).contains(&est), "q={q} bounded: {est}");
         }
         assert_eq!(h.quantile(1.0), Some(1e12)); // q=1 pins to max
+    }
+
+    #[test]
+    fn single_sample_quantiles_equal_the_sample() {
+        // Regression: bucket 0 used to interpolate from a 0.0 lower
+        // edge, so a lone sub-millisecond sample reported quantiles
+        // below itself. The lower edge is now the observed minimum.
+        let h = Histogram::new();
+        h.record(2e-4);
+        for q in [0.0, 0.25, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), Some(2e-4), "q={q}");
+        }
+    }
+
+    #[test]
+    fn first_bucket_interpolates_from_observed_min() {
+        // Two samples in bucket 0 (bound 1e-3): min 2e-4 is the lower
+        // edge, so the median interpolates to 2e-4 + 0.5·(1e-3 − 2e-4)
+        // = 6e-4 — not the 5e-4 a zero lower edge would give.
+        let h = Histogram::new();
+        h.record(2e-4);
+        h.record(1e-3);
+        let p50 = h.quantile(0.5).unwrap();
+        assert!((p50 - 6e-4).abs() < 1e-12, "p50 {p50}");
     }
 
     #[test]

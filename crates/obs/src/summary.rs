@@ -105,6 +105,51 @@ pub fn summarize_trace(events: &[TraceEvent]) -> String {
     out
 }
 
+/// Render a latency table grouped by the value of one label: one row
+/// per distinct value of `key`, same columns as [`summarize_trace`].
+/// Events without the label are pooled under `(unlabelled)`; that row
+/// appears only when such events exist. Rows sort by label value.
+#[must_use]
+pub fn summarize_trace_by_label(events: &[TraceEvent], key: &str) -> String {
+    let mut groups: BTreeMap<String, Histogram> = BTreeMap::new();
+    for e in events {
+        let value = e
+            .labels
+            .iter()
+            .find(|(k, _)| k == key)
+            .map_or_else(|| "(unlabelled)".to_string(), |(_, v)| v.clone());
+        groups.entry(value).or_default().record(e.dur_ms.max(0.0));
+    }
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<24} {:>7} {:>12} {:>10} {:>10} {:>10} {:>10}",
+        format!("{key}="),
+        "count",
+        "total_ms",
+        "mean_ms",
+        "p50_ms",
+        "p95_ms",
+        "max_ms"
+    );
+    for (value, h) in &groups {
+        let count = h.count();
+        let total = h.sum();
+        let mean = if count > 0 { total / count as f64 } else { 0.0 };
+        let p50 = h.quantile(0.50).unwrap_or(0.0);
+        let p95 = h.quantile(0.95).unwrap_or(0.0);
+        let max = h.max().unwrap_or(0.0);
+        let _ = writeln!(
+            out,
+            "{value:<24} {count:>7} {total:>12.1} {mean:>10.2} {p50:>10.2} {p95:>10.2} {max:>10.2}"
+        );
+    }
+    if groups.is_empty() {
+        let _ = writeln!(out, "(no events)");
+    }
+    out
+}
+
 /// Validate a Prometheus text exposition payload: every line must be
 /// a `# HELP`/`# TYPE` comment or a sample of the form
 /// `name{label="value",...} value`, with correctly escaped label
@@ -281,6 +326,38 @@ mod tests {
         assert!(rows[1].contains("approval") && rows[1].contains("pipe_approval"));
         assert!(rows[1].contains("30.0"), "total: {table}");
         assert!(rows[2].contains("kv"));
+    }
+
+    #[test]
+    fn by_label_groups_on_the_label_value() {
+        let obs = Obs::new(Clock::manual(0));
+        let push = |outcome: Option<&str>, d: f64| {
+            obs.trace.push(crate::TraceEvent {
+                ts_ms: 0,
+                span: "kv".to_string(),
+                phase: "get".to_string(),
+                labels: outcome
+                    .map(|o| vec![("outcome".to_string(), o.to_string())])
+                    .unwrap_or_default(),
+                dur_ms: d,
+            });
+        };
+        push(Some("ok"), 5.0);
+        push(Some("ok"), 7.0);
+        push(Some("unavailable"), 40.0);
+        push(None, 1.0);
+        let table = summarize_trace_by_label(&obs.trace.events(), "outcome");
+        let rows: Vec<&str> = table.lines().collect();
+        assert_eq!(rows.len(), 4, "header + 3 groups: {table}");
+        assert!(rows[0].starts_with("outcome="), "{table}");
+        assert!(rows[1].starts_with("(unlabelled)") && rows[1].contains("1.0"), "{table}");
+        assert!(rows[2].starts_with("ok") && rows[2].contains("12.0"), "{table}");
+        assert!(rows[3].starts_with("unavailable"), "{table}");
+    }
+
+    #[test]
+    fn by_label_on_empty_trace_says_so() {
+        assert!(summarize_trace_by_label(&[], "x").contains("(no events)"));
     }
 
     #[test]

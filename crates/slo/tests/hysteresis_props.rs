@@ -1,0 +1,94 @@
+//! No-flap property of the burn-rate alert state machine.
+//!
+//! The clear threshold (`clear_fraction × fast_burn`) sits strictly
+//! below the fire threshold, so for any *monotone* burn series the
+//! alert can transition at most Fire → Clear: refiring would need the
+//! fast burn to climb back above a level it already fell below, which
+//! a monotone series cannot do. These proptests pin that invariant
+//! both on raw burn rates ([`BurnAlert::observe_burn`]) and on
+//! good/bad interval outcomes ([`BurnAlert::observe`]).
+
+use entitlement_slo::{AlertKind, BurnAlert, SloPolicy};
+use proptest::prelude::*;
+
+/// A monotone (ascending or descending) series of burn rates.
+fn monotone_series() -> impl Strategy<Value = Vec<f64>> {
+    (
+        proptest::collection::vec(0.0f64..200.0, 1..150),
+        any::<bool>(),
+    )
+        .prop_map(|(mut v, ascending)| {
+            v.sort_by(f64::total_cmp);
+            if !ascending {
+                v.reverse();
+            }
+            v
+        })
+}
+
+/// The only transition sequences a monotone series may produce: never
+/// a Clear before a Fire, never a second Fire after a Clear.
+fn assert_no_flap(kinds: &[AlertKind]) {
+    assert!(
+        matches!(
+            kinds,
+            [] | [AlertKind::Fire] | [AlertKind::Fire, AlertKind::Clear]
+        ),
+        "flapping transition sequence: {kinds:?}"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Driving the raw state machine with any monotone burn series
+    /// (the slow window scaled by an arbitrary factor stays monotone
+    /// too) yields a prefix of [Fire, Clear] — no flapping.
+    #[test]
+    fn monotone_burn_series_never_flaps(
+        burns in monotone_series(),
+        scale in 0.1f64..1.0,
+    ) {
+        let policy = SloPolicy::default();
+        let mut alert = BurnAlert::new(&policy, 0.99);
+        let mut kinds = Vec::new();
+        for &b in &burns {
+            if let Some(t) = alert.observe_burn(b, b * scale) {
+                kinds.push(t.kind);
+            }
+        }
+        assert_no_flap(&kinds);
+    }
+
+    /// Interval outcomes sorted into one run of good and one run of
+    /// bad cycles (an outage-then-recovery or recovery-then-outage
+    /// shape) drive the windowed burns monotonically in each phase;
+    /// the alert fires at most once and never refires after clearing.
+    #[test]
+    fn monotone_outcome_series_never_flaps(
+        n_good in 0usize..120,
+        n_bad in 0usize..120,
+        bad_first in any::<bool>(),
+        target in 0.9f64..1.0,
+    ) {
+        let policy = SloPolicy::default();
+        let mut alert = BurnAlert::new(&policy, target);
+        let mut kinds = Vec::new();
+        let (first, second) = if bad_first {
+            (n_bad, n_good)
+        } else {
+            (n_good, n_bad)
+        };
+        for i in 0..first + second {
+            let bad = if bad_first { i < first } else { i >= first };
+            if let Some(t) = alert.observe(bad) {
+                kinds.push(t.kind);
+            }
+        }
+        assert_no_flap(&kinds);
+        // A fire can only come from a run of bad cycles.
+        if n_bad == 0 {
+            prop_assert!(kinds.is_empty(), "fired without bad cycles: {kinds:?}");
+        }
+    }
+}

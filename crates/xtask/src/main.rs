@@ -46,6 +46,7 @@ const DETERMINISTIC_CRATES: &[&str] = &[
     "crates/kvstore",
     "crates/chaos",
     "crates/obs",
+    "crates/slo",
 ];
 
 /// Crates whose library code is on the granting hot path (X0102/X0103).

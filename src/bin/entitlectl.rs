@@ -40,10 +40,35 @@
 //!     approval, risk, KV, and agent span families.
 //!
 //! entitlectl obs summarize <trace.jsonl> [--metrics m.prom]
+//!                          [--by-label KEY]
 //!     Validate a trace file against the span schema and print a
 //!     per-(span, phase) latency table (count, total, mean, p50, p95,
-//!     max). With --metrics, also validate the Prometheus text file.
-//!     Exits 1 when either file fails validation.
+//!     max). With --by-label KEY, print an additional breakdown with
+//!     one row per distinct value of that label (events without it
+//!     pool under `(unlabelled)`). With --metrics, also validate the
+//!     Prometheus text file. Exits 1 when either file fails
+//!     validation.
+//!
+//! entitlectl slo report <trace.jsonl> [--json] [policy flags]
+//!     Fold the `slo`/`interval` events of a recorded trace (any
+//!     `drill --trace` output) through the windowed SLO evaluator and
+//!     print per-(entity, QoS) attainment, the utilization audit, and
+//!     the burn-rate alert timeline. Policy flags: --fast N --slow N
+//!     (window sizes, cycles), --fast-burn X --slow-burn X
+//!     (thresholds), --clear-fraction X, --hysteresis N,
+//!     --tolerance X (delivery slack), --under-util X --over-util X
+//!     (audit bands). An invalid policy prints its E06xx findings and
+//!     exits 2.
+//!
+//! entitlectl slo audit <trace.jsonl> [--bench-name NAME]
+//!                      [--bench-dir DIR] [--write-bench] [--seed N]
+//!                      [policy flags]
+//!     `slo report` as a gate: exits 1 when any entity misses its SLO
+//!     target, or — with --bench-name — when the run regresses against
+//!     the committed `BENCH_<name>.json` baseline (p50/p99 cycle
+//!     latency, delivered throughput, attainment; tolerances per
+//!     crates/slo). --write-bench (re)writes the baseline after the
+//!     diff.
 //!
 //! entitlectl negotiate --rate GBPS [--accept FRACTION] [--seed N]
 //!     Negotiate an oversized egress request against the backbone
@@ -69,6 +94,7 @@ use network_entitlement::core::DetRng;
 use network_entitlement::enforcement::drill::{run_drill_obs, DrillConfig};
 use network_entitlement::hose::segment::FlowSeries;
 use network_entitlement::prelude::*;
+use network_entitlement::slo::{BenchRecord, BenchTolerance, SloEvaluator, SloPolicy};
 use network_entitlement::telemetry::{traced_approval_preamble, TelemetrySpec};
 use network_entitlement::workload::matrix::MatrixSpec;
 use network_entitlement::workload::ontology::CatalogSpec;
@@ -111,8 +137,9 @@ fn main() {
         Some("topo") => topo_cmd(&args),
         Some("lint") => lint_cmd(&args),
         Some("obs") => obs_cmd(&args),
+        Some("slo") => slo_cmd(&args),
         _ => {
-            eprintln!("usage: entitlectl <plan|show|check|drill|negotiate|topo|lint|obs> [options]");
+            eprintln!("usage: entitlectl <plan|show|check|drill|negotiate|topo|lint|obs|slo> [options]");
             eprintln!("see the module docs of src/bin/entitlectl.rs");
             std::process::exit(2);
         }
@@ -425,20 +452,21 @@ fn drill(args: &[String]) {
         })
     });
     let faulted = faults.as_ref().is_some_and(|p| !p.is_empty());
+    let seed: u64 = arg_value(args, "--seed")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| DrillConfig::default().seed);
     let tele = TelemetrySpec::from_args(args);
     let obs = tele.make_obs();
     if tele.requested() {
         // One traced approval round first, so the trace file covers the
         // approval and risk span families alongside the drill's own
         // agent/KV spans.
-        let seed: u64 = arg_value(args, "--seed")
-            .and_then(|s| s.parse().ok())
-            .unwrap_or(0xE17);
         traced_approval_preamble(seed, &obs);
     }
     let recorder = run_drill_obs(
         &DrillConfig {
             hosts,
+            seed,
             faults,
             ..Default::default()
         },
@@ -512,29 +540,56 @@ max aggregate staleness {:.0} s",
     write_telemetry(&tele, &obs);
 }
 
-fn obs_cmd(args: &[String]) {
-    use network_entitlement::obs::{parse_trace, summarize_trace, validate_prometheus};
-
-    if args.get(1).map(String::as_str) != Some("summarize") {
-        eprintln!("usage: entitlectl obs summarize <trace.jsonl> [--metrics m.prom]");
-        std::process::exit(2);
-    }
-    let path = args[2..]
+/// Load and schema-validate the trace file named by the first non-flag
+/// argument after the subcommand words (`args[skip..]`), exiting with
+/// the CLI's usual codes on failure.
+fn load_trace(args: &[String], skip: usize, usage: &str) -> Vec<network_entitlement::obs::TraceEvent> {
+    let path = args[skip..]
         .iter()
-        .find(|a| !a.starts_with("--"))
+        .find(|a| !a.starts_with("--") && !is_flag_value(args, skip, a))
         .unwrap_or_else(|| {
-            eprintln!("usage: entitlectl obs summarize <trace.jsonl> [--metrics m.prom]");
+            eprintln!("usage: {usage}");
             std::process::exit(2);
         });
     let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
         eprintln!("cannot read {path}: {e}");
         std::process::exit(1);
     });
-    let events = parse_trace(&text).unwrap_or_else(|e| {
+    network_entitlement::obs::parse_trace(&text).unwrap_or_else(|e| {
         eprintln!("{path}: invalid trace: {e}");
         std::process::exit(1);
-    });
+    })
+}
+
+/// Flags that take no value — the token after one of these is a
+/// positional argument, not the flag's operand.
+const BOOLEAN_FLAGS: &[&str] = &["--json", "--write-bench"];
+
+/// Whether `candidate` is the value of a `--flag value` pair (so a
+/// positional scan can skip it).
+fn is_flag_value(args: &[String], skip: usize, candidate: &str) -> bool {
+    args[skip..].windows(2).any(|w| {
+        w[0].starts_with("--") && !BOOLEAN_FLAGS.contains(&w[0].as_str()) && w[1] == candidate
+    })
+}
+
+fn obs_cmd(args: &[String]) {
+    use network_entitlement::obs::{
+        summarize_trace, summarize_trace_by_label, validate_prometheus,
+    };
+
+    const USAGE: &str =
+        "entitlectl obs summarize <trace.jsonl> [--metrics m.prom] [--by-label KEY]";
+    if args.get(1).map(String::as_str) != Some("summarize") {
+        eprintln!("usage: {USAGE}");
+        std::process::exit(2);
+    }
+    let events = load_trace(args, 2, USAGE);
     print!("{}", summarize_trace(&events));
+    if let Some(key) = arg_value(args, "--by-label") {
+        println!();
+        print!("{}", summarize_trace_by_label(&events, &key));
+    }
     if let Some(mpath) = arg_value(args, "--metrics") {
         let mtext = std::fs::read_to_string(&mpath).unwrap_or_else(|e| {
             eprintln!("cannot read {mpath}: {e}");
@@ -547,6 +602,125 @@ fn obs_cmd(args: &[String]) {
                 std::process::exit(1);
             }
         }
+    }
+}
+
+/// Build an [`SloPolicy`] from the shared `slo` policy flags, printing
+/// every `E06xx` validation finding and exiting 2 when the result is
+/// nonsense.
+fn slo_policy(args: &[String]) -> SloPolicy {
+    let mut p = SloPolicy::default();
+    let usize_flag = |name: &str, dflt: usize| {
+        arg_value(args, name).map_or(dflt, |s| {
+            s.parse().unwrap_or_else(|_| {
+                eprintln!("{name} expects an integer, got `{s}`");
+                std::process::exit(2);
+            })
+        })
+    };
+    let f64_flag = |name: &str, dflt: f64| {
+        arg_value(args, name).map_or(dflt, |s| {
+            s.parse().unwrap_or_else(|_| {
+                eprintln!("{name} expects a number, got `{s}`");
+                std::process::exit(2);
+            })
+        })
+    };
+    p.fast_window = usize_flag("--fast", p.fast_window);
+    p.slow_window = usize_flag("--slow", p.slow_window);
+    p.hysteresis = usize_flag("--hysteresis", p.hysteresis);
+    p.fast_burn = f64_flag("--fast-burn", p.fast_burn);
+    p.slow_burn = f64_flag("--slow-burn", p.slow_burn);
+    p.clear_fraction = f64_flag("--clear-fraction", p.clear_fraction);
+    p.delivery_tolerance = f64_flag("--tolerance", p.delivery_tolerance);
+    p.under_utilization = f64_flag("--under-util", p.under_utilization);
+    p.over_utilization = f64_flag("--over-util", p.over_utilization);
+    let issues = p.validate();
+    if !issues.is_empty() {
+        for i in &issues {
+            eprintln!("{}: {}", i.code, i.message);
+        }
+        std::process::exit(2);
+    }
+    p
+}
+
+fn slo_cmd(args: &[String]) {
+    const USAGE: &str = "entitlectl slo <report|audit> <trace.jsonl> [--json] \
+         [--fast N] [--slow N] [--fast-burn X] [--slow-burn X] [--clear-fraction X] \
+         [--hysteresis N] [--tolerance X] [--under-util X] [--over-util X] \
+         [--bench-name NAME] [--bench-dir DIR] [--write-bench] [--seed N]";
+    let mode = match args.get(1).map(String::as_str) {
+        Some(m @ ("report" | "audit")) => m.to_string(),
+        _ => {
+            eprintln!("usage: {USAGE}");
+            std::process::exit(2);
+        }
+    };
+    let policy = slo_policy(args);
+    let events = load_trace(args, 2, USAGE);
+    let mut evaluator = SloEvaluator::new(policy);
+    evaluator.fold_trace(&events);
+    let report = evaluator.report();
+    if report.entities.is_empty() {
+        eprintln!("trace carries no slo/interval events (re-run the drill with --trace)");
+        std::process::exit(2);
+    }
+    if args.iter().any(|a| a == "--json") {
+        println!("{}", report.render_json());
+    } else {
+        print!("{}", report.render_text());
+    }
+    if mode == "report" {
+        return;
+    }
+
+    // Audit gates: SLO violations first, then the bench regression
+    // diff against the committed baseline.
+    let mut failed = report.has_violations();
+    if failed {
+        eprintln!("audit: SLO violations present");
+    }
+    if let Some(name) = arg_value(args, "--bench-name") {
+        let seed: u64 = arg_value(args, "--seed")
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(0xD217);
+        let record = BenchRecord::from_run(&name, seed, &events, &report);
+        let dir = arg_value(args, "--bench-dir").unwrap_or_else(|| ".".into());
+        let path = std::path::Path::new(&dir).join(format!("BENCH_{name}.json"));
+        match std::fs::read_to_string(&path) {
+            Ok(prior_text) => {
+                let prior = BenchRecord::from_json(&prior_text).unwrap_or_else(|e| {
+                    eprintln!("cannot parse baseline {}: {e}", path.display());
+                    std::process::exit(2);
+                });
+                let findings = record.diff(&prior, &BenchTolerance::default());
+                if findings.is_empty() {
+                    println!("bench: no regression vs {}", path.display());
+                } else {
+                    for f in &findings {
+                        eprintln!("bench regression: {f}");
+                    }
+                    failed = true;
+                }
+            }
+            Err(_) => {
+                eprintln!(
+                    "bench: no baseline at {} (pass --write-bench to create it)",
+                    path.display()
+                );
+            }
+        }
+        if args.iter().any(|a| a == "--write-bench") {
+            std::fs::write(&path, record.to_json()).unwrap_or_else(|e| {
+                eprintln!("cannot write {}: {e}", path.display());
+                std::process::exit(2);
+            });
+            println!("bench record written to {}", path.display());
+        }
+    }
+    if failed {
+        std::process::exit(1);
     }
 }
 

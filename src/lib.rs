@@ -28,7 +28,10 @@
 //! * [`enforcement`] — metering, marking, BPF-style classification,
 //!   agents, the §6 drill, and the §7.4 convergence simulation;
 //! * [`analyzer`] — static diagnostics over contracts, hoses, pipes,
-//!   topologies, and availability curves (`entitlectl lint`).
+//!   topologies, and availability curves (`entitlectl lint`);
+//! * [`slo`] — windowed SLO evaluation over the obs outputs:
+//!   attainment, multi-window burn-rate alerts, utilization audit, and
+//!   run-to-run regression tracking (`entitlectl slo report|audit`).
 //!
 //! ## Quickstart
 //!
@@ -64,6 +67,7 @@ pub use entitlement_kvstore as kvstore;
 pub use entitlement_obs as obs;
 pub use entitlement_risk as risk;
 pub use entitlement_simnet as simnet;
+pub use entitlement_slo as slo;
 pub use entitlement_topology as topology;
 pub use entitlement_workload as workload;
 
@@ -76,8 +80,8 @@ pub mod prelude {
     };
     pub use entitlement_chaos::{Fault, FaultKind, FaultPlan, TimeWindow};
     pub use entitlement_enforcement::{
-        run_drill, run_drill_obs, Agent, AgentConfig, ContractDb, DrillConfig, Marker,
-        MarkingStrategy, Meter,
+        run_drill, run_drill_obs, run_drill_slo, Agent, AgentConfig, ContractDb, DrillConfig,
+        Marker, MarkingStrategy, Meter,
         StatefulMeter, StatelessMeter,
     };
     pub use entitlement_forecast::{ForecastPipeline, PipelineConfig, QuarterForecast};
@@ -90,6 +94,9 @@ pub mod prelude {
         RiskAssessment, RiskConfig,
     };
     pub use entitlement_simnet::{Bottleneck, MarkingCommand, World, WorldConfig};
+    pub use entitlement_slo::{
+        BenchRecord, BenchTolerance, BurnAlert, SloEvaluator, SloPolicy, SloReport,
+    };
     pub use entitlement_topology::{BackboneSpec, ScenarioSet, Topology};
     pub use entitlement_workload::{
         HistorySpec, Incident, MatrixSpec, ServiceCatalog, TrafficMatrix, TrafficPattern,

@@ -1,0 +1,145 @@
+//! End-to-end contract of `entitlectl slo report|audit` and the
+//! `obs summarize --by-label` breakdown: a healthy seeded drill audits
+//! clean (exit 0) with byte-identical reports across same-seed runs,
+//! a faulted drill audits dirty (exit 1) naming the violated
+//! `(entity, QoS)` and burn window, the bench gate round-trips, and
+//! nonsense SLO policy flags exit 2 with their E06xx code.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn ctl() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_entitlectl"))
+}
+
+fn fault_plan() -> String {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("examples/faults/kv_outage.json")
+        .display()
+        .to_string()
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("slo_cli_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir.join(name)
+}
+
+/// Run a seeded drill writing its trace to `out`; panics on failure.
+fn drill_trace(out: &Path, seed: &str, faults: Option<&str>) {
+    let mut cmd = ctl();
+    cmd.args(["drill", "--hosts", "200", "--seed", seed, "--trace"])
+        .arg(out);
+    if let Some(plan) = faults {
+        cmd.args(["--faults", plan]);
+    }
+    let st = cmd.output().expect("spawn entitlectl drill");
+    assert!(st.status.success(), "drill failed: {st:?}");
+}
+
+/// A healthy seeded drill audits clean, and two same-seed runs produce
+/// byte-identical JSON reports — the determinism contract CI leans on.
+#[test]
+fn healthy_audit_is_clean_and_deterministic() {
+    let (a, b) = (tmp("healthy_a.jsonl"), tmp("healthy_b.jsonl"));
+    drill_trace(&a, "3607", None);
+    drill_trace(&b, "3607", None);
+
+    let audit = ctl().args(["slo", "audit"]).arg(&a).output().expect("audit");
+    let stdout = String::from_utf8_lossy(&audit.stdout);
+    assert_eq!(audit.status.code(), Some(0), "healthy audit exits 0:\n{stdout}");
+    assert!(stdout.contains("violations: none"), "clean verdict:\n{stdout}");
+
+    let json = |p: &Path| {
+        let out = ctl().args(["slo", "report", "--json"]).arg(p).output().expect("report");
+        assert!(out.status.success());
+        out.stdout
+    };
+    assert_eq!(json(&a), json(&b), "same seed, same bytes");
+}
+
+/// A drill through the example KV outage audits dirty: exit 1, the
+/// violated (entity, QoS) named with its burn window, and the
+/// fire/clear alert pair visible in the report.
+#[test]
+fn faulted_audit_names_the_violation() {
+    let trace = tmp("faulted.jsonl");
+    drill_trace(&trace, "3607", Some(&fault_plan()));
+
+    let out = ctl().args(["slo", "audit"]).arg(&trace).output().expect("audit");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(1), "faulted audit exits 1:\n{stdout}");
+    for needle in ["npg:2", "c3", "fast5/slow60", "VIOLATED", "fire", "clear"] {
+        assert!(stdout.contains(needle), "missing {needle:?} in:\n{stdout}");
+    }
+    assert!(
+        stdout.contains("< target 0.99"),
+        "violation line names the target:\n{stdout}"
+    );
+}
+
+/// The bench gate: `--write-bench` creates BENCH_<name>.json, and a
+/// second audit of the same trace passes the regression diff.
+#[test]
+fn bench_baseline_round_trips() {
+    let trace = tmp("bench.jsonl");
+    let dir = tmp("bench_dir");
+    std::fs::create_dir_all(&dir).expect("bench dir");
+    drill_trace(&trace, "3607", None);
+
+    let write = ctl()
+        .args(["slo", "audit"])
+        .arg(&trace)
+        .args(["--bench-name", "clitest", "--seed", "3607", "--write-bench", "--bench-dir"])
+        .arg(&dir)
+        .output()
+        .expect("audit --write-bench");
+    assert_eq!(write.status.code(), Some(0), "baseline write run: {write:?}");
+    let baseline = dir.join("BENCH_clitest.json");
+    let body = std::fs::read_to_string(&baseline).expect("baseline written");
+    assert!(body.starts_with("{\"name\":\"clitest\",\"seed\":3607,"), "{body}");
+
+    let diff = ctl()
+        .args(["slo", "audit"])
+        .arg(&trace)
+        .args(["--bench-name", "clitest", "--seed", "3607", "--bench-dir"])
+        .arg(&dir)
+        .output()
+        .expect("audit vs baseline");
+    let stdout = String::from_utf8_lossy(&diff.stdout);
+    assert_eq!(diff.status.code(), Some(0), "no regression vs self:\n{stdout}");
+    assert!(stdout.contains("no regression"), "diff verdict:\n{stdout}");
+}
+
+/// Nonsense SLO policy flags are rejected up front with their
+/// analyzer-numbered code and exit 2, before any trace is read.
+#[test]
+fn bad_policy_flags_exit_two_with_code() {
+    let trace = tmp("unused.jsonl");
+    std::fs::write(&trace, "").expect("stub trace");
+    let out = ctl()
+        .args(["slo", "report", "--fast", "60", "--slow", "5"])
+        .arg(&trace)
+        .output()
+        .expect("report with bad policy");
+    assert_eq!(out.status.code(), Some(2), "bad policy exits 2: {out:?}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("E0602"), "names the code:\n{stderr}");
+}
+
+/// `obs summarize --by-label` groups span durations by a label key —
+/// the per-outcome breakdown of the drill's agent cycles.
+#[test]
+fn summarize_by_label_groups_outcomes() {
+    let trace = tmp("by_label.jsonl");
+    drill_trace(&trace, "3607", None);
+    let out = ctl()
+        .args(["obs", "summarize", "--by-label", "outcome"])
+        .arg(&trace)
+        .output()
+        .expect("summarize --by-label");
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("outcome="), "label groups present:\n{stdout}");
+    assert!(stdout.contains("p95_ms"), "histogram columns present:\n{stdout}");
+}
