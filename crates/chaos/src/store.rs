@@ -8,7 +8,7 @@
 //! retry policy on reads.
 
 use crate::plan::FaultPlan;
-use entitlement_kvstore::{KvAccess, KvClient, KvError, RetryPolicy, ShardedStore};
+use entitlement_kvstore::{KvAccess, KvClient, KvError, KvShardAccess, RetryPolicy, ShardedStore};
 use entitlement_obs::Obs;
 use parking_lot::Mutex;
 use std::collections::HashMap;
@@ -148,6 +148,61 @@ impl KvAccess for ChaosStore {
     }
 }
 
+/// Shard-addressed access under the same fault plan: the aggregation
+/// tree places fleet shard `s`'s partials on storage shard `s`, so a
+/// `ShardOutage { shards: [s] }` darkens exactly fleet shard `s` —
+/// *its* publishes and fold reads fail while every other shard keeps
+/// serving. This is the per-shard fault targeting the flat
+/// [`KvAccess`] path cannot express (its aggregates span all shards
+/// and poison on any outage).
+impl KvShardAccess for ChaosStore {
+    fn shard_count(&self) -> usize {
+        self.inner.shard_count()
+    }
+
+    fn try_put_shard(
+        &self,
+        shard: usize,
+        key: &str,
+        value: f64,
+        now_ms: u64,
+    ) -> Result<(), KvError> {
+        if self.plan.shard_down(shard, now_ms) {
+            ChaosMetrics::inc(&self.metrics.unavailable_writes);
+            return Err(KvError::ShardUnavailable);
+        }
+        if self
+            .plan
+            .drop_publish(entitlement_kvstore::key_hash(key), now_ms)
+        {
+            // Lost in transit: the writer sees success.
+            ChaosMetrics::inc(&self.metrics.dropped_publishes);
+            return Ok(());
+        }
+        self.inner
+            .put_in_shard(shard, key, value, self.plan.skewed_now(now_ms));
+        Ok(())
+    }
+
+    fn try_shard_aggregate(
+        &self,
+        prefix: &str,
+        shard: usize,
+        now_ms: u64,
+    ) -> Result<f64, KvError> {
+        if self.plan.shard_down(shard, now_ms) {
+            ChaosMetrics::inc(&self.metrics.unavailable_reads);
+            return Err(KvError::ShardUnavailable);
+        }
+        // Freeze-cache per (prefix, shard): a wedged replica replays
+        // its own shard's snapshot, not its neighbours'.
+        let cache_key = format!("{prefix}#s{shard}");
+        Ok(self.read_through_freeze(&cache_key, now_ms, |now| {
+            self.inner.aggregate_sum_shard(prefix, shard, now)
+        }))
+    }
+}
+
 /// The daemon-side wrapper: a [`KvClient`] with the same fault plan
 /// plus a [`RetryPolicy`] on reads and injected per-op latency.
 #[derive(Clone)]
@@ -248,6 +303,27 @@ impl ChaosKv {
             .aggregate_with_retry_counted(prefix, self.plan.skewed_now(now_ms), &self.retry)
             .await;
         self.record_op("aggregate", &result, attempts);
+        result
+    }
+
+    /// Per-shard aggregate: fails only when *that* shard is down, so
+    /// the fan-out driver keeps folding the healthy shards while a
+    /// dark one degrades (fail-static per shard, not per fleet).
+    pub async fn shard_aggregate(
+        &self,
+        prefix: &str,
+        shard: usize,
+        now_ms: u64,
+    ) -> Result<f64, KvError> {
+        self.injected_latency(now_ms).await;
+        let result = if self.plan.shard_down(shard, now_ms) {
+            Err(KvError::ShardUnavailable)
+        } else {
+            self.client
+                .shard_aggregate(prefix, shard, self.plan.skewed_now(now_ms))
+                .await
+        };
+        self.record_op("shard_aggregate", &result, 1);
         result
     }
 }
@@ -386,6 +462,73 @@ mod tests {
         assert_eq!(chaos.try_get("k", 400), Ok(Some(1.0)), "live at 400");
         // At t=600 the skewed clock reads 1500 — past the 1s TTL.
         assert_eq!(chaos.try_get("k", 600), Ok(None), "skew expired it");
+    }
+
+    #[test]
+    fn shard_scoped_outage_darkens_only_that_shards_partials() {
+        let chaos = ChaosStore::new(
+            store(),
+            plan(vec![Fault {
+                window: TimeWindow::new(1000, 2000),
+                kind: FaultKind::ShardOutage { shards: vec![3] },
+            }]),
+        );
+        // Each fleet shard's partial lives on its own storage shard.
+        for s in 0..8usize {
+            chaos
+                .try_put_shard(s, &format!("rates/x/total/s{s}"), s as f64 + 1.0, 0)
+                .unwrap();
+        }
+        // During the outage: shard 3 fails, every other shard serves.
+        for s in (0..8usize).filter(|&s| s != 3) {
+            assert_eq!(
+                chaos.try_shard_aggregate("rates/x/total/", s, 1500),
+                Ok(s as f64 + 1.0),
+                "healthy shard {s} must keep serving"
+            );
+        }
+        assert_eq!(
+            chaos.try_shard_aggregate("rates/x/total/", 3, 1500),
+            Err(KvError::ShardUnavailable)
+        );
+        assert_eq!(
+            chaos.try_put_shard(3, "rates/x/total/s3", 9.0, 1500),
+            Err(KvError::ShardUnavailable)
+        );
+        // After recovery the dark shard serves again (data intact).
+        assert_eq!(chaos.try_shard_aggregate("rates/x/total/", 3, 2500), Ok(4.0));
+        let (ur, uw, _, _) = chaos.metrics.snapshot();
+        assert_eq!((ur, uw), (1, 1));
+    }
+
+    #[tokio::test]
+    async fn chaos_kv_shard_aggregate_targets_one_shard() {
+        use entitlement_kvstore::{KvServer, StoreConfig};
+        let (server, client) = KvServer::new(StoreConfig {
+            shards: 4,
+            ttl: Duration::from_secs(60),
+        });
+        tokio::spawn(server.run());
+        for s in 0..4usize {
+            client
+                .put_shard_batch(s, vec![(format!("rates/x/total/s{s}"), 2.0)], 0)
+                .await
+                .unwrap();
+        }
+        let chaos = ChaosKv::new(
+            client,
+            plan(vec![Fault {
+                window: TimeWindow::new(0, 1000),
+                kind: FaultKind::ShardOutage { shards: vec![1] },
+            }]),
+            RetryPolicy::none(),
+        );
+        assert_eq!(chaos.shard_aggregate("rates/x/total/", 0, 500).await, Ok(2.0));
+        assert_eq!(
+            chaos.shard_aggregate("rates/x/total/", 1, 500).await,
+            Err(KvError::ShardUnavailable)
+        );
+        assert_eq!(chaos.shard_aggregate("rates/x/total/", 1, 1500).await, Ok(2.0));
     }
 
     #[tokio::test]

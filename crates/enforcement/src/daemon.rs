@@ -2,11 +2,21 @@
 //! concurrent tasks.
 //!
 //! Each simulated host runs an agent task that periodically publishes
-//! its rate into the async KV store, reads the service aggregates, runs
-//! the stateful meter, and updates a shared marking decision — the same
+//! its rate into the async KV store, runs the stateful meter on the
+//! service aggregates, and updates a shared marking decision — the same
 //! loop `agent.rs` exposes synchronously, here exercised under real
 //! concurrency (task scheduling, channel backpressure, TTL'd rates from
 //! slow agents).
+//!
+//! Aggregates reach the fleet through a **per-shard fan-out** instead
+//! of every agent polling the global prefix sum: once per round the
+//! driver reads each KV shard's partial through a [`ShardFanout`]
+//! (O(shards) reads, with a one-cycle staleness bound on held
+//! partials), folds them in shard order, and broadcasts the folded
+//! `(total, conform)` — or the fold's error — on a watch channel every
+//! agent meters from. The old path cost O(agents) aggregate reads per
+//! cycle; a regression test pins the new read count to
+//! `2 × shards × cycles` regardless of fleet size.
 //!
 //! The fleet can run against a [`FaultPlan`]: publishes go through a
 //! fault-injecting [`ChaosStore`], aggregate reads through a
@@ -21,7 +31,7 @@ use crate::marking::MarkingStrategy;
 use crate::metrics::{aggregate_fleet, MetricsSnapshot};
 use entitlement_chaos::{ChaosKv, ChaosStore, FaultPlan};
 use entitlement_core::{HostId, NpgId, QosClass, Rate, RegionId};
-use entitlement_kvstore::{KvClient, KvServer, RetryPolicy, StoreConfig};
+use entitlement_kvstore::{KvClient, KvError, KvServer, RetryPolicy, ShardFanout, StoreConfig};
 use entitlement_obs::Obs;
 use entitlement_slo::{IntervalObs, SloEvaluator, SloPolicy, SloReport};
 use std::sync::Arc;
@@ -75,6 +85,11 @@ pub struct DaemonOutcome {
     pub aggregate_read_failures: u64,
     /// Fleet-wide sum of agent crash/restart cycles.
     pub restarts: u64,
+    /// Shard-aggregate reads the driver's fan-out issued across the
+    /// run: `2 × kv_shards × cycles`, independent of the host count.
+    pub fanout_reads: u64,
+    /// KV shard count behind the fan-out.
+    pub kv_shards: usize,
 }
 
 /// Run a fleet of agent tasks to convergence.
@@ -127,8 +142,9 @@ pub async fn run_fleet_slo(
         "Age of the aggregates behind the agent's standing decision",
         &[],
     );
+    let kv_shards = 32usize;
     let (server, client) = KvServer::new(StoreConfig {
-        shards: 32,
+        shards: kv_shards,
         ttl: config.cycle * 4,
     });
     tokio::spawn(server.run());
@@ -138,14 +154,19 @@ pub async fn run_fleet_slo(
     // Broadcast of the logical cycle number: agents step in rounds so
     // the test is deterministic while still running concurrently.
     let (round_tx, round_rx) = watch::channel(0usize);
+    // Broadcast of each round's folded aggregates. Agents meter from
+    // this instead of issuing their own global reads — the fan-out
+    // keeps the per-round KV read count at O(shards), not O(agents).
+    type FoldedAggregates = (usize, Result<(f64, f64), KvError>);
+    let (agg_tx, agg_rx) = watch::channel::<FoldedAggregates>((0, Err(KvError::ServerDown)));
 
     let mut handles = Vec::with_capacity(config.hosts);
     for h in 0..config.hosts {
         let client: KvClient = client.clone();
         let mut round_rx = round_rx.clone();
+        let mut agg_rx = agg_rx.clone();
         let cfg = config.clone();
         let plan = Arc::clone(&plan);
-        let obs = obs.clone();
         let decision_hist = decision_hist.clone();
         let staleness_hist = staleness_hist.clone();
         handles.push(tokio::spawn(async move {
@@ -174,11 +195,9 @@ pub async fn run_fleet_slo(
             .unwrap();
             agent.refresh_contract(&db, 0);
 
-            // Publishes go through the sync fault layer; aggregate
-            // reads through the async client under the retry policy.
+            // Publishes go through the sync fault layer; aggregates
+            // arrive on the driver's fan-out broadcast.
             let store = ChaosStore::new(client.store_arc(), Arc::clone(&plan));
-            let kv = ChaosKv::new(client.clone(), Arc::clone(&plan), cfg.retry).with_obs(&obs);
-            let base = agent.key_base();
 
             let mut last_round = 0usize;
             let mut was_down = false;
@@ -219,16 +238,18 @@ pub async fn run_fleet_slo(
                 let marked = agent.self_marked() && cr != entitlement_simnet::MarkingCommand::None;
                 let conforming = if marked { Rate::ZERO } else { cfg.per_host_rate };
                 let _ = agent.publish(&store, cfg.per_host_rate, conforming, now_ms);
-                // Wait for everyone to publish, then read aggregates.
-                tokio::time::sleep(cfg.cycle / 4).await;
-                let total = kv.aggregate(&format!("{base}/total/"), now_ms).await;
-                let observed = match total {
-                    Ok(t) => match kv.aggregate(&format!("{base}/conform/"), now_ms).await {
-                        Ok(c) => Ok((Rate::bps(t), Rate::bps(c))),
-                        Err(e) => Err(e),
-                    },
-                    Err(e) => Err(e),
+                // Wait for the driver's fan-out to fold this round's
+                // shard partials and broadcast the result.
+                let folded = loop {
+                    let (r, folded) = *agg_rx.borrow();
+                    if r >= round {
+                        break folded;
+                    }
+                    if agg_rx.changed().await.is_err() {
+                        return agent;
+                    }
                 };
+                let observed = folded.map(|(t, c)| (Rate::bps(t), Rate::bps(c)));
                 if observed.is_err() {
                     agent.metrics.aggregate_read_failures.inc();
                 }
@@ -240,14 +261,41 @@ pub async fn run_fleet_slo(
         }));
     }
 
-    // Drive the rounds; each round ends with one SLO interval folded
-    // from the store's conforming aggregate.
+    // Drive the rounds. Mid-round the driver folds the shard partials
+    // through the fan-out (reads cross the fault-injecting [`ChaosKv`]
+    // under the retry policy) and broadcasts the result; each round
+    // ends with one SLO interval folded from the store's conforming
+    // aggregate.
+    let kv = ChaosKv::new(client.clone(), Arc::clone(&plan), config.retry).with_obs(obs);
+    let total_prefix = format!("rates/{}/{}/total/", config.npg.0, config.qos);
+    let conform_prefix = format!("rates/{}/{}/conform/", config.npg.0, config.qos);
+    // Held partials may serve for one cycle before the fold goes
+    // fail-static — the same bounded-staleness window agents apply.
+    let mut fan_total = ShardFanout::new(kv_shards, cycle_ms);
+    let mut fan_conform = ShardFanout::new(kv_shards, cycle_ms);
     let mut evaluator = SloEvaluator::new(policy.clone());
     let fleet_demand_bps = config.hosts as f64 * config.per_host_rate.as_bps();
     for round in 1..=config.cycles {
         round_tx.send(round).expect("agents alive");
-        tokio::time::sleep(config.cycle).await;
+        // First half-cycle: agents publish their shard partials.
+        tokio::time::sleep(config.cycle / 2).await;
         let now_ms = round as u64 * cycle_ms;
+        for s in 0..kv_shards {
+            let r = kv.shard_aggregate(&total_prefix, s, now_ms).await;
+            fan_total.observe(s, r, now_ms);
+            let r = kv.shard_aggregate(&conform_prefix, s, now_ms).await;
+            fan_conform.observe(s, r, now_ms);
+        }
+        let folded = match (
+            fan_total.snapshot(now_ms).fold(),
+            fan_conform.snapshot(now_ms).fold(),
+        ) {
+            (Ok(t), Ok(c)) => Ok((t, c)),
+            (Err(e), _) | (_, Err(e)) => Err(e),
+        };
+        agg_tx.send((round, folded)).expect("agents alive");
+        // Second half-cycle: agents meter on the broadcast fold.
+        tokio::time::sleep(config.cycle / 2).await;
         let delivered_bps = client.store().aggregate_sum(
             &format!("rates/{}/{}/conform/", config.npg.0, config.qos),
             now_ms,
@@ -272,6 +320,7 @@ pub async fn run_fleet_slo(
     ));
     round_tx.send(usize::MAX).ok();
     drop(round_tx);
+    drop(agg_tx);
 
     let mut out = DaemonOutcome {
         conform_ratios: Vec::with_capacity(config.hosts),
@@ -280,6 +329,8 @@ pub async fn run_fleet_slo(
         fail_static_cycles: 0,
         aggregate_read_failures: 0,
         restarts: 0,
+        fanout_reads: fan_total.reads() + fan_conform.reads(),
+        kv_shards,
     };
     let mut snapshots: Vec<MetricsSnapshot> = Vec::with_capacity(config.hosts);
     for h in handles {
@@ -399,6 +450,21 @@ mod tests {
         assert!(text.contains("entitlement_kv_retry_attempts"));
         // Fleet counters carry the summed agent counters.
         assert!(text.contains("entitlement_agent_cycles_total"));
+    }
+
+    #[tokio::test(flavor = "multi_thread", worker_threads = 4)]
+    async fn fanout_read_count_is_o_shards_not_o_agents() {
+        // The regression gate for the aggregate path: doubling the
+        // fleet must not change how many KV reads a cycle costs.
+        for hosts in [4, 16] {
+            let out = run_fleet(config(hosts, 1000.0, 10.0)).await;
+            assert_eq!(out.kv_shards, 32);
+            assert_eq!(
+                out.fanout_reads,
+                2 * 32 * 8, // two fan-outs × shards × cycles
+                "reads for {hosts} hosts"
+            );
+        }
     }
 
     #[tokio::test(flavor = "multi_thread", worker_threads = 4)]

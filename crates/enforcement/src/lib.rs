@@ -39,17 +39,24 @@ pub mod convergence;
 pub mod daemon;
 pub mod db;
 pub mod drill;
+pub mod fleet;
 pub mod ingress;
 pub mod marking;
 pub mod metering;
 pub mod metrics;
 pub mod multidrill;
+pub mod shard;
 
 pub use agent::{Agent, AgentConfig};
 pub use bpf::{ClassifyInput, MarkAction, MarkingTable};
 pub use convergence::{simulate_marking, MarkingSim, MarkingSimResult};
 pub use db::ContractDb;
 pub use drill::{run_drill, run_drill_obs, run_drill_slo, DrillConfig, DrillStage};
+pub use fleet::{
+    host_demand_bps, run_fleet_engine, run_fleet_engine_obs, run_fleet_engine_slo, FleetConfig,
+    FleetCycleStats, FleetOutcome, FleetShardStats, FleetStrategy,
+};
+pub use shard::ShardPlan;
 pub use ingress::{IngressCoordinator, SourceMeter};
 pub use metrics::{aggregate_fleet, AgentMetrics, Counter, Gauge, MetricsSnapshot};
 pub use multidrill::{run_multi_drill, MultiDrillConfig, ServiceSpec};

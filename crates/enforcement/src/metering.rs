@@ -113,6 +113,36 @@ impl StatefulMeter {
             recovery_factor,
         }
     }
+
+    /// The stateful update as a pure function over raw bps values.
+    ///
+    /// [`Meter::update`] delegates here, and the sharded fleet engine's
+    /// struct-of-arrays metering pass calls it directly per host — both
+    /// paths run the exact same float operations in the same order, so
+    /// a fleet host and a standalone [`StatefulMeter`] fed identical
+    /// inputs produce bit-identical conform ratios.
+    #[must_use]
+    pub fn update_value(
+        prev: f64,
+        total_bps: f64,
+        conform_bps: f64,
+        entitled_bps: f64,
+        recovery_factor: f64,
+    ) -> f64 {
+        let new_ratio = if total_bps < entitled_bps {
+            // Back in conformance: exponential un-throttle.
+            (prev * recovery_factor).min(1.0)
+        } else if conform_bps < 1.0 {
+            // Nothing conforming observed (same sub-bit/s threshold as
+            // `Rate::is_zero`): probe with the previous ratio.
+            prev
+        } else {
+            ((entitled_bps / conform_bps) * prev)
+                .min(prev * recovery_factor)
+                .clamp(0.0, 1.0)
+        };
+        new_ratio.max(1e-4) // never wedge at 0
+    }
 }
 
 impl Meter for StatefulMeter {
@@ -124,26 +154,21 @@ impl Meter for StatefulMeter {
         // the entitlement whenever demand exceeds it, so the boundary is
         // rarely hit; the strict comparison makes the idealized §7.4
         // simulation behave like production).
-        let new_ratio = if total_rate.as_bps() < entitled.as_bps() {
-            // Back in conformance: exponential un-throttle.
-            (self.prev_conform_ratio * self.recovery_factor).min(1.0)
-        } else if conform_rate.is_zero() {
-            // Nothing conforming observed (e.g. first cycle after a hard
-            // clamp): probe with the previous ratio.
-            self.prev_conform_ratio
-        } else {
-            // The ratio update can also *raise* the conform ratio (the
-            // service was remarking more than necessary). Cap the
-            // per-cycle increase at the recovery factor: if conforming
-            // traffic is unexpectedly low because the network is
-            // congested (not because of over-marking), an unbounded jump
-            // to 1.0 would dump the full demand back into the conforming
-            // queue and oscillate.
-            ((entitled / conform_rate) * self.prev_conform_ratio)
-                .min(self.prev_conform_ratio * self.recovery_factor)
-                .clamp(0.0, 1.0)
-        };
-        self.prev_conform_ratio = new_ratio.max(1e-4); // never wedge at 0
+        //
+        // The ratio update can also *raise* the conform ratio (the
+        // service was remarking more than necessary). The per-cycle
+        // increase is capped at the recovery factor: if conforming
+        // traffic is unexpectedly low because the network is congested
+        // (not because of over-marking), an unbounded jump to 1.0 would
+        // dump the full demand back into the conforming queue and
+        // oscillate.
+        self.prev_conform_ratio = Self::update_value(
+            self.prev_conform_ratio,
+            total_rate.as_bps(),
+            conform_rate.as_bps(),
+            entitled.as_bps(),
+            self.recovery_factor,
+        );
         self.prev_conform_ratio
     }
 

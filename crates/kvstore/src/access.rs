@@ -57,6 +57,52 @@ pub trait KvAccess {
     fn try_aggregate(&self, prefix: &str, now_ms: u64) -> Result<f64, KvError>;
 }
 
+/// Shard-addressed access for the hierarchical aggregation tree.
+///
+/// The fleet runtime folds host rates into *per-shard partials* and
+/// needs to place and read them by explicit shard index rather than by
+/// key hash: fleet shard `s` publishes its two partial keys directly
+/// into storage shard `s`, so a `ShardOutage` on storage shard `s`
+/// darkens exactly fleet shard `s` and nothing else. The global
+/// aggregate stays the plain prefix sum every existing
+/// [`AggregateWatch`](crate::AggregateWatch) consumer already reads.
+///
+/// This is a separate trait (not new methods on [`KvAccess`]) so that
+/// flat-path callers and test doubles keep compiling unchanged; only
+/// the sharded runtime opts in.
+pub trait KvShardAccess: KvAccess {
+    /// Number of physical shards the store is split into.
+    fn shard_count(&self) -> usize;
+
+    /// Write `key` directly into shard `shard` (bypassing the key
+    /// hash). Keys placed this way are visible to prefix aggregation
+    /// but not to hash-routed `try_get`.
+    fn try_put_shard(&self, shard: usize, key: &str, value: f64, now_ms: u64)
+        -> Result<(), KvError>;
+
+    /// Write a batch of keys into one shard. The default loops over
+    /// [`try_put_shard`](Self::try_put_shard); stores that can take a
+    /// single lock per batch override it.
+    fn try_put_shard_batch(
+        &self,
+        shard: usize,
+        entries: &[(String, f64)],
+        now_ms: u64,
+    ) -> Result<(), KvError> {
+        for (key, value) in entries {
+            self.try_put_shard(shard, key, *value, now_ms)?;
+        }
+        Ok(())
+    }
+
+    /// Sum of live values under `prefix` within one shard only. An
+    /// `Err` means *this shard* is unreachable — other shards may
+    /// still be served, which is what lets a dark shard degrade only
+    /// its own hosts.
+    fn try_shard_aggregate(&self, prefix: &str, shard: usize, now_ms: u64)
+        -> Result<f64, KvError>;
+}
+
 impl KvAccess for ShardedStore {
     fn try_put(&self, key: &str, value: f64, now_ms: u64) -> Result<(), KvError> {
         self.put(key, value, now_ms);
@@ -69,6 +115,42 @@ impl KvAccess for ShardedStore {
 
     fn try_aggregate(&self, prefix: &str, now_ms: u64) -> Result<f64, KvError> {
         Ok(self.aggregate_sum(prefix, now_ms))
+    }
+}
+
+impl KvShardAccess for ShardedStore {
+    fn shard_count(&self) -> usize {
+        self.shard_count()
+    }
+
+    fn try_put_shard(
+        &self,
+        shard: usize,
+        key: &str,
+        value: f64,
+        now_ms: u64,
+    ) -> Result<(), KvError> {
+        self.put_in_shard(shard, key, value, now_ms);
+        Ok(())
+    }
+
+    fn try_put_shard_batch(
+        &self,
+        shard: usize,
+        entries: &[(String, f64)],
+        now_ms: u64,
+    ) -> Result<(), KvError> {
+        self.put_shard_batch(shard, entries, now_ms);
+        Ok(())
+    }
+
+    fn try_shard_aggregate(
+        &self,
+        prefix: &str,
+        shard: usize,
+        now_ms: u64,
+    ) -> Result<f64, KvError> {
+        Ok(self.aggregate_sum_shard(prefix, shard, now_ms))
     }
 }
 

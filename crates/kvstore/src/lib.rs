@@ -20,7 +20,13 @@
 //!   distinguishes "store unreachable" from "key absent" (zero is a
 //!   legitimate aggregate; an outage is not), and the
 //!   [`access::KvAccess`] trait lets fault-injection wrappers stand in
-//!   for the real store so agents can be tested fail-static.
+//!   for the real store so agents can be tested fail-static. The
+//!   [`access::KvShardAccess`] extension adds the shard-addressed
+//!   publish/fold path the hierarchical aggregation tree runs on.
+//! * [`fanout`] — the per-shard aggregate fan-out:
+//!   [`fanout::ShardFanout`] folds per-shard partials in shard index
+//!   order with a staleness bound, turning the flat path's O(agents)
+//!   global polls into O(shards) reads per cycle.
 //!
 //! This crate is deterministic: no ambient wall-clock or randomness —
 //! every operation takes a caller-supplied logical `now_ms`, and
@@ -29,11 +35,13 @@
 #![forbid(unsafe_code)]
 
 pub mod access;
+pub mod fanout;
 pub mod observed;
 pub mod service;
 pub mod store;
 
-pub use access::{KvAccess, KvError};
+pub use access::{KvAccess, KvError, KvShardAccess};
+pub use fanout::{FanoutSnapshot, ShardFanout, ShardRead};
 pub use observed::ObservedKv;
 pub use service::{with_deadline, AggregateWatch, KvClient, KvServer, RetryPolicy};
 pub use store::{key_hash, ShardedStore, StoreConfig};

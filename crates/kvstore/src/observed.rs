@@ -9,7 +9,7 @@
 //! the latency histograms tell the fail-static story from the store's
 //! side.
 
-use crate::access::{KvAccess, KvError};
+use crate::access::{KvAccess, KvError, KvShardAccess};
 use entitlement_obs::{Counter, Histogram, Obs};
 
 /// Cached metric handles for one operation kind.
@@ -114,6 +114,50 @@ impl<K: KvAccess> KvAccess for ObservedKv<K> {
     }
 }
 
+/// Shard-addressed ops reuse the `put`/`aggregate` metric families
+/// (same op labels) with distinct trace phases, so per-shard publishes
+/// and fan-out reads show up in the same dashboards as their flat
+/// counterparts.
+impl<K: KvShardAccess> KvShardAccess for ObservedKv<K> {
+    fn shard_count(&self) -> usize {
+        self.inner.shard_count()
+    }
+
+    fn try_put_shard(
+        &self,
+        shard: usize,
+        key: &str,
+        value: f64,
+        now_ms: u64,
+    ) -> Result<(), KvError> {
+        let start = self.obs.clock.now_ms();
+        let r = self.inner.try_put_shard(shard, key, value, now_ms);
+        self.observe(&self.put, "put_shard", r, start)
+    }
+
+    fn try_put_shard_batch(
+        &self,
+        shard: usize,
+        entries: &[(String, f64)],
+        now_ms: u64,
+    ) -> Result<(), KvError> {
+        let start = self.obs.clock.now_ms();
+        let r = self.inner.try_put_shard_batch(shard, entries, now_ms);
+        self.observe(&self.put, "put_shard_batch", r, start)
+    }
+
+    fn try_shard_aggregate(
+        &self,
+        prefix: &str,
+        shard: usize,
+        now_ms: u64,
+    ) -> Result<f64, KvError> {
+        let start = self.obs.clock.now_ms();
+        let r = self.inner.try_shard_aggregate(prefix, shard, now_ms);
+        self.observe(&self.aggregate, "shard_aggregate", r, start)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -167,6 +211,26 @@ mod tests {
         assert!(events
             .iter()
             .any(|e| e.labels.iter().any(|(_, v)| v == "error:Timeout")));
+    }
+
+    #[test]
+    fn shard_ops_record_under_flat_metric_families() {
+        let obs = Obs::new(Clock::counting(1));
+        let store = ObservedKv::new(ShardedStore::new(StoreConfig::default()), &obs);
+        store.try_put_shard(2, "rates/x/total/s2", 8.0, 0).unwrap();
+        store
+            .try_put_shard_batch(3, &[("rates/x/total/s3".to_string(), 4.0)], 0)
+            .unwrap();
+        assert_eq!(store.try_shard_aggregate("rates/x/total/", 2, 0), Ok(8.0));
+        assert_eq!(store.try_shard_aggregate("rates/x/total/", 3, 0), Ok(4.0));
+        assert_eq!(KvShardAccess::shard_count(&store), 16);
+        let text = obs.registry.render();
+        assert!(text.contains("entitlement_kv_ops_total{op=\"put\",outcome=\"ok\"} 2"));
+        assert!(text.contains("entitlement_kv_ops_total{op=\"aggregate\",outcome=\"ok\"} 2"));
+        let events = obs.trace.events();
+        assert!(events.iter().any(|e| e.phase == "put_shard"));
+        assert!(events.iter().any(|e| e.phase == "put_shard_batch"));
+        assert!(events.iter().any(|e| e.phase == "shard_aggregate"));
     }
 
     #[test]

@@ -39,6 +39,17 @@ enum Command {
         now_ms: u64,
         reply: oneshot::Sender<f64>,
     },
+    ShardAggregate {
+        prefix: String,
+        shard: usize,
+        now_ms: u64,
+        reply: oneshot::Sender<f64>,
+    },
+    PutShardBatch {
+        shard: usize,
+        entries: Vec<(String, f64)>,
+        now_ms: u64,
+    },
     Sweep {
         now_ms: u64,
     },
@@ -155,6 +166,21 @@ impl KvServer {
                 } => {
                     let _ = reply.send(self.store.aggregate_sum(&prefix, now_ms));
                 }
+                Command::ShardAggregate {
+                    prefix,
+                    shard,
+                    now_ms,
+                    reply,
+                } => {
+                    let _ = reply.send(self.store.aggregate_sum_shard(&prefix, shard, now_ms));
+                }
+                Command::PutShardBatch {
+                    shard,
+                    entries,
+                    now_ms,
+                } => {
+                    self.store.put_shard_batch(shard, &entries, now_ms);
+                }
                 Command::Sweep { now_ms } => {
                     self.store.sweep(now_ms);
                 }
@@ -206,6 +232,48 @@ impl KvClient {
             .await
             .map_err(|_| KvError::ServerDown)?;
         rx.await.map_err(|_| KvError::ServerDown)
+    }
+
+    /// Aggregate a prefix within a single shard — the fan-out read the
+    /// aggregation-tree driver issues once per shard per cycle
+    /// (O(shards) reads, replacing the flat path's per-agent global
+    /// polls). Same error discipline as [`KvClient::aggregate`].
+    pub async fn shard_aggregate(
+        &self,
+        prefix: &str,
+        shard: usize,
+        now_ms: u64,
+    ) -> Result<f64, KvError> {
+        let (reply, rx) = oneshot::channel();
+        self.tx
+            .send(Command::ShardAggregate {
+                prefix: prefix.to_string(),
+                shard,
+                now_ms,
+                reply,
+            })
+            .await
+            .map_err(|_| KvError::ServerDown)?;
+        rx.await.map_err(|_| KvError::ServerDown)
+    }
+
+    /// Publish a batch of keys directly into one shard (the sharded
+    /// publish path: one command, one store lock, 2×shards keys per
+    /// fleet cycle instead of 2×hosts).
+    pub async fn put_shard_batch(
+        &self,
+        shard: usize,
+        entries: Vec<(String, f64)>,
+        now_ms: u64,
+    ) -> Result<(), KvError> {
+        self.tx
+            .send(Command::PutShardBatch {
+                shard,
+                entries,
+                now_ms,
+            })
+            .await
+            .map_err(|_| KvError::ServerDown)
     }
 
     /// [`KvClient::aggregate`] under a [`RetryPolicy`]: retries with
@@ -454,6 +522,48 @@ mod tests {
         w.rx.changed().await.unwrap();
         let v = *w.rx.borrow();
         assert!((v - 30.0).abs() < 1e-9, "got {v}");
+    }
+
+    #[tokio::test]
+    async fn shard_batch_publish_and_shard_aggregate() {
+        let (server, client) = KvServer::new(StoreConfig {
+            shards: 4,
+            ttl: Duration::from_secs(60),
+        });
+        tokio::spawn(server.run());
+        for s in 0..4usize {
+            client
+                .put_shard_batch(
+                    s,
+                    vec![
+                        (format!("rates/x/total/s{s}"), 10.0 * (s as f64 + 1.0)),
+                        (format!("rates/x/conform/s{s}"), 5.0 * (s as f64 + 1.0)),
+                    ],
+                    0,
+                )
+                .await
+                .unwrap();
+        }
+        for s in 0..4usize {
+            assert_eq!(
+                client.shard_aggregate("rates/x/total/", s, 10).await,
+                Ok(10.0 * (s as f64 + 1.0))
+            );
+        }
+        // The flat global aggregate still folds over all partials.
+        assert_eq!(client.aggregate("rates/x/total/", 10).await, Ok(100.0));
+        assert_eq!(client.aggregate("rates/x/conform/", 10).await, Ok(50.0));
+        // A dead server errors, never phantom-zeros.
+        let (server, client) = KvServer::new(StoreConfig::default());
+        drop(server);
+        assert_eq!(
+            client.shard_aggregate("rates/", 0, 0).await,
+            Err(KvError::ServerDown)
+        );
+        assert_eq!(
+            client.put_shard_batch(0, vec![], 0).await,
+            Err(KvError::ServerDown)
+        );
     }
 
     #[tokio::test]

@@ -105,6 +105,61 @@ impl ShardedStore {
         now_ms.saturating_sub(e.written_ms) as u128 <= self.config.ttl.as_millis()
     }
 
+    /// Write a value directly into shard `shard`, bypassing the key
+    /// hash (panics if `shard` is out of range).
+    ///
+    /// The aggregation tree places fleet shard `s`'s partial keys on
+    /// storage shard `s` so shard-scoped faults map one-to-one onto
+    /// fleet shards. Keys written this way are visible to
+    /// [`aggregate_sum`](Self::aggregate_sum) /
+    /// [`aggregate_sum_shard`](Self::aggregate_sum_shard) but *not* to
+    /// hash-routed [`get`](Self::get) (which would look on the wrong
+    /// shard) — partials are aggregate-only state.
+    pub fn put_in_shard(&self, shard: usize, key: &str, value: f64, now_ms: u64) {
+        self.shards[shard].lock().insert(
+            key.to_string(),
+            Entry {
+                value,
+                written_ms: now_ms,
+            },
+        );
+    }
+
+    /// Write a batch of keys into one shard under a single lock
+    /// acquisition — the fleet publish path folds 10⁶ hosts into
+    /// 2×shards keys per cycle, and batching keeps that to one lock
+    /// per shard instead of one per key.
+    pub fn put_shard_batch(&self, shard: usize, entries: &[(String, f64)], now_ms: u64) {
+        let mut guard = self.shards[shard].lock();
+        for (key, value) in entries {
+            guard.insert(
+                key.clone(),
+                Entry {
+                    value: *value,
+                    written_ms: now_ms,
+                },
+            );
+        }
+    }
+
+    /// Sum of live values under `prefix` within one shard only.
+    ///
+    /// Entries iterate in `HashMap` order, so callers that need
+    /// bit-identical sums must ensure at most one distinct value per
+    /// `(prefix, shard)` — the aggregation tree does (one partial key
+    /// per fleet shard), and the per-host flat path sums equal-valued
+    /// keys where order cannot change the result.
+    pub fn aggregate_sum_shard(&self, prefix: &str, shard: usize, now_ms: u64) -> f64 {
+        let mut sum = 0.0;
+        let guard = self.shards[shard].lock();
+        for (k, e) in guard.iter() {
+            if k.starts_with(prefix) && self.is_live(e, now_ms) {
+                sum += e.value;
+            }
+        }
+        sum
+    }
+
     /// Sum of all live values whose key starts with `prefix` — the
     /// service-wide rate aggregation agents read back.
     pub fn aggregate_sum(&self, prefix: &str, now_ms: u64) -> f64 {
@@ -249,6 +304,50 @@ mod tests {
         assert!(s.delete("k"));
         assert!(!s.delete("k"));
         assert_eq!(s.get("k", 0), None);
+    }
+
+    #[test]
+    fn shard_placed_partials_aggregate_globally() {
+        let s = store();
+        // One partial per shard, placed by explicit index.
+        for sh in 0..s.shard_count() {
+            s.put_in_shard(sh, &format!("rates/cold/total/s{sh}"), (sh + 1) as f64, 0);
+        }
+        // Per-shard sums see exactly their own partial...
+        for sh in 0..s.shard_count() {
+            assert_eq!(
+                s.aggregate_sum_shard("rates/cold/total/", sh, 100),
+                (sh + 1) as f64
+            );
+        }
+        // ...and the flat global aggregate every AggregateWatch consumer
+        // reads still sees the full fold.
+        assert_eq!(s.aggregate_sum("rates/cold/total/", 100), 36.0);
+    }
+
+    #[test]
+    fn shard_batch_put_lands_in_one_shard() {
+        let s = store();
+        let entries = vec![
+            ("rates/a/s3".to_string(), 1.5),
+            ("rates/b/s3".to_string(), 2.5),
+        ];
+        s.put_shard_batch(3, &entries, 0);
+        assert_eq!(s.aggregate_sum_shard("rates/", 3, 10), 4.0);
+        for sh in (0..s.shard_count()).filter(|&sh| sh != 3) {
+            assert_eq!(s.aggregate_sum_shard("rates/", sh, 10), 0.0);
+        }
+        // Overwrite within the batch path.
+        s.put_shard_batch(3, &[("rates/a/s3".to_string(), 9.0)], 20);
+        assert_eq!(s.aggregate_sum_shard("rates/a/", 3, 20), 9.0);
+    }
+
+    #[test]
+    fn shard_aggregate_respects_ttl() {
+        let s = store();
+        s.put_in_shard(0, "rates/x/s0", 5.0, 0);
+        assert_eq!(s.aggregate_sum_shard("rates/x/", 0, 10_000), 5.0);
+        assert_eq!(s.aggregate_sum_shard("rates/x/", 0, 10_001), 0.0);
     }
 
     #[test]

@@ -38,7 +38,11 @@ use std::fmt;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-/// Crates whose outputs must be deterministic (X0101).
+/// Crates — or single modules, as file-path prefixes — whose outputs
+/// must be deterministic (X0101). The sharded fleet runtime lives in
+/// an otherwise-exempt crate, so its modules are listed individually:
+/// its det/par bit-equivalence proof depends on no ambient clock or
+/// randomness ever entering the engine.
 const DETERMINISTIC_CRATES: &[&str] = &[
     "crates/risk",
     "crates/simnet",
@@ -47,10 +51,20 @@ const DETERMINISTIC_CRATES: &[&str] = &[
     "crates/chaos",
     "crates/obs",
     "crates/slo",
+    "crates/enforcement/src/fleet",
+    "crates/enforcement/src/shard",
 ];
 
-/// Crates whose library code is on the granting hot path (X0102/X0103).
-const HOT_PATH_CRATES: &[&str] = &["crates/risk", "crates/approval", "crates/hose"];
+/// Crates (or modules) whose library code is on the granting or
+/// metering hot path (X0102/X0103).
+const HOT_PATH_CRATES: &[&str] = &[
+    "crates/risk",
+    "crates/approval",
+    "crates/hose",
+    "crates/enforcement/src/fleet",
+    "crates/enforcement/src/shard",
+    "crates/kvstore/src/fanout",
+];
 
 struct Finding {
     code: &'static str,

@@ -8,6 +8,9 @@
 
 use network_entitlement::chaos::{Fault, FaultKind, FaultPlan, TimeWindow};
 use network_entitlement::enforcement::daemon::{run_fleet, DaemonConfig};
+use network_entitlement::enforcement::{
+    host_demand_bps, run_fleet_engine, FleetConfig, ShardPlan,
+};
 use network_entitlement::kvstore::RetryPolicy;
 use network_entitlement::prelude::*;
 use std::time::Duration;
@@ -185,6 +188,124 @@ async fn fleet_outage_holds_then_reconverges() {
             (first - 0.5).abs() < 0.2,
             "seed {seed:#x}: reconverged marked fraction {first} near 0.5"
         );
+    }
+}
+
+/// Shard-scoped chaos on the hierarchical fleet engine: a dark shard
+/// degrades exactly its own contribution — it never unthrottles (or
+/// even perturbs) another shard's hosts — and the fleet reconverges
+/// within ten cycles of the shard coming back.
+#[test]
+fn dark_shard_degrades_only_its_contribution_and_reconverges() {
+    const HOSTS: usize = 120;
+    const SHARDS: usize = 6;
+    const DARK: usize = 2;
+    const RECONVERGE_CYCLES: usize = 10;
+    for seed in seeds() {
+        let healthy_cfg = FleetConfig {
+            hosts: HOSTS,
+            shards: SHARDS,
+            entitled: Rate::gbps(600.0),
+            per_host_rate: Rate::gbps(10.0), // ~1.2T offered vs 600G
+            cycles: 28,
+            seed,
+            ..FleetConfig::default()
+        };
+        let mut faulted_cfg = healthy_cfg.clone();
+        // Shard 2 dark for cycles 8..=12 (ms 8000..12001). The
+        // staleness bound is one cycle: cycle 8 serves the held
+        // partial, cycles 9..=12 run fail-static fleet-wide.
+        faulted_cfg.faults = Some(FaultPlan {
+            seed,
+            faults: vec![Fault {
+                window: TimeWindow::new(8000, 12_001),
+                kind: FaultKind::ShardOutage {
+                    shards: vec![DARK],
+                },
+            }],
+        });
+        let healthy = run_fleet_engine(&healthy_cfg).expect("healthy fleet");
+        let faulted = run_fleet_engine(&faulted_cfg).expect("faulted fleet");
+        assert_eq!(faulted.fail_static_cycles, 4, "seed {seed:#x}");
+
+        // Fault isolation: only the dark shard saw any failure; a
+        // healthy shard's hosts never even noticed.
+        for (s, stats) in faulted.shard_stats.iter().enumerate() {
+            if s == DARK {
+                assert_eq!(stats.publish_failures, 5, "seed {seed:#x}");
+                assert_eq!(stats.read_failures, 5, "seed {seed:#x}");
+                assert_eq!(stats.held_serves, 1, "seed {seed:#x}");
+            } else {
+                assert_eq!(
+                    (stats.publish_failures, stats.read_failures),
+                    (0, 0),
+                    "seed {seed:#x}: healthy shard {s} was hit"
+                );
+            }
+        }
+
+        // The live aggregate degrades by *exactly* the dark shard's
+        // contribution: the shard-order fold of every other shard's
+        // demand, bit for bit.
+        let plan = ShardPlan::new(HOSTS, SHARDS).expect("plan");
+        let shard_demand: Vec<f64> = (0..SHARDS)
+            .map(|s| {
+                plan.range(s)
+                    .map(|h| host_demand_bps(seed, Rate::gbps(10.0), h as u32))
+                    .sum()
+            })
+            .collect();
+        let expected_live: f64 = shard_demand
+            .iter()
+            .enumerate()
+            .filter(|&(s, _)| s != DARK)
+            .map(|(_, d)| d)
+            .sum();
+        for (i, cycle) in faulted.cycles[7..12].iter().enumerate() {
+            assert_eq!(
+                cycle.shard_totals[DARK], None,
+                "seed {seed:#x}: dark cycle {i}"
+            );
+            assert_eq!(
+                cycle.live_total.to_bits(),
+                expected_live.to_bits(),
+                "seed {seed:#x}: dark cycle {i} live total {} != {expected_live}",
+                cycle.live_total
+            );
+        }
+
+        // Nobody unthrottled on the outage: the standing decision is
+        // held bitwise through the fail-static cycles (cycles 9..=12
+        // all mark from the same frozen meter state) and keeps marking
+        // the pre-outage excess.
+        let frozen = faulted.cycles[8].marked_fraction;
+        assert!(frozen > 0.25, "seed {seed:#x}: marking active, {frozen}");
+        for cycle in &faulted.cycles[8..12] {
+            assert_eq!(cycle.marked_fraction.to_bits(), frozen.to_bits());
+        }
+
+        // Recovery at cycle 13; within ten cycles the faulted fleet
+        // tracks the healthy trajectory again, and the pre-outage
+        // prefix is bit-identical.
+        for i in (12 + RECONVERGE_CYCLES)..faulted.cycles.len() {
+            assert!(
+                (faulted.cycles[i].marked_fraction - healthy.cycles[i].marked_fraction).abs()
+                    < 0.15,
+                "seed {seed:#x}: cycle {i} still diverged: {} vs {}",
+                faulted.cycles[i].marked_fraction,
+                healthy.cycles[i].marked_fraction
+            );
+        }
+        for i in 0..7 {
+            assert_eq!(
+                faulted.cycles[i].marked_fraction.to_bits(),
+                healthy.cycles[i].marked_fraction.to_bits(),
+                "seed {seed:#x}: pre-outage cycle {i} must match exactly"
+            );
+        }
+        // All hosts end in agreement — including the dark shard's.
+        let first = faulted.conform_ratios[0];
+        assert!(faulted.conform_ratios.iter().all(|&cr| cr == first));
     }
 }
 
