@@ -42,7 +42,8 @@ impl fmt::Display for Severity {
 ///
 /// Numbering scheme: `E01xx` contracts, `E02xx` hoses/pipes, `E03xx`
 /// QoS ordering, `E04xx` topology, `E05xx` availability curves,
-/// `E06xx` SLO evaluation policies.
+/// `E06xx` SLO evaluation policies, `R01xx` runtime concurrency
+/// (reported by the `racecheck` verifier, not the config analyzer).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum Code {
     /// Entitled rate must be positive and finite.
@@ -101,6 +102,21 @@ pub enum Code {
     /// SLO policy burn threshold does not exceed 1, or the clear
     /// fraction is outside (0, 1).
     E0603,
+    /// Conflicting unsynchronized accesses: two tasks touch one
+    /// location, at least one writes, and no happens-before edge orders
+    /// them.
+    R0101,
+    /// Ordering-dependent float fold: a non-associative f64 reduction
+    /// whose bit pattern depends on arrival order.
+    R0102,
+    /// Publish/fold schedule divergence: an explored interleaving of the
+    /// shard publish → fanout fold → broadcast protocol produced a
+    /// different f64-bit outcome than the deterministic reference.
+    R0103,
+    /// Lock-order inversion or deadlock: two locks are acquired in
+    /// opposite orders on different tasks, or a schedule wedged with no
+    /// enabled step.
+    R0104,
 }
 
 /// One row of the rule catalog: what the code means and where in the
@@ -119,7 +135,7 @@ pub struct CatalogEntry {
 
 impl Code {
     /// The full rule catalog, in code order.
-    pub const CATALOG: [CatalogEntry; 27] = [
+    pub const CATALOG: [CatalogEntry; 31] = [
         CatalogEntry {
             code: Code::E0101,
             severity: Severity::Error,
@@ -282,6 +298,30 @@ impl Code {
             invariant: "burn thresholds exceed 1× and the clear fraction is in (0, 1)",
             paper: "§7 (alerts page on budget-exhausting burns)",
         },
+        CatalogEntry {
+            code: Code::R0101,
+            severity: Severity::Error,
+            invariant: "every pair of conflicting accesses is ordered by happens-before",
+            paper: "§6 (agents and the driver share only published aggregates)",
+        },
+        CatalogEntry {
+            code: Code::R0102,
+            severity: Severity::Error,
+            invariant: "f64 folds on parallel paths are order-insensitive bit-for-bit",
+            paper: "§6 (metering aggregates must be reproducible)",
+        },
+        CatalogEntry {
+            code: Code::R0103,
+            severity: Severity::Error,
+            invariant: "every publish/fold/broadcast schedule yields the deterministic outcome",
+            paper: "§6 / §7.4 (enforcement decisions are a pure function of the round)",
+        },
+        CatalogEntry {
+            code: Code::R0104,
+            severity: Severity::Error,
+            invariant: "locks are acquired in one global order and every schedule can finish",
+            paper: "§6 (the enforcement loop must never wedge mid-round)",
+        },
     ];
 
     /// The stable textual form, e.g. `"E0203"`.
@@ -314,6 +354,10 @@ impl Code {
             Code::E0601 => "E0601",
             Code::E0602 => "E0602",
             Code::E0603 => "E0603",
+            Code::R0101 => "R0101",
+            Code::R0102 => "R0102",
+            Code::R0103 => "R0103",
+            Code::R0104 => "R0104",
         }
     }
 

@@ -32,17 +32,17 @@ pub struct ChaosMetrics {
 
 impl ChaosMetrics {
     fn inc(counter: &AtomicU64) {
-        counter.fetch_add(1, Ordering::Relaxed);
+        counter.fetch_add(1, Ordering::AcqRel);
     }
 
     /// (unavailable_reads, unavailable_writes, dropped_publishes,
     /// stale_reads) — compact snapshot.
     pub fn snapshot(&self) -> (u64, u64, u64, u64) {
         (
-            self.unavailable_reads.load(Ordering::Relaxed),
-            self.unavailable_writes.load(Ordering::Relaxed),
-            self.dropped_publishes.load(Ordering::Relaxed),
-            self.stale_reads.load(Ordering::Relaxed),
+            self.unavailable_reads.load(Ordering::Acquire),
+            self.unavailable_writes.load(Ordering::Acquire),
+            self.dropped_publishes.load(Ordering::Acquire),
+            self.stale_reads.load(Ordering::Acquire),
         )
     }
 }

@@ -36,7 +36,10 @@ use entitlement_obs::Obs;
 use entitlement_slo::{IntervalObs, SloEvaluator, SloPolicy, SloReport};
 use std::sync::Arc;
 use std::time::Duration;
-use tokio::sync::watch;
+// Watch channels route through the racecheck sync shim: plain
+// `tokio::sync::watch` re-exports normally, send/borrow/changed
+// happens-before recording under `--features racecheck`.
+use entitlement_racecheck::sync::watch;
 
 /// Configuration for a daemon fleet run.
 #[derive(Clone, Debug)]

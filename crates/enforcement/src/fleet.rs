@@ -254,7 +254,7 @@ impl FleetState {
 /// demand into `(total, conform, marked_hosts)`. A host whose group id
 /// falls under its meter's cut is remarked: its traffic leaves the
 /// conforming aggregate (same rule as `Agent::self_marked`).
-fn shard_partial(
+pub(crate) fn shard_partial(
     range: std::ops::Range<usize>,
     prev_cr: &[f64],
     group: &[u32],

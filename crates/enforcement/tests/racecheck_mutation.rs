@@ -1,0 +1,34 @@
+//! Mutation test of the concurrency verifier itself (§6 acceptance):
+//! with `--features racecheck_mutation`, `verify::protocol` drops the
+//! driver's fold-after-publish await for shard 0. The verifier is only
+//! trustworthy if it *catches* that — an unsynchronized `kv/s0`
+//! conflict (R0101) and schedules whose fold reads a missing partial
+//! and diverges from the deterministic reference (R0103).
+//!
+//! Run with:
+//! `cargo test -p entitlement-enforcement --features racecheck_mutation --test racecheck_mutation`
+
+#![cfg(feature = "racecheck_mutation")]
+
+use entitlement_analyzer::Code;
+use entitlement_enforcement::verify::{verify_exhaustive, VerifyConfig};
+
+#[test]
+fn dropped_publish_sync_fires_r0101_and_r0103() {
+    let out = verify_exhaustive(&VerifyConfig::default(), 500_000);
+    assert!(!out.clean(), "mutation must be detected");
+    let codes: Vec<Code> = out.report.codes();
+    assert!(
+        codes.contains(&Code::R0101),
+        "expected R0101 (conflicting unsynchronized access), got {codes:?}\n{}",
+        out.report.render_text()
+    );
+    assert!(
+        codes.contains(&Code::R0103),
+        "expected R0103 (schedule divergence), got {codes:?}\n{}",
+        out.report.render_text()
+    );
+    // The mutated protocol branches for real: the racing fold_read/s0
+    // and publish/s0 orders are both explored, not pruned away.
+    assert!(out.schedules > 1, "mutation must open real interleavings");
+}

@@ -100,6 +100,17 @@ impl ShardFanout {
                 }
             } else {
                 match partial {
+                    // The bound is INCLUSIVE: a partial aged exactly
+                    // `max_staleness_ms` is still served. With the
+                    // engine's `staleness_ms = staleness_cycles ×
+                    // cycle_ms`, a shard that publishes at cycle `c`
+                    // and goes dark is held through the read at cycle
+                    // `c + staleness_cycles` (age == bound) and turns
+                    // Missing one read later — "survive exactly N dark
+                    // cycles". An exclusive bound would silently make
+                    // `staleness_cycles = 1` mean zero dark-cycle
+                    // tolerance. Pinned by
+                    // `held_partial_boundary_is_inclusive`.
                     Some(h) if now_ms.saturating_sub(h.as_of_ms) <= self.max_staleness_ms => {
                         self.held_serves += 1;
                         ShardRead::Held(h.value)
@@ -275,6 +286,28 @@ mod tests {
         assert_eq!(snap.fresh_values(), vec![Some(1.5), None]);
         assert_eq!(f.held_serves(), 1);
         assert_eq!(f.read_failures(), 2);
+    }
+
+    #[test]
+    fn held_partial_boundary_is_inclusive() {
+        // Off-by-one pin of the staleness comparison. Publish at
+        // t=1000 with a one-cycle bound (1000 ms), then go dark:
+        //   age == bound      → Held (the fold stays whole),
+        //   age == bound + 1  → Missing (the fold poisons).
+        let mut f = ShardFanout::new(1, 1000);
+        f.observe(0, Ok(3.0), 1000);
+        f.observe(0, Err(KvError::ShardUnavailable), 2000);
+        let snap = f.snapshot(2000);
+        assert_eq!(snap.shards()[0], ShardRead::Held(3.0));
+        assert_eq!(snap.fold(), Ok(3.0), "age == bound must still serve");
+        let snap = f.snapshot(2001);
+        assert_eq!(snap.shards()[0], ShardRead::Missing);
+        assert_eq!(
+            snap.fold(),
+            Err(KvError::ShardUnavailable),
+            "age == bound + 1 must poison the fold"
+        );
+        assert_eq!(f.held_serves(), 1, "held served exactly once");
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! opt-in [`Clock::wall`] touches real time (for interactive use where
 //! reproducibility does not matter).
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use entitlement_racecheck::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -64,8 +64,8 @@ impl Clock {
     #[must_use]
     pub fn now_ms(&self) -> u64 {
         match &*self.source {
-            Source::Manual(ms) => ms.load(Ordering::Relaxed),
-            Source::Counting { next, step_ms } => next.fetch_add(*step_ms, Ordering::Relaxed),
+            Source::Manual(ms) => ms.load(Ordering::Acquire),
+            Source::Counting { next, step_ms } => next.fetch_add(*step_ms, Ordering::AcqRel),
             Source::Wall(t0) => t0.elapsed().as_millis() as u64,
         }
     }
@@ -73,14 +73,14 @@ impl Clock {
     /// Set a manual clock to `ms`. No-op for other sources.
     pub fn set_ms(&self, ms: u64) {
         if let Source::Manual(cur) = &*self.source {
-            cur.store(ms, Ordering::Relaxed);
+            cur.store(ms, Ordering::Release);
         }
     }
 
     /// Advance a manual clock by `delta_ms`. No-op for other sources.
     pub fn advance_ms(&self, delta_ms: u64) {
         if let Source::Manual(cur) = &*self.source {
-            cur.fetch_add(delta_ms, Ordering::Relaxed);
+            cur.fetch_add(delta_ms, Ordering::AcqRel);
         }
     }
 }

@@ -3,7 +3,7 @@
 //! underlying cell, so a metric can be registered once and recorded
 //! from many owners (agents, worker threads) without locks.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use entitlement_racecheck::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// A monotonically increasing `u64` counter.
@@ -19,18 +19,18 @@ impl Counter {
 
     /// Increment by one.
     pub fn inc(&self) {
-        self.0.fetch_add(1, Ordering::Relaxed);
+        self.0.fetch_add(1, Ordering::AcqRel);
     }
 
     /// Increment by `n`.
     pub fn add(&self, n: u64) {
-        self.0.fetch_add(n, Ordering::Relaxed);
+        self.0.fetch_add(n, Ordering::AcqRel);
     }
 
     /// Current value.
     #[must_use]
     pub fn get(&self) -> u64 {
-        self.0.load(Ordering::Relaxed)
+        self.0.load(Ordering::Acquire)
     }
 }
 
@@ -60,13 +60,13 @@ impl Gauge {
 
     /// Set the gauge.
     pub fn set(&self, v: f64) {
-        self.0.store(v.to_bits(), Ordering::Relaxed);
+        self.0.store(v.to_bits(), Ordering::Release);
     }
 
     /// Current value.
     #[must_use]
     pub fn get(&self) -> f64 {
-        f64::from_bits(self.0.load(Ordering::Relaxed))
+        f64::from_bits(self.0.load(Ordering::Acquire))
     }
 }
 
@@ -141,8 +141,8 @@ impl Histogram {
             return;
         }
         let idx = bounds().partition_point(|&b| b < v).min(N_BOUNDS);
-        self.0.buckets[idx].fetch_add(1, Ordering::Relaxed);
-        self.0.count.fetch_add(1, Ordering::Relaxed);
+        self.0.buckets[idx].fetch_add(1, Ordering::AcqRel);
+        self.0.count.fetch_add(1, Ordering::AcqRel);
         fold_bits(&self.0.sum_bits, |cur| cur + v);
         fold_bits(&self.0.min_bits, |cur| cur.min(v));
         fold_bits(&self.0.max_bits, |cur| cur.max(v));
@@ -151,26 +151,26 @@ impl Histogram {
     /// Number of observations.
     #[must_use]
     pub fn count(&self) -> u64 {
-        self.0.count.load(Ordering::Relaxed)
+        self.0.count.load(Ordering::Acquire)
     }
 
     /// Sum of observations.
     #[must_use]
     pub fn sum(&self) -> f64 {
-        f64::from_bits(self.0.sum_bits.load(Ordering::Relaxed))
+        f64::from_bits(self.0.sum_bits.load(Ordering::Acquire))
     }
 
     /// Smallest observation, or `None` if empty.
     #[must_use]
     pub fn min(&self) -> Option<f64> {
-        let v = f64::from_bits(self.0.min_bits.load(Ordering::Relaxed));
+        let v = f64::from_bits(self.0.min_bits.load(Ordering::Acquire));
         v.is_finite().then_some(v)
     }
 
     /// Largest observation, or `None` if empty.
     #[must_use]
     pub fn max(&self) -> Option<f64> {
-        let v = f64::from_bits(self.0.max_bits.load(Ordering::Relaxed));
+        let v = f64::from_bits(self.0.max_bits.load(Ordering::Acquire));
         v.is_finite().then_some(v)
     }
 
@@ -188,7 +188,7 @@ impl Histogram {
         let bs = bounds();
         let mut cum = 0u64;
         for (i, bucket) in self.0.buckets.iter().enumerate() {
-            let n = bucket.load(Ordering::Relaxed);
+            let n = bucket.load(Ordering::Acquire);
             if n == 0 {
                 continue;
             }
@@ -220,11 +220,11 @@ impl Histogram {
     /// counts, count, min, and max merge exactly; the sums add.
     pub fn merge_from(&self, other: &Histogram) {
         for (dst, src) in self.0.buckets.iter().zip(&other.0.buckets) {
-            dst.fetch_add(src.load(Ordering::Relaxed), Ordering::Relaxed);
+            dst.fetch_add(src.load(Ordering::Acquire), Ordering::AcqRel);
         }
         self.0
             .count
-            .fetch_add(other.count(), Ordering::Relaxed);
+            .fetch_add(other.count(), Ordering::AcqRel);
         let (os, omin, omax) = (other.sum(), other.min(), other.max());
         if other.count() > 0 {
             fold_bits(&self.0.sum_bits, |cur| cur + os);
@@ -244,7 +244,7 @@ impl Histogram {
         let mut cumulative = Vec::with_capacity(N_BOUNDS);
         let mut cum = 0u64;
         for (i, bucket) in self.0.buckets.iter().enumerate().take(N_BOUNDS) {
-            cum += bucket.load(Ordering::Relaxed);
+            cum += bucket.load(Ordering::Acquire);
             cumulative.push((bs[i], cum));
         }
         HistogramSnapshot {
@@ -274,11 +274,17 @@ pub struct HistogramSnapshot {
 }
 
 /// CAS-update an atomic holding `f64` bits with a pure fold.
+///
+/// The success ordering must be `AcqRel`: a `Relaxed` CAS here would
+/// let a reader observe the folded sum without a happens-before edge
+/// from the fold that produced it, so the read is not ordered after
+/// the observations it claims to summarize (the racecheck shims flag
+/// exactly that as R0101 — see `tests/cas_racecheck.rs`).
 fn fold_bits(cell: &AtomicU64, f: impl Fn(f64) -> f64) {
-    let mut cur = cell.load(Ordering::Relaxed);
+    let mut cur = cell.load(Ordering::Acquire);
     loop {
         let next = f(f64::from_bits(cur)).to_bits();
-        match cell.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed) {
+        match cell.compare_exchange_weak(cur, next, Ordering::AcqRel, Ordering::Acquire) {
             Ok(_) => return,
             Err(seen) => cur = seen,
         }

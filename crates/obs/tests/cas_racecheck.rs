@@ -1,0 +1,109 @@
+//! Loom-style model check of the metric accumulators' lock-free
+//! protocol (requires `--features racecheck`, which routes the
+//! accumulators' atomics through the instrumented shims).
+//!
+//! The regression being pinned: `fold_bits` — the CAS loop maintaining
+//! a histogram's `sum`/`min`/`max` bits — used to run entirely on
+//! `Ordering::Relaxed`. Under the C++11 memory model a Relaxed CAS
+//! carries no happens-before edge, so a reader could observe a folded
+//! sum that was not ordered after the observations it summarizes. The
+//! shims flag exactly that: every Relaxed access is treated as
+//! unsynchronized and race-checked, while Acquire/Release/AcqRel
+//! accesses create vector-clock edges.
+//!
+//! Two models below:
+//! * the real [`Histogram`] (now AcqRel/Acquire): concurrent recorders
+//!   plus a reader — zero races on every schedule;
+//! * a deliberately broken blind-store fold on a shim atomic (the
+//!   pre-fix shape): the verifier must report the conflicting access.
+
+#![cfg(feature = "racecheck")]
+
+use entitlement_obs::Histogram;
+use entitlement_racecheck::sync::atomic::{AtomicU64, Ordering};
+use entitlement_racecheck::{
+    explore_exhaustive, DivergenceCode, OutcomeSlot, ProtocolRun, RaceKind, Step,
+};
+use std::sync::Arc;
+
+/// Two recorder tasks and one reader, all on the real histogram. No
+/// step-level reads/writes are declared: every access flows through
+/// the instrumented atomics, so the happens-before graph under test is
+/// the one the *orderings* build, not one the model hands over.
+fn histogram_protocol() -> ProtocolRun {
+    let h = Histogram::new();
+    let (h0, h1, hr) = (h.clone(), h.clone(), h.clone());
+    let tasks = vec![
+        vec![Step::new("rec0/record").run(move || h0.record(1.5))],
+        vec![Step::new("rec1/record").run(move || h1.record(250.0))],
+        vec![Step::new("reader/sum").run(move || {
+            let _ = hr.sum();
+            let _ = hr.count();
+        })],
+    ];
+    let outcome_h = h;
+    ProtocolRun {
+        tasks,
+        outcome: Box::new(move || {
+            vec![OutcomeSlot {
+                label: "sum".to_string(),
+                bits: outcome_h.sum().to_bits(),
+                code: DivergenceCode::FloatFold,
+            }]
+        }),
+    }
+}
+
+#[test]
+fn histogram_cas_protocol_is_race_free_on_every_schedule() {
+    let out = explore_exhaustive(&histogram_protocol, 100_000);
+    assert!(out.races.is_empty(), "{:?}", out.races);
+    assert!(
+        out.divergences.is_empty(),
+        "1.5 + 250.0 commutes bitwise: {:?}",
+        out.divergences
+    );
+    assert!(!out.capped);
+}
+
+/// The pre-fix shape of `fold_bits`: read-modify-write as a Relaxed
+/// load plus a Relaxed blind store. No edge, no atomicity — the
+/// verifier must flag the conflicting access (this is what R0101
+/// renders as in a full report).
+fn blind_store_protocol() -> ProtocolRun {
+    let cell = Arc::new(AtomicU64::new(0.0f64.to_bits()));
+    let mk = |name: &str, v: f64, cell: &Arc<AtomicU64>| {
+        let cell = Arc::clone(cell);
+        Step::new(name).run(move || {
+            let cur = f64::from_bits(cell.load(Ordering::Relaxed));
+            cell.store((cur + v).to_bits(), Ordering::Relaxed);
+        })
+    };
+    let tasks = vec![
+        vec![mk("t0/fold", 1.0, &cell)],
+        vec![mk("t1/fold", 2.0, &cell)],
+    ];
+    let outcome_cell = cell;
+    ProtocolRun {
+        tasks,
+        outcome: Box::new(move || {
+            vec![OutcomeSlot {
+                label: "cell".to_string(),
+                bits: outcome_cell.load(Ordering::Relaxed),
+                code: DivergenceCode::FloatFold,
+            }]
+        }),
+    }
+}
+
+#[test]
+fn blind_store_fold_is_caught() {
+    let out = explore_exhaustive(&blind_store_protocol, 100_000);
+    assert!(
+        out.races
+            .iter()
+            .any(|r| r.kind == RaceKind::ConflictingAccess),
+        "Relaxed load+store fold must be flagged, got {:?}",
+        out.races
+    );
+}

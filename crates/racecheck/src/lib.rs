@@ -1,0 +1,48 @@
+//! entitlement-racecheck: a deterministic concurrency verifier for the
+//! fleet/KV enforcement runtime.
+//!
+//! The paper's enforcement story (§6) only holds if the parallel
+//! runtime — shard partials batch-published to the KV store, folded by
+//! the driver, broadcast to metering agents — is schedule-independent:
+//! every interleaving must produce the same f64 bits the deterministic
+//! engine produces. This crate verifies that, statically-ish, with
+//! three pieces:
+//!
+//! - [`session`]: vector-clock happens-before tracking. Every tracked
+//!   access is checked against prior conflicting accesses; unordered
+//!   conflicts are `R0101` races. Locks get order/deadlock checks
+//!   (`R0104`).
+//! - [`sync`]: instrumented shims over the runtime's primitives
+//!   (atomics, `parking_lot`-style mutexes, tokio `watch` channels).
+//!   Feature `instrument` turns recording on; without it every shim is
+//!   a re-export/type alias of the real primitive — zero cost, so
+//!   production builds are untouched.
+//! - [`sched`]: a controlled scheduler replaying protocol models under
+//!   seeded-random and bounded-exhaustive (sleep-set pruned, DPOR-style)
+//!   interleavings, asserting bit-exact outcome equality against the
+//!   canonical schedule on every run (`R0102`/`R0103` on divergence).
+//!
+//! Findings render through the `analyzer` diagnostics model
+//! ([`report`]), so `R0101`–`R0104` behave exactly like the `E`-code
+//! families: stable codes, text and JSON renderers, CI-greppable.
+//!
+//! The fleet protocol harness itself lives in
+//! `entitlement-enforcement` (`enforcement::verify`), which builds its
+//! model against the *real* shard fold, KV store, and meter functions;
+//! this crate only provides the verification substrate.
+
+#![forbid(unsafe_code)]
+
+pub mod report;
+pub mod sched;
+pub mod session;
+pub mod sync;
+pub mod vclock;
+
+pub use report::VerifyOutcome;
+pub use sched::{
+    explore_exhaustive, explore_random, fnv1a_bits, DivergenceCode, Exploration, OutcomeSlot,
+    ProtocolRun, Step,
+};
+pub use session::{AccessMode, Race, RaceKind, Session};
+pub use vclock::VClock;

@@ -1,0 +1,136 @@
+//! Render an [`Exploration`] through the `analyzer` diagnostics model,
+//! so racecheck findings carry the same stable codes, severities, and
+//! text/JSON shapes as every other verifier in the workspace.
+//!
+//! Mapping: session races → `R0101` (conflicting access) / `R0104`
+//! (lock-order inversion or deadlock); outcome divergences → `R0102`
+//! (order-sensitive float fold) or `R0103` (protocol schedule
+//! divergence), per the slot's declared [`DivergenceCode`].
+
+use crate::sched::{DivergenceCode, Exploration};
+use crate::session::RaceKind;
+use entitlement_analyzer::{Code, Diagnostic, Location, Report};
+
+/// A completed verification run: exploration statistics plus the
+/// findings as an analyzer [`Report`].
+#[derive(Debug)]
+pub struct VerifyOutcome {
+    /// Complete schedules executed.
+    pub schedules: usize,
+    /// Subtrees skipped by sleep-set pruning.
+    pub pruned: u64,
+    /// True if the schedule cap stopped an exhaustive search early.
+    pub capped: bool,
+    /// All findings, rendered with stable R-codes.
+    pub report: Report,
+}
+
+impl VerifyOutcome {
+    /// Build from a finished exploration.
+    pub fn from_exploration(x: &Exploration) -> VerifyOutcome {
+        let mut report = Report::default();
+        for race in &x.races {
+            let code = match race.kind {
+                RaceKind::ConflictingAccess => Code::R0101,
+                RaceKind::LockOrderInversion | RaceKind::Deadlock => Code::R0104,
+            };
+            report.diagnostics.push(Diagnostic::new(
+                code,
+                Location::root(&race.location),
+                race.message.clone(),
+            ));
+        }
+        for d in &x.divergences {
+            let code = match d.code {
+                DivergenceCode::FloatFold => Code::R0102,
+                DivergenceCode::ScheduleDivergence => Code::R0103,
+            };
+            let schedule: Vec<String> = d.schedule.iter().map(ToString::to_string).collect();
+            report.diagnostics.push(Diagnostic::new(
+                code,
+                Location::root(&d.slot),
+                format!(
+                    "schedule [{}] produced bits {:#018x}, deterministic reference {:#018x}",
+                    schedule.join(","),
+                    d.observed_bits,
+                    d.reference_bits
+                ),
+            ));
+        }
+        VerifyOutcome {
+            schedules: x.schedules,
+            pruned: x.pruned,
+            capped: x.capped,
+            report,
+        }
+    }
+
+    /// True when no finding fired.
+    pub fn clean(&self) -> bool {
+        self.report.diagnostics.is_empty()
+    }
+
+    /// One-line exploration summary (schedules, pruning, findings).
+    pub fn summary(&self) -> String {
+        format!(
+            "explored {} schedule(s), pruned {} subtree(s){}; {} finding(s)",
+            self.schedules,
+            self.pruned,
+            if self.capped { " [capped]" } else { "" },
+            self.report.diagnostics.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sched::{explore_exhaustive, DivergenceCode, OutcomeSlot, ProtocolRun, Step};
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    fn racy() -> ProtocolRun {
+        let cell = Rc::new(RefCell::new(0.0f64));
+        let tasks = (0..2)
+            .map(|i| {
+                let cell = Rc::clone(&cell);
+                vec![Step::new(format!("t{i}/add"))
+                    .reads("cell")
+                    .writes("cell")
+                    .run(move || *cell.borrow_mut() += 1.0)]
+            })
+            .collect();
+        let oc = Rc::clone(&cell);
+        ProtocolRun {
+            tasks,
+            outcome: Box::new(move || {
+                vec![OutcomeSlot {
+                    label: "cell".to_string(),
+                    bits: oc.borrow().to_bits(),
+                    code: DivergenceCode::ScheduleDivergence,
+                }]
+            }),
+        }
+    }
+
+    #[test]
+    fn races_map_to_r0101_with_stable_rendering() {
+        let out = VerifyOutcome::from_exploration(&explore_exhaustive(&racy, 100));
+        assert!(!out.clean());
+        let text = out.report.render_text();
+        assert!(text.contains("error[R0101] cell:"), "{text}");
+        assert!(out.report.render_json().contains("\"R0101\""));
+        assert!(out.summary().contains("finding(s)"), "{}", out.summary());
+    }
+
+    #[test]
+    fn clean_protocol_renders_clean() {
+        let mk = || ProtocolRun {
+            tasks: vec![vec![Step::new("only").writes("x")]],
+            outcome: Box::new(Vec::new),
+        };
+        let out = VerifyOutcome::from_exploration(&explore_exhaustive(&mk, 100));
+        assert!(out.clean());
+        assert!(!out.report.has_errors());
+    }
+}

@@ -1,0 +1,717 @@
+//! The controlled scheduler: replay a protocol of logical tasks under
+//! chosen interleavings and check every schedule's outcome and
+//! happens-before graph.
+//!
+//! A protocol is a fixed set of tasks, each a sequence of [`Step`]s. A
+//! step declares its sync behavior (`awaits`/`signals` over named
+//! events, `locks`/`unlocks`), its tracked memory footprint
+//! (`reads`/`writes` over named locations), and an action closure that
+//! performs the real work against shared state. Steps are the atomicity
+//! granularity: the scheduler interleaves *between* steps, never inside
+//! one.
+//!
+//! Because runs mutate real state, the explorer never rewinds — it
+//! rebuilds the protocol from a factory closure and replays a prefix
+//! for every schedule explored. On small configs (the 2–4 shard × 2–3
+//! worker protocols this crate targets) that is microseconds per
+//! schedule.
+//!
+//! Exhaustive mode is a DFS over the schedule tree with sleep-set
+//! pruning (classic stateless model checking à la DPOR): after
+//! exploring task `t` from a node, siblings that are *independent* of
+//! `t` (disjoint footprints, no shared sync) are put to sleep for the
+//! subtree rooted at the next sibling, cutting commuting permutations
+//! without losing any distinguishable schedule.
+
+use crate::session::{Race, Session};
+use entitlement_core::DetRng;
+use std::collections::BTreeSet;
+
+/// Which diagnostic a diverging outcome slot maps to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DivergenceCode {
+    /// R0102: the slot is an order-sensitive float fold.
+    FloatFold,
+    /// R0103: the slot is a protocol outcome that must match the
+    /// deterministic reference on every schedule.
+    ScheduleDivergence,
+}
+
+/// One named f64-bit (or hash) outcome of a completed run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct OutcomeSlot {
+    /// Stable slot name, e.g. `fold/total`.
+    pub label: String,
+    /// Exact bits (f64 `to_bits` or a hash of a vector of them).
+    pub bits: u64,
+    /// Which code fires if this slot diverges across schedules.
+    pub code: DivergenceCode,
+}
+
+/// One step of one task. Built with the chainable constructors:
+///
+/// ```
+/// # use entitlement_racecheck::sched::Step;
+/// let step = Step::new("c0/publish/s1")
+///     .reads("partial/s1")
+///     .writes("kv/s1")
+///     .signals("c0/pub/s1")
+///     .run(|| { /* publish the partial */ });
+/// ```
+pub struct Step {
+    /// Display label, also used as the access label in race reports.
+    pub label: String,
+    /// Events that must have been signaled before this step is enabled.
+    pub awaits: Vec<String>,
+    /// Events signaled (with a release edge) after the step runs.
+    pub signals: Vec<String>,
+    /// Locks acquired before the action.
+    pub locks: Vec<String>,
+    /// Locks released after the action.
+    pub unlocks: Vec<String>,
+    /// Tracked locations read.
+    pub reads: Vec<String>,
+    /// Tracked locations written.
+    pub writes: Vec<String>,
+    action: Option<Box<dyn FnMut()>>,
+}
+
+impl Step {
+    /// A step with the given label and empty footprint.
+    pub fn new(label: impl Into<String>) -> Step {
+        Step {
+            label: label.into(),
+            awaits: Vec::new(),
+            signals: Vec::new(),
+            locks: Vec::new(),
+            unlocks: Vec::new(),
+            reads: Vec::new(),
+            writes: Vec::new(),
+            action: None,
+        }
+    }
+
+    /// Block until `event` has been signaled; acquire its edge.
+    pub fn awaits(mut self, event: impl Into<String>) -> Step {
+        self.awaits.push(event.into());
+        self
+    }
+
+    /// Signal `event` after running; release edge.
+    pub fn signals(mut self, event: impl Into<String>) -> Step {
+        self.signals.push(event.into());
+        self
+    }
+
+    /// Acquire `lock` for the duration of the step.
+    pub fn locks(mut self, lock: impl Into<String>) -> Step {
+        let name = lock.into();
+        self.locks.push(name.clone());
+        self.unlocks.push(name);
+        self
+    }
+
+    /// Declare a tracked read of `loc`.
+    pub fn reads(mut self, loc: impl Into<String>) -> Step {
+        self.reads.push(loc.into());
+        self
+    }
+
+    /// Declare a tracked write of `loc`.
+    pub fn writes(mut self, loc: impl Into<String>) -> Step {
+        self.writes.push(loc.into());
+        self
+    }
+
+    /// Attach the action closure.
+    pub fn run(mut self, f: impl FnMut() + 'static) -> Step {
+        self.action = Some(Box::new(f));
+        self
+    }
+
+    fn meta(&self) -> StepMeta {
+        StepMeta {
+            awaits: self.awaits.clone(),
+            signals: self.signals.clone(),
+            locks: self.locks.clone(),
+            unlocks: self.unlocks.clone(),
+            reads: self.reads.clone(),
+            writes: self.writes.clone(),
+        }
+    }
+}
+
+/// Step metadata without the action: what the explorer needs to decide
+/// independence.
+#[derive(Clone, Debug)]
+struct StepMeta {
+    awaits: Vec<String>,
+    signals: Vec<String>,
+    locks: Vec<String>,
+    unlocks: Vec<String>,
+    reads: Vec<String>,
+    writes: Vec<String>,
+}
+
+/// Two steps commute iff they touch disjoint tracked state: no
+/// write/any overlap, no signal/await-or-signal overlap, no shared
+/// lock. Conservative: anything shared counts as dependent.
+fn independent(a: &StepMeta, b: &StepMeta) -> bool {
+    let overlap = |xs: &[String], ys: &[String]| xs.iter().any(|x| ys.contains(x));
+    let a_rw: Vec<String> = a.reads.iter().chain(&a.writes).cloned().collect();
+    let b_rw: Vec<String> = b.reads.iter().chain(&b.writes).cloned().collect();
+    if overlap(&a.writes, &b_rw) || overlap(&b.writes, &a_rw) {
+        return false;
+    }
+    let a_sync: Vec<String> = a.awaits.iter().chain(&a.signals).cloned().collect();
+    let b_sync: Vec<String> = b.awaits.iter().chain(&b.signals).cloned().collect();
+    if overlap(&a.signals, &b_sync) || overlap(&b.signals, &a_sync) {
+        return false;
+    }
+    let a_locks: Vec<String> = a.locks.iter().chain(&a.unlocks).cloned().collect();
+    let b_locks: Vec<String> = b.locks.iter().chain(&b.unlocks).cloned().collect();
+    !overlap(&a_locks, &b_locks)
+}
+
+/// A buildable instance of the protocol: tasks plus the outcome probe
+/// run after the schedule completes.
+pub struct ProtocolRun {
+    /// One step sequence per logical task.
+    pub tasks: Vec<Vec<Step>>,
+    /// Reads the shared state into labeled outcome bits.
+    pub outcome: Box<dyn FnMut() -> Vec<OutcomeSlot>>,
+}
+
+/// The result of executing one complete schedule.
+#[derive(Clone, Debug)]
+pub struct RunResult {
+    /// Task ids in execution order.
+    pub schedule: Vec<usize>,
+    /// Outcome slots (empty if the schedule deadlocked).
+    pub outcome: Vec<OutcomeSlot>,
+    /// Races found by the session during this run.
+    pub races: Vec<Race>,
+    /// True if the run wedged before all tasks finished.
+    pub deadlocked: bool,
+}
+
+/// Snapshot of the scheduler frontier right after a replayed prefix.
+struct Node {
+    enabled: Vec<usize>,
+    meta: Vec<Option<StepMeta>>,
+}
+
+enum Tail<'a> {
+    /// Stop at the end of the prefix (DFS interior/leaf probe).
+    Stop,
+    /// After the prefix, always run the lowest-numbered enabled task
+    /// (the canonical reference schedule).
+    Canonical,
+    /// After the prefix, pick uniformly with the given rng.
+    Random(&'a mut DetRng),
+}
+
+/// Execute `run`, following `prefix` exactly, then continuing per
+/// `tail`. Returns the (possibly partial, for [`Tail::Stop`]) result
+/// plus the frontier at the end of the prefix.
+fn execute(mut run: ProtocolRun, prefix: &[usize], mut tail: Tail<'_>) -> (RunResult, Node) {
+    let n = run.tasks.len();
+    let session = Session::new(n);
+    let _guard = session.install();
+    let mut pcs = vec![0usize; n];
+    let mut signaled: BTreeSet<String> = BTreeSet::new();
+    let mut schedule = Vec::new();
+    let mut node: Option<Node> = None;
+    let mut deadlocked = false;
+    let mut complete = false;
+
+    loop {
+        let enabled: Vec<usize> = (0..n)
+            .filter(|&t| {
+                pcs[t] < run.tasks[t].len()
+                    && run.tasks[t][pcs[t]]
+                        .awaits
+                        .iter()
+                        .all(|a| signaled.contains(a))
+            })
+            .collect();
+
+        if schedule.len() == prefix.len() && node.is_none() {
+            node = Some(Node {
+                enabled: enabled.clone(),
+                meta: (0..n)
+                    .map(|t| run.tasks[t].get(pcs[t]).map(Step::meta))
+                    .collect(),
+            });
+            if matches!(tail, Tail::Stop) && !enabled.is_empty() {
+                break;
+            }
+        }
+
+        if enabled.is_empty() {
+            complete = pcs
+                .iter()
+                .zip(&run.tasks)
+                .all(|(pc, steps)| *pc == steps.len());
+            if !complete {
+                deadlocked = true;
+                let stuck: Vec<String> = (0..n)
+                    .filter(|&t| pcs[t] < run.tasks[t].len())
+                    .map(|t| run.tasks[t][pcs[t]].label.clone())
+                    .collect();
+                session.report_deadlock(&format!(
+                    "no step enabled; blocked on {}",
+                    stuck.join(", ")
+                ));
+            }
+            break;
+        }
+
+        let t = if schedule.len() < prefix.len() {
+            let want = prefix[schedule.len()];
+            assert!(
+                enabled.contains(&want),
+                "schedule prefix replay diverged: task {want} not enabled"
+            );
+            want
+        } else {
+            match &mut tail {
+                Tail::Stop => unreachable!("handled above"),
+                Tail::Canonical => enabled[0],
+                Tail::Random(rng) => enabled[rng.usize(enabled.len())],
+            }
+        };
+
+        schedule.push(t);
+        let step = &mut run.tasks[t][pcs[t]];
+        session.begin_step(t);
+        for a in &step.awaits {
+            session.acquire(a);
+        }
+        for l in &step.locks {
+            session.lock(l);
+        }
+        for r in &step.reads {
+            session.access(r, crate::session::AccessMode::Read, &step.label);
+        }
+        if let Some(f) = step.action.as_mut() {
+            f();
+        }
+        for w in &step.writes {
+            session.access(w, crate::session::AccessMode::Write, &step.label);
+        }
+        for u in &step.unlocks {
+            session.unlock(u);
+        }
+        for sg in &step.signals {
+            session.release(sg);
+            signaled.insert(sg.clone());
+        }
+        pcs[t] += 1;
+    }
+
+    let outcome = if complete { (run.outcome)() } else { Vec::new() };
+    let result = RunResult {
+        schedule,
+        outcome,
+        races: session.races(),
+        deadlocked,
+    };
+    let node = node.unwrap_or(Node {
+        enabled: Vec::new(),
+        meta: Vec::new(),
+    });
+    (result, node)
+}
+
+/// One outcome slot that differed from the reference schedule.
+#[derive(Clone, Debug)]
+pub struct Divergence {
+    /// The slot label.
+    pub slot: String,
+    /// Which code this divergence maps to.
+    pub code: DivergenceCode,
+    /// Bits the canonical reference schedule produced.
+    pub reference_bits: u64,
+    /// Bits the diverging schedule produced.
+    pub observed_bits: u64,
+    /// The diverging schedule (task ids in order).
+    pub schedule: Vec<usize>,
+}
+
+/// Everything an exploration found.
+#[derive(Debug)]
+pub struct Exploration {
+    /// Complete schedules executed.
+    pub schedules: usize,
+    /// Subtrees skipped by sleep-set pruning.
+    pub pruned: u64,
+    /// True if the schedule cap stopped the search early.
+    pub capped: bool,
+    /// Outcome of the canonical (lowest-enabled-first) schedule.
+    pub reference: Vec<OutcomeSlot>,
+    /// Deduplicated races across all schedules.
+    pub races: Vec<Race>,
+    /// Deduplicated outcome divergences across all schedules.
+    pub divergences: Vec<Divergence>,
+}
+
+struct Accumulator {
+    schedules: usize,
+    pruned: u64,
+    capped: bool,
+    max_schedules: usize,
+    reference: Vec<OutcomeSlot>,
+    races: Vec<Race>,
+    race_keys: BTreeSet<String>,
+    divergences: Vec<Divergence>,
+    divergence_keys: BTreeSet<String>,
+}
+
+impl Accumulator {
+    fn absorb(&mut self, result: &RunResult) {
+        self.schedules += 1;
+        for race in &result.races {
+            let key = format!("{:?}|{}|{}", race.kind, race.location, race.message);
+            if self.race_keys.insert(key) {
+                self.races.push(race.clone());
+            }
+        }
+        if result.deadlocked {
+            return;
+        }
+        assert_eq!(
+            result.outcome.len(),
+            self.reference.len(),
+            "outcome slot count must be schedule-independent"
+        );
+        for (slot, reference) in result.outcome.iter().zip(&self.reference) {
+            if slot.bits != reference.bits {
+                let key = format!("{}|{:x}", slot.label, slot.bits);
+                if self.divergence_keys.insert(key) {
+                    self.divergences.push(Divergence {
+                        slot: slot.label.clone(),
+                        code: slot.code,
+                        reference_bits: reference.bits,
+                        observed_bits: slot.bits,
+                        schedule: result.schedule.clone(),
+                    });
+                }
+            }
+        }
+    }
+
+    fn finish(self) -> Exploration {
+        Exploration {
+            schedules: self.schedules,
+            pruned: self.pruned,
+            capped: self.capped,
+            reference: self.reference,
+            races: self.races,
+            divergences: self.divergences,
+        }
+    }
+}
+
+fn new_accumulator<F>(factory: &F, max_schedules: usize) -> Accumulator
+where
+    F: Fn() -> ProtocolRun,
+{
+    let (reference, _) = execute(factory(), &[], Tail::Canonical);
+    let mut acc = Accumulator {
+        schedules: 0,
+        pruned: 0,
+        capped: false,
+        max_schedules,
+        reference: reference.outcome.clone(),
+        races: Vec::new(),
+        race_keys: BTreeSet::new(),
+        divergences: Vec::new(),
+        divergence_keys: BTreeSet::new(),
+    };
+    acc.absorb(&reference);
+    acc
+}
+
+/// Bounded-exhaustive exploration with sleep-set pruning. Explores
+/// every schedule up to `max_schedules` complete runs (sets `capped`
+/// if the bound was hit).
+pub fn explore_exhaustive<F>(factory: &F, max_schedules: usize) -> Exploration
+where
+    F: Fn() -> ProtocolRun,
+{
+    let mut acc = new_accumulator(factory, max_schedules);
+    // The canonical reference already counted one schedule; the DFS
+    // will re-reach the canonical leaf, so reset the counter.
+    acc.schedules = 0;
+    let mut prefix = Vec::new();
+    dfs(factory, &mut prefix, &BTreeSet::new(), &mut acc);
+    acc.finish()
+}
+
+fn dfs<F>(factory: &F, prefix: &mut Vec<usize>, sleep: &BTreeSet<usize>, acc: &mut Accumulator)
+where
+    F: Fn() -> ProtocolRun,
+{
+    if acc.schedules >= acc.max_schedules {
+        acc.capped = true;
+        return;
+    }
+    let (result, node) = execute(factory(), prefix, Tail::Stop);
+    if node.enabled.is_empty() {
+        // The prefix is a complete (or deadlocked) schedule.
+        acc.absorb(&result);
+        return;
+    }
+    let mut explored: Vec<usize> = Vec::new();
+    for &t in &node.enabled {
+        if sleep.contains(&t) {
+            acc.pruned += 1;
+            continue;
+        }
+        let t_meta = node.meta[t].as_ref().expect("enabled task has a next step");
+        let child_sleep: BTreeSet<usize> = sleep
+            .iter()
+            .chain(&explored)
+            .copied()
+            .filter(|&u| {
+                node.meta[u]
+                    .as_ref()
+                    .is_some_and(|u_meta| independent(u_meta, t_meta))
+            })
+            .collect();
+        prefix.push(t);
+        dfs(factory, prefix, &child_sleep, acc);
+        prefix.pop();
+        explored.push(t);
+        if acc.capped {
+            return;
+        }
+    }
+}
+
+/// Seeded-random exploration: `count` schedules drawn with a
+/// [`DetRng`] forked per run from `seed` (plus the canonical
+/// reference, which is always schedule 0).
+pub fn explore_random<F>(factory: &F, seed: u64, count: usize) -> Exploration
+where
+    F: Fn() -> ProtocolRun,
+{
+    let mut acc = new_accumulator(factory, usize::MAX);
+    let mut root = DetRng::new(seed);
+    for i in 0..count {
+        let mut rng = root.fork(i as u64);
+        let (result, _) = execute(factory(), &[], Tail::Random(&mut rng));
+        acc.absorb(&result);
+    }
+    acc.finish()
+}
+
+/// Hash a sequence of f64 bit patterns into one outcome word (FNV-1a),
+/// for slots that summarize a vector (e.g. all hosts' conform rates).
+pub fn fnv1a_bits(values: impl IntoIterator<Item = u64>) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for v in values {
+        for byte in v.to_le_bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    hash
+}
+
+// Re-exported for harness builders.
+pub use crate::session::RaceKind;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    /// Two tasks each increment a shared cell without synchronization.
+    fn racy_counter() -> ProtocolRun {
+        let cell = Rc::new(RefCell::new(0u64));
+        let mk = |name: &str, cell: &Rc<RefCell<u64>>| {
+            let cell = Rc::clone(cell);
+            Step::new(name)
+                .reads("cell")
+                .writes("cell")
+                .run(move || *cell.borrow_mut() += 1)
+        };
+        let tasks = vec![vec![mk("t0/inc", &cell)], vec![mk("t1/inc", &cell)]];
+        let outcome_cell = Rc::clone(&cell);
+        ProtocolRun {
+            tasks,
+            outcome: Box::new(move || {
+                vec![OutcomeSlot {
+                    label: "cell".to_string(),
+                    bits: *outcome_cell.borrow(),
+                    code: DivergenceCode::ScheduleDivergence,
+                }]
+            }),
+        }
+    }
+
+    /// Same shape, but the second increment awaits the first's signal.
+    fn ordered_counter() -> ProtocolRun {
+        let cell = Rc::new(RefCell::new(0u64));
+        let c0 = Rc::clone(&cell);
+        let c1 = Rc::clone(&cell);
+        let tasks = vec![
+            vec![Step::new("t0/inc")
+                .reads("cell")
+                .writes("cell")
+                .signals("done0")
+                .run(move || *c0.borrow_mut() += 1)],
+            vec![Step::new("t1/inc")
+                .awaits("done0")
+                .reads("cell")
+                .writes("cell")
+                .run(move || *c1.borrow_mut() += 1)],
+        ];
+        let outcome_cell = Rc::clone(&cell);
+        ProtocolRun {
+            tasks,
+            outcome: Box::new(move || {
+                vec![OutcomeSlot {
+                    label: "cell".to_string(),
+                    bits: *outcome_cell.borrow(),
+                    code: DivergenceCode::ScheduleDivergence,
+                }]
+            }),
+        }
+    }
+
+    /// An order-sensitive f64 fold: each task adds its value to an
+    /// accumulator in arrival order; catastrophic cancellation makes
+    /// the bit pattern schedule-dependent.
+    fn arrival_order_fold() -> ProtocolRun {
+        let acc = Rc::new(RefCell::new(0.0f64));
+        let values = [1e16, 1.0, -1e16];
+        let tasks: Vec<Vec<Step>> = values
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| {
+                let acc = Rc::clone(&acc);
+                vec![Step::new(format!("t{i}/add"))
+                    .reads("acc")
+                    .writes("acc")
+                    .run(move || *acc.borrow_mut() += v)]
+            })
+            .collect();
+        let outcome_acc = Rc::clone(&acc);
+        ProtocolRun {
+            tasks,
+            outcome: Box::new(move || {
+                vec![OutcomeSlot {
+                    label: "acc".to_string(),
+                    bits: outcome_acc.borrow().to_bits(),
+                    code: DivergenceCode::FloatFold,
+                }]
+            }),
+        }
+    }
+
+    #[test]
+    fn exhaustive_finds_the_unsynchronized_race() {
+        let out = explore_exhaustive(&racy_counter, 1_000);
+        assert!(
+            out.races
+                .iter()
+                .any(|r| r.kind == RaceKind::ConflictingAccess),
+            "{out:?}"
+        );
+        // Both increments still land (the actions are real), so the
+        // outcome itself does not diverge here.
+        assert!(out.divergences.is_empty());
+        assert_eq!(out.schedules, 2);
+    }
+
+    #[test]
+    fn exhaustive_passes_the_ordered_protocol() {
+        let out = explore_exhaustive(&ordered_counter, 1_000);
+        assert!(out.races.is_empty(), "{:?}", out.races);
+        assert!(out.divergences.is_empty());
+        assert_eq!(out.schedules, 1, "await collapses the tree");
+    }
+
+    #[test]
+    fn float_fold_divergence_fires_r0102_slot() {
+        let out = explore_exhaustive(&arrival_order_fold, 1_000);
+        assert!(
+            !out.divergences.is_empty(),
+            "1e16 + 1 - 1e16 must be order-sensitive"
+        );
+        assert!(out
+            .divergences
+            .iter()
+            .all(|d| d.code == DivergenceCode::FloatFold));
+        // 3 unordered single-step tasks: 3! = 6 schedules, some pruned
+        // only if independent (they all conflict on `acc`, so none are).
+        assert_eq!(out.schedules, 6);
+        assert_eq!(out.pruned, 0);
+    }
+
+    #[test]
+    fn sleep_sets_prune_independent_interleavings() {
+        // Two tasks touching disjoint cells: both orders commute, so
+        // sleep sets cut the second order.
+        let mk = || {
+            let tasks = vec![
+                vec![Step::new("t0").writes("a")],
+                vec![Step::new("t1").writes("b")],
+            ];
+            ProtocolRun {
+                tasks,
+                outcome: Box::new(Vec::new),
+            }
+        };
+        let out = explore_exhaustive(&mk, 1_000);
+        assert!(out.races.is_empty());
+        assert_eq!(out.schedules, 1, "commuting pair explored once");
+        assert!(out.pruned >= 1);
+    }
+
+    #[test]
+    fn deadlock_is_reported_not_hung() {
+        let mk = || {
+            let tasks = vec![
+                vec![Step::new("t0/wait").awaits("never")],
+                vec![Step::new("t1/fine")],
+            ];
+            ProtocolRun {
+                tasks,
+                outcome: Box::new(Vec::new),
+            }
+        };
+        let out = explore_exhaustive(&mk, 1_000);
+        assert!(
+            out.races.iter().any(|r| r.kind == RaceKind::Deadlock),
+            "{out:?}"
+        );
+    }
+
+    #[test]
+    fn random_exploration_is_seed_deterministic() {
+        let a = explore_random(&arrival_order_fold, 42, 32);
+        let b = explore_random(&arrival_order_fold, 42, 32);
+        assert_eq!(a.schedules, b.schedules);
+        assert_eq!(a.divergences.len(), b.divergences.len());
+        assert!(!a.divergences.is_empty());
+    }
+
+    #[test]
+    fn schedule_cap_reports_capped() {
+        let out = explore_exhaustive(&arrival_order_fold, 2);
+        assert!(out.capped);
+        assert!(out.schedules <= 2);
+    }
+
+    #[test]
+    fn fnv_hash_distinguishes_orders() {
+        let a = fnv1a_bits([1u64, 2, 3]);
+        let b = fnv1a_bits([3u64, 2, 1]);
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,440 @@
+//! A racecheck session: the happens-before state for one scheduled run.
+//!
+//! The scheduler drives a set of logical tasks; each task carries a
+//! [`VClock`]. Sync objects (channels, locks, atomics used with
+//! acquire/release orderings) carry a release clock; acquiring joins it
+//! into the running task's clock. Every tracked memory access is
+//! checked against the last conflicting accesses on the same location:
+//! a conflicting pair not ordered by happens-before — where at least
+//! one side is unsynchronized — is an `R0101` race.
+//!
+//! Atomic accesses with `Ordering::Relaxed` are deliberately treated as
+//! *unsynchronized*: they are atomic at the ISA level but establish no
+//! happens-before edge, which is exactly the bug class the X0202 lint
+//! and the obs accumulator audit target (a Relaxed read-modify-write
+//! can't order the data it guards). `Acquire`/`Release`/`AcqRel`/
+//! `SeqCst` accesses are recorded as synchronized and create edges.
+//!
+//! The session is shared behind an `Rc` so the instrumented sync shims
+//! (see [`crate::sync`]) can report into it via a thread-local handle
+//! while the scheduler owns the run. This thread-local is the one
+//! deliberate exception to the workspace "no globals" rule: it scopes
+//! strictly to a verification run on the verifying thread and is never
+//! consulted by production code paths.
+
+use crate::vclock::VClock;
+use std::cell::RefCell;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+use std::rc::Rc;
+
+/// What kind of concurrency defect a [`Race`] reports.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RaceKind {
+    /// Two conflicting accesses unordered by happens-before (R0101).
+    ConflictingAccess,
+    /// Two locks acquired in opposite orders on different tasks (R0104).
+    LockOrderInversion,
+    /// A schedule wedged: unfinished tasks, none enabled (R0104).
+    Deadlock,
+}
+
+/// One finding from a session, pre-rendering: the scheduler maps these
+/// onto `analyzer` diagnostics in [`crate::report`].
+#[derive(Clone, Debug)]
+pub struct Race {
+    /// Defect class.
+    pub kind: RaceKind,
+    /// The location (memory cell, lock pair, or protocol point).
+    pub location: String,
+    /// Human-readable description naming both sides.
+    pub message: String,
+}
+
+/// How an access interacts with the happens-before graph.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AccessMode {
+    /// Plain read: conflicts with writes.
+    Read,
+    /// Plain write: conflicts with everything.
+    Write,
+}
+
+#[derive(Clone, Debug)]
+struct Access {
+    task: usize,
+    clock: VClock,
+    label: String,
+    /// True when the access itself carries acquire/release semantics;
+    /// two synchronized accesses never race even if unordered.
+    synced: bool,
+}
+
+#[derive(Default)]
+struct LocState {
+    last_write: Option<Access>,
+    /// Most recent read per task since the last write.
+    reads: Vec<Access>,
+}
+
+struct State {
+    tasks: usize,
+    clocks: Vec<VClock>,
+    current: usize,
+    /// Release clock per sync object id.
+    sync_vc: BTreeMap<String, VClock>,
+    locs: BTreeMap<String, LocState>,
+    /// Locks currently held, per task, in acquisition order.
+    held: Vec<Vec<String>>,
+    /// Observed lock-order edges `a → b`: `b` was acquired while `a`
+    /// was held.
+    lock_edges: BTreeMap<String, BTreeSet<String>>,
+    races: Vec<Race>,
+    race_keys: BTreeSet<String>,
+    next_sync_id: u64,
+}
+
+/// Shared handle to one run's happens-before state.
+#[derive(Clone)]
+pub struct Session {
+    state: Rc<RefCell<State>>,
+}
+
+thread_local! {
+    static ACTIVE: RefCell<Option<Session>> = const { RefCell::new(None) };
+}
+
+/// Run `f` against the active session, if one is installed on this
+/// thread. The instrumented shims call this on every operation; outside
+/// a verification run it is a no-op returning `None`.
+pub fn with_active<T>(f: impl FnOnce(&Session) -> T) -> Option<T> {
+    ACTIVE.with(|slot| slot.borrow().as_ref().map(f))
+}
+
+/// RAII guard that uninstalls the thread-local session on drop, so a
+/// panicking schedule can't leak state into the next run.
+pub struct ActiveGuard {
+    _private: (),
+}
+
+impl Drop for ActiveGuard {
+    fn drop(&mut self) {
+        ACTIVE.with(|slot| slot.borrow_mut().take());
+    }
+}
+
+impl Session {
+    /// A fresh session over `tasks` logical tasks.
+    pub fn new(tasks: usize) -> Session {
+        Session {
+            state: Rc::new(RefCell::new(State {
+                tasks,
+                clocks: (0..tasks).map(|_| VClock::new(tasks)).collect(),
+                current: 0,
+                sync_vc: BTreeMap::new(),
+                locs: BTreeMap::new(),
+                held: vec![Vec::new(); tasks],
+                lock_edges: BTreeMap::new(),
+                races: Vec::new(),
+                race_keys: BTreeSet::new(),
+                next_sync_id: 0,
+            })),
+        }
+    }
+
+    /// Install this session as the thread's active one so shims report
+    /// into it. The returned guard uninstalls on drop.
+    pub fn install(&self) -> ActiveGuard {
+        ACTIVE.with(|slot| *slot.borrow_mut() = Some(self.clone()));
+        ActiveGuard { _private: () }
+    }
+
+    /// Number of tasks.
+    pub fn tasks(&self) -> usize {
+        self.state.borrow().tasks
+    }
+
+    /// Mark `task` as the one executing: its clock ticks (a new local
+    /// event) and subsequent accesses/edges attribute to it.
+    pub fn begin_step(&self, task: usize) {
+        let mut s = self.state.borrow_mut();
+        s.current = task;
+        s.clocks[task].tick(task);
+    }
+
+    /// Allocate a process-unique id for a dynamically created sync
+    /// object (channel, lock) so instrumented wrappers can name it.
+    pub fn fresh_sync_id(&self) -> u64 {
+        let mut s = self.state.borrow_mut();
+        s.next_sync_id += 1;
+        s.next_sync_id
+    }
+
+    /// Acquire edge: join the sync object's release clock into the
+    /// current task's clock.
+    pub fn acquire(&self, sync: &str) {
+        let mut s = self.state.borrow_mut();
+        let cur = s.current;
+        if let Some(vc) = s.sync_vc.get(sync).cloned() {
+            s.clocks[cur].join(&vc);
+        }
+    }
+
+    /// Release edge: publish the current task's clock into the sync
+    /// object (joining, so multiple releasers accumulate).
+    pub fn release(&self, sync: &str) {
+        let mut s = self.state.borrow_mut();
+        let cur = s.current;
+        let clock = s.clocks[cur].clone();
+        s.sync_vc
+            .entry(sync.to_string())
+            .and_modify(|vc| vc.join(&clock))
+            .or_insert(clock);
+    }
+
+    /// Record an unsynchronized access (plain memory semantics).
+    pub fn access(&self, loc: &str, mode: AccessMode, label: &str) {
+        self.access_inner(loc, mode, label, false);
+    }
+
+    /// Record an access that itself synchronizes (acquire/release
+    /// atomics, channel internals): still conflict-checked against
+    /// unsynchronized accesses, but two synced accesses never race.
+    pub fn access_synced(&self, loc: &str, mode: AccessMode, label: &str) {
+        self.access_inner(loc, mode, label, true);
+    }
+
+    fn access_inner(&self, loc: &str, mode: AccessMode, label: &str, synced: bool) {
+        let mut s = self.state.borrow_mut();
+        let cur = s.current;
+        let clock = s.clocks[cur].clone();
+        let access = Access {
+            task: cur,
+            clock,
+            label: label.to_string(),
+            synced,
+        };
+
+        // Collect race pairs first, then mutate, to keep the borrow
+        // checker happy about `s`.
+        let mut pairs: Vec<(String, String)> = Vec::new();
+        {
+            let st = s.locs.entry(loc.to_string()).or_default();
+            if let Some(w) = &st.last_write {
+                if conflicts(w, &access) {
+                    pairs.push((w.label.clone(), access.label.clone()));
+                }
+            }
+            if mode == AccessMode::Write {
+                for r in &st.reads {
+                    if conflicts(r, &access) {
+                        pairs.push((r.label.clone(), access.label.clone()));
+                    }
+                }
+                st.last_write = Some(access);
+                st.reads.clear();
+            } else {
+                st.reads.retain(|r| r.task != cur);
+                st.reads.push(access);
+            }
+        }
+        for (a, b) in pairs {
+            push_race(
+                &mut s,
+                RaceKind::ConflictingAccess,
+                loc,
+                &format!("unsynchronized conflicting access on `{loc}`: `{a}` vs `{b}` (no happens-before edge)"),
+            );
+        }
+    }
+
+    /// Record a lock acquisition: acquire edge plus lock-order
+    /// bookkeeping. Acquiring `b` while holding `a` after some task
+    /// acquired `a` while holding `b` is an R0104 inversion.
+    pub fn lock(&self, lock_id: &str) {
+        self.acquire(lock_id);
+        let mut s = self.state.borrow_mut();
+        let cur = s.current;
+        let held = s.held[cur].clone();
+        for h in &held {
+            let inverted = s
+                .lock_edges
+                .get(lock_id)
+                .is_some_and(|outs| outs.contains(h));
+            if inverted {
+                push_race(
+                    &mut s,
+                    RaceKind::LockOrderInversion,
+                    lock_id,
+                    &format!("lock-order inversion: `{h}` → `{lock_id}` here, `{lock_id}` → `{h}` elsewhere"),
+                );
+            }
+            s.lock_edges
+                .entry(h.clone())
+                .or_default()
+                .insert(lock_id.to_string());
+        }
+        s.held[cur].push(lock_id.to_string());
+    }
+
+    /// Record a lock release: release edge, drop from the held stack.
+    pub fn unlock(&self, lock_id: &str) {
+        self.release(lock_id);
+        let mut s = self.state.borrow_mut();
+        let cur = s.current;
+        if let Some(pos) = s.held[cur].iter().rposition(|h| h == lock_id) {
+            s.held[cur].remove(pos);
+        }
+    }
+
+    /// Record a wedged schedule (the scheduler found unfinished tasks
+    /// with nothing enabled).
+    pub fn report_deadlock(&self, detail: &str) {
+        let mut s = self.state.borrow_mut();
+        push_race(
+            &mut s,
+            RaceKind::Deadlock,
+            "schedule",
+            &format!("deadlocked schedule: {detail}"),
+        );
+    }
+
+    /// All findings so far, in discovery order.
+    pub fn races(&self) -> Vec<Race> {
+        self.state.borrow().races.clone()
+    }
+}
+
+fn conflicts(prev: &Access, next: &Access) -> bool {
+    prev.task != next.task
+        && !(prev.synced && next.synced)
+        && !prev.clock.le(&next.clock)
+}
+
+fn push_race(s: &mut State, kind: RaceKind, location: &str, message: &str) {
+    let key = format!("{kind:?}|{location}|{message}");
+    if s.race_keys.insert(key) {
+        s.races.push(Race {
+            kind,
+            location: location.to_string(),
+            message: message.to_string(),
+        });
+    }
+}
+
+impl fmt::Debug for Session {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = self.state.borrow();
+        f.debug_struct("Session")
+            .field("tasks", &s.tasks)
+            .field("races", &s.races.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unordered_write_write_is_a_race() {
+        let s = Session::new(2);
+        s.begin_step(0);
+        s.access("x", AccessMode::Write, "t0/store");
+        s.begin_step(1);
+        s.access("x", AccessMode::Write, "t1/store");
+        let races = s.races();
+        assert_eq!(races.len(), 1);
+        assert_eq!(races[0].kind, RaceKind::ConflictingAccess);
+        assert!(races[0].message.contains("t0/store"));
+    }
+
+    #[test]
+    fn release_acquire_orders_the_pair() {
+        let s = Session::new(2);
+        s.begin_step(0);
+        s.access("x", AccessMode::Write, "t0/store");
+        s.release("chan");
+        s.begin_step(1);
+        s.acquire("chan");
+        s.access("x", AccessMode::Read, "t1/load");
+        assert!(s.races().is_empty());
+    }
+
+    #[test]
+    fn read_read_never_races() {
+        let s = Session::new(2);
+        s.begin_step(0);
+        s.access("x", AccessMode::Read, "t0/load");
+        s.begin_step(1);
+        s.access("x", AccessMode::Read, "t1/load");
+        assert!(s.races().is_empty());
+    }
+
+    #[test]
+    fn synced_pair_is_not_a_race_but_mixed_is() {
+        let s = Session::new(2);
+        s.begin_step(0);
+        s.access_synced("c", AccessMode::Write, "t0/release-store");
+        s.begin_step(1);
+        s.access_synced("c", AccessMode::Write, "t1/release-store");
+        assert!(s.races().is_empty(), "two synced accesses never race");
+        s.begin_step(0);
+        s.access("c", AccessMode::Write, "t0/relaxed-rmw");
+        assert_eq!(s.races().len(), 1, "relaxed side races the synced write");
+    }
+
+    #[test]
+    fn same_task_accesses_never_race() {
+        let s = Session::new(2);
+        s.begin_step(0);
+        s.access("x", AccessMode::Write, "a");
+        s.begin_step(0);
+        s.access("x", AccessMode::Write, "b");
+        assert!(s.races().is_empty());
+    }
+
+    #[test]
+    fn lock_order_inversion_detected() {
+        let s = Session::new(2);
+        s.begin_step(0);
+        s.lock("A");
+        s.lock("B"); // edge A → B
+        s.unlock("B");
+        s.unlock("A");
+        s.begin_step(1);
+        s.lock("B");
+        s.lock("A"); // edge B → A: inversion
+        let races = s.races();
+        assert_eq!(races.len(), 1);
+        assert_eq!(races[0].kind, RaceKind::LockOrderInversion);
+    }
+
+    #[test]
+    fn duplicate_findings_dedup() {
+        let s = Session::new(2);
+        s.begin_step(0);
+        s.access("x", AccessMode::Write, "w0");
+        s.begin_step(1);
+        s.access("x", AccessMode::Write, "w1");
+        s.begin_step(0);
+        s.access("x", AccessMode::Write, "w0");
+        // w1 vs w0 and w0 vs w1 render differently, but repeating the
+        // identical pair does not grow the list.
+        let n = s.races().len();
+        s.begin_step(1);
+        s.access("x", AccessMode::Write, "w1");
+        assert_eq!(s.races().len(), n);
+    }
+
+    #[test]
+    fn with_active_scopes_to_the_guard() {
+        assert!(with_active(|_| ()).is_none());
+        let s = Session::new(1);
+        {
+            let _guard = s.install();
+            assert!(with_active(Session::tasks).is_some());
+        }
+        assert!(with_active(|_| ()).is_none());
+    }
+}

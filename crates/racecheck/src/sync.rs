@@ -1,0 +1,393 @@
+//! Instrumented sync shims: drop-in replacements for the primitives
+//! the fleet/KV runtime synchronizes with.
+//!
+//! With the `instrument` feature **disabled** (the default) every name
+//! here is a plain re-export or type alias of the underlying
+//! std / `parking_lot` / `tokio` primitive — zero cost, zero behavior
+//! change, so production builds are byte-identical to builds that never
+//! heard of racecheck.
+//!
+//! With `instrument` **enabled**, each primitive is wrapped in a thin
+//! shim with the same method surface that reports into the active
+//! [`crate::session::Session`] (if any):
+//!
+//! - Atomics record an access per operation. `Relaxed` operations are
+//!   recorded *unsynchronized* — atomic at the ISA level but carrying
+//!   no happens-before edge — while `Acquire`/`Release`/`AcqRel`/
+//!   `SeqCst` operations create the matching vector-clock edges and
+//!   are recorded synchronized.
+//! - Mutexes record lock/unlock (release-acquire edges plus lock-order
+//!   bookkeeping for R0104).
+//! - `watch` channels record a release edge on `send` and an acquire
+//!   edge on `borrow`/`changed`.
+//!
+//! Outside an installed session every shim degrades to a pass-through.
+
+#[cfg(not(feature = "instrument"))]
+mod passthrough {
+    /// Atomic types: plain std re-exports when not instrumenting.
+    pub mod atomic {
+        pub use std::sync::atomic::{AtomicU64, Ordering};
+    }
+
+    /// `parking_lot`-style mutex (infallible `lock()`).
+    pub type Mutex<T> = parking_lot::Mutex<T>;
+    /// Guard returned by [`Mutex::lock`].
+    pub type MutexGuard<'a, T> = std::sync::MutexGuard<'a, T>;
+
+    /// Single-value broadcast channel: tokio's, untouched.
+    pub mod watch {
+        pub use tokio::sync::watch::{channel, Receiver, Ref, Sender};
+    }
+}
+
+#[cfg(not(feature = "instrument"))]
+pub use passthrough::*;
+
+#[cfg(feature = "instrument")]
+mod instrumented {
+    use crate::session::with_active;
+
+    fn acquires(order: std::sync::atomic::Ordering) -> bool {
+        use std::sync::atomic::Ordering as O;
+        matches!(order, O::Acquire | O::AcqRel | O::SeqCst)
+    }
+
+    fn releases(order: std::sync::atomic::Ordering) -> bool {
+        use std::sync::atomic::Ordering as O;
+        matches!(order, O::Release | O::AcqRel | O::SeqCst)
+    }
+
+    /// Instrumented atomics.
+    pub mod atomic {
+        use super::{acquires, releases};
+        use crate::session::{with_active, AccessMode};
+
+        pub use std::sync::atomic::Ordering;
+
+        /// Shim over [`std::sync::atomic::AtomicU64`] reporting every
+        /// operation to the active session.
+        #[derive(Debug, Default)]
+        pub struct AtomicU64 {
+            inner: std::sync::atomic::AtomicU64,
+        }
+
+        impl AtomicU64 {
+            /// Create with an initial value.
+            pub const fn new(v: u64) -> AtomicU64 {
+                AtomicU64 {
+                    inner: std::sync::atomic::AtomicU64::new(v),
+                }
+            }
+
+            fn loc(&self) -> String {
+                format!("atomic@{:x}", std::ptr::from_ref(self) as usize)
+            }
+
+            fn record(&self, mode: AccessMode, order: Ordering, op: &str) {
+                with_active(|s| {
+                    let loc = self.loc();
+                    if acquires(order) {
+                        s.acquire(&loc);
+                    }
+                    let label = format!("{op}({order:?})");
+                    if acquires(order) || releases(order) {
+                        s.access_synced(&loc, mode, &label);
+                    } else {
+                        s.access(&loc, mode, &label);
+                    }
+                    if releases(order) {
+                        s.release(&loc);
+                    }
+                });
+            }
+
+            /// Atomic load.
+            pub fn load(&self, order: Ordering) -> u64 {
+                self.record(AccessMode::Read, order, "load");
+                self.inner.load(order)
+            }
+
+            /// Atomic store.
+            pub fn store(&self, v: u64, order: Ordering) {
+                self.record(AccessMode::Write, order, "store");
+                self.inner.store(v, order);
+            }
+
+            /// Atomic add, returning the previous value.
+            pub fn fetch_add(&self, v: u64, order: Ordering) -> u64 {
+                self.record(AccessMode::Write, order, "fetch_add");
+                self.inner.fetch_add(v, order)
+            }
+
+            /// Compare-and-swap (weak, may spuriously fail).
+            pub fn compare_exchange_weak(
+                &self,
+                current: u64,
+                new: u64,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<u64, u64> {
+                self.record(AccessMode::Write, success, "compare_exchange_weak");
+                self.inner.compare_exchange_weak(current, new, success, failure)
+            }
+
+            /// Compare-and-swap (strong).
+            pub fn compare_exchange(
+                &self,
+                current: u64,
+                new: u64,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<u64, u64> {
+                self.record(AccessMode::Write, success, "compare_exchange");
+                self.inner.compare_exchange(current, new, success, failure)
+            }
+        }
+    }
+
+    /// Shim over [`parking_lot::Mutex`] recording lock/unlock edges.
+    #[derive(Debug, Default)]
+    pub struct Mutex<T> {
+        inner: parking_lot::Mutex<T>,
+    }
+
+    /// Guard that records the unlock (release edge) on drop.
+    pub struct MutexGuard<'a, T> {
+        inner: std::sync::MutexGuard<'a, T>,
+        id: String,
+    }
+
+    impl<T> Mutex<T> {
+        /// Create a mutex.
+        pub fn new(value: T) -> Mutex<T> {
+            Mutex {
+                inner: parking_lot::Mutex::new(value),
+            }
+        }
+
+        /// Lock (infallible, parking_lot semantics), recording the
+        /// acquire edge and lock-order bookkeeping.
+        pub fn lock(&self) -> MutexGuard<'_, T> {
+            let id = format!("mutex@{:x}", std::ptr::from_ref(self) as usize);
+            with_active(|s| s.lock(&id));
+            MutexGuard {
+                inner: self.inner.lock(),
+                id,
+            }
+        }
+
+        /// Consume, returning the inner value.
+        pub fn into_inner(self) -> T {
+            self.inner.into_inner()
+        }
+    }
+
+    impl<T> std::ops::Deref for MutexGuard<'_, T> {
+        type Target = T;
+
+        fn deref(&self) -> &T {
+            &self.inner
+        }
+    }
+
+    impl<T> std::ops::DerefMut for MutexGuard<'_, T> {
+        fn deref_mut(&mut self) -> &mut T {
+            &mut self.inner
+        }
+    }
+
+    impl<T> Drop for MutexGuard<'_, T> {
+        fn drop(&mut self) {
+            with_active(|s| s.unlock(&self.id));
+        }
+    }
+
+    /// Instrumented single-value broadcast channel.
+    pub mod watch {
+        use crate::session::{with_active, AccessMode};
+
+        pub use tokio::sync::watch::{Ref, RecvError, SendError};
+
+        static NEXT_CHANNEL: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+        /// Sending half; `send` records a release edge.
+        pub struct Sender<T> {
+            inner: tokio::sync::watch::Sender<T>,
+            id: String,
+        }
+
+        /// Receiving half; `borrow`/`changed` record acquire edges.
+        pub struct Receiver<T> {
+            inner: tokio::sync::watch::Receiver<T>,
+            id: String,
+        }
+
+        /// Create a channel seeded with `initial`.
+        pub fn channel<T>(initial: T) -> (Sender<T>, Receiver<T>) {
+            let n = NEXT_CHANNEL.fetch_add(1, std::sync::atomic::Ordering::AcqRel);
+            let id = format!("watch#{n}");
+            let (tx, rx) = tokio::sync::watch::channel(initial);
+            (
+                Sender {
+                    inner: tx,
+                    id: id.clone(),
+                },
+                Receiver { inner: rx, id },
+            )
+        }
+
+        impl<T> Sender<T> {
+            /// Publish a value, waking waiting receivers.
+            pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+                with_active(|s| {
+                    s.access_synced(&self.id, AccessMode::Write, "watch::send");
+                    s.release(&self.id);
+                });
+                self.inner.send(value)
+            }
+        }
+
+        impl<T> Clone for Receiver<T> {
+            fn clone(&self) -> Self {
+                Receiver {
+                    inner: self.inner.clone(),
+                    id: self.id.clone(),
+                }
+            }
+        }
+
+        impl<T> Receiver<T> {
+            /// Latest value (acquire edge: everything released by the
+            /// last `send` is now visible).
+            pub fn borrow(&self) -> Ref<'_, T> {
+                with_active(|s| {
+                    s.acquire(&self.id);
+                    s.access_synced(&self.id, AccessMode::Read, "watch::borrow");
+                });
+                self.inner.borrow()
+            }
+
+            /// Wait for a value newer than the last seen.
+            pub async fn changed(&mut self) -> Result<(), RecvError> {
+                let out = self.inner.changed().await;
+                with_active(|s| {
+                    s.acquire(&self.id);
+                    s.access_synced(&self.id, AccessMode::Read, "watch::changed");
+                });
+                out
+            }
+        }
+    }
+}
+
+#[cfg(feature = "instrument")]
+pub use instrumented::*;
+
+#[cfg(all(test, feature = "instrument"))]
+mod tests {
+    use super::atomic::{AtomicU64, Ordering};
+    use crate::session::{RaceKind, Session};
+
+    #[test]
+    fn relaxed_rmw_races_across_tasks() {
+        let s = Session::new(2);
+        let _guard = s.install();
+        let a = AtomicU64::new(0);
+        s.begin_step(0);
+        a.fetch_add(1, Ordering::Relaxed);
+        s.begin_step(1);
+        a.fetch_add(1, Ordering::Relaxed);
+        let races = s.races();
+        assert_eq!(races.len(), 1, "{races:?}");
+        assert_eq!(races[0].kind, RaceKind::ConflictingAccess);
+        assert_eq!(a.load(Ordering::Acquire), 2);
+    }
+
+    #[test]
+    fn acqrel_rmw_is_clean_across_tasks() {
+        let s = Session::new(2);
+        let _guard = s.install();
+        let a = AtomicU64::new(0);
+        s.begin_step(0);
+        a.fetch_add(1, Ordering::AcqRel);
+        s.begin_step(1);
+        a.fetch_add(1, Ordering::AcqRel);
+        assert!(s.races().is_empty(), "{:?}", s.races());
+    }
+
+    #[test]
+    fn acqrel_cas_loop_orders_a_dependent_read() {
+        // The obs `fold_bits` shape: task 0 CAS-publishes, task 1
+        // acquires by loading, then reads derived plain state.
+        let s = Session::new(2);
+        let _guard = s.install();
+        let a = AtomicU64::new(0);
+        s.begin_step(0);
+        s.access("derived", crate::session::AccessMode::Write, "t0/derived");
+        let cur = a.load(Ordering::Acquire);
+        a.compare_exchange_weak(cur, cur + 1, Ordering::AcqRel, Ordering::Acquire)
+            .expect("uncontended");
+        s.begin_step(1);
+        a.load(Ordering::Acquire);
+        s.access("derived", crate::session::AccessMode::Read, "t1/derived");
+        assert!(s.races().is_empty(), "{:?}", s.races());
+    }
+
+    #[test]
+    fn relaxed_cas_leaves_dependent_read_racy() {
+        let s = Session::new(2);
+        let _guard = s.install();
+        let a = AtomicU64::new(0);
+        s.begin_step(0);
+        s.access("derived", crate::session::AccessMode::Write, "t0/derived");
+        let cur = a.load(Ordering::Relaxed);
+        a.compare_exchange_weak(cur, cur + 1, Ordering::Relaxed, Ordering::Relaxed)
+            .expect("uncontended");
+        s.begin_step(1);
+        a.load(Ordering::Relaxed);
+        s.access("derived", crate::session::AccessMode::Read, "t1/derived");
+        let races = s.races();
+        assert!(
+            races.iter().any(|r| r.location == "derived"),
+            "expected the derived read to race: {races:?}"
+        );
+    }
+
+    #[test]
+    fn mutex_lock_creates_happens_before() {
+        use super::Mutex;
+        let s = Session::new(2);
+        let _guard = s.install();
+        let m = Mutex::new(0u64);
+        s.begin_step(0);
+        {
+            let mut g = m.lock();
+            *g += 1;
+            s.access("guarded", crate::session::AccessMode::Write, "t0/w");
+        }
+        s.begin_step(1);
+        {
+            let mut g = m.lock();
+            *g += 1;
+            s.access("guarded", crate::session::AccessMode::Write, "t1/w");
+        }
+        assert!(s.races().is_empty(), "{:?}", s.races());
+        assert_eq!(m.into_inner(), 2);
+    }
+
+    #[test]
+    fn watch_send_borrow_orders_the_payload() {
+        use super::watch;
+        let s = Session::new(2);
+        let _guard = s.install();
+        let (tx, rx) = watch::channel(0usize);
+        s.begin_step(0);
+        s.access("payload", crate::session::AccessMode::Write, "t0/w");
+        tx.send(1).expect("receiver alive");
+        s.begin_step(1);
+        assert_eq!(*rx.borrow(), 1);
+        s.access("payload", crate::session::AccessMode::Read, "t1/r");
+        assert!(s.races().is_empty(), "{:?}", s.races());
+    }
+}

@@ -1,0 +1,99 @@
+//! Vector clocks over a fixed, small task universe.
+//!
+//! The verifier schedules a handful of logical tasks (workers, the
+//! driver, meter chunks), so clocks are dense `Vec<u64>`s indexed by
+//! task id rather than sparse maps. `a.le(&b)` is the happens-before
+//! test: every event `a` has seen, `b` has seen too.
+
+/// A dense vector clock: `clock[t]` counts events task `t` has
+/// performed that this clock has observed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct VClock {
+    slots: Vec<u64>,
+}
+
+impl VClock {
+    /// The zero clock over `tasks` tasks.
+    pub fn new(tasks: usize) -> VClock {
+        VClock { slots: vec![0; tasks] }
+    }
+
+    /// Number of tasks this clock spans.
+    pub fn tasks(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// The component for `task`.
+    pub fn get(&self, task: usize) -> u64 {
+        self.slots.get(task).copied().unwrap_or(0)
+    }
+
+    /// Advance `task`'s own component by one (a new local event).
+    pub fn tick(&mut self, task: usize) {
+        self.slots[task] += 1;
+    }
+
+    /// Pointwise max with `other` (acquire: absorb everything the
+    /// releasing clock had seen).
+    pub fn join(&mut self, other: &VClock) {
+        for (mine, theirs) in self.slots.iter_mut().zip(&other.slots) {
+            *mine = (*mine).max(*theirs);
+        }
+    }
+
+    /// Happens-before-or-equal: every component of `self` is ≤ the
+    /// matching component of `other`.
+    pub fn le(&self, other: &VClock) -> bool {
+        self.slots
+            .iter()
+            .zip(&other.slots)
+            .all(|(mine, theirs)| mine <= theirs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_clocks_are_ordered_both_ways() {
+        let a = VClock::new(3);
+        let b = VClock::new(3);
+        assert!(a.le(&b) && b.le(&a));
+    }
+
+    #[test]
+    fn tick_breaks_symmetry() {
+        let mut a = VClock::new(2);
+        a.tick(0);
+        let b = VClock::new(2);
+        assert!(b.le(&a));
+        assert!(!a.le(&b));
+    }
+
+    #[test]
+    fn join_orders_a_release_acquire_pair() {
+        // Task 0 releases (its clock is published), task 1 acquires.
+        let mut t0 = VClock::new(2);
+        t0.tick(0);
+        let mut t1 = VClock::new(2);
+        t1.tick(1);
+        // Concurrent before the join...
+        assert!(!t0.le(&t1) && !t1.le(&t0));
+        t1.join(&t0);
+        // ...ordered after it.
+        assert!(t0.le(&t1));
+        assert_eq!(t1.get(0), 1);
+        assert_eq!(t1.get(1), 1);
+    }
+
+    #[test]
+    fn concurrent_clocks_are_incomparable() {
+        let mut a = VClock::new(2);
+        a.tick(0);
+        let mut b = VClock::new(2);
+        b.tick(1);
+        assert!(!a.le(&b));
+        assert!(!b.le(&a));
+    }
+}

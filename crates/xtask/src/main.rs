@@ -1,11 +1,22 @@
-//! Workspace automation. One subcommand so far:
+//! Workspace automation. Two subcommands:
 //!
 //! ```text
 //! cargo run -p xtask -- lint [--allowlist lint.allow]
+//! cargo run -p xtask -- racecheck [--exhaustive] [--shards N] [--workers M] [--seed S] [--schedules K]
 //! ```
 //!
-//! A source-level pass over the workspace's own `.rs` files enforcing
-//! the repository's determinism and robustness conventions:
+//! `racecheck` drives the fleet concurrency verifier
+//! (`entitlement_enforcement::verify`): the shard publish → fanout
+//! fold → broadcast → meter protocol replayed under controlled
+//! interleavings — bounded-exhaustive with sleep-set pruning
+//! (`--exhaustive`) or seeded-random otherwise — with vector-clock
+//! race detection and f64-bit outcome comparison against the
+//! deterministic reference. Findings render as R01xx diagnostics
+//! (R0101 conflicting access, R0102 order-sensitive float fold, R0103
+//! schedule divergence, R0104 lock order/deadlock) and fail the run.
+//!
+//! `lint` is a source-level pass over the workspace's own `.rs` files
+//! enforcing the repository's determinism and robustness conventions:
 //!
 //! * `X0101` — wall-clock or ambient randomness (`Instant::now`,
 //!   `SystemTime`, `thread_rng`, `rand::`) inside the deterministic
@@ -25,6 +36,31 @@
 //!   telemetry registry (`entitlement-obs`), never stdout; binaries
 //!   (`src/bin/`, `crates/*/src/bin/`), `examples/`, integration
 //!   `tests/`, and this xtask are exempt.
+//!
+//! The X02xx family guards the parallel paths the concurrency
+//! verifier models — the static side of the same contract `racecheck`
+//! checks dynamically:
+//!
+//! * `X0201` — iterator float reductions (`.sum()`, `.fold(0.0`,
+//!   `.reduce(`, `.product()`) inside the parallel-path modules.
+//!   Float addition is not associative; any reduction there must have
+//!   a pinned, schedule-independent fold order, documented via a
+//!   `lint.allow` entry.
+//! * `X0202` — read-modify-write atomics (`fetch_*`,
+//!   `compare_exchange*`, `.swap(`) at `Ordering::Relaxed`, anywhere.
+//!   A Relaxed RMW publishes no happens-before edge, so readers can
+//!   observe the result unordered with what produced it (R0101's
+//!   static twin).
+//! * `X0203` — `thread::spawn` / `thread::scope` outside the approved
+//!   parallel modules. Every real thread must live where the verifier
+//!   and the det/par equivalence gate can see it.
+//! * `X0204` — `static mut`, or interior-mutable statics (atomics,
+//!   locks, cells at static scope) outside `thread_local!`. Global
+//!   mutable state hides cross-thread edges from the ownership graph;
+//!   write-once `OnceLock` init is fine.
+//! * `X0205` — `.lock().unwrap(` / `.read().unwrap(` /
+//!   `.write().unwrap(` in hot-path library code: poison-panic on a
+//!   contended path takes the whole agent down with the lock holder.
 //!
 //! `#[cfg(test)]` modules, comments, and doc comments are skipped.
 //! Known-good exceptions live in `lint.allow` at the repository root,
@@ -53,6 +89,29 @@ const DETERMINISTIC_CRATES: &[&str] = &[
     "crates/slo",
     "crates/enforcement/src/fleet",
     "crates/enforcement/src/shard",
+    // The concurrency verifier must itself be schedule-deterministic:
+    // seeded exploration replays bit-identically or its own findings
+    // are unreproducible. Zero allow entries.
+    "crates/racecheck",
+];
+
+/// Modules on the parallel fleet path (X0201): float reductions here
+/// feed the det/par bit-equivalence gate, so their fold order must be
+/// pinned and every iterator reduction justified.
+const PAR_MODULES: &[&str] = &[
+    "crates/enforcement/src/fleet",
+    "crates/enforcement/src/verify",
+    "crates/risk/src/sweep",
+    "crates/kvstore/src/fanout",
+    "crates/racecheck",
+];
+
+/// Modules allowed to spawn OS threads (X0203): the fleet engine's
+/// scoped workers and the risk sweep pool. Everything else must stay
+/// on the tokio runtime or hand work to these.
+const APPROVED_SPAWN_MODULES: &[&str] = &[
+    "crates/enforcement/src/fleet",
+    "crates/risk/src/sweep",
 ];
 
 /// Crates (or modules) whose library code is on the granting or
@@ -189,10 +248,27 @@ fn strip_strings(line: &str) -> String {
 /// The line ranges (1-indexed, inclusive) covered by `#[cfg(test)]`
 /// items, found by brace-tracking the block that follows the attribute.
 fn test_ranges(lines: &[&str]) -> Vec<(usize, usize)> {
+    // Both the plain gate and compound ones like
+    // `#[cfg(all(test, feature = "instrument"))]`.
+    let mut ranges = marked_block_ranges(lines, "#[cfg(test)]");
+    ranges.extend(marked_block_ranges(lines, "#[cfg(all(test"));
+    ranges.sort_unstable();
+    ranges
+}
+
+/// Line ranges covered by `thread_local!` invocations. Their `static`s
+/// are per-thread by construction, so X0204 must not flag them.
+fn thread_local_ranges(lines: &[&str]) -> Vec<(usize, usize)> {
+    marked_block_ranges(lines, "thread_local!")
+}
+
+/// The line ranges (1-indexed, inclusive) of the brace-delimited block
+/// following each line containing `marker`.
+fn marked_block_ranges(lines: &[&str], marker: &str) -> Vec<(usize, usize)> {
     let mut ranges = Vec::new();
     let mut i = 0;
     while i < lines.len() {
-        if strip_comment(lines[i]).contains("#[cfg(test)]") {
+        if strip_comment(lines[i]).contains(marker) {
             let start = i + 1;
             let mut depth: i64 = 0;
             let mut opened = false;
@@ -240,9 +316,15 @@ fn lint(root: &Path, allowlist_path: &Path) -> Result<Vec<Finding>, String> {
         let Ok(text) = std::fs::read_to_string(&file) else { continue };
         let lines: Vec<&str> = text.lines().collect();
         let tests = test_ranges(&lines);
+        let thread_locals = thread_local_ranges(&lines);
         let deterministic = DETERMINISTIC_CRATES.iter().any(|c| rel.starts_with(c));
         let hot_path = HOT_PATH_CRATES.iter().any(|c| rel.starts_with(c))
             && rel.contains("/src/");
+        let par_module = PAR_MODULES.iter().any(|c| rel.starts_with(c)) && rel.contains("/src/");
+        let spawn_approved = APPROVED_SPAWN_MODULES.iter().any(|c| rel.starts_with(c));
+        // X0202/X0203/X0204 cover library sources only: integration
+        // tests and examples spawn and synchronize however they like.
+        let src_file = rel.contains("/src/") || rel.starts_with("src/");
         // X0106 applies to library code only: not binaries, examples,
         // integration tests, or this xtask (whose job is to print).
         let library = !rel.contains("/bin/")
@@ -319,6 +401,102 @@ fn lint(root: &Path, allowlist_path: &Path) -> Result<Vec<Finding>, String> {
                     }
                 }
             }
+            if par_module {
+                let iterator_sum = (code_part.contains(".sum()") || code_part.contains(".sum::<"))
+                    && (code_part.contains("iter(") || code_part.contains(".map("));
+                if iterator_sum
+                    || code_part.contains(".fold(0.0")
+                    || code_part.contains(".reduce(")
+                    || code_part.contains(".product()")
+                {
+                    findings.push(Finding {
+                        code: "X0201",
+                        path: rel.clone(),
+                        line: line_no,
+                        message: "iterator reduction in a parallel-path module; float folds \
+                                  must have a pinned order — justify via lint.allow"
+                            .into(),
+                    });
+                }
+            }
+            if src_file && code_part.contains("Ordering::Relaxed") {
+                let rmw = code_part.contains("fetch_")
+                    || code_part.contains("compare_exchange")
+                    || code_part.contains(".swap(");
+                if rmw {
+                    findings.push(Finding {
+                        code: "X0202",
+                        path: rel.clone(),
+                        line: line_no,
+                        message: "read-modify-write atomic at Ordering::Relaxed publishes no \
+                                  happens-before edge; use AcqRel (or Release/Acquire pairs)"
+                            .into(),
+                    });
+                }
+            }
+            if src_file && !spawn_approved {
+                for pat in ["thread::spawn", "thread::scope"] {
+                    if code_part.contains(pat) {
+                        findings.push(Finding {
+                            code: "X0203",
+                            path: rel.clone(),
+                            line: line_no,
+                            message: format!(
+                                "`{pat}` outside the approved parallel modules \
+                                 ({APPROVED_SPAWN_MODULES:?}); threads must live where \
+                                 the concurrency verifier can model them"
+                            ),
+                        });
+                        break;
+                    }
+                }
+            }
+            if src_file && !in_ranges(&thread_locals, line_no) {
+                if code_part.contains("static mut") {
+                    findings.push(Finding {
+                        code: "X0204",
+                        path: rel.clone(),
+                        line: line_no,
+                        message: "`static mut` is never acceptable; use an owned handle or a \
+                                  thread_local"
+                            .into(),
+                    });
+                } else if code_part.contains("static ")
+                    && [
+                        "AtomicU", "AtomicI", "AtomicBool", "AtomicUsize", "AtomicIsize",
+                        "Mutex<", "RwLock<", "RefCell<", "UnsafeCell<",
+                    ]
+                    .iter()
+                    .any(|t| code_part.contains(t))
+                {
+                    findings.push(Finding {
+                        code: "X0204",
+                        path: rel.clone(),
+                        line: line_no,
+                        message: "interior-mutable static hides cross-thread state from the \
+                                  ownership graph; pass a handle explicitly (write-once \
+                                  OnceLock init is exempt)"
+                            .into(),
+                    });
+                }
+            }
+            if hot_path {
+                for pat in [".lock().unwrap(", ".read().unwrap(", ".write().unwrap("] {
+                    if code_part.contains(pat) {
+                        findings.push(Finding {
+                            code: "X0205",
+                            path: rel.clone(),
+                            line: line_no,
+                            message: format!(
+                                "`{pat}` in hot-path library code: poison-panic takes the \
+                                 agent down with the lock holder; handle or ignore poison \
+                                 explicitly"
+                            ),
+                        });
+                        break;
+                    }
+                }
+            }
             let has_unsafe = code_part
                 .split(|c: char| !c.is_alphanumeric() && c != '_')
                 .any(|tok| tok == "unsafe");
@@ -359,11 +537,111 @@ fn lint(root: &Path, allowlist_path: &Path) -> Result<Vec<Finding>, String> {
     Ok(findings)
 }
 
+/// Parse and run `racecheck [--exhaustive] [--shards N] [--workers M]
+/// [--seed S] [--schedules K]`.
+fn run_racecheck(args: &[String]) -> ExitCode {
+    use entitlement_enforcement::verify::{verify_exhaustive, verify_random, VerifyConfig};
+
+    let mut cfg = VerifyConfig::default();
+    let mut exhaustive = false;
+    let mut seed = 1u64;
+    let mut schedules: Option<usize> = None;
+    let mut i = 0;
+    while i < args.len() {
+        let value = |i: usize| -> Result<&String, String> {
+            args.get(i + 1)
+                .ok_or_else(|| format!("{} needs a value", args[i]))
+        };
+        let parse = |i: usize| -> Result<u64, String> {
+            value(i)?
+                .parse::<u64>()
+                .map_err(|e| format!("{} {}: {e}", args[i], args[i + 1]))
+        };
+        let result: Result<bool, String> = match args[i].as_str() {
+            "--exhaustive" => {
+                exhaustive = true;
+                Ok(false)
+            }
+            "--shards" => parse(i).and_then(|v| {
+                if (2..=8).contains(&v) {
+                    cfg.shards = v as usize;
+                    Ok(true)
+                } else {
+                    Err(format!("--shards {v}: must be in 2..=8"))
+                }
+            }),
+            "--workers" => parse(i).and_then(|v| {
+                if v == 0 {
+                    // The engine treats workers=0 as "auto"; the
+                    // verifier models explicit task counts only.
+                    Err("--workers 0: the verifier needs an explicit worker count (>= 1); \
+                         the engine's workers=0 auto mode is not a schedule"
+                        .to_string())
+                } else if v <= 8 {
+                    cfg.workers = v as usize;
+                    Ok(true)
+                } else {
+                    Err(format!("--workers {v}: must be in 1..=8"))
+                }
+            }),
+            "--seed" => parse(i).map(|v| {
+                seed = v;
+                true
+            }),
+            "--schedules" => parse(i).map(|v| {
+                schedules = Some(v as usize);
+                true
+            }),
+            other => Err(format!("unknown racecheck flag `{other}`")),
+        };
+        match result {
+            Ok(consumed_value) => i += if consumed_value { 2 } else { 1 },
+            Err(e) => {
+                eprintln!("racecheck: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let out = if exhaustive {
+        verify_exhaustive(&cfg, schedules.unwrap_or(500_000))
+    } else {
+        verify_random(&cfg, seed, schedules.unwrap_or(64))
+    };
+    let mode = if exhaustive {
+        "exhaustive".to_string()
+    } else {
+        format!("random seed {seed}")
+    };
+    println!(
+        "racecheck ({mode}, shards {}, workers {}, hosts {}, cycles {}): {}",
+        cfg.shards,
+        cfg.workers,
+        cfg.hosts,
+        cfg.cycles,
+        out.summary()
+    );
+    if out.clean() {
+        ExitCode::SUCCESS
+    } else {
+        print!("{}", out.report.render_text());
+        ExitCode::FAILURE
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    if args.first().map(String::as_str) != Some("lint") {
-        eprintln!("usage: cargo run -p xtask -- lint [--allowlist lint.allow]");
-        return ExitCode::from(2);
+    match args.first().map(String::as_str) {
+        Some("lint") => {}
+        Some("racecheck") => return run_racecheck(&args[1..]),
+        _ => {
+            eprintln!(
+                "usage: cargo run -p xtask -- lint [--allowlist lint.allow]\n       \
+                 cargo run -p xtask -- racecheck [--exhaustive] [--shards N] [--workers M] \
+                 [--seed S] [--schedules K]"
+            );
+            return ExitCode::from(2);
+        }
     }
     // CARGO_MANIFEST_DIR is crates/xtask; the workspace root is two up.
     let root = Path::new(env!("CARGO_MANIFEST_DIR"))
@@ -473,6 +751,101 @@ mod tests {
             "{:?}",
             findings.iter().map(ToString::to_string).collect::<Vec<_>>()
         );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn x02xx_fire_on_bad_sources() {
+        let dir = Path::new(env!("CARGO_MANIFEST_DIR"))
+            .ancestors()
+            .nth(2)
+            .unwrap()
+            .join("target/xtask-lint-x02-selftest");
+        // A parallel-path + hot-path module with every violation.
+        let fleet = dir.join("crates/enforcement/src");
+        std::fs::create_dir_all(&fleet).unwrap();
+        std::fs::write(
+            fleet.join("fleet.rs"),
+            "pub fn f(v: &[f64]) -> f64 { v.iter().map(|x| x * 2.0).sum() }\n\
+             pub fn g(a: &std::sync::atomic::AtomicU64) { \
+             a.fetch_add(1, std::sync::atomic::Ordering::Relaxed); }\n\
+             pub fn h(m: &std::sync::Mutex<u64>) -> u64 { *m.lock().unwrap() }\n",
+        )
+        .unwrap();
+        // A non-approved module spawning threads and holding a static.
+        let other = dir.join("crates/demo/src");
+        std::fs::create_dir_all(&other).unwrap();
+        std::fs::write(
+            other.join("worker.rs"),
+            "static COUNT: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);\n\
+             pub fn s() { std::thread::spawn(|| {}); }\n\
+             thread_local! { static LOCAL: std::cell::RefCell<u64> = \
+             std::cell::RefCell::new(0); }\n",
+        )
+        .unwrap();
+        let findings = lint(&dir, &dir.join("lint.allow")).unwrap();
+        let codes: Vec<(&str, &str, usize)> = findings
+            .iter()
+            .map(|f| (f.code, f.path.as_str(), f.line))
+            .collect();
+        assert!(
+            codes.contains(&("X0201", "crates/enforcement/src/fleet.rs", 1)),
+            "{codes:?}"
+        );
+        assert!(
+            codes.contains(&("X0202", "crates/enforcement/src/fleet.rs", 2)),
+            "{codes:?}"
+        );
+        assert!(
+            codes.contains(&("X0205", "crates/enforcement/src/fleet.rs", 3)),
+            "{codes:?}"
+        );
+        assert!(
+            codes.contains(&("X0204", "crates/demo/src/worker.rs", 1)),
+            "{codes:?}"
+        );
+        assert!(
+            codes.contains(&("X0203", "crates/demo/src/worker.rs", 2)),
+            "{codes:?}"
+        );
+        // The thread_local! static must NOT fire X0204.
+        assert!(
+            !codes.iter().any(|&(c, _, l)| c == "X0204" && l == 3),
+            "{codes:?}"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn approved_modules_may_spawn_and_compound_test_cfgs_are_skipped() {
+        let dir = Path::new(env!("CARGO_MANIFEST_DIR"))
+            .ancestors()
+            .nth(2)
+            .unwrap()
+            .join("target/xtask-lint-x02-exempt-selftest");
+        let fleet = dir.join("crates/enforcement/src/fleet");
+        std::fs::create_dir_all(&fleet).unwrap();
+        std::fs::write(
+            fleet.join("engine.rs"),
+            "pub fn s() { std::thread::scope(|_| {}); }\n",
+        )
+        .unwrap();
+        let gated = dir.join("crates/demo/src");
+        std::fs::create_dir_all(&gated).unwrap();
+        std::fs::write(
+            gated.join("lib.rs"),
+            "#![forbid(unsafe_code)]\n\
+             #[cfg(all(test, feature = \"instrument\"))]\n\
+             mod tests {\n\
+                 pub fn r(a: &std::sync::atomic::AtomicU64) { \
+                 a.fetch_add(1, std::sync::atomic::Ordering::Relaxed); }\n\
+             }\n",
+        )
+        .unwrap();
+        let findings = lint(&dir, &dir.join("lint.allow")).unwrap();
+        let codes: Vec<&str> = findings.iter().map(|f| f.code).collect();
+        assert!(!codes.contains(&"X0203"), "{codes:?}");
+        assert!(!codes.contains(&"X0202"), "{codes:?}");
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -587,9 +587,20 @@ fn fleet_drill(args: &[String]) {
         eprintln!("--strategy expects `det` or `par`, got `{strategy_arg}`");
         std::process::exit(2);
     };
-    let workers: usize = arg_value(args, "--workers")
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(0);
+    let workers: usize = match arg_value(args, "--workers") {
+        Some(s) if s.trim() == "0" => {
+            // 0 is the *internal* "auto" sentinel; accepting it
+            // explicitly would look like "no workers" and silently
+            // mean "all cores". Omit the flag for auto.
+            eprintln!("--workers 0 is not a worker count; omit --workers to auto-size");
+            std::process::exit(2);
+        }
+        Some(s) => s.parse().unwrap_or_else(|_| {
+            eprintln!("--workers expects a positive integer, got `{s}`");
+            std::process::exit(2);
+        }),
+        None => 0,
+    };
     let cycles: usize = arg_value(args, "--cycles")
         .and_then(|s| s.parse().ok())
         .unwrap_or(16);
@@ -642,6 +653,21 @@ fn fleet_drill(args: &[String]) {
         "fleet drill: {hosts} hosts / {shards} shards, strategy {} — {cycles} cycles in {wall_s:.3}s",
         strategy.as_str()
     );
+    if matches!(strategy, FleetStrategy::Parallel) {
+        // Provenance for perf numbers: an instrumented binary routes
+        // every atomic/mutex/watch op through the racecheck shims, so
+        // its timings are not comparable to production builds.
+        println!(
+            "  parallel path: {}",
+            if cfg!(feature = "racecheck") {
+                "racecheck-instrumented build (timings NOT representative; \
+                 rebuild without --features racecheck for perf numbers)"
+            } else {
+                "uninstrumented build (schedule equivalence proven separately \
+                 by `cargo run -p xtask -- racecheck`)"
+            }
+        );
+    }
     println!(
         "  {:.0} agents/sec; cycle p50 {:.2} ms, p99 {:.2} ms",
         (hosts * cycles) as f64 / wall_s,
