@@ -42,8 +42,9 @@ impl fmt::Display for Severity {
 ///
 /// Numbering scheme: `E01xx` contracts, `E02xx` hoses/pipes, `E03xx`
 /// QoS ordering, `E04xx` topology, `E05xx` availability curves,
-/// `E06xx` SLO evaluation policies, `R01xx` runtime concurrency
-/// (reported by the `racecheck` verifier, not the config analyzer).
+/// `E06xx` SLO evaluation policies, `E07xx` approval-engine
+/// configuration, `R01xx` runtime concurrency (reported by the
+/// `racecheck` verifier, not the config analyzer).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum Code {
     /// Entitled rate must be positive and finite.
@@ -102,6 +103,13 @@ pub enum Code {
     /// SLO policy burn threshold does not exceed 1, or the clear
     /// fraction is outside (0, 1).
     E0603,
+    /// Approval config grants without simulation: `tms_per_hose` is zero
+    /// (or not a positive integer), so every hose would be approved with
+    /// zero TM realizations behind it.
+    E0701,
+    /// Approval config sweep parameters out of range: `max_cuts` above
+    /// the enumerable bound or `k_paths` not a positive integer.
+    E0702,
     /// Conflicting unsynchronized accesses: two tasks touch one
     /// location, at least one writes, and no happens-before edge orders
     /// them.
@@ -135,7 +143,7 @@ pub struct CatalogEntry {
 
 impl Code {
     /// The full rule catalog, in code order.
-    pub const CATALOG: [CatalogEntry; 31] = [
+    pub const CATALOG: [CatalogEntry; 33] = [
         CatalogEntry {
             code: Code::E0101,
             severity: Severity::Error,
@@ -299,6 +307,18 @@ impl Code {
             paper: "§7 (alerts page on budget-exhausting burns)",
         },
         CatalogEntry {
+            code: Code::E0701,
+            severity: Severity::Error,
+            invariant: "every approved hose is backed by at least one TM realization",
+            paper: "§4.3 Algorithm 2 (GEN_DEMAND precedes approval)",
+        },
+        CatalogEntry {
+            code: Code::E0702,
+            severity: Severity::Error,
+            invariant: "risk-sweep parameters (max_cuts, k_paths) are in range",
+            paper: "§4.3 (RSS enumerates up to two simultaneous cuts)",
+        },
+        CatalogEntry {
             code: Code::R0101,
             severity: Severity::Error,
             invariant: "every pair of conflicting accesses is ordered by happens-before",
@@ -354,6 +374,8 @@ impl Code {
             Code::E0601 => "E0601",
             Code::E0602 => "E0602",
             Code::E0603 => "E0603",
+            Code::E0701 => "E0701",
+            Code::E0702 => "E0702",
             Code::R0101 => "R0101",
             Code::R0102 => "R0102",
             Code::R0103 => "R0103",

@@ -67,6 +67,24 @@ pub struct CurveCheck {
     pub points: Vec<CurvePoint>,
 }
 
+/// An approval-engine configuration to sanity-check (the
+/// `ApprovalConfig` knobs as they would appear in an approval-service
+/// deployment config). Counts are `f64` so fractional or negative JSON
+/// values are caught by the rule rather than by the parser.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ApprovalConfigCheck {
+    /// Label for diagnostics, e.g. the approval service the config
+    /// deploys to.
+    pub name: String,
+    /// Representative TM realizations per hose; zero means hoses would
+    /// be decided with no risk simulation behind them.
+    pub tms_per_hose: f64,
+    /// Maximum simultaneous fiber cuts the sweep enumerates.
+    pub max_cuts: f64,
+    /// Multipath fan-out for routing.
+    pub k_paths: f64,
+}
+
 /// An SLO evaluation policy to sanity-check (the knobs `entitlectl
 /// slo` accepts, as they would appear in monitoring config). Window
 /// and hysteresis counts are `f64` so a fractional value in the JSON
@@ -111,6 +129,8 @@ pub struct LintBundle {
     pub curves: Option<Vec<CurveCheck>>,
     /// SLO evaluation policies (burn-rate alerting configs).
     pub slo_policies: Option<Vec<SloPolicyCheck>>,
+    /// Approval-engine configurations (the `ApprovalConfig` knobs).
+    pub approval_configs: Option<Vec<ApprovalConfigCheck>>,
 }
 
 impl LintBundle {

@@ -37,5 +37,5 @@ pub mod input;
 pub mod rules;
 
 pub use diag::{CatalogEntry, Code, Diagnostic, Location, Report, Severity};
-pub use input::{CurveCheck, CurvePoint, HoseFlows, LintBundle, RegionSeries};
+pub use input::{ApprovalConfigCheck, CurveCheck, CurvePoint, HoseFlows, LintBundle, RegionSeries};
 pub use rules::{preflight_hoses, Analyzer, Rule, RuleInfo};

@@ -896,6 +896,66 @@ impl Rule for SloPolicySanity {
     }
 }
 
+// ---- approval config rules -----------------------------------------------
+
+/// E0701 + E0702: an approval-engine deployment config cannot grant
+/// without simulation. `tms_per_hose: 0` means `GEN_DEMAND` produces no
+/// realizations and every hose would be decided on zero risk sweeps;
+/// `max_cuts`/`k_paths` must stay inside what the sweep can enumerate.
+pub struct ApprovalConfigSanity;
+
+impl Rule for ApprovalConfigSanity {
+    fn info(&self) -> RuleInfo {
+        RuleInfo {
+            name: "approval-config-sanity",
+            codes: &[Code::E0701, Code::E0702],
+            description: "approval configs back every grant with TM realizations and a bounded sweep",
+        }
+    }
+
+    fn check(&self, bundle: &LintBundle, out: &mut Vec<Diagnostic>) {
+        let Some(configs) = &bundle.approval_configs else { return };
+        for (ci, c) in configs.iter().enumerate() {
+            let loc = Location::root("approval_configs").index(ci);
+            if !SloPolicySanity::positive_count(c.tms_per_hose) {
+                out.push(Diagnostic::new(
+                    Code::E0701,
+                    loc.child("tms_per_hose"),
+                    format!(
+                        "config '{}': tms_per_hose {} is not a positive whole count — \
+                         every hose would be approved with zero TM realizations behind it",
+                        c.name, c.tms_per_hose
+                    ),
+                ));
+            }
+            if !c.max_cuts.is_finite()
+                || c.max_cuts < 0.0
+                || c.max_cuts.fract() != 0.0
+                || c.max_cuts > 2.0
+            {
+                out.push(Diagnostic::new(
+                    Code::E0702,
+                    loc.child("max_cuts"),
+                    format!(
+                        "config '{}': max_cuts {} outside the enumerable range 0..=2",
+                        c.name, c.max_cuts
+                    ),
+                ));
+            }
+            if !SloPolicySanity::positive_count(c.k_paths) {
+                out.push(Diagnostic::new(
+                    Code::E0702,
+                    loc.child("k_paths"),
+                    format!(
+                        "config '{}': k_paths {} is not a positive whole path count",
+                        c.name, c.k_paths
+                    ),
+                ));
+            }
+        }
+    }
+}
+
 // ---- the engine ----------------------------------------------------------
 
 /// The rule engine: a fixed set of [`Rule`]s run over a [`LintBundle`].
@@ -921,6 +981,7 @@ impl Default for Analyzer {
                 Box::new(CurveShape),
                 Box::new(CurveDomain),
                 Box::new(SloPolicySanity),
+                Box::new(ApprovalConfigSanity),
             ],
         }
     }

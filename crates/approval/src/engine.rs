@@ -1,13 +1,14 @@
 //! Algorithm 2: `Hose_Approval` and `Pipe_Approval`.
 
 use crate::types::{HoseApproval, PipeApproval};
-use entitlement_core::{NpgId, Rate, SloTarget};
+use entitlement_core::{NpgId, Rate, RegionId, SloTarget};
 use entitlement_hose::{generate_tms, HoseRequest, TmGenConfig};
 use entitlement_obs::Obs;
 use entitlement_risk::{assess_risk_detailed_obs, RiskConfig};
 use entitlement_topology::routing::Demand;
 use entitlement_topology::{ScenarioSet, Topology};
 use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
 
 /// Whether a batch is rejected outright when any flow misses the SLO, or
 /// granted the partial volume that does meet it.
@@ -59,6 +60,29 @@ impl Default for ApprovalConfig {
             preflight: true,
         }
     }
+}
+
+/// Merge a demand list by `(src, dst)`, summing amounts. The output is
+/// sorted by `(src, dst)`, so any two lists carrying the same per-pair
+/// totals merge to the identical vector regardless of input order. Used
+/// for the lower-class background in [`approve_requests`] (which would
+/// otherwise grow O(hoses × pipes) with duplicate pairs) and for the
+/// committed-contract background in the entitlement market.
+pub fn merge_background(demands: &[Demand]) -> Vec<Demand> {
+    let mut map: BTreeMap<(RegionId, RegionId), Rate> = BTreeMap::new();
+    for d in demands {
+        *map.entry((d.src, d.dst)).or_insert(Rate::ZERO) += d.amount;
+    }
+    background_demands(&map)
+}
+
+/// Materialize a merged background map as a sorted demand list, dropping
+/// sub-bps residue.
+fn background_demands(map: &BTreeMap<(RegionId, RegionId), Rate>) -> Vec<Demand> {
+    map.iter()
+        .filter(|(_, amount)| !amount.is_zero())
+        .map(|(&(src, dst), &amount)| Demand { src, dst, amount })
+        .collect()
 }
 
 /// Which hoses of a batch the analyzer rejects: an error located at
@@ -209,8 +233,35 @@ pub fn hose_approval_obs(
     config: &ApprovalConfig,
     obs: &Obs,
 ) -> Vec<HoseApproval> {
+    approve_requests_obs(topo, &band_low_requests(hoses, slos), config, obs)
+}
+
+/// [`hose_approval`] against a pre-enumerated scenario set: the warm
+/// path for callers that approve repeatedly on one topology (negotiation
+/// rounds, the entitlement market's sweep fallback). `scenarios` must be
+/// [`ScenarioSet::enumerate`]`(topo, config.max_cuts)` of the same
+/// topology; enumeration is deterministic, so results are bit-identical
+/// to the cold path.
+pub fn hose_approval_scenarios(
+    topo: &Topology,
+    hoses: &[HoseRequest],
+    slos: &[SloTarget],
+    scenarios: &ScenarioSet,
+    config: &ApprovalConfig,
+) -> Vec<HoseApproval> {
+    approve_requests_scenarios_obs(
+        topo,
+        &band_low_requests(hoses, slos),
+        scenarios,
+        config,
+        &Obs::disabled(),
+    )
+}
+
+/// All hoses as the `Low` band of their class, paired with their SLOs.
+fn band_low_requests(hoses: &[HoseRequest], slos: &[SloTarget]) -> Vec<ApprovalRequest> {
     assert_eq!(hoses.len(), slos.len());
-    let requests: Vec<ApprovalRequest> = hoses
+    hoses
         .iter()
         .zip(slos)
         .map(|(h, &slo)| ApprovalRequest {
@@ -218,8 +269,7 @@ pub fn hose_approval_obs(
             band: entitlement_core::QosBand::Low,
             slo,
         })
-        .collect();
-    approve_requests_obs(topo, &requests, config, obs)
+        .collect()
 }
 
 /// Algorithm 2 with the paper's full eight-bucket priority order:
@@ -246,8 +296,20 @@ pub fn approve_requests_obs(
     config: &ApprovalConfig,
     obs: &Obs,
 ) -> Vec<HoseApproval> {
-    let hoses: Vec<&HoseRequest> = requests.iter().map(|r| &r.hose).collect();
     let scenarios = ScenarioSet::enumerate(topo, config.max_cuts);
+    approve_requests_scenarios_obs(topo, requests, &scenarios, config, obs)
+}
+
+/// [`approve_requests_obs`] against a pre-enumerated scenario set (see
+/// [`hose_approval_scenarios`] for the warm-path contract).
+pub fn approve_requests_scenarios_obs(
+    topo: &Topology,
+    requests: &[ApprovalRequest],
+    scenarios: &ScenarioSet,
+    config: &ApprovalConfig,
+    obs: &Obs,
+) -> Vec<HoseApproval> {
+    let hoses: Vec<&HoseRequest> = requests.iter().map(|r| &r.hose).collect();
 
     // Pre-flight: reject statically invalid hoses before spending any
     // simulation on them — they would at best produce garbage curves.
@@ -331,7 +393,9 @@ pub fn approve_requests_obs(
         )
     });
 
-    let mut background: Vec<Demand> = Vec::new();
+    // Background admitted by more premium buckets, merged by (src, dst)
+    // so it stays O(region pairs) across the whole sweep.
+    let mut background: BTreeMap<(RegionId, RegionId), Rate> = BTreeMap::new();
     let mut results: Vec<(usize, HoseApproval)> = Vec::with_capacity(hoses.len());
 
     let hose_ms = |qos: &str| {
@@ -377,53 +441,73 @@ pub fn approve_requests_obs(
             ));
             continue;
         }
+        let bg = background_demands(&background);
         let mut per_realization: Vec<Rate> = Vec::with_capacity(realizations[h].len());
-        let mut best_realization: Option<(Rate, Vec<PipeApproval>)> = None;
+        // Tracks the minimum-sum realization: the *worst* case, which is
+        // both the conservative background pushed to lower classes and
+        // the binding constraint on the grant.
+        let mut worst_realization: Option<(Rate, Vec<PipeApproval>)> = None;
         for tm in &realizations[h] {
             let requested: Vec<Rate> = tm.iter().map(|d| d.amount).collect();
             let approvals = pipe_approval_obs(
                 topo,
-                &scenarios,
+                scenarios,
                 tm,
                 &requested,
                 slo,
-                &background,
+                &bg,
                 config,
                 obs,
             );
             let sum: Rate = approvals.iter().map(|p| p.approved).sum();
             per_realization.push(sum);
-            if best_realization
+            if worst_realization
                 .as_ref()
                 .is_none_or(|(s, _)| sum.as_bps() < s.as_bps())
             {
-                best_realization = Some((sum, approvals));
+                worst_realization = Some((sum, approvals));
             }
         }
-        // Final approval: minimum over realizations, clipped to the total.
-        let approved_total = per_realization
-            .iter()
-            .copied()
-            .fold(Rate(f64::INFINITY), Rate::min)
-            .min(hose.total);
+        // Final approval: minimum over realizations, clipped to the
+        // total. A hose with no realizations at all (`tms_per_hose: 0`,
+        // or a degenerate hose the TM sampler cannot realize) has seen
+        // zero risk simulation — grant nothing, never everything.
+        let no_realizations = per_realization.is_empty();
+        let approved_total = if no_realizations {
+            Rate::ZERO
+        } else {
+            per_realization
+                .iter()
+                .copied()
+                .fold(Rate(f64::INFINITY), Rate::min)
+                .min(hose.total)
+        };
         // Counter-proposal: what the network can carry for the *worst*
         // realization, even if under the request.
         let counter_proposal = approved_total;
 
-        // The admitted volume becomes background for lower classes: use
-        // the worst realization's per-pipe approvals (conservative).
-        if let Some((_, pipes)) = best_realization {
+        // The admitted volume becomes background for lower classes: the
+        // worst realization's per-pipe approvals (conservative), scaled
+        // so the pushed pipes sum to the clipped grant, then merged by
+        // (src, dst).
+        if let Some((sum, pipes)) = worst_realization {
+            // `sum` is the realization minimum, so it only exceeds the
+            // grant when `.min(hose.total)` clipped it.
+            let scale = if sum.as_bps() > approved_total.as_bps() && !sum.is_zero() {
+                approved_total / sum
+            } else {
+                1.0
+            };
             for p in pipes {
-                if !p.approved.is_zero() {
-                    background.push(Demand {
-                        src: p.src,
-                        dst: p.dst,
-                        amount: p.approved,
-                    });
+                let amount = if scale < 1.0 { p.approved * scale } else { p.approved };
+                if !amount.is_zero() {
+                    *background.entry((p.src, p.dst)).or_insert(Rate::ZERO) += amount;
                 }
             }
         }
-        let outcome = if approved_total.as_bps() >= hose.total.as_bps() {
+        let outcome = if no_realizations {
+            "rejected"
+        } else if approved_total.as_bps() >= hose.total.as_bps() {
             "approved"
         } else if approved_total.is_zero() {
             "zero"

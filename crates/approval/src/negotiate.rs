@@ -19,11 +19,11 @@
 //!    accept the risk of going over the approval;
 //! 3. rounds repeat until agreement or the round budget runs out.
 
-use crate::engine::{hose_approval, ApprovalConfig};
+use crate::engine::{hose_approval_scenarios, ApprovalConfig};
 use crate::types::HoseApproval;
 use entitlement_core::{Rate, SloTarget};
 use entitlement_hose::{HoseRequest, HoseSegment};
-use entitlement_topology::Topology;
+use entitlement_topology::{ScenarioSet, Topology};
 use serde::{Deserialize, Serialize};
 
 /// The outcome of a negotiation.
@@ -97,21 +97,20 @@ impl ServicePolicy for ThresholdPolicy {
     }
 }
 
-/// Reshape a request toward segments that approved well: the engine's
-/// "alternative demand pattern" proposal. Per-segment grants are
-/// estimated from the approval's realization data by scaling each
-/// segment cap by the overall approval fraction, then shifting
-/// `shift_fraction` of the most-underserved segment's cap to the
-/// best-served one. Total demand is preserved.
+/// Reshape a request toward segments likelier to place: the engine's
+/// "alternative demand pattern" proposal. Heuristic: the *largest*
+/// segment is the hardest to place (it needs the most capacity toward
+/// its regions), so `shift_fraction · (1 − approval_fraction)` of its
+/// cap moves onto the smallest segment. When every cap is equal the
+/// first segment is treated as hardest and the last as easiest, so a
+/// genuine alternative is still proposed rather than echoing the
+/// request back unchanged. Total demand is preserved.
 pub fn propose_alternative(request: &HoseRequest, approval: &HoseApproval, shift_fraction: f64) -> HoseRequest {
     if request.segments.len() < 2 {
         return request.clone();
     }
     let mut alt = request.clone();
     let frac = approval.approval_fraction();
-    // Heuristic: the *largest* segment is the hardest to place (it
-    // needs the most capacity toward its regions); move some of its cap
-    // to the smallest segment.
     let (mut hardest, mut easiest) = (0usize, 0usize);
     for (i, seg) in alt.segments.iter().enumerate() {
         if seg.cap.as_bps() > alt.segments[hardest].cap.as_bps() {
@@ -122,13 +121,34 @@ pub fn propose_alternative(request: &HoseRequest, approval: &HoseApproval, shift
         }
     }
     if hardest == easiest {
-        return alt;
+        // Strict comparisons left both at 0: every cap is equal. Shift
+        // between the endpoints instead of bailing out.
+        easiest = alt.segments.len() - 1;
     }
     let shift = alt.segments[hardest].cap * shift_fraction * (1.0 - frac);
     let h = &mut alt.segments[hardest];
     h.cap = (h.cap - shift).clamp_zero();
     alt.segments[easiest].cap += shift;
     alt
+}
+
+/// Shrink (or generally re-target) a request to `new_total`, scaling the
+/// segment caps proportionally; the last segment absorbs the remainder
+/// so the caps sum to the new total exactly. Shared by `negotiate`'s
+/// counter-acceptance and [`shrink_to_fit`].
+pub fn rescale_segments(request: &mut HoseRequest, new_total: Rate) {
+    let scale = new_total / request.total;
+    request.total = new_total;
+    let seg_count = request.segments.len();
+    let mut acc = Rate::ZERO;
+    for (i, seg) in request.segments.iter_mut().enumerate() {
+        if i + 1 == seg_count {
+            seg.cap = (request.total - acc).clamp_zero();
+        } else {
+            seg.cap = seg.cap * scale;
+            acc += seg.cap;
+        }
+    }
 }
 
 /// Run the negotiation loop for one request.
@@ -140,10 +160,31 @@ pub fn negotiate(
     config: &ApprovalConfig,
     max_rounds: usize,
 ) -> Agreement {
+    // One scenario enumeration for the whole negotiation: every round
+    // approves against the same warm set (bit-identical to enumerating
+    // per round, since enumeration is deterministic).
+    let scenarios = ScenarioSet::enumerate(topo, config.max_cuts);
+    negotiate_scenarios(topo, request, slo, policy, config, max_rounds, &scenarios)
+}
+
+/// [`negotiate`] against a caller-supplied scenario set. Serving-side
+/// callers (the entitlement market) enumerate once at startup and reuse
+/// the warm set across many negotiations; because enumeration is
+/// deterministic, the warm path returns a bit-identical [`Agreement`].
+pub fn negotiate_scenarios(
+    topo: &Topology,
+    request: &HoseRequest,
+    slo: SloTarget,
+    policy: &mut dyn ServicePolicy,
+    config: &ApprovalConfig,
+    max_rounds: usize,
+    scenarios: &ScenarioSet,
+) -> Agreement {
     let mut current = request.clone();
     let mut best_counter = Rate::ZERO;
     for round in 0..max_rounds {
-        let approvals = hose_approval(topo, &[current.clone()], &[slo], config);
+        let approvals =
+            hose_approval_scenarios(topo, &[current.clone()], &[slo], scenarios, config);
         let approval = &approvals[0];
         let granted = approval.approved_total;
         best_counter = best_counter.max(granted);
@@ -159,19 +200,8 @@ pub fn negotiate(
             ServiceDecision::AcceptCounter => {
                 // Shrink the request to the counter-proposal, scaling
                 // segment caps proportionally.
-                let scale = granted / current.total;
                 let mut shrunk = current.clone();
-                shrunk.total = granted;
-                let seg_count = shrunk.segments.len();
-                let mut acc = Rate::ZERO;
-                for (i, seg) in shrunk.segments.iter_mut().enumerate() {
-                    if i + 1 == seg_count {
-                        seg.cap = (shrunk.total - acc).clamp_zero();
-                    } else {
-                        seg.cap = seg.cap * scale;
-                        acc += seg.cap;
-                    }
-                }
+                rescale_segments(&mut shrunk, granted);
                 return Agreement::Accepted {
                     request: shrunk,
                     granted,
@@ -202,9 +232,11 @@ pub fn shrink_to_fit(
     config: &ApprovalConfig,
     max_rounds: usize,
 ) -> Option<(HoseRequest, usize)> {
+    let scenarios = ScenarioSet::enumerate(topo, config.max_cuts);
     let mut current = request.clone();
     for round in 0..max_rounds {
-        let approvals = hose_approval(topo, &[current.clone()], &[slo], config);
+        let approvals =
+            hose_approval_scenarios(topo, &[current.clone()], &[slo], &scenarios, config);
         if approvals[0].fully_approved() {
             return Some((current, round + 1));
         }
@@ -216,18 +248,7 @@ pub fn shrink_to_fit(
         if target.is_zero() {
             break;
         }
-        let scale = target / current.total;
-        current.total = target;
-        let seg_count = current.segments.len();
-        let mut acc = Rate::ZERO;
-        for (i, seg) in current.segments.iter_mut().enumerate() {
-            if i + 1 == seg_count {
-                seg.cap = (current.total - acc).clamp_zero();
-            } else {
-                seg.cap = seg.cap * scale;
-                acc += seg.cap;
-            }
-        }
+        rescale_segments(&mut current, target);
         // Give up once the ask is negligible.
         if current.total.as_bps() < request.total.as_bps() * 0.01 {
             break;
@@ -250,7 +271,7 @@ fn _doc_anchor(_: &HoseSegment) {}
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::engine::ApprovalMode;
+    use crate::engine::{hose_approval, ApprovalMode};
     use entitlement_core::{Direction, NpgId, QosClass, RegionId};
     use entitlement_topology::BackboneSpec;
 

@@ -1,0 +1,158 @@
+//! Property tests for the negotiation helpers and the warm-scenario
+//! approval path:
+//!
+//! * `rescale_segments` keeps `segments_consistent` for any shrink,
+//!   including the last-segment-remainder path with zero-cap middle
+//!   segments;
+//! * admission is monotone in the ask: a shrunk request is never granted
+//!   more than its (new) ask;
+//! * approving against a pre-enumerated `ScenarioSet` is bit-identical
+//!   to the cold path that enumerates per call.
+
+use entitlement_approval::{
+    hose_approval, hose_approval_scenarios, rescale_segments, segments_consistent, ApprovalConfig,
+};
+use entitlement_core::{Direction, NpgId, QosClass, Rate, RegionId, SloTarget};
+use entitlement_hose::{HoseRequest, HoseSegment};
+use entitlement_topology::{BackboneSpec, ScenarioSet};
+use proptest::prelude::*;
+
+/// A multi-segment hose whose caps are the given integer-Gbps values
+/// (zeros allowed); the total is their sum.
+fn hose_with_caps(caps_g: &[u64], region: RegionId, n_regions: u16) -> HoseRequest {
+    let total: u64 = caps_g.iter().sum();
+    let segments: Vec<HoseSegment> = caps_g
+        .iter()
+        .enumerate()
+        .map(|(i, &cap)| HoseSegment {
+            regions: [RegionId((region.0 + 1 + i as u16) % n_regions)]
+                .into_iter()
+                .collect(),
+            cap: Rate::gbps(cap as f64),
+        })
+        .collect();
+    HoseRequest {
+        npg: NpgId(1),
+        qos: QosClass::C2,
+        region,
+        direction: Direction::Egress,
+        total: Rate::gbps(total as f64),
+        segments,
+    }
+}
+
+/// Cheap sweep config so each proptest case stays fast.
+fn config() -> ApprovalConfig {
+    ApprovalConfig {
+        tms_per_hose: 2,
+        max_cuts: 1,
+        ..Default::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn rescale_preserves_segment_consistency(
+        cap1_g in 0u64..400,
+        cap2_g in 0u64..400,
+        cap3_g in 1u64..400,
+        shrink_millis in 0u64..=1000,
+    ) {
+        let mut hose = hose_with_caps(&[cap1_g, cap2_g, cap3_g], RegionId(0), 8);
+        let new_total = hose.total * (shrink_millis as f64 / 1000.0);
+        rescale_segments(&mut hose, new_total);
+        prop_assert!(
+            segments_consistent(&hose),
+            "caps {:?} no longer sum to {}",
+            hose.segments.iter().map(|s| s.cap).collect::<Vec<_>>(),
+            hose.total
+        );
+    }
+
+    #[test]
+    fn rescale_handles_zero_cap_middle_segment(
+        cap1_g in 1u64..400,
+        cap3_g in 1u64..400,
+        shrink_millis in 1u64..1000,
+    ) {
+        // The remainder path: a zero-cap middle segment contributes
+        // nothing, so the last segment absorbs everything the scaled
+        // first one left over.
+        let mut hose = hose_with_caps(&[cap1_g, 0, cap3_g], RegionId(0), 8);
+        let new_total = hose.total * (shrink_millis as f64 / 1000.0);
+        rescale_segments(&mut hose, new_total);
+        prop_assert!(segments_consistent(&hose));
+        prop_assert!(hose.segments[1].cap.is_zero());
+    }
+}
+
+proptest! {
+    // Each case runs real risk sweeps; keep the count modest.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn admission_is_monotone_in_the_ask(
+        topo_seed in 0u64..3,
+        ask_g in 50u64..5000,
+        shrink_millis in 100u64..=1000,
+    ) {
+        let seeds = [0x1360u64, 41, 7];
+        let topo = BackboneSpec::small(seeds[topo_seed as usize]).build();
+        let dcs = topo.dc_ids();
+        let hose = HoseRequest::general(
+            NpgId(1),
+            QosClass::C2,
+            dcs[0],
+            Direction::Egress,
+            Rate::gbps(ask_g as f64),
+            dcs[1..].iter().copied(),
+        );
+        let slo = SloTarget::new(0.99).unwrap();
+        let cfg = config();
+        let full = hose_approval(&topo, std::slice::from_ref(&hose), &[slo], &cfg);
+        prop_assert!(full[0].approved_total.as_bps() <= hose.total.as_bps());
+
+        let mut shrunk = hose.clone();
+        rescale_segments(&mut shrunk, hose.total * (shrink_millis as f64 / 1000.0));
+        let after = hose_approval(&topo, std::slice::from_ref(&shrunk), &[slo], &cfg);
+        prop_assert!(
+            after[0].approved_total.as_bps() <= shrunk.total.as_bps(),
+            "shrinking to {} granted more: {}",
+            shrunk.total,
+            after[0].approved_total
+        );
+    }
+
+    #[test]
+    fn warm_scenarios_bit_equal_cold_path(
+        topo_seed in 0u64..3,
+        ask_g in 50u64..20000,
+    ) {
+        let seeds = [0x1360u64, 41, 7];
+        let topo = BackboneSpec::small(seeds[topo_seed as usize]).build();
+        let dcs = topo.dc_ids();
+        let hose = HoseRequest::general(
+            NpgId(2),
+            QosClass::C3,
+            dcs[1],
+            Direction::Egress,
+            Rate::gbps(ask_g as f64),
+            dcs.iter().copied().filter(|&r| r != dcs[1]),
+        );
+        let slo = SloTarget::new(0.99).unwrap();
+        let cfg = config();
+        let cold = hose_approval(&topo, std::slice::from_ref(&hose), &[slo], &cfg);
+        let scenarios = ScenarioSet::enumerate(&topo, cfg.max_cuts);
+        let warm = hose_approval_scenarios(&topo, &[hose], &[slo], &scenarios, &cfg);
+        prop_assert_eq!(
+            cold[0].approved_total.as_bps().to_bits(),
+            warm[0].approved_total.as_bps().to_bits()
+        );
+        prop_assert_eq!(cold[0].per_realization.len(), warm[0].per_realization.len());
+        for (c, w) in cold[0].per_realization.iter().zip(&warm[0].per_realization) {
+            prop_assert_eq!(c.as_bps().to_bits(), w.as_bps().to_bits());
+        }
+    }
+}

@@ -72,6 +72,16 @@ pub enum FaultKind {
         /// Hosts that crash.
         hosts: Vec<u32>,
     },
+    /// The listed backbone links (raw `LinkId` values; the chaos crate
+    /// is topology-agnostic) are cut while the window is active. A
+    /// serving-side consumer must invalidate any capacity it derived
+    /// from the pre-cut topology — serving stale headroom across a cut
+    /// is the exact failure mode the market's fail-closed epoch rule
+    /// exists to prevent.
+    LinkCut {
+        /// Raw link ids that are down.
+        links: Vec<u32>,
+    },
 }
 
 /// One scheduled fault.
@@ -198,6 +208,22 @@ impl FaultPlan {
             FaultKind::AgentCrash { hosts } => hosts.contains(&host),
             _ => false,
         })
+    }
+
+    /// Raw ids of every link cut at `now_ms`, deduplicated, in first-
+    /// seen order across overlapping windows.
+    pub fn cut_links(&self, now_ms: u64) -> Vec<u32> {
+        let mut out = Vec::new();
+        for k in self.active(now_ms) {
+            if let FaultKind::LinkCut { links } = k {
+                for l in links {
+                    if !out.contains(l) {
+                        out.push(*l);
+                    }
+                }
+            }
+        }
+        out
     }
 }
 
@@ -347,6 +373,28 @@ mod tests {
         assert!(plan.agent_down(3, 200));
         assert!(!plan.agent_down(4, 200));
         assert!(!plan.agent_down(3, 300), "restarts when the window closes");
+    }
+
+    #[test]
+    fn link_cuts_window_and_dedup() {
+        let plan = FaultPlan {
+            seed: 0,
+            faults: vec![
+                Fault {
+                    window: TimeWindow::new(100, 300),
+                    kind: FaultKind::LinkCut { links: vec![4, 9] },
+                },
+                Fault {
+                    window: TimeWindow::new(200, 400),
+                    kind: FaultKind::LinkCut { links: vec![9, 2] },
+                },
+            ],
+        };
+        assert!(plan.cut_links(50).is_empty());
+        assert_eq!(plan.cut_links(150), vec![4, 9]);
+        assert_eq!(plan.cut_links(250), vec![4, 9, 2], "overlap dedups");
+        assert_eq!(plan.cut_links(350), vec![9, 2]);
+        assert!(plan.cut_links(400).is_empty(), "half-open close");
     }
 
     #[test]

@@ -29,7 +29,7 @@ pub use contract::{ContractId, Direction, Entitlement, EntitlementContract, SloT
 pub use error::{EntitlementError, Result};
 pub use ids::{FlowKey, HostId, NpgId, RegionId};
 pub use period::{Period, Quarter};
-pub use qos::{QosBand, QosClass};
+pub use qos::{QosBand, QosBucket, QosClass};
 pub use rate::Rate;
 pub use rng::DetRng;
 pub use sli::SliRecord;

@@ -1,0 +1,234 @@
+//! The precomputed residual-availability index.
+//!
+//! For each `(src, dst, bucket, slice)` the index caches the
+//! SLO-feasible headroom the backbone can carry for that pair *on top
+//! of* the committed background, derived from one risk sweep. A warm
+//! admit is then a lookup plus a decrement — no sweep.
+//!
+//! **Freshness invariant**: every slot records the index epoch it was
+//! built under. Any event that could change physical headroom (contract
+//! load, topology fault, fault clear) bumps the epoch, which makes every
+//! existing slot stale at once; stale slots are *never* served — the
+//! admit path falls closed to the sweep, whose decision re-installs the
+//! slot under the current epoch. The index is thus only ever refreshed
+//! incrementally, one decided key at a time, never rebuilt wholesale on
+//! the serving path.
+
+use crate::book::MarketKey;
+use crate::slice::SliceId;
+use entitlement_core::{QosBucket, Rate, RegionId, SloTarget};
+use entitlement_risk::{assess_risk, RiskConfig};
+use entitlement_topology::routing::Demand;
+use entitlement_topology::{ScenarioSet, Topology};
+use std::collections::BTreeMap;
+
+/// Index key: directed region pair, bucket, slice.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct IndexKey {
+    /// Source region.
+    pub src: RegionId,
+    /// Destination region.
+    pub dst: RegionId,
+    /// Approval bucket.
+    pub bucket: QosBucket,
+    /// Time slice.
+    pub slice: SliceId,
+}
+
+impl IndexKey {
+    /// The index key serving one store key's region pair.
+    pub fn for_pair(src: RegionId, dst: RegionId, market: &MarketKey) -> IndexKey {
+        IndexKey {
+            src,
+            dst,
+            bucket: market.bucket,
+            slice: market.slice,
+        }
+    }
+}
+
+/// One cached headroom slot.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct IndexSlot {
+    /// Remaining SLO-feasible headroom for the key.
+    pub remaining: Rate,
+    /// Total granted against this key so far (survives invalidation:
+    /// grants are real regardless of index freshness).
+    pub consumed: Rate,
+    /// Epoch the headroom was computed under.
+    pub built_epoch: u64,
+}
+
+/// The residual index: headroom slots plus the freshness epoch.
+#[derive(Clone, Debug, Default)]
+pub struct ResidualIndex {
+    slots: BTreeMap<IndexKey, IndexSlot>,
+    epoch: u64,
+}
+
+impl ResidualIndex {
+    /// Empty (cold) index.
+    pub fn new() -> ResidualIndex {
+        ResidualIndex::default()
+    }
+
+    /// The current freshness epoch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Invalidate every slot at once by advancing the epoch. O(1): the
+    /// slots stay in place but [`ResidualIndex::fresh_remaining`] stops
+    /// serving them.
+    pub fn invalidate_all(&mut self) {
+        self.epoch += 1;
+    }
+
+    /// Remaining headroom for a key — only if the slot was built under
+    /// the current epoch. Stale slots are never served.
+    pub fn fresh_remaining(&self, key: &IndexKey) -> Option<Rate> {
+        self.slots
+            .get(key)
+            .filter(|s| s.built_epoch == self.epoch)
+            .map(|s| s.remaining)
+    }
+
+    /// Rate already granted against a key (fresh or stale: consumption
+    /// is real either way).
+    pub fn consumed(&self, key: &IndexKey) -> Rate {
+        self.slots.get(key).map_or(Rate::ZERO, |s| s.consumed)
+    }
+
+    /// Install (or refresh) a slot from a sweep decision: `headroom` is
+    /// the physical SLO-feasible volume for the pair, from which the
+    /// key's prior consumption is subtracted.
+    pub fn install(&mut self, key: IndexKey, headroom: Rate) {
+        let consumed = self.consumed(&key);
+        self.slots.insert(
+            key,
+            IndexSlot {
+                remaining: (headroom - consumed).clamp_zero(),
+                consumed,
+                built_epoch: self.epoch,
+            },
+        );
+    }
+
+    /// Decrement a slot after a grant.
+    pub fn consume(&mut self, key: &IndexKey, granted: Rate) {
+        if let Some(slot) = self.slots.get_mut(key) {
+            slot.remaining = (slot.remaining - granted).clamp_zero();
+            slot.consumed += granted;
+        }
+    }
+
+    /// Number of slots currently fresh.
+    pub fn fresh_len(&self) -> usize {
+        self.slots
+            .values()
+            .filter(|s| s.built_epoch == self.epoch)
+            .count()
+    }
+
+    /// Total number of slots, fresh or stale.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether the index holds no slots at all.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+}
+
+/// The shared headroom kernel: the SLO-feasible volume the backbone can
+/// carry from `src` to `dst` on top of `background`, under the given
+/// scenario set.
+///
+/// Both the index build and the sweep fallback call exactly this
+/// function with exactly the same inputs, which is what makes an
+/// index-path decision bit-equal a sweep-path decision while the index
+/// is fresh: the cached number *is* the sweep's number.
+pub fn pair_headroom(
+    topo: &Topology,
+    scenarios: &ScenarioSet,
+    background: &[Demand],
+    src: RegionId,
+    dst: RegionId,
+    slo: SloTarget,
+    k_paths: usize,
+) -> Rate {
+    // Probe with the source's full egress: no admissible volume can
+    // exceed it, so the curve's SLO point is the true headroom.
+    let probe = Demand {
+        src,
+        dst,
+        amount: topo.egress_capacity(src),
+    };
+    let curves = assess_risk(
+        topo,
+        &[probe],
+        scenarios,
+        &RiskConfig {
+            k_paths,
+            background: background.to_vec(),
+            workers: 1,
+            dedup: true,
+        },
+    );
+    curves
+        .first()
+        .map_or(Rate::ZERO, |c| c.bandwidth_at(slo.availability()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use entitlement_core::{QosBand, QosClass};
+
+    fn key(slice: u32) -> IndexKey {
+        IndexKey {
+            src: RegionId(0),
+            dst: RegionId(1),
+            bucket: QosBucket {
+                class: QosClass::C1,
+                band: QosBand::Low,
+            },
+            slice: SliceId(slice),
+        }
+    }
+
+    #[test]
+    fn stale_slots_are_never_served() {
+        let mut idx = ResidualIndex::new();
+        idx.install(key(0), Rate::gbps(100.0));
+        assert_eq!(idx.fresh_remaining(&key(0)), Some(Rate::gbps(100.0)));
+        idx.invalidate_all();
+        assert_eq!(idx.fresh_remaining(&key(0)), None, "stale after epoch bump");
+        assert_eq!(idx.len(), 1, "the slot itself survives");
+        assert_eq!(idx.fresh_len(), 0);
+    }
+
+    #[test]
+    fn consumption_survives_invalidation_and_reinstall() {
+        let mut idx = ResidualIndex::new();
+        idx.install(key(0), Rate::gbps(100.0));
+        idx.consume(&key(0), Rate::gbps(30.0));
+        assert_eq!(idx.fresh_remaining(&key(0)), Some(Rate::gbps(70.0)));
+        idx.invalidate_all();
+        // Re-install with reduced physical headroom: prior grants still
+        // count against it.
+        idx.install(key(0), Rate::gbps(50.0));
+        assert_eq!(idx.fresh_remaining(&key(0)), Some(Rate::gbps(20.0)));
+        assert_eq!(idx.consumed(&key(0)), Rate::gbps(30.0));
+    }
+
+    #[test]
+    fn consume_clamps_at_zero() {
+        let mut idx = ResidualIndex::new();
+        idx.install(key(1), Rate::gbps(10.0));
+        idx.consume(&key(1), Rate::gbps(25.0));
+        assert_eq!(idx.fresh_remaining(&key(1)), Some(Rate::ZERO));
+        assert_eq!(idx.consumed(&key(1)), Rate::gbps(25.0));
+    }
+}

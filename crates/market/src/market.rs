@@ -1,0 +1,394 @@
+//! The entitlement market: approval as a serving system.
+//!
+//! [`EntitlementMarket`] turns the batch approval engine into an
+//! admission server. Contracts load into the [`EntitlementBook`] and
+//! become risk-sweep background; [`EntitlementMarket::warm`] runs one
+//! upfront sweep per (region pair, bucket) and installs the resulting
+//! SLO-feasible headroom into the [`ResidualIndex`] for every time
+//! slice. A steady-state [`EntitlementMarket::admit`] is then an index
+//! lookup plus a decrement; only a cold or exhausted slot falls back to
+//! the full RSS sweep (the same [`pair_headroom`] kernel the warm-up
+//! ran), whose decision re-installs the slot — the index refreshes
+//! incrementally from decisions, never from scratch.
+//!
+//! **Fail-closed**: a topology fault ([`EntitlementMarket::apply_fault`])
+//! bumps the index epoch before anything else, so no admit after the
+//! fault can be served pre-fault headroom. The first admit per key after
+//! a fault pays for a sweep against the degraded scenario set.
+
+use crate::book::{EntitlementBook, MarketEntitlement, MarketKey};
+use crate::index::{pair_headroom, IndexKey, ResidualIndex};
+use crate::slice::{SliceGrid, SliceId};
+use entitlement_approval::{negotiate_scenarios, Agreement, ApprovalConfig, ServicePolicy};
+use entitlement_core::{NpgId, QosBucket, Rate, RegionId, SloTarget};
+use entitlement_hose::HoseRequest;
+use entitlement_obs::Obs;
+use entitlement_topology::routing::Demand;
+use entitlement_topology::{FailureScenario, LinkId, ScenarioSet, Topology};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// One admission request: an NPG asking for rate on a directed region
+/// pair, in one bucket and one time slice.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct AdmitRequest {
+    /// Who is asking.
+    pub npg: NpgId,
+    /// Approval bucket.
+    pub bucket: QosBucket,
+    /// Time slice the entitlement should cover.
+    pub slice: SliceId,
+    /// Source region.
+    pub src: RegionId,
+    /// Destination region.
+    pub dst: RegionId,
+    /// Requested rate.
+    pub ask: Rate,
+}
+
+/// Which serving path decided an admission.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AdmitPath {
+    /// Fresh index slot: lookup + decrement, no sweep.
+    Index,
+    /// Cold/stale/exhausted slot: full RSS sweep, slot re-installed.
+    Sweep,
+}
+
+impl AdmitPath {
+    /// Stable label for metrics.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            AdmitPath::Index => "index",
+            AdmitPath::Sweep => "sweep",
+        }
+    }
+}
+
+/// The admission outcome.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AdmitOutcome {
+    /// The full ask was granted.
+    Granted,
+    /// Some, but not all, of the ask was granted.
+    Partial,
+    /// Nothing was granted.
+    Denied,
+}
+
+impl AdmitOutcome {
+    /// Stable label for metrics.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            AdmitOutcome::Granted => "granted",
+            AdmitOutcome::Partial => "partial",
+            AdmitOutcome::Denied => "denied",
+        }
+    }
+}
+
+/// One admission decision.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct AdmitDecision {
+    /// Rate actually granted (`ask.min(available)`).
+    pub granted: Rate,
+    /// Granted / partial / denied.
+    pub outcome: AdmitOutcome,
+    /// Which serving path produced the decision.
+    pub path: AdmitPath,
+}
+
+impl AdmitDecision {
+    fn new(ask: Rate, granted: Rate, path: AdmitPath) -> AdmitDecision {
+        let outcome = if granted.is_zero() {
+            AdmitOutcome::Denied
+        } else if granted.as_bps() >= ask.as_bps() {
+            AdmitOutcome::Granted
+        } else {
+            AdmitOutcome::Partial
+        };
+        AdmitDecision {
+            granted,
+            outcome,
+            path,
+        }
+    }
+}
+
+/// The serving-side entitlement market.
+#[derive(Clone, Debug)]
+pub struct EntitlementMarket {
+    topo: Topology,
+    grid: SliceGrid,
+    config: ApprovalConfig,
+    /// Enumerated once at construction; never re-enumerated on the
+    /// serving path.
+    scenarios: ScenarioSet,
+    /// `scenarios` with the currently dead links appended to every
+    /// scenario's failure set. Rebuilt only when faults change.
+    effective: ScenarioSet,
+    dead_links: Vec<LinkId>,
+    book: EntitlementBook,
+    /// Committed reserving contracts, merged by `(src, dst)`.
+    background: Vec<Demand>,
+    index: ResidualIndex,
+    /// Rates granted through `admit`, for reporting.
+    grants: BTreeMap<MarketKey, Rate>,
+}
+
+impl EntitlementMarket {
+    /// Build a market over a topology. Scenario enumeration — the
+    /// expensive, combinatorial part — happens once, here.
+    pub fn new(topo: Topology, grid: SliceGrid, config: ApprovalConfig) -> EntitlementMarket {
+        let scenarios = ScenarioSet::enumerate(&topo, config.max_cuts);
+        let effective = scenarios.clone();
+        EntitlementMarket {
+            topo,
+            grid,
+            config,
+            scenarios,
+            effective,
+            dead_links: Vec::new(),
+            book: EntitlementBook::new(),
+            background: Vec::new(),
+            index: ResidualIndex::new(),
+            grants: BTreeMap::new(),
+        }
+    }
+
+    /// The slice grid admissions are keyed by.
+    pub fn grid(&self) -> SliceGrid {
+        self.grid
+    }
+
+    /// The topology being served.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// The committed book.
+    pub fn book(&self) -> &EntitlementBook {
+        &self.book
+    }
+
+    /// The residual index (for inspection and tests).
+    pub fn index(&self) -> &ResidualIndex {
+        &self.index
+    }
+
+    /// Links currently dead.
+    pub fn dead_links(&self) -> &[LinkId] {
+        &self.dead_links
+    }
+
+    /// Total rate granted through `admit` so far under one key.
+    pub fn granted(&self, key: &MarketKey) -> Rate {
+        self.grants.get(key).copied().unwrap_or(Rate::ZERO)
+    }
+
+    /// The SLO an admission in `bucket` is approved against: the
+    /// class's default availability target.
+    pub fn slo_for(bucket: QosBucket) -> SloTarget {
+        SloTarget(bucket.class.default_slo())
+    }
+
+    /// Load committed contracts. They cover every slice of the grid,
+    /// reserving kinds join the risk-sweep background, and the index is
+    /// invalidated: committed load changes physical headroom.
+    pub fn load_contracts(&mut self, contracts: &[MarketEntitlement]) {
+        for c in contracts {
+            self.book.commit_all_slices(&self.grid, c);
+        }
+        self.background = self.book.reserved_background();
+        self.index.invalidate_all();
+    }
+
+    /// Mark links dead. The epoch bump comes FIRST: between the fault
+    /// and the next per-key sweep no admit may be served pre-fault
+    /// headroom (fail-closed).
+    pub fn apply_fault(&mut self, links: &[LinkId]) {
+        self.index.invalidate_all();
+        for l in links {
+            if !self.dead_links.contains(l) {
+                self.dead_links.push(*l);
+            }
+        }
+        self.effective = self.effective_scenarios();
+    }
+
+    /// Clear all faults. Headroom may have *grown*, so the index is
+    /// invalidated here too.
+    pub fn clear_faults(&mut self) {
+        self.index.invalidate_all();
+        self.dead_links.clear();
+        self.effective = self.scenarios.clone();
+    }
+
+    /// The enumerated scenario set with every dead link appended to
+    /// every scenario (probabilities unchanged: the dead links are a
+    /// certainty, not a scenario).
+    fn effective_scenarios(&self) -> ScenarioSet {
+        if self.dead_links.is_empty() {
+            return self.scenarios.clone();
+        }
+        let scenarios = self
+            .scenarios
+            .scenarios
+            .iter()
+            .map(|s| {
+                let mut dead = s.dead_links.clone();
+                for l in &self.dead_links {
+                    if !dead.contains(l) {
+                        dead.push(*l);
+                    }
+                }
+                FailureScenario {
+                    dead_links: dead,
+                    probability: s.probability,
+                    label: s.label.clone(),
+                }
+            })
+            .collect();
+        ScenarioSet { scenarios }
+    }
+
+    /// Warm the index: one headroom sweep per (DC pair, bucket),
+    /// installed for every slice of the grid. This is the single
+    /// upfront risk sweep that makes steady-state admits index hits.
+    pub fn warm(&mut self, buckets: &[QosBucket], obs: &Obs) {
+        let span = obs
+            .span("market", "warm")
+            .label("buckets", &buckets.len().to_string());
+        let dcs = self.topo.dc_ids();
+        for &src in &dcs {
+            for &dst in &dcs {
+                if src == dst {
+                    continue;
+                }
+                for &bucket in buckets {
+                    let h = pair_headroom(
+                        &self.topo,
+                        &self.effective,
+                        &self.background,
+                        src,
+                        dst,
+                        Self::slo_for(bucket),
+                        self.config.k_paths,
+                    );
+                    for slice in self.grid.slices() {
+                        self.index.install(
+                            IndexKey {
+                                src,
+                                dst,
+                                bucket,
+                                slice,
+                            },
+                            h,
+                        );
+                    }
+                }
+            }
+        }
+        span.finish();
+    }
+
+    /// Admit without telemetry.
+    pub fn admit(&mut self, req: &AdmitRequest) -> AdmitDecision {
+        self.admit_obs(req, &Obs::disabled())
+    }
+
+    /// Serve one admission. Index path when the slot is fresh and has
+    /// residual; otherwise the sweep path recomputes the pair's
+    /// headroom with the *same kernel* the warm-up used and re-installs
+    /// the slot under the current epoch — so an index decision is
+    /// bit-equal to the sweep decision it caches.
+    pub fn admit_obs(&mut self, req: &AdmitRequest, obs: &Obs) -> AdmitDecision {
+        let t0 = obs.clock.now_ms();
+        let mut span = obs.span("market", "admit");
+        let key = IndexKey {
+            src: req.src,
+            dst: req.dst,
+            bucket: req.bucket,
+            slice: req.slice,
+        };
+        let decision = match self.index.fresh_remaining(&key) {
+            Some(remaining) if !remaining.is_zero() => {
+                let granted = req.ask.min(remaining);
+                self.index.consume(&key, granted);
+                AdmitDecision::new(req.ask, granted, AdmitPath::Index)
+            }
+            _ => {
+                // Cold, stale, or exhausted: fall closed to the sweep.
+                let h = pair_headroom(
+                    &self.topo,
+                    &self.effective,
+                    &self.background,
+                    req.src,
+                    req.dst,
+                    Self::slo_for(req.bucket),
+                    self.config.k_paths,
+                );
+                self.index.install(key, h);
+                let available = self.index.fresh_remaining(&key).unwrap_or(Rate::ZERO);
+                let granted = req.ask.min(available);
+                self.index.consume(&key, granted);
+                AdmitDecision::new(req.ask, granted, AdmitPath::Sweep)
+            }
+        };
+        if !decision.granted.is_zero() {
+            let mkey = MarketKey {
+                npg: req.npg,
+                bucket: req.bucket,
+                slice: req.slice,
+            };
+            *self.grants.entry(mkey).or_insert(Rate::ZERO) += decision.granted;
+        }
+        span.add_label("path", decision.path.as_str());
+        span.add_label("outcome", decision.outcome.as_str());
+        span.finish();
+        if obs.enabled() {
+            let dur_ms = obs.clock.now_ms().saturating_sub(t0);
+            obs.registry
+                .counter(
+                    "entitlement_market_admits_total",
+                    "admission decisions by outcome and serving path",
+                    &[
+                        ("outcome", decision.outcome.as_str()),
+                        ("path", decision.path.as_str()),
+                    ],
+                )
+                .inc();
+            obs.registry
+                .histogram(
+                    "entitlement_market_admit_ms",
+                    "admission latency by serving path",
+                    &[("path", decision.path.as_str())],
+                )
+                .record(dur_ms as f64);
+        }
+        decision
+    }
+
+    /// Negotiate a hose request against the market's *warm* scenario
+    /// set: every round of §8 negotiation reuses the one enumeration
+    /// done at construction (plus current faults), so a warm
+    /// negotiation is bit-identical to a cold `negotiate` while no
+    /// fault is active.
+    pub fn negotiate_warm(
+        &self,
+        request: &HoseRequest,
+        slo: SloTarget,
+        policy: &mut dyn ServicePolicy,
+        max_rounds: usize,
+    ) -> Agreement {
+        negotiate_scenarios(
+            &self.topo,
+            request,
+            slo,
+            policy,
+            &self.config,
+            max_rounds,
+            &self.effective,
+        )
+    }
+}

@@ -1,0 +1,130 @@
+//! Chaos integration: burst admission across a link cut.
+//!
+//! The invariant under test is the fail-closed rule — after a topology
+//! fault, **no admit may be served pre-fault headroom**. The fault
+//! schedule comes from a deterministic `entitlement_chaos::FaultPlan`
+//! with a `LinkCut` window; the market must route every first-touch
+//! admit after the cut down the sweep path (degraded scenarios), and
+//! again after the cut heals (headroom may have grown back).
+
+use entitlement_approval::ApprovalConfig;
+use entitlement_chaos::{Fault, FaultKind, FaultPlan, TimeWindow};
+use entitlement_core::{QosBand, QosBucket, QosClass, Quarter};
+use entitlement_market::{
+    generate_storm, AdmitPath, EntitlementMarket, SliceGrid, StormConfig,
+};
+use entitlement_topology::{BackboneSpec, LinkId};
+
+fn market() -> EntitlementMarket {
+    let topo = BackboneSpec::small(0x1360).build();
+    EntitlementMarket::new(
+        topo,
+        SliceGrid::quarterly(Quarter(0), 30),
+        ApprovalConfig {
+            tms_per_hose: 2,
+            max_cuts: 1,
+            ..Default::default()
+        },
+    )
+}
+
+fn buckets() -> Vec<QosBucket> {
+    vec![QosBucket {
+        class: QosClass::C3,
+        band: QosBand::Low,
+    }]
+}
+
+#[test]
+fn admits_fail_closed_to_sweep_across_a_link_cut() {
+    let plan = FaultPlan {
+        seed: 19,
+        faults: vec![Fault {
+            window: TimeWindow::new(1000, 5000),
+            kind: FaultKind::LinkCut { links: vec![0, 3] },
+        }],
+    };
+
+    let mut market = market();
+    market.warm(&buckets(), &entitlement_obs::Obs::disabled());
+    let storm = generate_storm(
+        &market,
+        &buckets(),
+        &StormConfig {
+            requests: 60,
+            seed: 7,
+            npgs: 4,
+            max_ask_gbps: 2.0,
+        },
+    );
+
+    // Phase 1 (t=0, before the window): everything rides the warm index.
+    let mut cut_applied = false;
+    let mut first_touch_after_cut = 0usize;
+    let mut index_before_refresh = 0usize;
+    let mut seen_keys: Vec<String> = Vec::new();
+    for (i, req) in storm.iter().enumerate() {
+        // Advance logical time 100 ms per request: the cut lands
+        // mid-storm, exactly the "burst admission during failure" case.
+        let now_ms = i as u64 * 100;
+        let cuts = plan.cut_links(now_ms);
+        if !cuts.is_empty() && !cut_applied {
+            market.apply_fault(&cuts.iter().map(|&l| LinkId(l)).collect::<Vec<_>>());
+            cut_applied = true;
+            seen_keys.clear();
+            assert_eq!(
+                market.index().fresh_len(),
+                0,
+                "the cut must invalidate every slot before any admit"
+            );
+        }
+        let d = market.admit(req);
+        if cut_applied {
+            let key = format!("{:?}>{:?}/{}/{}", req.src, req.dst, req.bucket, req.slice);
+            if !seen_keys.contains(&key) {
+                first_touch_after_cut += 1;
+                if d.path == AdmitPath::Index {
+                    index_before_refresh += 1;
+                }
+                seen_keys.push(key);
+            }
+        } else {
+            assert_eq!(d.path, AdmitPath::Index, "warm slot before the cut");
+        }
+    }
+    assert!(cut_applied, "the fault window must land inside the storm");
+    assert!(first_touch_after_cut > 0, "storm must touch keys post-cut");
+    assert_eq!(
+        index_before_refresh, 0,
+        "{index_before_refresh} first-touch admits were served stale pre-cut headroom"
+    );
+}
+
+#[test]
+fn healing_the_cut_invalidates_again() {
+    let mut market = market();
+    market.warm(&buckets(), &entitlement_obs::Obs::disabled());
+    market.apply_fault(&[LinkId(0)]);
+    assert_eq!(market.index().fresh_len(), 0);
+    let storm = generate_storm(
+        &market,
+        &buckets(),
+        &StormConfig {
+            requests: 5,
+            seed: 1,
+            npgs: 2,
+            max_ask_gbps: 1.0,
+        },
+    );
+    let d = market.admit(&storm[0]);
+    assert_eq!(d.path, AdmitPath::Sweep, "first touch after fault sweeps");
+    let d = market.admit(&storm[0]);
+    assert_eq!(d.path, AdmitPath::Index, "refreshed slot serves again");
+
+    // Healing restores capacity — which also must not be served from
+    // the degraded-era slots.
+    market.clear_faults();
+    assert_eq!(market.index().fresh_len(), 0, "heal invalidates too");
+    let d = market.admit(&storm[0]);
+    assert_eq!(d.path, AdmitPath::Sweep);
+}

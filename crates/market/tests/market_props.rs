@@ -1,0 +1,145 @@
+//! Property tests for the market's two load-bearing claims:
+//!
+//! * **index-path == sweep-path**: a warmed market and a cold market
+//!   serve bit-identical grant sequences for any seeded storm — the
+//!   warm index only ever returns the number the sweep would have
+//!   computed;
+//! * **warm negotiation == cold negotiation**: reusing the market's
+//!   one-shot scenario enumeration across §8 rounds returns the same
+//!   `Agreement`, byte for byte.
+
+use entitlement_approval::{negotiate, ApprovalConfig, ThresholdPolicy};
+use entitlement_core::{
+    Direction, NpgId, QosBand, QosBucket, QosClass, Quarter, Rate, RegionId, SloTarget,
+};
+use entitlement_hose::HoseRequest;
+use entitlement_market::{
+    generate_storm, EntitlementKind, EntitlementMarket, MarketEntitlement, SliceGrid, StormConfig,
+};
+use entitlement_topology::BackboneSpec;
+use proptest::prelude::*;
+
+const TOPO_SEEDS: [u64; 3] = [0x1360, 41, 7];
+
+fn config() -> ApprovalConfig {
+    ApprovalConfig {
+        tms_per_hose: 2,
+        max_cuts: 1,
+        ..Default::default()
+    }
+}
+
+fn buckets() -> Vec<QosBucket> {
+    vec![
+        QosBucket {
+            class: QosClass::C1,
+            band: QosBand::Low,
+        },
+        QosBucket {
+            class: QosClass::C3,
+            band: QosBand::High,
+        },
+    ]
+}
+
+fn contracts(topo_dcs: &[RegionId]) -> Vec<MarketEntitlement> {
+    vec![
+        MarketEntitlement {
+            npg: NpgId(100),
+            bucket: buckets()[0],
+            src: topo_dcs[0],
+            dst: topo_dcs[1],
+            rate: Rate::gbps(40.0),
+            kind: EntitlementKind::Subscription,
+        },
+        MarketEntitlement {
+            npg: NpgId(101),
+            bucket: buckets()[1],
+            src: topo_dcs[1],
+            dst: topo_dcs[2],
+            rate: Rate::gbps(25.0),
+            kind: EntitlementKind::Quota { volume_bytes: 1e15 },
+        },
+    ]
+}
+
+proptest! {
+    // Every case runs real risk sweeps; keep the count modest.
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// A warmed market (every admit rides the index) and a cold market
+    /// (the first admit per key sweeps) grant bit-identical rates for
+    /// the same storm. This is the index-freshness contract: the cached
+    /// number IS the sweep's number.
+    #[test]
+    fn warm_index_decisions_bit_equal_cold_sweep_decisions(
+        topo_seed in 0usize..3,
+        storm_seed in 0u64..1000,
+    ) {
+        let topo = BackboneSpec::small(TOPO_SEEDS[topo_seed]).build();
+        let grid = SliceGrid::quarterly(Quarter(0), 30);
+        let dcs = topo.dc_ids();
+
+        let mut warm = EntitlementMarket::new(topo.clone(), grid, config());
+        warm.load_contracts(&contracts(&dcs));
+        warm.warm(&buckets(), &entitlement_obs::Obs::disabled());
+
+        let mut cold = EntitlementMarket::new(topo, grid, config());
+        cold.load_contracts(&contracts(&dcs));
+        // No warm(): every first touch per key goes down the sweep path.
+
+        let storm = generate_storm(&warm, &buckets(), &StormConfig {
+            requests: 40,
+            seed: storm_seed,
+            npgs: 4,
+            max_ask_gbps: 30.0,
+        });
+        for req in &storm {
+            let a = warm.admit(req);
+            let b = cold.admit(req);
+            prop_assert_eq!(
+                a.granted.as_bps().to_bits(),
+                b.granted.as_bps().to_bits(),
+                "warm grant {} != cold grant {} for {:?}",
+                a.granted, b.granted, req
+            );
+            prop_assert_eq!(a.outcome, b.outcome);
+        }
+    }
+
+    /// `negotiate_warm` against the market's cached enumeration returns
+    /// the same Agreement as a cold `negotiate`, byte for byte, for any
+    /// seed × topology.
+    #[test]
+    fn warm_negotiation_matches_cold(
+        topo_seed in 0usize..3,
+        ask_g in 100u64..20_000,
+    ) {
+        let topo = BackboneSpec::small(TOPO_SEEDS[topo_seed]).build();
+        let dcs = topo.dc_ids();
+        let hose = HoseRequest::general(
+            NpgId(5),
+            QosClass::C2,
+            dcs[0],
+            Direction::Egress,
+            Rate::gbps(ask_g as f64),
+            dcs[1..].iter().copied(),
+        );
+        let slo = SloTarget::new(0.99).unwrap();
+        let cfg = config();
+        let market = EntitlementMarket::new(
+            topo.clone(),
+            SliceGrid::quarterly(Quarter(0), 30),
+            cfg.clone(),
+        );
+
+        let mut policy_a = ThresholdPolicy { accept_fraction: 0.8, patience: 2 };
+        let mut policy_b = ThresholdPolicy { accept_fraction: 0.8, patience: 2 };
+        let warm = market.negotiate_warm(&hose, slo, &mut policy_a, 5);
+        let cold = negotiate(&topo, &hose, slo, &mut policy_b, &cfg, 5);
+        prop_assert_eq!(
+            serde_json::to_string(&warm).unwrap(),
+            serde_json::to_string(&cold).unwrap()
+        );
+    }
+}

@@ -70,14 +70,16 @@ fn num(v: &serde::JsonValue, key: &str) -> f64 {
 }
 
 impl BenchRecord {
-    /// Build the record from a run's trace events (agent `cycle` span
-    /// durations feed the latency quantiles) and its [`SloReport`]
-    /// (throughput, attainment, alerts).
+    /// Build the record from a run's trace events (agent `cycle` and
+    /// market `admit` span durations feed the latency quantiles) and
+    /// its [`SloReport`] (throughput, attainment, alerts).
     #[must_use]
     pub fn from_run(name: &str, seed: u64, events: &[TraceEvent], report: &SloReport) -> Self {
         let cycle_ms = Histogram::new();
         for e in events {
-            if e.span == "agent" && e.phase == "cycle" {
+            if (e.span == "agent" && e.phase == "cycle")
+                || (e.span == "market" && e.phase == "admit")
+            {
                 cycle_ms.record(e.dur_ms);
             }
         }

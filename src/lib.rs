@@ -21,6 +21,9 @@
 //!   for the CLI plumbing);
 //! * [`risk`] — the Risk Simulation System (availability curves);
 //! * [`approval`] — Algorithm 2 (`Hose_Approval` / `Pipe_Approval`);
+//! * [`market`] — approval as a serving system: time-sliced entitlement
+//!   store with a warm residual-availability index, fail-closed index
+//!   invalidation, and seeded admission storms (`entitlectl market`);
 //! * [`simnet`] — the enforcement-side network simulator;
 //! * [`kvstore`] — the distributed rate-aggregation store;
 //! * [`chaos`] — deterministic fault injection for the runtime
@@ -64,6 +67,7 @@ pub use entitlement_enforcement as enforcement;
 pub use entitlement_forecast as forecast;
 pub use entitlement_hose as hose;
 pub use entitlement_kvstore as kvstore;
+pub use entitlement_market as market;
 pub use entitlement_obs as obs;
 pub use entitlement_risk as risk;
 pub use entitlement_simnet as simnet;
@@ -87,6 +91,11 @@ pub mod prelude {
     pub use entitlement_forecast::{ForecastPipeline, PipelineConfig, QuarterForecast};
     pub use entitlement_hose::{
         generate_tms, segment_flow_series, HoseRequest, HoseSegment, TmGenConfig,
+    };
+    pub use entitlement_market::{
+        AdmitDecision, AdmitOutcome, AdmitPath, AdmitRequest, EntitlementBook, EntitlementKind,
+        EntitlementMarket, MarketEntitlement, MarketKey, ResidualIndex, SliceGrid, SliceId,
+        StormConfig, StormReport,
     };
     pub use entitlement_obs::{Clock, Obs};
     pub use entitlement_risk::{
