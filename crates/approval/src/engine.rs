@@ -4,9 +4,9 @@ use crate::types::{HoseApproval, PipeApproval};
 use entitlement_core::{NpgId, Rate, RegionId, SloTarget};
 use entitlement_hose::{generate_tms, HoseRequest, TmGenConfig};
 use entitlement_obs::Obs;
-use entitlement_risk::{assess_risk_detailed_obs, RiskConfig};
+use entitlement_risk::{assess_risk_samples_obs, AvailabilityCurve, RiskConfig};
 use entitlement_topology::routing::Demand;
-use entitlement_topology::{ScenarioSet, Topology};
+use entitlement_topology::{LinkId, ScenarioSet, Topology};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
@@ -136,11 +136,28 @@ pub fn pipe_approval(
     )
 }
 
+/// Binding-link sets rendered for trace labels: `"none"` for the
+/// healthy scenario, else `"l3+l7"`.
+fn fmt_links(links: &[LinkId]) -> String {
+    if links.is_empty() {
+        return "none".to_string();
+    }
+    links
+        .iter()
+        .map(ToString::to_string)
+        .collect::<Vec<_>>()
+        .join("+")
+}
+
 /// [`pipe_approval`] with telemetry: an `approval`/`pipe_approval` span
 /// labelled with the pipe count and SLO target, plus the risk sweep's
 /// own spans and histograms (see
-/// [`entitlement_risk::assess_risk_detailed_obs`]). Approvals are
-/// identical to the un-instrumented path.
+/// [`entitlement_risk::assess_risk_samples_obs`]). Every pipe the SLO
+/// curve clips below its request additionally gets an
+/// `approval`/`pipe_binding` provenance event naming the binding
+/// failure scenario, its dead links, and its probability — the reason
+/// the grant is what it is, recoverable from the trace alone. Approvals
+/// are identical to the un-instrumented path.
 #[allow(clippy::too_many_arguments)]
 pub fn pipe_approval_obs(
     topo: &Topology,
@@ -156,7 +173,7 @@ pub fn pipe_approval_obs(
         .span("approval", "pipe_approval")
         .label("pipes", &demands.len().to_string())
         .label("slo", &format!("{:.4}", slo.availability()));
-    let curves = assess_risk_detailed_obs(
+    let samples = assess_risk_samples_obs(
         topo,
         demands,
         scenarios,
@@ -167,8 +184,12 @@ pub fn pipe_approval_obs(
             dedup: config.dedup,
         },
         obs,
-    )
-    .curves;
+    );
+    let curves: Vec<AvailabilityCurve> = samples
+        .samples
+        .iter()
+        .map(|s| AvailabilityCurve::from_samples(s.clone()))
+        .collect();
     let mut out: Vec<PipeApproval> = demands
         .iter()
         .zip(requested)
@@ -187,6 +208,35 @@ pub fn pipe_approval_obs(
             }
         })
         .collect();
+    if obs.enabled() {
+        for (i, p) in out.iter().enumerate() {
+            if p.fully_approved() {
+                continue;
+            }
+            let (scenario, links, p_bind) =
+                match samples.binding_scenario(i, slo.availability()) {
+                    Some(s) => {
+                        let sc = &scenarios.scenarios[s];
+                        (sc.label.clone(), fmt_links(&sc.dead_links), sc.probability)
+                    }
+                    None => ("infeasible".to_string(), "none".to_string(), 0.0),
+                };
+            obs.event(
+                "approval",
+                "pipe_binding",
+                &[
+                    ("pipe", &i.to_string()),
+                    ("src", &p.src.to_string()),
+                    ("dst", &p.dst.to_string()),
+                    ("requested_gbps", &format!("{}", p.requested.as_gbps())),
+                    ("approved_gbps", &format!("{}", p.approved.as_gbps())),
+                    ("binding_scenario", &scenario),
+                    ("binding_links", &links),
+                    ("binding_p", &format!("{p_bind}")),
+                ],
+            );
+        }
+    }
     if config.mode == ApprovalMode::StrictBatch && out.iter().any(|p| !p.fully_approved()) {
         for p in &mut out {
             p.approved = Rate::ZERO;
@@ -302,6 +352,11 @@ pub fn approve_requests_obs(
 
 /// [`approve_requests_obs`] against a pre-enumerated scenario set (see
 /// [`hose_approval_scenarios`] for the warm-path contract).
+///
+/// The whole invocation runs under one `approval`/`round` root span, so
+/// under trace-schema v2 the per-phase spans (`preflight`,
+/// `gen_demand`, each `hose_approval` with its nested `pipe_approval` →
+/// `risk` sweep, `aggregate`) form a single causal tree per round.
 pub fn approve_requests_scenarios_obs(
     topo: &Topology,
     requests: &[ApprovalRequest],
@@ -309,6 +364,10 @@ pub fn approve_requests_scenarios_obs(
     config: &ApprovalConfig,
     obs: &Obs,
 ) -> Vec<HoseApproval> {
+    let round_span = obs
+        .span("approval", "round")
+        .label("hoses", &requests.len().to_string())
+        .label("scenarios", &scenarios.len().to_string());
     let hoses: Vec<&HoseRequest> = requests.iter().map(|r| &r.hose).collect();
 
     // Pre-flight: reject statically invalid hoses before spending any
@@ -536,6 +595,7 @@ pub fn approve_requests_scenarios_obs(
     results.sort_by_key(|&(i, _)| i);
     let out: Vec<HoseApproval> = results.into_iter().map(|(_, r)| r).collect();
     agg_span.finish();
+    round_span.finish();
     out
 }
 

@@ -82,13 +82,16 @@ impl<K> ObservedKv<K> {
                 Ok(_) => "ok".to_string(),
                 Err(e) => format!("error:{e:?}"),
             };
-            self.obs.trace.push(entitlement_obs::TraceEvent {
-                ts_ms: start_ms,
-                span: "kv".to_string(),
-                phase: phase.to_string(),
-                labels: vec![("outcome".to_string(), outcome)],
-                dur_ms: end_ms.saturating_sub(start_ms) as f64,
-            });
+            // push_child: the sink allocates span ids and parents the
+            // op under the currently open span (the agent's cycle), so
+            // KV ops land in the causal tree, not as orphan roots.
+            self.obs.trace.push_child(entitlement_obs::TraceEvent::new(
+                start_ms,
+                "kv",
+                phase,
+                vec![("outcome".to_string(), outcome)],
+                end_ms.saturating_sub(start_ms) as f64,
+            ));
         }
         result
     }

@@ -17,10 +17,12 @@
 use crate::book::MarketKey;
 use crate::slice::SliceId;
 use entitlement_core::{QosBucket, Rate, RegionId, SloTarget};
-use entitlement_risk::{assess_risk, RiskConfig};
+use entitlement_obs::Obs;
+use entitlement_risk::{assess_risk_samples_obs, RiskConfig};
 use entitlement_topology::routing::Demand;
-use entitlement_topology::{ScenarioSet, Topology};
+use entitlement_topology::{LinkId, ScenarioSet, Topology};
 use std::collections::BTreeMap;
+use std::fmt::Write as _;
 
 /// Index key: directed region pair, bucket, slice.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -59,10 +61,46 @@ pub struct IndexSlot {
     pub built_epoch: u64,
 }
 
+/// Why a slot's headroom is what it is: the scenario that was binding
+/// when the headroom sweep ran. Kept in a side map (not inside
+/// [`IndexSlot`], which stays `Copy`) and surfaced in the
+/// decision-provenance labels of every admit served off the slot.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SlotProvenance {
+    /// Label of the binding failure scenario (e.g. `ok`,
+    /// `cut(r0-r3)`), or `infeasible` when no scenario mass could meet
+    /// the SLO.
+    pub binding_scenario: String,
+    /// The binding scenario's dead links, `+`-joined (`none` when the
+    /// healthy scenario binds).
+    pub binding_links: String,
+    /// The binding scenario's probability.
+    pub binding_probability: f64,
+    /// The physical SLO-feasible headroom the sweep computed.
+    pub headroom: Rate,
+}
+
+/// Render a dead-link set for provenance labels: `l3+l7`, or `none`.
+#[must_use]
+pub fn fmt_links(links: &[LinkId]) -> String {
+    if links.is_empty() {
+        return "none".to_string();
+    }
+    let mut out = String::new();
+    for (i, l) in links.iter().enumerate() {
+        if i > 0 {
+            out.push('+');
+        }
+        let _ = write!(out, "{l}");
+    }
+    out
+}
+
 /// The residual index: headroom slots plus the freshness epoch.
 #[derive(Clone, Debug, Default)]
 pub struct ResidualIndex {
     slots: BTreeMap<IndexKey, IndexSlot>,
+    provenance: BTreeMap<IndexKey, SlotProvenance>,
     epoch: u64,
 }
 
@@ -114,11 +152,41 @@ impl ResidualIndex {
         );
     }
 
+    /// [`ResidualIndex::install`] plus the sweep's provenance record,
+    /// so later index-path admits can still name the binding scenario
+    /// without re-sweeping.
+    pub fn install_with(&mut self, key: IndexKey, headroom: Rate, provenance: SlotProvenance) {
+        self.install(key, headroom);
+        self.provenance.insert(key, provenance);
+    }
+
+    /// Provenance of a key's slot, if a provenance-carrying install
+    /// recorded one. Survives epoch bumps alongside the slot (it
+    /// explains the *last computed* headroom, which is what the slot
+    /// still holds).
+    #[must_use]
+    pub fn provenance(&self, key: &IndexKey) -> Option<&SlotProvenance> {
+        self.provenance.get(key)
+    }
+
     /// Decrement a slot after a grant.
     pub fn consume(&mut self, key: &IndexKey, granted: Rate) {
         if let Some(slot) = self.slots.get_mut(key) {
             slot.remaining = (slot.remaining - granted).clamp_zero();
             slot.consumed += granted;
+        }
+    }
+
+    /// The serving state of a key's slot, as a stable label: `fresh`
+    /// (servable), `exhausted` (fresh but empty), `stale` (built under
+    /// an older epoch), or `cold` (never built).
+    #[must_use]
+    pub fn slot_state(&self, key: &IndexKey) -> &'static str {
+        match self.slots.get(key) {
+            Some(s) if s.built_epoch == self.epoch && !s.remaining.is_zero() => "fresh",
+            Some(s) if s.built_epoch == self.epoch => "exhausted",
+            Some(_) => "stale",
+            None => "cold",
         }
     }
 
@@ -158,6 +226,48 @@ pub fn pair_headroom(
     slo: SloTarget,
     k_paths: usize,
 ) -> Rate {
+    pair_headroom_probe(
+        topo,
+        scenarios,
+        background,
+        src,
+        dst,
+        slo,
+        k_paths,
+        &Obs::disabled(),
+    )
+    .headroom
+}
+
+/// A headroom sweep's full answer: the number plus its provenance.
+#[derive(Clone, Debug)]
+pub struct HeadroomProbe {
+    /// SLO-feasible volume for the pair.
+    pub headroom: Rate,
+    /// Which scenario was binding and why.
+    pub provenance: SlotProvenance,
+}
+
+/// [`pair_headroom`] keeping the per-scenario evidence: the same
+/// sweep, but instead of folding the samples into a curve and reading
+/// one point, the binding scenario (the one at which cumulative
+/// probability first covers the SLO, in admitted-volume order) is
+/// identified and recorded. `probe.headroom` is bit-equal to
+/// [`pair_headroom`]'s return value; the provenance is free.
+///
+/// Telemetry (`risk` sweep/merge/scenario spans, sweep histograms)
+/// lands in `obs` when enabled.
+#[allow(clippy::too_many_arguments)]
+pub fn pair_headroom_probe(
+    topo: &Topology,
+    scenarios: &ScenarioSet,
+    background: &[Demand],
+    src: RegionId,
+    dst: RegionId,
+    slo: SloTarget,
+    k_paths: usize,
+    obs: &Obs,
+) -> HeadroomProbe {
     // Probe with the source's full egress: no admissible volume can
     // exceed it, so the curve's SLO point is the true headroom.
     let probe = Demand {
@@ -165,7 +275,7 @@ pub fn pair_headroom(
         dst,
         amount: topo.egress_capacity(src),
     };
-    let curves = assess_risk(
+    let samples = assess_risk_samples_obs(
         topo,
         &[probe],
         scenarios,
@@ -175,10 +285,31 @@ pub fn pair_headroom(
             workers: 1,
             dedup: true,
         },
+        obs,
     );
-    curves
-        .first()
-        .map_or(Rate::ZERO, |c| c.bandwidth_at(slo.availability()))
+    match samples.binding_scenario(0, slo.availability()) {
+        Some(b) => {
+            let scenario = &scenarios.scenarios[b];
+            HeadroomProbe {
+                headroom: samples.samples[0][b].0,
+                provenance: SlotProvenance {
+                    binding_scenario: scenario.label.clone(),
+                    binding_links: fmt_links(&scenario.dead_links),
+                    binding_probability: scenario.probability,
+                    headroom: samples.samples[0][b].0,
+                },
+            }
+        }
+        None => HeadroomProbe {
+            headroom: Rate::ZERO,
+            provenance: SlotProvenance {
+                binding_scenario: "infeasible".to_string(),
+                binding_links: "none".to_string(),
+                binding_probability: 0.0,
+                headroom: Rate::ZERO,
+            },
+        },
+    }
 }
 
 #[cfg(test)]
@@ -221,6 +352,31 @@ mod tests {
         idx.install(key(0), Rate::gbps(50.0));
         assert_eq!(idx.fresh_remaining(&key(0)), Some(Rate::gbps(20.0)));
         assert_eq!(idx.consumed(&key(0)), Rate::gbps(30.0));
+    }
+
+    #[test]
+    fn provenance_rides_installs_and_survives_epochs() {
+        let mut idx = ResidualIndex::new();
+        assert_eq!(idx.provenance(&key(0)), None);
+        let prov = SlotProvenance {
+            binding_scenario: "cut(r0-r3)".to_string(),
+            binding_links: "l3+l7".to_string(),
+            binding_probability: 0.01,
+            headroom: Rate::gbps(40.0),
+        };
+        idx.install_with(key(0), Rate::gbps(40.0), prov.clone());
+        assert_eq!(idx.provenance(&key(0)), Some(&prov));
+        idx.invalidate_all();
+        // The slot is stale but the explanation of its last headroom
+        // computation remains addressable.
+        assert_eq!(idx.provenance(&key(0)), Some(&prov));
+    }
+
+    #[test]
+    fn link_sets_render_for_labels() {
+        assert_eq!(fmt_links(&[]), "none");
+        assert_eq!(fmt_links(&[LinkId(3)]), "l3");
+        assert_eq!(fmt_links(&[LinkId(3), LinkId(7)]), "l3+l7");
     }
 
     #[test]

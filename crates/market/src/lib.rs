@@ -29,13 +29,18 @@
 #![forbid(unsafe_code)]
 
 pub mod book;
+pub mod explain;
 pub mod index;
 pub mod market;
 pub mod slice;
 pub mod storm;
 
 pub use book::{EntitlementBook, EntitlementKind, MarketEntitlement, MarketKey};
-pub use index::{pair_headroom, IndexKey, IndexSlot, ResidualIndex};
+pub use explain::{explain_denied, explain_request};
+pub use index::{
+    pair_headroom, pair_headroom_probe, HeadroomProbe, IndexKey, IndexSlot, ResidualIndex,
+    SlotProvenance,
+};
 pub use market::{
     AdmitDecision, AdmitOutcome, AdmitPath, AdmitRequest, EntitlementMarket,
 };

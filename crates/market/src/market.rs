@@ -17,7 +17,7 @@
 //! a fault pays for a sweep against the degraded scenario set.
 
 use crate::book::{EntitlementBook, MarketEntitlement, MarketKey};
-use crate::index::{pair_headroom, IndexKey, ResidualIndex};
+use crate::index::{pair_headroom_probe, IndexKey, ResidualIndex};
 use crate::slice::{SliceGrid, SliceId};
 use entitlement_approval::{negotiate_scenarios, Agreement, ApprovalConfig, ServicePolicy};
 use entitlement_core::{NpgId, QosBucket, Rate, RegionId, SloTarget};
@@ -115,6 +115,12 @@ impl AdmitDecision {
     }
 }
 
+/// Shortest-round-trip decimal Gbps for provenance labels
+/// (deterministic: no locale, no precision knob).
+fn fmt_gbps(r: Rate) -> String {
+    format!("{}", r.as_gbps())
+}
+
 /// The serving-side entitlement market.
 #[derive(Clone, Debug)]
 pub struct EntitlementMarket {
@@ -134,6 +140,11 @@ pub struct EntitlementMarket {
     index: ResidualIndex,
     /// Rates granted through `admit`, for reporting.
     grants: BTreeMap<MarketKey, Rate>,
+    /// Monotone per-market admission ordinal; becomes the stable
+    /// `request` label on `market`/`admit` spans so explain/summarize
+    /// can address one decision without positional indexing. Counts
+    /// every admit, traced or not, so ordinals match across runs.
+    admit_seq: u64,
 }
 
 impl EntitlementMarket {
@@ -153,6 +164,7 @@ impl EntitlementMarket {
             background: Vec::new(),
             index: ResidualIndex::new(),
             grants: BTreeMap::new(),
+            admit_seq: 0,
         }
     }
 
@@ -266,7 +278,7 @@ impl EntitlementMarket {
                     continue;
                 }
                 for &bucket in buckets {
-                    let h = pair_headroom(
+                    let probe = pair_headroom_probe(
                         &self.topo,
                         &self.effective,
                         &self.background,
@@ -274,16 +286,18 @@ impl EntitlementMarket {
                         dst,
                         Self::slo_for(bucket),
                         self.config.k_paths,
+                        obs,
                     );
                     for slice in self.grid.slices() {
-                        self.index.install(
+                        self.index.install_with(
                             IndexKey {
                                 src,
                                 dst,
                                 bucket,
                                 slice,
                             },
-                            h,
+                            probe.headroom,
+                            probe.provenance.clone(),
                         );
                     }
                 }
@@ -303,6 +317,8 @@ impl EntitlementMarket {
     /// the slot under the current epoch — so an index decision is
     /// bit-equal to the sweep decision it caches.
     pub fn admit_obs(&mut self, req: &AdmitRequest, obs: &Obs) -> AdmitDecision {
+        let seq = self.admit_seq;
+        self.admit_seq += 1;
         let t0 = obs.clock.now_ms();
         let mut span = obs.span("market", "admit");
         let key = IndexKey {
@@ -311,15 +327,36 @@ impl EntitlementMarket {
             bucket: req.bucket,
             slice: req.slice,
         };
-        let decision = match self.index.fresh_remaining(&key) {
+        let traced = obs.enabled();
+        if traced {
+            span.add_label("request", &seq.to_string());
+            span.add_label("npg", &req.npg.to_string());
+            span.add_label("bucket", &req.bucket.to_string());
+            span.add_label("slice", &req.slice.to_string());
+            span.add_label("src", &req.src.to_string());
+            span.add_label("dst", &req.dst.to_string());
+            span.add_label("ask_gbps", &fmt_gbps(req.ask));
+            span.add_label("epoch", &self.index.epoch().to_string());
+        }
+        let slot_state = self.index.slot_state(&key);
+        if traced {
+            obs.event("market", "index_probe", &[("state", slot_state)]);
+        }
+        let (decision, residual_before) = match self.index.fresh_remaining(&key) {
             Some(remaining) if !remaining.is_zero() => {
                 let granted = req.ask.min(remaining);
                 self.index.consume(&key, granted);
-                AdmitDecision::new(req.ask, granted, AdmitPath::Index)
+                (
+                    AdmitDecision::new(req.ask, granted, AdmitPath::Index),
+                    remaining,
+                )
             }
             _ => {
                 // Cold, stale, or exhausted: fall closed to the sweep.
-                let h = pair_headroom(
+                let fallback = obs
+                    .span("market", "sweep_fallback")
+                    .label("reason", slot_state);
+                let probe = pair_headroom_probe(
                     &self.topo,
                     &self.effective,
                     &self.background,
@@ -327,12 +364,17 @@ impl EntitlementMarket {
                     req.dst,
                     Self::slo_for(req.bucket),
                     self.config.k_paths,
+                    obs,
                 );
-                self.index.install(key, h);
+                fallback.finish();
+                self.index.install_with(key, probe.headroom, probe.provenance);
                 let available = self.index.fresh_remaining(&key).unwrap_or(Rate::ZERO);
                 let granted = req.ask.min(available);
                 self.index.consume(&key, granted);
-                AdmitDecision::new(req.ask, granted, AdmitPath::Sweep)
+                (
+                    AdmitDecision::new(req.ask, granted, AdmitPath::Sweep),
+                    available,
+                )
             }
         };
         if !decision.granted.is_zero() {
@@ -342,6 +384,23 @@ impl EntitlementMarket {
                 slice: req.slice,
             };
             *self.grants.entry(mkey).or_insert(Rate::ZERO) += decision.granted;
+        }
+        if traced {
+            // Decision-provenance ledger: everything `entitlectl
+            // explain` needs to reconstruct *why*, carried on the span
+            // itself so the trace alone is sufficient evidence.
+            span.add_label("granted_gbps", &fmt_gbps(decision.granted));
+            span.add_label("residual_before_gbps", &fmt_gbps(residual_before));
+            span.add_label(
+                "residual_after_gbps",
+                &fmt_gbps((residual_before - decision.granted).clamp_zero()),
+            );
+            if let Some(prov) = self.index.provenance(&key) {
+                span.add_label("binding_scenario", &prov.binding_scenario);
+                span.add_label("binding_links", &prov.binding_links);
+                span.add_label("binding_p", &format!("{}", prov.binding_probability));
+                span.add_label("headroom_gbps", &fmt_gbps(prov.headroom));
+            }
         }
         span.add_label("path", decision.path.as_str());
         span.add_label("outcome", decision.outcome.as_str());

@@ -37,12 +37,20 @@ pub mod metrics;
 pub mod registry;
 pub mod summary;
 pub mod trace;
+pub mod tree;
 
 pub use clock::Clock;
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot};
 pub use registry::{escape_label_value, Registry};
-pub use summary::{parse_trace, summarize_trace, summarize_trace_by_label, validate_prometheus};
+pub use summary::{
+    diff_prometheus, diff_traces, parse_trace, summarize_trace, summarize_trace_by_label,
+    validate_prometheus,
+};
 pub use trace::{SpanTimer, TraceEvent, TraceSink};
+pub use tree::{
+    build_span_forest, check_well_formed, critical_path, flamegraph_folded, render_critical_path,
+    render_span_tree, self_time_ms, SpanForest, SpanNode,
+};
 
 /// The telemetry bundle threaded through instrumented call paths: a
 /// metric [`Registry`], a [`TraceSink`], and the [`Clock`] that stamps

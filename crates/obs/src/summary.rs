@@ -1,7 +1,9 @@
 //! Offline analysis of emitted telemetry: parse a JSONL trace back
-//! into events, render a per-phase latency table, and validate a
-//! Prometheus text exposition payload. This is what backs
-//! `entitlectl obs summarize` and the CI telemetry check.
+//! into events, render a per-phase latency table, validate a
+//! Prometheus text exposition payload, and diff two telemetry files
+//! with parsed context. This is what backs `entitlectl obs summarize`
+//! / `obs diff` and the CI telemetry checks; span-tree reconstruction
+//! and flamegraph export live in [`crate::tree`].
 
 use crate::metrics::Histogram;
 use crate::trace::TraceEvent;
@@ -10,9 +12,9 @@ use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
 /// Parse a JSONL trace (one event per line; blank lines ignored),
-/// validating the stable schema: `ts_ms` (non-negative number),
-/// `span`/`phase` (strings), `labels` (string→string object),
-/// `dur_ms` (number).
+/// validating the stable v2 schema: `ts_ms`/`trace_id`/`span_id`/
+/// `parent_id` (non-negative integers, `span_id` ≥ 1), `span`/`phase`
+/// (strings), `labels` (string→string object), `dur_ms` (number).
 pub fn parse_trace(jsonl: &str) -> Result<Vec<TraceEvent>, String> {
     let mut events = Vec::new();
     for (i, line) in jsonl.lines().enumerate() {
@@ -26,12 +28,22 @@ pub fn parse_trace(jsonl: &str) -> Result<Vec<TraceEvent>, String> {
     Ok(events)
 }
 
+fn parse_id(v: &JsonValue, key: &str) -> Result<u64, String> {
+    match v.get(key) {
+        Some(JsonValue::Number(n)) if *n >= 0.0 && n.fract() == 0.0 => Ok(*n as u64),
+        Some(_) => Err(format!("`{key}` must be a non-negative integer")),
+        None => Err(format!("missing `{key}`")),
+    }
+}
+
 fn parse_event(v: &JsonValue) -> Result<TraceEvent, String> {
-    let ts_ms = match v.get("ts_ms") {
-        Some(JsonValue::Number(n)) if *n >= 0.0 && n.fract() == 0.0 => *n as u64,
-        Some(_) => return Err("`ts_ms` must be a non-negative integer".to_string()),
-        None => return Err("missing `ts_ms`".to_string()),
-    };
+    let ts_ms = parse_id(v, "ts_ms")?;
+    let trace_id = parse_id(v, "trace_id")?;
+    let span_id = parse_id(v, "span_id")?;
+    if span_id == 0 {
+        return Err("`span_id` must be ≥ 1".to_string());
+    }
+    let parent_id = parse_id(v, "parent_id")?;
     let span = match v.get("span") {
         Some(JsonValue::String(s)) => s.clone(),
         _ => return Err("missing or non-string `span`".to_string()),
@@ -61,6 +73,9 @@ fn parse_event(v: &JsonValue) -> Result<TraceEvent, String> {
     };
     Ok(TraceEvent {
         ts_ms,
+        trace_id,
+        span_id,
+        parent_id,
         span,
         phase,
         labels,
@@ -150,13 +165,163 @@ pub fn summarize_trace_by_label(events: &[TraceEvent], key: &str) -> String {
     out
 }
 
+/// First-divergence diff of two JSONL traces, with parsed context.
+///
+/// Returns `None` when the files are byte-identical. Otherwise the
+/// report names the first divergent line and, when both lines parse as
+/// v2 events, the span/phase/ids on each side plus the fields that
+/// differ — so a CI byte-equality failure points at *what* diverged,
+/// not just *that* bytes did.
+#[must_use]
+pub fn diff_traces(a: &str, b: &str) -> Option<String> {
+    if a == b {
+        return None;
+    }
+    let (la, lb): (Vec<&str>, Vec<&str>) = (a.lines().collect(), b.lines().collect());
+    let mut out = String::new();
+    if la.len() != lb.len() {
+        let _ = writeln!(out, "event counts differ: {} vs {}", la.len(), lb.len());
+    }
+    for (i, (x, y)) in la.iter().zip(&lb).enumerate() {
+        if x == y {
+            continue;
+        }
+        let lineno = i + 1;
+        let _ = writeln!(out, "first divergence at line {lineno}:");
+        match (
+            serde_json::parse(x).ok().as_ref().map(parse_event),
+            serde_json::parse(y).ok().as_ref().map(parse_event),
+        ) {
+            (Some(Ok(ea)), Some(Ok(eb))) => {
+                let _ = writeln!(
+                    out,
+                    "  a: {}/{} span_id={} parent_id={} ts={} dur={}",
+                    ea.span, ea.phase, ea.span_id, ea.parent_id, ea.ts_ms, ea.dur_ms
+                );
+                let _ = writeln!(
+                    out,
+                    "  b: {}/{} span_id={} parent_id={} ts={} dur={}",
+                    eb.span, eb.phase, eb.span_id, eb.parent_id, eb.ts_ms, eb.dur_ms
+                );
+                for field in divergent_fields(&ea, &eb) {
+                    let _ = writeln!(out, "  differs in: {field}");
+                }
+            }
+            _ => {
+                let _ = writeln!(out, "  a: {x}");
+                let _ = writeln!(out, "  b: {y}");
+                let _ = writeln!(out, "  (one or both lines are not valid v2 events)");
+            }
+        }
+        return Some(out);
+    }
+    // All shared lines equal: one file is a prefix of the other.
+    let (longer, name) = if la.len() > lb.len() {
+        (&la, "a")
+    } else {
+        (&lb, "b")
+    };
+    let extra = longer[la.len().min(lb.len())];
+    let _ = writeln!(out, "only in {name} (line {}): {extra}", la.len().min(lb.len()) + 1);
+    Some(out)
+}
+
+fn divergent_fields(a: &TraceEvent, b: &TraceEvent) -> Vec<String> {
+    let mut out = Vec::new();
+    if a.ts_ms != b.ts_ms {
+        out.push(format!("ts_ms ({} vs {})", a.ts_ms, b.ts_ms));
+    }
+    if a.trace_id != b.trace_id {
+        out.push(format!("trace_id ({} vs {})", a.trace_id, b.trace_id));
+    }
+    if a.span_id != b.span_id {
+        out.push(format!("span_id ({} vs {})", a.span_id, b.span_id));
+    }
+    if a.parent_id != b.parent_id {
+        out.push(format!("parent_id ({} vs {})", a.parent_id, b.parent_id));
+    }
+    if a.span != b.span {
+        out.push(format!("span ({} vs {})", a.span, b.span));
+    }
+    if a.phase != b.phase {
+        out.push(format!("phase ({} vs {})", a.phase, b.phase));
+    }
+    if a.dur_ms != b.dur_ms {
+        out.push(format!("dur_ms ({} vs {})", a.dur_ms, b.dur_ms));
+    }
+    if a.labels != b.labels {
+        let ka: BTreeMap<&String, &String> = a.labels.iter().map(|(k, v)| (k, v)).collect();
+        let kb: BTreeMap<&String, &String> = b.labels.iter().map(|(k, v)| (k, v)).collect();
+        for (k, va) in &ka {
+            match kb.get(k) {
+                Some(vb) if vb != va => out.push(format!("label {k} (\"{va}\" vs \"{vb}\")")),
+                None => out.push(format!("label {k} (only in a)")),
+                _ => {}
+            }
+        }
+        for k in kb.keys() {
+            if !ka.contains_key(k) {
+                out.push(format!("label {k} (only in b)"));
+            }
+        }
+    }
+    out
+}
+
+/// First-divergence diff of two Prometheus text expositions. Returns
+/// `None` when byte-identical; otherwise names the first divergent
+/// line with the sample's metric name on each side.
+#[must_use]
+pub fn diff_prometheus(a: &str, b: &str) -> Option<String> {
+    if a == b {
+        return None;
+    }
+    let (la, lb): (Vec<&str>, Vec<&str>) = (a.lines().collect(), b.lines().collect());
+    let mut out = String::new();
+    if la.len() != lb.len() {
+        let _ = writeln!(out, "line counts differ: {} vs {}", la.len(), lb.len());
+    }
+    for (i, (x, y)) in la.iter().zip(&lb).enumerate() {
+        if x == y {
+            continue;
+        }
+        let name = |line: &str| {
+            line.split(['{', ' '])
+                .next()
+                .unwrap_or("")
+                .to_string()
+        };
+        let _ = writeln!(out, "first divergence at line {}:", i + 1);
+        let _ = writeln!(out, "  a [{}]: {x}", name(x));
+        let _ = writeln!(out, "  b [{}]: {y}", name(y));
+        return Some(out);
+    }
+    let (name, extra) = if la.len() > lb.len() {
+        ("a", la[lb.len()])
+    } else {
+        ("b", lb[la.len()])
+    };
+    let _ = writeln!(out, "only in {name} (line {}): {extra}", la.len().min(lb.len()) + 1);
+    Some(out)
+}
+
 /// Validate a Prometheus text exposition payload: every line must be
 /// a `# HELP`/`# TYPE` comment or a sample of the form
 /// `name{label="value",...} value`, with correctly escaped label
-/// values and a parseable float sample value. Returns the number of
-/// samples on success.
+/// values and a parseable float sample value. Beyond per-line syntax,
+/// two structural rules hold across the payload:
+///
+/// * a metric family may not carry **conflicting `# TYPE`
+///   declarations** (re-stating the same kind is tolerated);
+/// * every sample of one **sample name** must use the same label *key
+///   set* (cardinality check — `le` on histogram buckets is per
+///   sample name, so `_bucket`/`_sum`/`_count` validate independently).
+///
+/// Returns the number of samples on success.
 pub fn validate_prometheus(text: &str) -> Result<usize, String> {
     let mut samples = 0usize;
+    let mut types: BTreeMap<String, (String, usize)> = BTreeMap::new();
+    let mut keysets: BTreeMap<String, (Vec<String>, usize)> = BTreeMap::new();
     for (i, line) in text.lines().enumerate() {
         let lineno = i + 1;
         if line.trim().is_empty() {
@@ -180,10 +345,32 @@ pub fn validate_prometheus(text: &str) -> Result<usize, String> {
                 if !matches!(kind, "counter" | "gauge" | "histogram" | "summary" | "untyped") {
                     return Err(format!("line {lineno}: unknown TYPE kind `{kind}`"));
                 }
+                if let Some((prior, at)) = types.get(name) {
+                    if prior != kind {
+                        return Err(format!(
+                            "line {lineno}: conflicting TYPE for family `{name}`: \
+                             `{prior}` (line {at}) vs `{kind}`"
+                        ));
+                    }
+                } else {
+                    types.insert(name.to_string(), (kind.to_string(), lineno));
+                }
             }
             continue;
         }
-        parse_sample_line(line).map_err(|e| format!("line {lineno}: {e}"))?;
+        let (name, keys) = parse_sample_line(line).map_err(|e| format!("line {lineno}: {e}"))?;
+        if let Some((prior, at)) = keysets.get(&name) {
+            if *prior != keys {
+                return Err(format!(
+                    "line {lineno}: label cardinality mismatch for `{name}`: \
+                     {{{}}} (line {at}) vs {{{}}}",
+                    prior.join(","),
+                    keys.join(",")
+                ));
+            }
+        } else {
+            keysets.insert(name, (keys, lineno));
+        }
         samples += 1;
     }
     Ok(samples)
@@ -198,7 +385,9 @@ fn is_metric_name(name: &str) -> bool {
     chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
 }
 
-fn parse_sample_line(line: &str) -> Result<(), String> {
+/// Parse one sample line; returns the sample name and its sorted label
+/// key set.
+fn parse_sample_line(line: &str) -> Result<(String, Vec<String>), String> {
     let bytes = line.as_bytes();
     let name_end = bytes
         .iter()
@@ -209,9 +398,11 @@ fn parse_sample_line(line: &str) -> Result<(), String> {
         return Err(format!("bad metric name `{name}`"));
     }
     let mut pos = name_end;
+    let mut keys = Vec::new();
     if bytes[pos] == b'{' {
-        pos = parse_label_block(line, pos)?;
+        pos = parse_label_block(line, pos, &mut keys)?;
     }
+    keys.sort();
     let value = line[pos..].trim();
     if value.is_empty() {
         return Err("sample has no value".to_string());
@@ -227,12 +418,13 @@ fn parse_sample_line(line: &str) -> Result<(), String> {
             return Err(format!("unparseable timestamp `{ts}`"));
         }
     }
-    Ok(())
+    Ok((name.to_string(), keys))
 }
 
-/// Parse `{k="v",...}` starting at `open` (the `{`); returns the byte
-/// index just past the closing `}`.
-fn parse_label_block(line: &str, open: usize) -> Result<usize, String> {
+/// Parse `{k="v",...}` starting at `open` (the `{`); collects label
+/// names into `keys` and returns the byte index just past the closing
+/// `}`.
+fn parse_label_block(line: &str, open: usize, keys: &mut Vec<String>) -> Result<usize, String> {
     let bytes = line.as_bytes();
     let mut pos = open + 1;
     loop {
@@ -247,6 +439,7 @@ fn parse_label_block(line: &str, open: usize) -> Result<usize, String> {
         if pos == start {
             return Err(format!("expected label name at byte {pos}"));
         }
+        keys.push(line[start..pos].to_string());
         if bytes.get(pos) != Some(&b'=') {
             return Err(format!("expected `=` at byte {pos}"));
         }
@@ -289,9 +482,24 @@ mod tests {
     #[test]
     fn parse_rejects_schema_violations() {
         assert!(parse_trace(r#"{"span":"a"}"#).is_err()); // missing ts_ms
-        assert!(parse_trace(r#"{"ts_ms":-1,"span":"a","phase":"b","labels":{},"dur_ms":0}"#).is_err());
-        assert!(parse_trace(r#"{"ts_ms":1,"span":"a","phase":"b","labels":[],"dur_ms":0}"#).is_err());
-        assert!(parse_trace(r#"{"ts_ms":1,"span":"a","phase":"b","labels":{"x":3},"dur_ms":0}"#).is_err());
+        assert!(parse_trace(
+            r#"{"ts_ms":-1,"trace_id":1,"span_id":1,"parent_id":0,"span":"a","phase":"b","labels":{},"dur_ms":0}"#
+        )
+        .is_err());
+        // v1 lines (no ids) are rejected under v2.
+        assert!(parse_trace(r#"{"ts_ms":1,"span":"a","phase":"b","labels":{},"dur_ms":0}"#).is_err());
+        assert!(parse_trace(
+            r#"{"ts_ms":1,"trace_id":1,"span_id":0,"parent_id":0,"span":"a","phase":"b","labels":{},"dur_ms":0}"#
+        )
+        .is_err());
+        assert!(parse_trace(
+            r#"{"ts_ms":1,"trace_id":1,"span_id":1,"parent_id":0,"span":"a","phase":"b","labels":[],"dur_ms":0}"#
+        )
+        .is_err());
+        assert!(parse_trace(
+            r#"{"ts_ms":1,"trace_id":1,"span_id":1,"parent_id":0,"span":"a","phase":"b","labels":{"x":3},"dur_ms":0}"#
+        )
+        .is_err());
         assert!(parse_trace("not json").is_err());
     }
 
@@ -311,13 +519,13 @@ mod tests {
     fn summary_table_has_one_row_per_phase() {
         let obs = Obs::new(Clock::manual(0));
         for d in [5.0, 10.0, 15.0] {
-            obs.trace.push(crate::TraceEvent {
-                ts_ms: 0,
-                span: "approval".to_string(),
-                phase: "pipe_approval".to_string(),
-                labels: Vec::new(),
-                dur_ms: d,
-            });
+            obs.trace.push_child(crate::TraceEvent::new(
+                0,
+                "approval",
+                "pipe_approval",
+                Vec::new(),
+                d,
+            ));
         }
         obs.event("kv", "get", &[]);
         let table = summarize_trace(&obs.trace.events());
@@ -332,15 +540,15 @@ mod tests {
     fn by_label_groups_on_the_label_value() {
         let obs = Obs::new(Clock::manual(0));
         let push = |outcome: Option<&str>, d: f64| {
-            obs.trace.push(crate::TraceEvent {
-                ts_ms: 0,
-                span: "kv".to_string(),
-                phase: "get".to_string(),
-                labels: outcome
+            obs.trace.push_child(crate::TraceEvent::new(
+                0,
+                "kv",
+                "get",
+                outcome
                     .map(|o| vec![("outcome".to_string(), o.to_string())])
                     .unwrap_or_default(),
-                dur_ms: d,
-            });
+                d,
+            ));
         };
         push(Some("ok"), 5.0);
         push(Some("ok"), 7.0);
@@ -379,6 +587,65 @@ mod tests {
         assert!(validate_prometheus("x{l=\"bad\\q\"} 3\n").is_err());
         assert!(validate_prometheus("x notanumber\n").is_err());
         assert!(validate_prometheus("# TYPE x wibble\n").is_err());
-        assert!(validate_prometheus("x 3\nx{l=\"v\"} 4.5\n# TYPE x counter\n").is_ok());
+    }
+
+    #[test]
+    fn rejects_conflicting_type_declarations() {
+        let err = validate_prometheus("# TYPE x counter\nx 3\n# TYPE x gauge\n").unwrap_err();
+        assert!(err.contains("conflicting TYPE"), "{err}");
+        // Re-stating the same kind is tolerated.
+        assert!(validate_prometheus("# TYPE x counter\nx 3\n# TYPE x counter\n").is_ok());
+    }
+
+    #[test]
+    fn rejects_label_cardinality_mismatch() {
+        // Same sample name, different label key sets.
+        let err = validate_prometheus("x 3\nx{l=\"v\"} 4.5\n").unwrap_err();
+        assert!(err.contains("cardinality"), "{err}");
+        let err = validate_prometheus("x{a=\"1\",b=\"2\"} 3\nx{a=\"1\"} 4\n").unwrap_err();
+        assert!(err.contains("cardinality"), "{err}");
+        // Same key set, different values: fine.
+        assert!(validate_prometheus("x{l=\"v\"} 3\nx{l=\"w\"} 4\n").is_ok());
+        // Histogram convention: `le` only on `_bucket` samples is fine
+        // because cardinality is per sample name.
+        assert!(validate_prometheus(
+            "h_bucket{le=\"1\"} 3\nh_bucket{le=\"+Inf\"} 4\nh_sum 7\nh_count 4\n"
+        )
+        .is_ok());
+    }
+
+    #[test]
+    fn trace_diff_reports_first_divergence() {
+        let obs = Obs::new(Clock::counting(1));
+        {
+            let _s = obs.span("market", "admit").label("outcome", "granted");
+        }
+        let a = obs.trace.to_jsonl();
+        assert!(diff_traces(&a, &a).is_none(), "identical files");
+        let b = a.replace("granted", "denied");
+        let report = diff_traces(&a, &b).expect("divergent");
+        assert!(report.contains("line 1"), "{report}");
+        assert!(report.contains("market/admit"), "{report}");
+        assert!(report.contains("label outcome"), "{report}");
+    }
+
+    #[test]
+    fn trace_diff_reports_length_mismatch() {
+        let obs = Obs::new(Clock::counting(1));
+        obs.event("a", "b", &[]);
+        let a = obs.trace.to_jsonl();
+        let report = diff_traces(&a, "").expect("divergent");
+        assert!(report.contains("event counts differ: 1 vs 0"), "{report}");
+        assert!(report.contains("only in a"), "{report}");
+    }
+
+    #[test]
+    fn prometheus_diff_names_the_metric() {
+        let a = "# TYPE x counter\nx{l=\"v\"} 3\n";
+        let b = "# TYPE x counter\nx{l=\"v\"} 4\n";
+        assert!(diff_prometheus(a, a).is_none());
+        let report = diff_prometheus(a, b).expect("divergent");
+        assert!(report.contains("line 2"), "{report}");
+        assert!(report.contains("[x]"), "{report}");
     }
 }

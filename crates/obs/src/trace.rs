@@ -1,16 +1,30 @@
-//! Structured span events and the JSONL trace sink.
+//! Structured span events and the JSONL trace sink (schema v2).
 //!
 //! Every event serializes to one JSON line with a **stable schema**:
 //!
 //! ```json
-//! {"ts_ms":1234,"span":"approval","phase":"hose_approval","labels":{"qos":"C1"},"dur_ms":4.5}
+//! {"ts_ms":1234,"trace_id":1,"span_id":3,"parent_id":1,"span":"approval","phase":"hose_approval","labels":{"qos":"C1"},"dur_ms":4.5}
 //! ```
 //!
 //! * `ts_ms` — u64, span start time from the caller-supplied [`Clock`];
+//! * `trace_id` — u64, the root span's `span_id` (every span in one
+//!   causal tree shares it);
+//! * `span_id` — u64, unique per event within a sink, allocated from a
+//!   seeded counter starting at 1 (no wall clock, no randomness:
+//!   identical runs produce identical ids);
+//! * `parent_id` — u64, the `span_id` of the innermost span open when
+//!   this event started, or `0` for roots;
 //! * `span` — the subsystem (e.g. `approval`, `risk`, `kv`, `agent`);
 //! * `phase` — the step within the subsystem;
 //! * `labels` — a flat string→string object (sorted by key);
 //! * `dur_ms` — f64 duration (0 for instantaneous events).
+//!
+//! Parentage is tracked by an open-span stack inside the sink: starting
+//! a span pushes its id, dropping it removes it. Because spans close in
+//! RAII order and events are appended at close time, a child's line
+//! appears *before* its parent's in the JSONL — tree reconstruction
+//! ([`crate::tree`]) is therefore a two-pass walk over ids, never a
+//! positional scan.
 //!
 //! The JSONL is hand-emitted (the vendored serde stub serializes maps
 //! as arrays of pairs, which would break the `labels` object), and
@@ -26,6 +40,12 @@ use std::sync::{Arc, Mutex};
 pub struct TraceEvent {
     /// Start time in milliseconds (from the injected clock).
     pub ts_ms: u64,
+    /// Root span id of the causal tree this event belongs to.
+    pub trace_id: u64,
+    /// Unique id of this event within the sink (counter-based).
+    pub span_id: u64,
+    /// `span_id` of the enclosing open span; `0` = root.
+    pub parent_id: u64,
     /// Subsystem name.
     pub span: String,
     /// Step within the subsystem.
@@ -37,12 +57,54 @@ pub struct TraceEvent {
 }
 
 impl TraceEvent {
+    /// An event with unassigned ids (all zero) — handed to
+    /// [`TraceSink::push_child`], which allocates them under the
+    /// currently open span.
+    #[must_use]
+    pub fn new(
+        ts_ms: u64,
+        span: &str,
+        phase: &str,
+        labels: Vec<(String, String)>,
+        dur_ms: f64,
+    ) -> Self {
+        TraceEvent {
+            ts_ms,
+            trace_id: 0,
+            span_id: 0,
+            parent_id: 0,
+            span: span.to_string(),
+            phase: phase.to_string(),
+            labels,
+            dur_ms,
+        }
+    }
+
+    /// End of the event's interval (`ts_ms + dur_ms`, in f64 ms).
+    #[must_use]
+    pub fn end_ms(&self) -> f64 {
+        self.ts_ms as f64 + self.dur_ms
+    }
+
+    /// Value of one label, if present.
+    #[must_use]
+    pub fn label(&self, key: &str) -> Option<&str> {
+        self.labels
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
     /// Render this event as its canonical single JSON line (no
     /// trailing newline).
     #[must_use]
     pub fn to_json_line(&self) -> String {
-        let mut out = String::with_capacity(96);
-        let _ = write!(out, "{{\"ts_ms\":{},\"span\":", self.ts_ms);
+        let mut out = String::with_capacity(128);
+        let _ = write!(
+            out,
+            "{{\"ts_ms\":{},\"trace_id\":{},\"span_id\":{},\"parent_id\":{},\"span\":",
+            self.ts_ms, self.trace_id, self.span_id, self.parent_id
+        );
         serde::write_json_string(&self.span, &mut out);
         out.push_str(",\"phase\":");
         serde::write_json_string(&self.phase, &mut out);
@@ -73,6 +135,23 @@ fn fmt_dur(v: f64) -> String {
 #[derive(Default)]
 struct SinkInner {
     events: Vec<TraceEvent>,
+    /// Next span id to hand out; ids start at 1 so 0 can mean "root".
+    next_id: u64,
+    /// Open spans, innermost last: `(span_id, trace_id)`.
+    open: Vec<(u64, u64)>,
+}
+
+impl SinkInner {
+    /// Allocate a fresh span id with parentage from the open stack.
+    /// Returns `(span_id, trace_id, parent_id)`.
+    fn alloc(&mut self) -> (u64, u64, u64) {
+        self.next_id += 1;
+        let span_id = self.next_id;
+        match self.open.last() {
+            Some(&(parent, trace)) => (span_id, trace, parent),
+            None => (span_id, span_id, 0),
+        }
+    }
 }
 
 /// A cloneable, append-only event sink. Disabled sinks drop events at
@@ -103,7 +182,9 @@ impl TraceSink {
         self.inner.is_some()
     }
 
-    /// Append a fully formed event.
+    /// Append a fully formed event, ids as given (no allocation). Use
+    /// [`TraceSink::event`], [`TraceSink::span`], or
+    /// [`TraceSink::push_child`] when the sink should assign ids.
     pub fn push(&self, mut event: TraceEvent) {
         if let Some(inner) = &self.inner {
             event.labels.sort();
@@ -114,30 +195,59 @@ impl TraceSink {
         }
     }
 
-    /// Emit an instantaneous event stamped by `clock`.
+    /// Append an event with ids allocated under the currently open
+    /// span (the event becomes its child; a leaf, not itself openable).
+    /// This is how instrumented components that time themselves (e.g.
+    /// the observed KV client) join the causal tree.
+    pub fn push_child(&self, mut event: TraceEvent) {
+        if let Some(inner) = &self.inner {
+            event.labels.sort();
+            let mut guard = inner
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            let (span_id, trace_id, parent_id) = guard.alloc();
+            event.span_id = span_id;
+            event.trace_id = trace_id;
+            event.parent_id = parent_id;
+            guard.events.push(event);
+        }
+    }
+
+    /// Emit an instantaneous event stamped by `clock`, parented under
+    /// the currently open span.
     pub fn event(&self, clock: &Clock, span: &str, phase: &str, labels: &[(&str, &str)]) {
         if self.inner.is_none() {
             return;
         }
-        self.push(TraceEvent {
-            ts_ms: clock.now_ms(),
-            span: span.to_string(),
-            phase: phase.to_string(),
-            labels: labels
+        self.push_child(TraceEvent::new(
+            clock.now_ms(),
+            span,
+            phase,
+            labels
                 .iter()
                 .map(|(k, v)| ((*k).to_string(), (*v).to_string()))
                 .collect(),
-            dur_ms: 0.0,
-        });
+            0.0,
+        ));
     }
 
     /// Start a span; the event is emitted when the returned
-    /// [`SpanTimer`] drops (with `dur_ms` = clock delta).
+    /// [`SpanTimer`] drops (with `dur_ms` = clock delta). The span's id
+    /// is allocated *now* and pushed on the open stack, so everything
+    /// emitted before the drop becomes its descendant.
     #[must_use]
     pub fn span(&self, clock: &Clock, span: &str, phase: &str) -> SpanTimer {
-        if self.inner.is_none() {
+        let Some(inner) = &self.inner else {
             return SpanTimer::noop();
-        }
+        };
+        let (span_id, trace_id, parent_id) = {
+            let mut guard = inner
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            let ids = guard.alloc();
+            guard.open.push((ids.0, ids.1));
+            ids
+        };
         SpanTimer {
             sink: self.clone(),
             clock: clock.clone(),
@@ -145,7 +255,23 @@ impl TraceSink {
             phase: phase.to_string(),
             labels: Vec::new(),
             start_ms: clock.now_ms(),
+            span_id,
+            trace_id,
+            parent_id,
             armed: true,
+        }
+    }
+
+    /// Close an open span: remove it from the open stack and append
+    /// its event, under one lock.
+    fn close_span(&self, span_id: u64, mut event: TraceEvent) {
+        if let Some(inner) = &self.inner {
+            event.labels.sort();
+            let mut guard = inner
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            guard.open.retain(|&(id, _)| id != span_id);
+            guard.events.push(event);
         }
     }
 
@@ -209,6 +335,9 @@ pub struct SpanTimer {
     phase: String,
     labels: Vec<(String, String)>,
     start_ms: u64,
+    span_id: u64,
+    trace_id: u64,
+    parent_id: u64,
     armed: bool,
 }
 
@@ -221,8 +350,18 @@ impl SpanTimer {
             phase: String::new(),
             labels: Vec::new(),
             start_ms: 0,
+            span_id: 0,
+            trace_id: 0,
+            parent_id: 0,
             armed: false,
         }
+    }
+
+    /// This span's allocated id (0 for a no-op span on a disabled
+    /// sink). Lets emitters cross-reference the span in labels.
+    #[must_use]
+    pub fn id(&self) -> u64 {
+        self.span_id
     }
 
     /// Attach a label (builder style).
@@ -252,13 +391,17 @@ impl Drop for SpanTimer {
             return;
         }
         let end = self.clock.now_ms();
-        self.sink.push(TraceEvent {
+        let event = TraceEvent {
             ts_ms: self.start_ms,
+            trace_id: self.trace_id,
+            span_id: self.span_id,
+            parent_id: self.parent_id,
             span: std::mem::take(&mut self.span),
             phase: std::mem::take(&mut self.phase),
             labels: std::mem::take(&mut self.labels),
             dur_ms: end.saturating_sub(self.start_ms) as f64,
-        });
+        };
+        self.sink.close_span(self.span_id, event);
     }
 }
 
@@ -270,6 +413,9 @@ mod tests {
     fn event_line_matches_schema_golden() {
         let e = TraceEvent {
             ts_ms: 12,
+            trace_id: 1,
+            span_id: 3,
+            parent_id: 1,
             span: "approval".to_string(),
             phase: "hose_approval".to_string(),
             labels: vec![("qos".to_string(), "C1".to_string())],
@@ -277,7 +423,7 @@ mod tests {
         };
         assert_eq!(
             e.to_json_line(),
-            r#"{"ts_ms":12,"span":"approval","phase":"hose_approval","labels":{"qos":"C1"},"dur_ms":4.5}"#
+            r#"{"ts_ms":12,"trace_id":1,"span_id":3,"parent_id":1,"span":"approval","phase":"hose_approval","labels":{"qos":"C1"},"dur_ms":4.5}"#
         );
     }
 
@@ -297,13 +443,81 @@ mod tests {
     }
 
     #[test]
+    fn ids_form_a_tree() {
+        let sink = TraceSink::new();
+        let clock = Clock::counting(1);
+        {
+            let outer = sink.span(&clock, "a", "outer");
+            {
+                let _inner = sink.span(&clock, "a", "inner");
+                sink.event(&clock, "a", "tick", &[]);
+            }
+            outer.finish();
+        }
+        sink.event(&clock, "a", "solo", &[]);
+        let ev = sink.events();
+        // Close order: inner's tick, inner, outer, solo.
+        assert_eq!(ev.len(), 4);
+        let outer = &ev[2];
+        let inner = &ev[1];
+        let tick = &ev[0];
+        let solo = &ev[3];
+        assert_eq!(outer.span_id, 1);
+        assert_eq!(outer.parent_id, 0, "outer is a root");
+        assert_eq!(outer.trace_id, outer.span_id);
+        assert_eq!(inner.parent_id, outer.span_id);
+        assert_eq!(inner.trace_id, outer.span_id);
+        assert_eq!(tick.parent_id, inner.span_id);
+        assert_eq!(tick.trace_id, outer.span_id);
+        assert_eq!(solo.parent_id, 0, "emitted after the tree closed");
+        assert_eq!(solo.trace_id, solo.span_id);
+        // All span ids unique.
+        let mut ids: Vec<u64> = ev.iter().map(|e| e.span_id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 4);
+    }
+
+    #[test]
+    fn push_child_adopts_the_open_span() {
+        let sink = TraceSink::new();
+        let clock = Clock::manual(0);
+        let outer = sink.span(&clock, "agent", "cycle");
+        sink.push_child(TraceEvent::new(5, "kv", "put", Vec::new(), 2.0));
+        let outer_id = outer.id();
+        outer.finish();
+        let ev = sink.events();
+        assert_eq!(ev[0].span, "kv");
+        assert_eq!(ev[0].parent_id, outer_id);
+        assert_eq!(ev[0].trace_id, outer_id);
+        assert!(ev[0].span_id != 0);
+    }
+
+    #[test]
+    fn non_lifo_drop_keeps_stack_consistent() {
+        let sink = TraceSink::new();
+        let clock = Clock::manual(0);
+        let a = sink.span(&clock, "x", "a");
+        let b = sink.span(&clock, "x", "b");
+        // Drop the outer first: inner must still close cleanly and
+        // later events must not parent under a closed span.
+        drop(a);
+        drop(b);
+        sink.event(&clock, "x", "after", &[]);
+        let ev = sink.events();
+        assert_eq!(ev[2].parent_id, 0, "stack fully drained");
+    }
+
+    #[test]
     fn disabled_sink_records_nothing() {
         let sink = TraceSink::disabled();
         let clock = Clock::counting(1);
         sink.event(&clock, "a", "b", &[]);
         {
-            let _t = sink.span(&clock, "a", "b");
+            let t = sink.span(&clock, "a", "b");
+            assert_eq!(t.id(), 0);
         }
+        sink.push_child(TraceEvent::new(0, "a", "b", Vec::new(), 0.0));
         assert!(sink.is_empty());
         assert_eq!(sink.to_jsonl(), "");
     }
@@ -334,11 +548,9 @@ mod tests {
         }
         for line in sink.to_jsonl().lines() {
             let v = serde_json::parse(line).expect("valid json");
-            assert!(v.get("ts_ms").is_some());
-            assert!(v.get("span").is_some());
-            assert!(v.get("phase").is_some());
-            assert!(v.get("labels").is_some());
-            assert!(v.get("dur_ms").is_some());
+            for key in ["ts_ms", "trace_id", "span_id", "parent_id", "span", "phase", "labels", "dur_ms"] {
+                assert!(v.get(key).is_some(), "missing {key}");
+            }
         }
     }
 }

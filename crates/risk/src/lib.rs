@@ -23,5 +23,8 @@ pub mod simulate;
 pub mod sweep;
 
 pub use curve::AvailabilityCurve;
-pub use simulate::{assess_risk, assess_risk_detailed, assess_risk_detailed_obs, RiskAssessment, RiskConfig};
+pub use simulate::{
+    assess_risk, assess_risk_detailed, assess_risk_detailed_obs, assess_risk_samples_obs,
+    RiskAssessment, RiskConfig, RiskSamples,
+};
 pub use sweep::{sweep_ordered_obs, UniqueScenarios};

@@ -96,10 +96,10 @@ pub fn assess_risk_detailed(
 /// [`assess_risk_detailed`] with telemetry: a `risk`/`sweep` span
 /// around the scenario fan-out (labelled with scenario, unique-set,
 /// and demand counts), a `risk`/`merge` span around the per-scenario
-/// sample merge, and the sweep's per-scenario timing and
-/// worker-utilization histograms in `obs.registry` (see
-/// [`crate::sweep::sweep_ordered_obs`]). Curves are bitwise identical
-/// to the un-instrumented path.
+/// sample merge, per-scenario child spans on the serial path, and the
+/// sweep's per-scenario timing and worker-utilization histograms in
+/// `obs.registry` (see [`crate::sweep::sweep_ordered_obs`]). Curves
+/// are bitwise identical to the un-instrumented path.
 pub fn assess_risk_detailed_obs(
     topo: &Topology,
     demands: &[Demand],
@@ -107,6 +107,67 @@ pub fn assess_risk_detailed_obs(
     config: &RiskConfig,
     obs: &Obs,
 ) -> RiskAssessment {
+    let s = assess_risk_samples_obs(topo, demands, scenarios, config, obs);
+    RiskAssessment {
+        curves: s
+            .samples
+            .into_iter()
+            .map(AvailabilityCurve::from_samples)
+            .collect(),
+        total_scenarios: s.total_scenarios,
+        routed_scenarios: s.routed_scenarios,
+    }
+}
+
+/// The raw per-scenario material an assessment folds away: one
+/// `(admitted, probability)` sample per *original* scenario per demand,
+/// in scenario order — the decision-provenance layer reads these to
+/// name which failure scenario was binding for a grant.
+#[derive(Clone, Debug)]
+pub struct RiskSamples {
+    /// `samples[d][s]` = demand `d`'s admitted volume and probability
+    /// under original scenario `s`.
+    pub samples: Vec<Vec<(Rate, f64)>>,
+    /// Scenarios in the input set.
+    pub total_scenarios: usize,
+    /// Distinct failure sets actually routed.
+    pub routed_scenarios: usize,
+}
+
+impl RiskSamples {
+    /// The scenario index binding demand `d` at `slo`: walking
+    /// scenarios by admitted volume descending (the exact order
+    /// [`AvailabilityCurve::bandwidth_at`] uses, ties kept in scenario
+    /// order), the scenario at which cumulative probability first
+    /// reaches the SLO. Its admitted volume *is* the SLO-feasible
+    /// headroom; `None` when even zero volume cannot meet the target.
+    #[must_use]
+    pub fn binding_scenario(&self, d: usize, slo: f64) -> Option<usize> {
+        let s = self.samples.get(d)?;
+        let mut order: Vec<usize> = (0..s.len()).collect();
+        order.sort_by(|&a, &b| s[b].0.as_bps().total_cmp(&s[a].0.as_bps()));
+        let mut acc = 0.0;
+        for &i in &order {
+            acc += s[i].1;
+            if acc >= slo - 1e-12 {
+                return Some(i);
+            }
+        }
+        None
+    }
+}
+
+/// [`assess_risk_detailed_obs`] stopping one step short of curve
+/// construction: returns the per-scenario samples themselves. Building
+/// [`AvailabilityCurve::from_samples`] over each demand's samples
+/// yields exactly the detailed assessment's curves.
+pub fn assess_risk_samples_obs(
+    topo: &Topology,
+    demands: &[Demand],
+    scenarios: &ScenarioSet,
+    config: &RiskConfig,
+    obs: &Obs,
+) -> RiskSamples {
     let index = if config.dedup {
         UniqueScenarios::build(scenarios)
     } else {
@@ -151,11 +212,8 @@ pub fn assess_risk_detailed_obs(
         }
     }
     merge_span.finish();
-    RiskAssessment {
-        curves: samples
-            .into_iter()
-            .map(AvailabilityCurve::from_samples)
-            .collect(),
+    RiskSamples {
+        samples,
         total_scenarios: scenarios.len(),
         routed_scenarios: index.unique_len(),
     }
@@ -251,6 +309,31 @@ mod tests {
             congested[0].bandwidth_at(0.99).as_bps() < free[0].bandwidth_at(0.99).as_bps(),
             "premium background must squeeze the batch"
         );
+    }
+
+    #[test]
+    fn binding_scenario_admits_exactly_the_curve_headroom() {
+        let topo = small();
+        let ids = topo.region_ids();
+        let demands = vec![Demand {
+            src: ids[0],
+            dst: ids[3],
+            amount: Rate::tbps(50.0),
+        }];
+        let scenarios = ScenarioSet::enumerate(&topo, 2);
+        let obs = Obs::disabled();
+        let s = assess_risk_samples_obs(&topo, &demands, &scenarios, &RiskConfig::default(), &obs);
+        let curves = assess_risk(&topo, &demands, &scenarios, &RiskConfig::default());
+        for slo in [0.9, 0.99, 0.9999] {
+            let b = s.binding_scenario(0, slo).expect("feasible slo");
+            assert_eq!(
+                s.samples[0][b].0,
+                curves[0].bandwidth_at(slo),
+                "binding scenario's admitted volume is the headroom at slo {slo}"
+            );
+        }
+        // An SLO above the total scenario mass binds nothing.
+        assert_eq!(s.binding_scenario(0, 1.5), None);
     }
 
     #[test]

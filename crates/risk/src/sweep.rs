@@ -147,6 +147,15 @@ where
 /// `entitlement_risk_worker_items` (utilization balance), and the
 /// resolved worker count in the `entitlement_risk_sweep_workers`
 /// gauge. Results are identical to [`sweep_ordered`].
+///
+/// On the **serial** path (one resolved worker) each item additionally
+/// emits a `risk`/`scenario` trace event, parented under whatever span
+/// is open (the `risk`/`sweep` span), with the same clock reads the
+/// histogram wrapper already paid — so enabling per-scenario spans does
+/// not shift any downstream counting-clock timestamp. Parallel sweeps
+/// record histograms only: worker threads would otherwise interleave
+/// event order by scheduling, breaking byte-identical traces. Every CI
+/// byte-equality gate runs `workers = 1`.
 pub fn sweep_ordered_obs<T, F>(items: &[usize], workers: usize, obs: &Obs, job: F) -> Vec<T>
 where
     T: Send,
@@ -177,6 +186,23 @@ where
         &[],
     );
     let clock = obs.clock.clone();
+    if resolved == 1 && obs.enabled() {
+        let trace = obs.trace.clone();
+        return sweep_ordered(items, 1, move |i| {
+            let t0 = clock.now_ms();
+            let out = job(i);
+            let dur = clock.now_ms().saturating_sub(t0) as f64;
+            scenario_ms.record(dur);
+            trace.push_child(entitlement_obs::TraceEvent::new(
+                t0,
+                "risk",
+                "scenario",
+                vec![("scenario".to_string(), i.to_string())],
+                dur,
+            ));
+            out
+        });
+    }
     sweep_ordered(items, workers, move |i| {
         let t0 = clock.now_ms();
         let out = job(i);

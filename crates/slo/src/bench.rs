@@ -73,6 +73,15 @@ impl BenchRecord {
     /// Build the record from a run's trace events (agent `cycle` and
     /// market `admit` span durations feed the latency quantiles) and
     /// its [`SloReport`] (throughput, attainment, alerts).
+    ///
+    /// Under the counting clock the folded durations are *logical*
+    /// milliseconds — each clock read inside the span adds one — so a
+    /// baseline pins the span's instrumentation density, not wall
+    /// time. Trace-schema v2's decision-provenance events (the
+    /// `index_probe` read and the sweep-path scenario spans inside
+    /// `market/admit`) are part of that density: adding or removing
+    /// provenance instrumentation shows up as a bench diff and the
+    /// committed `BENCH_market.json` moves with it.
     #[must_use]
     pub fn from_run(name: &str, seed: u64, events: &[TraceEvent], report: &SloReport) -> Self {
         let cycle_ms = Histogram::new();

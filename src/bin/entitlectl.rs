@@ -55,14 +55,40 @@
 //!     approval, risk, KV, and agent span families.
 //!
 //! entitlectl obs summarize <trace.jsonl> [--metrics m.prom]
-//!                          [--by-label KEY]
+//!                          [--by-label KEY] [--tree]
 //!     Validate a trace file against the span schema and print a
 //!     per-(span, phase) latency table (count, total, mean, p50, p95,
 //!     max). With --by-label KEY, print an additional breakdown with
 //!     one row per distinct value of that label (events without it
-//!     pool under `(unlabelled)`). With --metrics, also validate the
-//!     Prometheus text file. Exits 1 when either file fails
-//!     validation.
+//!     pool under `(unlabelled)`). With --tree, also reconstruct the
+//!     schema-v2 span forest and print the aggregated call tree
+//!     (count, total vs self time per stack path) plus the critical
+//!     path through the longest root span. With --metrics, also
+//!     validate the Prometheus text file. Exits 1 when either file
+//!     fails validation.
+//!
+//! entitlectl obs flame <trace.jsonl> [--out stacks.folded]
+//!     Export the trace as folded stacks ("span/phase;... <self-µs>",
+//!     one line per distinct stack path, deterministic order) — the
+//!     input format of every flamegraph renderer. Byte-identical for
+//!     same-seed traces.
+//!
+//! entitlectl obs diff <a> <b>
+//!     Structural diff of two trace (JSONL) or Prometheus text files:
+//!     prints the first divergent line with parsed context (span,
+//!     phase, ids, per-label differences / metric name) instead of a
+//!     bare byte offset. Exits 0 when byte-identical, 1 on divergence,
+//!     2 on usage errors. The CI determinism gates run this instead of
+//!     `cmp` so a regression names the first differing event.
+//!
+//! entitlectl explain <trace.jsonl> (--request N | --all-denied)
+//!     Render the decision provenance of admission decisions from a
+//!     `market --trace` recording alone: the ask, the outcome and
+//!     serving path, index epoch and probe state, residual headroom
+//!     before/after, the binding failure scenario with its dead links
+//!     and probability, the causal span subtree, and the critical
+//!     path. --all-denied explains every denied admit in request
+//!     order; exits 1 when the request ordinal is absent.
 //!
 //! entitlectl slo report <trace.jsonl> [--json] [policy flags]
 //!     Fold the `slo`/`interval` events of a recorded trace (any
@@ -86,7 +112,8 @@
 //!     diff.
 //!
 //! entitlectl market [--requests N] [--seed N] [--slice-days D]
-//!                   [--contracts file.json] [--faults plan.json]
+//!                   [--max-ask GBPS] [--contracts file.json]
+//!                   [--faults plan.json]
 //!                   [--trace out.jsonl] [--metrics out.prom]
 //!     Serve a seeded admission storm through the entitlement market:
 //!     load contracts (a JSON array of market entitlements, or a
@@ -170,8 +197,9 @@ fn main() {
         Some("lint") => lint_cmd(&args),
         Some("obs") => obs_cmd(&args),
         Some("slo") => slo_cmd(&args),
+        Some("explain") => explain_cmd(&args),
         _ => {
-            eprintln!("usage: entitlectl <plan|show|check|drill|market|negotiate|topo|lint|obs|slo> [options]");
+            eprintln!("usage: entitlectl <plan|show|check|drill|market|negotiate|topo|lint|obs|slo|explain> [options]");
             eprintln!("see the module docs of src/bin/entitlectl.rs");
             std::process::exit(2);
         }
@@ -739,7 +767,7 @@ fn load_trace(args: &[String], skip: usize, usage: &str) -> Vec<network_entitlem
 
 /// Flags that take no value — the token after one of these is a
 /// positional argument, not the flag's operand.
-const BOOLEAN_FLAGS: &[&str] = &["--json", "--write-bench"];
+const BOOLEAN_FLAGS: &[&str] = &["--json", "--write-bench", "--tree", "--all-denied"];
 
 /// Whether `candidate` is the value of a `--flag value` pair (so a
 /// positional scan can skip it).
@@ -754,17 +782,39 @@ fn obs_cmd(args: &[String]) {
         summarize_trace, summarize_trace_by_label, validate_prometheus,
     };
 
-    const USAGE: &str =
-        "entitlectl obs summarize <trace.jsonl> [--metrics m.prom] [--by-label KEY]";
-    if args.get(1).map(String::as_str) != Some("summarize") {
-        eprintln!("usage: {USAGE}");
-        std::process::exit(2);
+    const USAGE: &str = "entitlectl obs <summarize|flame|diff> ...\n\
+         entitlectl obs summarize <trace.jsonl> [--metrics m.prom] [--by-label KEY] [--tree]\n\
+         entitlectl obs flame <trace.jsonl> [--out stacks.folded]\n\
+         entitlectl obs diff <a> <b>";
+    match args.get(1).map(String::as_str) {
+        Some("summarize") => {}
+        Some("flame") => return obs_flame(args, USAGE),
+        Some("diff") => return obs_diff(args, USAGE),
+        _ => {
+            eprintln!("usage: {USAGE}");
+            std::process::exit(2);
+        }
     }
     let events = load_trace(args, 2, USAGE);
     print!("{}", summarize_trace(&events));
     if let Some(key) = arg_value(args, "--by-label") {
         println!();
         print!("{}", summarize_trace_by_label(&events, &key));
+    }
+    if args.iter().any(|a| a == "--tree") {
+        use network_entitlement::obs::{render_critical_path, render_span_tree};
+        match render_span_tree(&events) {
+            Ok(tree) => {
+                println!();
+                print!("{tree}");
+                println!();
+                print!("{}", render_critical_path(&events));
+            }
+            Err(e) => {
+                eprintln!("cannot build span tree: {e}");
+                std::process::exit(1);
+            }
+        }
     }
     if let Some(mpath) = arg_value(args, "--metrics") {
         let mtext = std::fs::read_to_string(&mpath).unwrap_or_else(|e| {
@@ -777,6 +827,98 @@ fn obs_cmd(args: &[String]) {
                 eprintln!("{mpath}: invalid metrics: {e}");
                 std::process::exit(1);
             }
+        }
+    }
+}
+
+/// `obs flame`: export a trace as flamegraph folded stacks.
+fn obs_flame(args: &[String], usage: &str) {
+    use network_entitlement::obs::flamegraph_folded;
+    let events = load_trace(args, 2, usage);
+    let folded = flamegraph_folded(&events).unwrap_or_else(|e| {
+        eprintln!("cannot build flamegraph: {e}");
+        std::process::exit(1);
+    });
+    match arg_value(args, "--out") {
+        Some(path) => {
+            std::fs::write(&path, &folded).unwrap_or_else(|e| {
+                eprintln!("cannot write {path}: {e}");
+                std::process::exit(1);
+            });
+            eprintln!(
+                "{} stack(s) written to {path}; render with e.g. flamegraph.pl",
+                folded.lines().count()
+            );
+        }
+        None => print!("{folded}"),
+    }
+}
+
+/// `obs diff`: structural first-divergence diff of two telemetry files.
+/// Trace (JSONL) vs Prometheus text is auto-detected from the first
+/// non-blank line; exit 0 identical, 1 divergent, 2 usage.
+fn obs_diff(args: &[String], usage: &str) {
+    use network_entitlement::obs::{diff_prometheus, diff_traces};
+    let mut paths = args[2..].iter().filter(|a| !a.starts_with("--"));
+    let (Some(pa), Some(pb)) = (paths.next(), paths.next()) else {
+        eprintln!("usage: {usage}");
+        std::process::exit(2);
+    };
+    let read = |p: &String| {
+        std::fs::read_to_string(p).unwrap_or_else(|e| {
+            eprintln!("cannot read {p}: {e}");
+            std::process::exit(2);
+        })
+    };
+    let (a, b) = (read(pa), read(pb));
+    let is_trace = |t: &str| {
+        t.lines()
+            .find(|l| !l.trim().is_empty())
+            .is_some_and(|l| l.trim_start().starts_with('{'))
+    };
+    let report = if is_trace(&a) || is_trace(&b) {
+        diff_traces(&a, &b)
+    } else {
+        diff_prometheus(&a, &b)
+    };
+    match report {
+        None => println!("{pa} and {pb}: identical"),
+        Some(r) => {
+            eprintln!("{pa} vs {pb}:");
+            eprint!("{r}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// `explain`: render decision provenance from a `market --trace`
+/// recording — no market state or replay, just the trace.
+fn explain_cmd(args: &[String]) {
+    use network_entitlement::market::{explain_denied, explain_request};
+    const USAGE: &str = "entitlectl explain <trace.jsonl> (--request N | --all-denied)";
+    let events = load_trace(args, 1, USAGE);
+    let rendered = if args.iter().any(|a| a == "--all-denied") {
+        explain_denied(&events)
+    } else if let Some(id) = arg_value(args, "--request") {
+        let id: u64 = id.parse().unwrap_or_else(|_| {
+            eprintln!("--request expects the request ordinal (an integer), got `{id}`");
+            std::process::exit(2);
+        });
+        explain_request(&events, id)
+    } else {
+        eprintln!("usage: {USAGE}");
+        std::process::exit(2);
+    };
+    match rendered {
+        Ok(text) => {
+            // A closed pipe (`entitlectl explain ... | head`) just ends
+            // the output.
+            use std::io::Write;
+            let _ = std::io::stdout().write_all(text.as_bytes());
+        }
+        Err(e) => {
+            eprintln!("explain: {e}");
+            std::process::exit(1);
         }
     }
 }
@@ -927,6 +1069,9 @@ fn market_cmd(args: &[String]) {
     let slice_days: u32 = arg_value(args, "--slice-days")
         .and_then(|s| s.parse().ok())
         .unwrap_or(7);
+    let max_ask_gbps: f64 = arg_value(args, "--max-ask")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2.0);
     let (workers, dedup) = sweep_args(args);
     let faults = arg_value(args, "--faults").map(|path| {
         let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
@@ -1013,7 +1158,7 @@ fn market_cmd(args: &[String]) {
         requests,
         seed,
         npgs: 32,
-        max_ask_gbps: 2.0,
+        max_ask_gbps,
     };
     let build = |obs: &Obs| -> (EntitlementMarket, Vec<network_entitlement::market::AdmitRequest>) {
         let mut market = EntitlementMarket::new(topo.clone(), grid, cfg.clone());

@@ -33,9 +33,19 @@ fn trace_lines_use_the_pinned_key_order() {
     let jsonl = obs.trace.to_jsonl();
     assert!(!jsonl.is_empty(), "seeded run produced no trace");
     for line in jsonl.lines() {
-        // The schema is part of the contract: fixed keys, fixed order.
+        // The schema is part of the contract: fixed keys, fixed order
+        // (trace-schema v2 adds the three id keys after ts_ms).
         assert!(line.starts_with("{\"ts_ms\":"), "bad line start: {line}");
-        let order = ["\"ts_ms\":", "\"span\":", "\"phase\":", "\"labels\":", "\"dur_ms\":"];
+        let order = [
+            "\"ts_ms\":",
+            "\"trace_id\":",
+            "\"span_id\":",
+            "\"parent_id\":",
+            "\"span\":",
+            "\"phase\":",
+            "\"labels\":",
+            "\"dur_ms\":",
+        ];
         let mut last = 0;
         for key in order {
             let at = line.find(key).unwrap_or_else(|| panic!("{key} missing in {line}"));
