@@ -44,7 +44,9 @@ impl fmt::Display for Severity {
 /// QoS ordering, `E04xx` topology, `E05xx` availability curves,
 /// `E06xx` SLO evaluation policies, `E07xx` approval-engine
 /// configuration, `R01xx` runtime concurrency (reported by the
-/// `racecheck` verifier, not the config analyzer).
+/// `racecheck` verifier, not the config analyzer), `W01xx` runtime
+/// watchdog (streaming invariant monitors and anomaly detectors over
+/// live SLI streams, reported by `entitlement-watch`).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum Code {
     /// Entitled rate must be positive and finite.
@@ -125,6 +127,27 @@ pub enum Code {
     /// opposite orders on different tasks, or a schedule wedged with no
     /// enabled step.
     R0104,
+    /// Delivery conservation: conforming delivery exceeded
+    /// `min(demand, approved) × (1 + ε)` on a settled, measurable cycle.
+    W0101,
+    /// Shard reconciliation: the flat aggregate total does not
+    /// bit-reconcile with its per-shard partials re-summed in shard
+    /// order.
+    W0102,
+    /// Residual monotonicity: a residual-index decrement went negative,
+    /// grew the residual, or missed `max(before − granted, 0)` exactly.
+    W0103,
+    /// Fraction sanity: a marked or conforming fraction left [0, 1].
+    W0104,
+    /// Staleness changepoint: the CUSUM over aggregate staleness
+    /// crossed its decision threshold (aggregates stopped refreshing).
+    W0105,
+    /// Attainment drift: the fast/slow EWMA divergence over SLO
+    /// attainment crossed its threshold (delivery is sliding).
+    W0106,
+    /// Admit-latency changepoint: the CUSUM over market admission
+    /// latency crossed its threshold (the warm index stopped serving).
+    W0107,
 }
 
 /// One row of the rule catalog: what the code means and where in the
@@ -143,7 +166,7 @@ pub struct CatalogEntry {
 
 impl Code {
     /// The full rule catalog, in code order.
-    pub const CATALOG: [CatalogEntry; 33] = [
+    pub const CATALOG: [CatalogEntry; 40] = [
         CatalogEntry {
             code: Code::E0101,
             severity: Severity::Error,
@@ -342,6 +365,48 @@ impl Code {
             invariant: "locks are acquired in one global order and every schedule can finish",
             paper: "§6 (the enforcement loop must never wedge mid-round)",
         },
+        CatalogEntry {
+            code: Code::W0101,
+            severity: Severity::Error,
+            invariant: "delivered never exceeds min(demand, approved) × (1 + ε)",
+            paper: "§5/§7.1 (enforcement throttles flows to the approved rate)",
+        },
+        CatalogEntry {
+            code: Code::W0102,
+            severity: Severity::Error,
+            invariant: "the flat aggregate total bit-reconciles with the per-shard re-sum",
+            paper: "§6 (metering aggregates must be reproducible)",
+        },
+        CatalogEntry {
+            code: Code::W0103,
+            severity: Severity::Error,
+            invariant: "residual-index decrements are exact and never go negative",
+            paper: "§4.3 (admissions draw down a finite headroom)",
+        },
+        CatalogEntry {
+            code: Code::W0104,
+            severity: Severity::Error,
+            invariant: "marked and conforming fractions are valid shares in [0, 1]",
+            paper: "§5 (marking partitions the sent traffic)",
+        },
+        CatalogEntry {
+            code: Code::W0105,
+            severity: Severity::Warning,
+            invariant: "aggregate staleness stays at its healthy refresh cadence",
+            paper: "§6 (agents act on recently published aggregates)",
+        },
+        CatalogEntry {
+            code: Code::W0106,
+            severity: Severity::Warning,
+            invariant: "SLO attainment holds its baseline level",
+            paper: "§7.1 (contract attainment is the delivered share of entitled)",
+        },
+        CatalogEntry {
+            code: Code::W0107,
+            severity: Severity::Warning,
+            invariant: "admission latency stays on the warm-index baseline",
+            paper: "§4.3 (approval must answer at interactive latency)",
+        },
     ];
 
     /// The stable textual form, e.g. `"E0203"`.
@@ -380,6 +445,13 @@ impl Code {
             Code::R0102 => "R0102",
             Code::R0103 => "R0103",
             Code::R0104 => "R0104",
+            Code::W0101 => "W0101",
+            Code::W0102 => "W0102",
+            Code::W0103 => "W0103",
+            Code::W0104 => "W0104",
+            Code::W0105 => "W0105",
+            Code::W0106 => "W0106",
+            Code::W0107 => "W0107",
         }
     }
 

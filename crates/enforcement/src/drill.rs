@@ -25,6 +25,7 @@ use entitlement_simnet::{
     AclRule, AppConfig, Bottleneck, MarkingCommand, Recorder, StorageApp, World, WorldConfig,
 };
 use entitlement_slo::{IntervalObs, SloEvaluator, SloPolicy, SloReport};
+use entitlement_watch::{CycleObs, WatchEvaluator, WatchPolicy, WatchReport};
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 use std::time::Duration;
@@ -155,6 +156,25 @@ pub fn run_drill_slo(
     obs: &Obs,
     policy: &SloPolicy,
 ) -> (Recorder, SloReport) {
+    let (recorder, slo, _) = run_drill_watch(config, obs, policy, &WatchPolicy::default());
+    (recorder, slo)
+}
+
+/// [`run_drill_slo`] plus the runtime watchdog: every metered tick also
+/// feeds one [`CycleObs`] into a streaming [`WatchEvaluator`] — the
+/// delivery-conservation and fraction monitors plus the staleness CUSUM
+/// and attainment-drift detectors — which emits `watch`/`cycle` (and
+/// any `watch`/`violation`, `watch`/`fire`|`clear`) trace events into
+/// `obs`. The recorded series and the SLO report stay bitwise
+/// identical; the third return is the final [`WatchReport`], and
+/// re-folding the saved trace with
+/// [`WatchEvaluator::fold_trace`] reproduces it byte-for-byte.
+pub fn run_drill_watch(
+    config: &DrillConfig,
+    obs: &Obs,
+    policy: &SloPolicy,
+    watch_policy: &WatchPolicy,
+) -> (Recorder, SloReport, WatchReport) {
     // --- Contract database: the entitlement cut is a contract rollover.
     let db = ContractDb::new();
     let npg = NpgId(2); // "coldstorage" in the catalog ordering
@@ -253,6 +273,7 @@ pub fn run_drill_slo(
     let telemetry = obs;
     let slo_target = 0.99;
     let mut evaluator = SloEvaluator::new(policy.clone());
+    let mut watchdog = WatchEvaluator::new(watch_policy.clone());
     let mut recorder = Recorder::new();
     let ticks = (config.duration_min * 60.0 / config.dt_secs) as usize;
     let mut marking = MarkingCommand::None;
@@ -340,11 +361,34 @@ pub fn run_drill_slo(
                     measurable: kv_unavailable == 0.0,
                 },
             );
+            // Watchdog fold over the same observation, plus the SLIs
+            // the SLO evaluator does not consume: the marked/conforming
+            // split and the aggregate staleness behind the decision.
+            let total = obs.total_sent.as_bps();
+            let conform_fraction = if total > 0.0 {
+                obs.conf_sent.as_bps() / total
+            } else {
+                1.0
+            };
+            watchdog.observe_cycle(
+                telemetry,
+                &CycleObs {
+                    entity: npg.to_string(),
+                    qos: qos.to_string(),
+                    demand_bps: total,
+                    delivered_bps: obs.conf_sent.as_bps(),
+                    approved_bps: entitled.as_bps(),
+                    marked_fraction: m,
+                    conform_fraction,
+                    staleness_ms: agent.staleness_ms(now_ms) as f64,
+                    measurable: kv_unavailable == 0.0,
+                },
+            );
         }
 
         last_obs = Some(obs);
     }
-    (recorder, evaluator.report())
+    (recorder, evaluator.report(), watchdog.report())
 }
 
 #[cfg(test)]
@@ -473,6 +517,25 @@ mod tests {
         let errs_base = minute_mean(&r, "block_errors", 40.0, 65.0);
         let errs_100 = minute_mean(&r, "block_errors", 155.0, 180.0);
         assert!(errs_100 > errs_base + 1.0, "block errors spike: {errs_100}");
+    }
+
+    #[test]
+    fn healthy_drill_watch_is_silent_and_refolds_byte_identically() {
+        let cfg = DrillConfig {
+            hosts: 500,
+            ..Default::default()
+        };
+        let obs = Obs::new(entitlement_obs::Clock::manual(0));
+        let (_, _, watch) =
+            run_drill_watch(&cfg, &obs, &SloPolicy::default(), &WatchPolicy::default());
+        assert!(watch.healthy(), "{}", watch.render_text());
+        assert_eq!(watch.cycles, 499, "one metered cycle per tick after the first");
+        let mut offline = WatchEvaluator::new(WatchPolicy::default());
+        offline.fold_trace(&obs.trace.events());
+        let refolded = offline.report();
+        assert_eq!(refolded.render_json(), watch.render_json());
+        assert_eq!(refolded.render_text(), watch.render_text());
+        assert_eq!(refolded, watch);
     }
 
     #[test]

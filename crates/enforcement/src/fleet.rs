@@ -58,6 +58,7 @@ use entitlement_kvstore::{
 };
 use entitlement_obs::Obs;
 use entitlement_slo::{IntervalObs, SloEvaluator, SloPolicy, SloReport};
+use entitlement_watch::{CycleObs, WatchEvaluator, WatchPolicy, WatchReport};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -378,6 +379,28 @@ pub fn run_fleet_engine_slo(
     obs: &Obs,
     policy: &SloPolicy,
 ) -> Result<(FleetOutcome, SloReport), String> {
+    run_fleet_engine_watch(config, obs, policy, &WatchPolicy::default())
+        .map(|(outcome, slo, _)| (outcome, slo))
+}
+
+/// [`run_fleet_engine_slo`] plus the runtime watchdog: every cycle also
+/// feeds the streaming [`WatchEvaluator`] — one [`CycleObs`] for the
+/// global entity plus a shard-reconciliation check that re-sums the
+/// per-shard partials in shard order and bit-compares against the fold
+/// the meters consumed (`W0102`). All watch events are emitted
+/// driver-side in deterministic order, so traces and the returned
+/// [`WatchReport`] stay byte-identical across strategies, and
+/// re-folding the saved trace reproduces the report exactly.
+///
+/// # Errors
+///
+/// Propagates [`ShardPlan::new`] validation failures.
+pub fn run_fleet_engine_watch(
+    config: &FleetConfig,
+    obs: &Obs,
+    policy: &SloPolicy,
+    watch_policy: &WatchPolicy,
+) -> Result<(FleetOutcome, SloReport, WatchReport), String> {
     let plan = ShardPlan::new(config.hosts, config.shards)?;
     let shards = plan.shards();
     let fault_plan = Arc::new(config.faults.clone().unwrap_or_else(FaultPlan::none));
@@ -401,6 +424,7 @@ pub fn run_fleet_engine_slo(
     let mut fan_total = ShardFanout::new(shards, staleness_ms);
     let mut fan_conform = ShardFanout::new(shards, staleness_ms);
     let mut evaluator = SloEvaluator::new(policy.clone());
+    let mut watchdog = WatchEvaluator::new(watch_policy.clone());
     let mut shard_stats = vec![FleetShardStats::default(); shards];
     let mut cycle_stats = Vec::with_capacity(config.cycles);
     let mut partials = vec![(0.0, 0.0, 0u64); shards];
@@ -516,6 +540,51 @@ pub fn run_fleet_engine_slo(
         span.add_label("marked_fraction", &format!("{marked_fraction:.4}"));
         span.finish();
 
+        // 6. Watchdog fold, outside the cycle span so watch events
+        // never perturb span durations. Staleness here is the cost of
+        // degraded serves: each held or missing shard this cycle ages
+        // the decision by one cycle (a healthy run holds it at zero).
+        let degraded = (snap_total.held() + snap_total.missing()) as f64;
+        let conform_fraction = if live_total > 0.0 {
+            live_conform / live_total
+        } else {
+            1.0
+        };
+        watchdog.observe_cycle(
+            obs,
+            &CycleObs {
+                entity: config.npg.to_string(),
+                qos: config.qos.to_string(),
+                demand_bps,
+                delivered_bps: live_conform,
+                approved_bps: config.entitled.as_bps(),
+                marked_fraction,
+                conform_fraction,
+                staleness_ms: degraded * config.cycle_ms as f64,
+                measurable,
+            },
+        );
+        // W0102: re-sum the servable shard partials and bit-compare
+        // against the fold the meters consumed. Skipped when the fold
+        // itself failed (a missing shard is W0105's territory).
+        if let Ok(folded) = snap_total.fold() {
+            let shard_values: Vec<f64> = snap_total
+                .shards()
+                .iter()
+                .map(|r| match *r {
+                    ShardRead::Fresh(v) | ShardRead::Held(v) => v,
+                    ShardRead::Missing => 0.0,
+                })
+                .collect();
+            watchdog.observe_shards(
+                obs,
+                &config.npg.to_string(),
+                &config.qos.to_string(),
+                folded,
+                &shard_values,
+            );
+        }
+
         cycle_stats.push(FleetCycleStats {
             now_ms,
             shard_totals: snap_total.fresh_values(),
@@ -542,7 +611,7 @@ pub fn run_fleet_engine_slo(
         demand_bps,
         final_total,
     };
-    Ok((outcome, evaluator.report()))
+    Ok((outcome, evaluator.report(), watchdog.report()))
 }
 
 /// One `shard`/`fold` trace event per shard, shard order, labelling
@@ -601,6 +670,25 @@ mod tests {
         assert!((out.final_total - out.demand_bps).abs() < 1e-3);
         assert_eq!(report.entities.len(), 1);
         assert_eq!(report.entities[0].entity, "npg:7");
+    }
+
+    #[test]
+    fn healthy_fleet_watch_is_silent_and_refolds_byte_identically() {
+        let obs = Obs::new(entitlement_obs::Clock::manual(0));
+        let (_, _, watch) = run_fleet_engine_watch(
+            &small_config(),
+            &obs,
+            &SloPolicy::default(),
+            &WatchPolicy::default(),
+        )
+        .unwrap();
+        assert!(watch.healthy(), "{}", watch.render_text());
+        assert_eq!(watch.cycles, 12);
+        assert_eq!(watch.shard_checks, 12, "one W0102 reconciliation per cycle");
+        let mut offline = WatchEvaluator::new(WatchPolicy::default());
+        offline.fold_trace(&obs.trace.events());
+        assert_eq!(offline.report(), watch);
+        assert_eq!(offline.report().render_json(), watch.render_json());
     }
 
     #[test]

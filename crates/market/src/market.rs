@@ -96,6 +96,12 @@ pub struct AdmitDecision {
     pub outcome: AdmitOutcome,
     /// Which serving path produced the decision.
     pub path: AdmitPath,
+    /// Residual headroom in the served slot before this decision.
+    pub residual_before: Rate,
+    /// Residual after the decrement: exactly
+    /// `(residual_before − granted).clamp_zero()` — the watchdog's
+    /// W0103 monitor holds every decision to that equation.
+    pub residual_after: Rate,
 }
 
 impl AdmitDecision {
@@ -111,6 +117,8 @@ impl AdmitDecision {
             granted,
             outcome,
             path,
+            residual_before: Rate::ZERO,
+            residual_after: Rate::ZERO,
         }
     }
 }
@@ -342,7 +350,7 @@ impl EntitlementMarket {
         if traced {
             obs.event("market", "index_probe", &[("state", slot_state)]);
         }
-        let (decision, residual_before) = match self.index.fresh_remaining(&key) {
+        let (mut decision, residual_before) = match self.index.fresh_remaining(&key) {
             Some(remaining) if !remaining.is_zero() => {
                 let granted = req.ask.min(remaining);
                 self.index.consume(&key, granted);
@@ -377,6 +385,8 @@ impl EntitlementMarket {
                 )
             }
         };
+        decision.residual_before = residual_before;
+        decision.residual_after = (residual_before - decision.granted).clamp_zero();
         if !decision.granted.is_zero() {
             let mkey = MarketKey {
                 npg: req.npg,

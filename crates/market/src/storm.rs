@@ -5,6 +5,7 @@ use crate::market::{AdmitDecision, AdmitOutcome, AdmitPath, AdmitRequest, Entitl
 use crate::slice::SliceId;
 use entitlement_core::{DetRng, NpgId, QosBucket, Rate};
 use entitlement_obs::Obs;
+use entitlement_watch::{AdmitObs, WatchEvaluator, WatchPolicy, WatchReport};
 use serde::{Deserialize, Serialize};
 
 /// Parameters of a deterministic admission storm.
@@ -105,12 +106,46 @@ pub fn run_storm(
     requests: &[AdmitRequest],
     obs: &Obs,
 ) -> StormReport {
+    run_storm_watch(market, requests, obs, &WatchPolicy::default()).0
+}
+
+/// [`run_storm`] plus the runtime watchdog: every admission also feeds
+/// one [`AdmitObs`] into a streaming [`WatchEvaluator`] — the W0103
+/// residual-monotonicity monitor (bit-exact against the index's own
+/// bps arithmetic) and the W0107 admit-latency CUSUM — emitting
+/// `watch`/`admit` (and any `watch`/`violation`, `watch`/`fire`|
+/// `clear`) trace events into `obs`. The latency sample is the logical
+/// clock delta around each admission, so under a counting clock the
+/// sweep path reads strictly slower than the warm index path.
+/// Re-folding the saved trace reproduces the returned [`WatchReport`]
+/// byte-for-byte.
+pub fn run_storm_watch(
+    market: &mut EntitlementMarket,
+    requests: &[AdmitRequest],
+    obs: &Obs,
+    watch_policy: &WatchPolicy,
+) -> (StormReport, WatchReport) {
     let mut report = StormReport::default();
-    for req in requests {
+    let mut watchdog = WatchEvaluator::new(watch_policy.clone());
+    for (i, req) in requests.iter().enumerate() {
+        let t0 = obs.clock.now_ms();
         let d = market.admit_obs(req, obs);
+        let admit_ms = obs.clock.now_ms().saturating_sub(t0) as f64;
         report.tally(&d);
+        watchdog.observe_admit(
+            obs,
+            &AdmitObs {
+                request: i as u64,
+                ask_bps: req.ask.as_bps(),
+                granted_bps: d.granted.as_bps(),
+                residual_before_bps: d.residual_before.as_bps(),
+                residual_after_bps: d.residual_after.as_bps(),
+                admit_ms,
+                path: d.path.as_str().to_string(),
+            },
+        );
     }
-    report
+    (report, watchdog.report())
 }
 
 #[cfg(test)]
@@ -121,6 +156,36 @@ mod tests {
     use entitlement_approval::ApprovalConfig;
     use entitlement_core::Quarter;
     use entitlement_topology::BackboneSpec;
+
+    #[test]
+    fn healthy_storm_watch_is_silent_and_refolds_byte_identically() {
+        let topo = BackboneSpec::small(7).build();
+        let grid = SliceGrid::quarterly(Quarter(0), 30);
+        let config = ApprovalConfig {
+            max_cuts: 1,
+            ..Default::default()
+        };
+        let mut market = EntitlementMarket::new(topo, grid, config);
+        let buckets = QosBucket::approval_order();
+        let requests = generate_storm(
+            &market,
+            &buckets,
+            &StormConfig {
+                requests: 300,
+                ..Default::default()
+            },
+        );
+        let obs = Obs::new(entitlement_obs::Clock::counting(1));
+        let (report, watch) =
+            run_storm_watch(&mut market, &requests, &obs, &WatchPolicy::default());
+        assert_eq!(report.requests, 300);
+        assert_eq!(watch.admits, 300);
+        assert!(watch.healthy(), "{}", watch.render_text());
+        let mut offline = WatchEvaluator::new(WatchPolicy::default());
+        offline.fold_trace(&obs.trace.events());
+        assert_eq!(offline.report(), watch);
+        assert_eq!(offline.report().render_json(), watch.render_json());
+    }
 
     #[test]
     fn storms_are_deterministic_in_the_seed() {

@@ -43,8 +43,8 @@ pub use clock::Clock;
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot};
 pub use registry::{escape_label_value, Registry};
 pub use summary::{
-    diff_prometheus, diff_traces, parse_trace, summarize_trace, summarize_trace_by_label,
-    validate_prometheus,
+    diff_counters, diff_prometheus, diff_traces, parse_trace, summarize_trace,
+    summarize_trace_by_label, validate_prometheus,
 };
 pub use trace::{SpanTimer, TraceEvent, TraceSink};
 pub use tree::{

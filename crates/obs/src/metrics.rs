@@ -216,6 +216,15 @@ impl Histogram {
         Some(max)
     }
 
+    /// The p99.9 tail estimate — [`Histogram::quantile`] at `0.999`.
+    /// The named accessor exists because every latency table and bench
+    /// record in the workspace reports this exact tail; `None` when
+    /// empty.
+    #[must_use]
+    pub fn p999(&self) -> Option<f64> {
+        self.quantile(0.999)
+    }
+
     /// Fold another histogram's observations into this one. Bucket
     /// counts, count, min, and max merge exactly; the sums add.
     pub fn merge_from(&self, other: &Histogram) {

@@ -7,6 +7,7 @@
 
 use crate::metrics::Histogram;
 use crate::trace::TraceEvent;
+use crate::tree::{build_span_forest, self_time_ms};
 use serde::JsonValue;
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -83,24 +84,42 @@ fn parse_event(v: &JsonValue) -> Result<TraceEvent, String> {
     })
 }
 
+/// Per-event *self* durations: duration minus children's durations
+/// when the v2 ids reconstruct a forest, raw duration otherwise (a
+/// hand-built or partial trace still summarizes, it just can't be
+/// de-nested). A parent span's `dur_ms` covers its children, so rolling
+/// up raw durations counts every nested child once in its own row *and
+/// again* inside each ancestor — self-time is what makes per-phase
+/// totals additive.
+fn self_durations(events: &[TraceEvent]) -> Vec<f64> {
+    match build_span_forest(events) {
+        Ok(forest) => (0..events.len())
+            .map(|i| self_time_ms(&forest, events, i))
+            .collect(),
+        Err(_) => events.iter().map(|e| e.dur_ms.max(0.0)).collect(),
+    }
+}
+
 /// Render a per-`(span, phase)` latency table: event count, total and
-/// mean duration, p50/p95 estimates, and max. Rows sort by span then
-/// phase; durations are whatever unit the trace used (milliseconds
-/// for every emitter in this workspace).
+/// mean duration, p50/p95/p99.9 estimates, and max. Rows sort by span
+/// then phase; durations are per-event **self-time** (children
+/// subtracted — see [`self_durations`]) in whatever unit the trace
+/// used (milliseconds for every emitter in this workspace).
 #[must_use]
 pub fn summarize_trace(events: &[TraceEvent]) -> String {
+    let selfs = self_durations(events);
     let mut groups: BTreeMap<(String, String), Histogram> = BTreeMap::new();
-    for e in events {
+    for (i, e) in events.iter().enumerate() {
         groups
             .entry((e.span.clone(), e.phase.clone()))
             .or_default()
-            .record(e.dur_ms.max(0.0));
+            .record(selfs[i].max(0.0));
     }
     let mut out = String::new();
     let _ = writeln!(
         out,
-        "{:<14} {:<22} {:>7} {:>12} {:>10} {:>10} {:>10} {:>10}",
-        "span", "phase", "count", "total_ms", "mean_ms", "p50_ms", "p95_ms", "max_ms"
+        "{:<14} {:<22} {:>7} {:>12} {:>10} {:>10} {:>10} {:>10} {:>10}",
+        "span", "phase", "count", "total_ms", "mean_ms", "p50_ms", "p95_ms", "p999_ms", "max_ms"
     );
     for ((span, phase), h) in &groups {
         let count = h.count();
@@ -108,10 +127,11 @@ pub fn summarize_trace(events: &[TraceEvent]) -> String {
         let mean = if count > 0 { total / count as f64 } else { 0.0 };
         let p50 = h.quantile(0.50).unwrap_or(0.0);
         let p95 = h.quantile(0.95).unwrap_or(0.0);
+        let p999 = h.p999().unwrap_or(0.0);
         let max = h.max().unwrap_or(0.0);
         let _ = writeln!(
             out,
-            "{span:<14} {phase:<22} {count:>7} {total:>12.1} {mean:>10.2} {p50:>10.2} {p95:>10.2} {max:>10.2}"
+            "{span:<14} {phase:<22} {count:>7} {total:>12.1} {mean:>10.2} {p50:>10.2} {p95:>10.2} {p999:>10.2} {max:>10.2}"
         );
     }
     if groups.is_empty() {
@@ -121,30 +141,33 @@ pub fn summarize_trace(events: &[TraceEvent]) -> String {
 }
 
 /// Render a latency table grouped by the value of one label: one row
-/// per distinct value of `key`, same columns as [`summarize_trace`].
-/// Events without the label are pooled under `(unlabelled)`; that row
-/// appears only when such events exist. Rows sort by label value.
+/// per distinct value of `key`, same columns (and the same self-time
+/// rollup) as [`summarize_trace`]. Events without the label are pooled
+/// under `(unlabelled)`; that row appears only when such events exist.
+/// Rows sort by label value.
 #[must_use]
 pub fn summarize_trace_by_label(events: &[TraceEvent], key: &str) -> String {
+    let selfs = self_durations(events);
     let mut groups: BTreeMap<String, Histogram> = BTreeMap::new();
-    for e in events {
+    for (i, e) in events.iter().enumerate() {
         let value = e
             .labels
             .iter()
             .find(|(k, _)| k == key)
             .map_or_else(|| "(unlabelled)".to_string(), |(_, v)| v.clone());
-        groups.entry(value).or_default().record(e.dur_ms.max(0.0));
+        groups.entry(value).or_default().record(selfs[i].max(0.0));
     }
     let mut out = String::new();
     let _ = writeln!(
         out,
-        "{:<24} {:>7} {:>12} {:>10} {:>10} {:>10} {:>10}",
+        "{:<24} {:>7} {:>12} {:>10} {:>10} {:>10} {:>10} {:>10}",
         format!("{key}="),
         "count",
         "total_ms",
         "mean_ms",
         "p50_ms",
         "p95_ms",
+        "p999_ms",
         "max_ms"
     );
     for (value, h) in &groups {
@@ -153,10 +176,11 @@ pub fn summarize_trace_by_label(events: &[TraceEvent], key: &str) -> String {
         let mean = if count > 0 { total / count as f64 } else { 0.0 };
         let p50 = h.quantile(0.50).unwrap_or(0.0);
         let p95 = h.quantile(0.95).unwrap_or(0.0);
+        let p999 = h.p999().unwrap_or(0.0);
         let max = h.max().unwrap_or(0.0);
         let _ = writeln!(
             out,
-            "{value:<24} {count:>7} {total:>12.1} {mean:>10.2} {p50:>10.2} {p95:>10.2} {max:>10.2}"
+            "{value:<24} {count:>7} {total:>12.1} {mean:>10.2} {p50:>10.2} {p95:>10.2} {p999:>10.2} {max:>10.2}"
         );
     }
     if groups.is_empty() {
@@ -376,6 +400,76 @@ pub fn validate_prometheus(text: &str) -> Result<usize, String> {
     Ok(samples)
 }
 
+/// Compare two Prometheus snapshots of the *same process*, flagging
+/// counter regressions: for every sample of a `# TYPE … counter`
+/// family present in `a`, the matching sample in `b` (same name and
+/// label set) must exist and must not have a smaller value — counters
+/// are monotone, so a decrease or disappearance between snapshots
+/// means a reset, a lost shard, or double-registered state. Returns
+/// one violation message per offending sample (empty = clean). This
+/// backs `entitlectl obs diff --counters a.prom b.prom`.
+///
+/// # Errors
+///
+/// Returns a message when either payload fails
+/// [`validate_prometheus`].
+pub fn diff_counters(a: &str, b: &str) -> Result<Vec<String>, String> {
+    let sa = counter_samples(a).map_err(|e| format!("first snapshot: {e}"))?;
+    let sb = counter_samples(b).map_err(|e| format!("second snapshot: {e}"))?;
+    let mut out = Vec::new();
+    for (key, va) in &sa {
+        match sb.get(key) {
+            Some(vb) if vb < va => {
+                out.push(format!("counter `{key}` decreased: {va} -> {vb}"));
+            }
+            None => out.push(format!("counter `{key}` disappeared (was {va})")),
+            _ => {}
+        }
+    }
+    Ok(out)
+}
+
+/// Extract every counter-family sample from a validated exposition as
+/// `canonical-sample-key -> value` (key = name plus sorted labels, so
+/// the same series matches across snapshots regardless of label
+/// order).
+fn counter_samples(text: &str) -> Result<BTreeMap<String, f64>, String> {
+    validate_prometheus(text)?;
+    let mut counters: Vec<String> = Vec::new();
+    for line in text.lines() {
+        if let Some(rest) = line.strip_prefix('#') {
+            let rest = rest.trim_start();
+            if let Some(decl) = rest.strip_prefix("TYPE ") {
+                let mut parts = decl.split_whitespace();
+                if let (Some(name), Some("counter")) = (parts.next(), parts.next()) {
+                    counters.push(name.to_string());
+                }
+            }
+        }
+    }
+    let mut out = BTreeMap::new();
+    for line in text.lines() {
+        if line.trim().is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (name, labels, value) = parse_sample(line)?;
+        if !counters.contains(&name) {
+            continue;
+        }
+        let rendered: Vec<String> = labels
+            .iter()
+            .map(|(k, v)| format!("{k}=\"{v}\""))
+            .collect();
+        let key = if rendered.is_empty() {
+            name
+        } else {
+            format!("{name}{{{}}}", rendered.join(","))
+        };
+        out.insert(key, value);
+    }
+    Ok(out)
+}
+
 fn is_metric_name(name: &str) -> bool {
     let mut chars = name.chars();
     match chars.next() {
@@ -388,6 +482,17 @@ fn is_metric_name(name: &str) -> bool {
 /// Parse one sample line; returns the sample name and its sorted label
 /// key set.
 fn parse_sample_line(line: &str) -> Result<(String, Vec<String>), String> {
+    let (name, labels, _) = parse_sample(line)?;
+    Ok((name, labels.into_iter().map(|(k, _)| k).collect()))
+}
+
+/// A parsed sample: name, sorted `(key, value)` label pairs, value.
+type Sample = (String, Vec<(String, String)>, f64);
+
+/// Fully parse one sample line: sample name, sorted `(key, value)`
+/// label pairs (values kept as written, escapes included — they only
+/// ever feed equality comparisons), and the sample value.
+fn parse_sample(line: &str) -> Result<Sample, String> {
     let bytes = line.as_bytes();
     let name_end = bytes
         .iter()
@@ -398,11 +503,11 @@ fn parse_sample_line(line: &str) -> Result<(String, Vec<String>), String> {
         return Err(format!("bad metric name `{name}`"));
     }
     let mut pos = name_end;
-    let mut keys = Vec::new();
+    let mut labels = Vec::new();
     if bytes[pos] == b'{' {
-        pos = parse_label_block(line, pos, &mut keys)?;
+        pos = parse_label_block(line, pos, &mut labels)?;
     }
-    keys.sort();
+    labels.sort();
     let value = line[pos..].trim();
     if value.is_empty() {
         return Err("sample has no value".to_string());
@@ -410,21 +515,30 @@ fn parse_sample_line(line: &str) -> Result<(String, Vec<String>), String> {
     // A sample may carry an optional trailing timestamp.
     let mut fields = value.split_whitespace();
     let v = fields.next().unwrap_or("");
-    if !(v == "+Inf" || v == "-Inf" || v == "NaN" || v.parse::<f64>().is_ok()) {
-        return Err(format!("unparseable sample value `{v}`"));
-    }
+    let parsed = match v {
+        "+Inf" => f64::INFINITY,
+        "-Inf" => f64::NEG_INFINITY,
+        "NaN" => f64::NAN,
+        _ => v
+            .parse::<f64>()
+            .map_err(|_| format!("unparseable sample value `{v}`"))?,
+    };
     if let Some(ts) = fields.next() {
         if ts.parse::<i64>().is_err() {
             return Err(format!("unparseable timestamp `{ts}`"));
         }
     }
-    Ok((name.to_string(), keys))
+    Ok((name.to_string(), labels, parsed))
 }
 
-/// Parse `{k="v",...}` starting at `open` (the `{`); collects label
-/// names into `keys` and returns the byte index just past the closing
-/// `}`.
-fn parse_label_block(line: &str, open: usize, keys: &mut Vec<String>) -> Result<usize, String> {
+/// Parse `{k="v",...}` starting at `open` (the `{`); collects
+/// `(name, value)` pairs into `labels` and returns the byte index just
+/// past the closing `}`.
+fn parse_label_block(
+    line: &str,
+    open: usize,
+    labels: &mut Vec<(String, String)>,
+) -> Result<usize, String> {
     let bytes = line.as_bytes();
     let mut pos = open + 1;
     loop {
@@ -439,7 +553,7 @@ fn parse_label_block(line: &str, open: usize, keys: &mut Vec<String>) -> Result<
         if pos == start {
             return Err(format!("expected label name at byte {pos}"));
         }
-        keys.push(line[start..pos].to_string());
+        let key = line[start..pos].to_string();
         if bytes.get(pos) != Some(&b'=') {
             return Err(format!("expected `=` at byte {pos}"));
         }
@@ -449,6 +563,7 @@ fn parse_label_block(line: &str, open: usize, keys: &mut Vec<String>) -> Result<
         }
         pos += 1;
         // quoted value with \\, \", \n escapes
+        let value_start = pos;
         loop {
             match bytes.get(pos) {
                 Some(b'\\') => {
@@ -458,6 +573,7 @@ fn parse_label_block(line: &str, open: usize, keys: &mut Vec<String>) -> Result<
                     }
                 }
                 Some(b'"') => {
+                    labels.push((key, line[value_start..pos].to_string()));
                     pos += 1;
                     break;
                 }
@@ -564,6 +680,56 @@ mod tests {
     }
 
     #[test]
+    fn summarize_rolls_up_self_time_not_nested_totals() {
+        // Two-level tree: a 10 ms outer span wraps a 4 ms child. The
+        // per-phase rollup must charge the outer row 6 ms of self-time;
+        // the old raw-duration rollup double-counted the child's 4 ms
+        // (once in its own row, again inside the parent's 10).
+        let obs = Obs::new(Clock::manual(0));
+        {
+            let outer = obs.span("agent", "cycle");
+            obs.clock.advance_ms(6);
+            {
+                let _inner = obs.span("kv", "put");
+                obs.clock.advance_ms(4);
+            }
+            outer.finish();
+        }
+        let events = obs.trace.events();
+        assert_eq!(events[0].dur_ms, 4.0, "child total");
+        assert_eq!(events[1].dur_ms, 10.0, "parent total covers child");
+        let table = summarize_trace(&events);
+        let rows: Vec<&str> = table.lines().collect();
+        assert_eq!(rows.len(), 3, "header + 2 rows: {table}");
+        let outer_row = rows.iter().find(|r| r.contains("cycle")).unwrap();
+        assert!(outer_row.contains("6.0"), "self-time 6, not 10: {table}");
+        assert!(!outer_row.contains("10.0"), "{table}");
+        let child_row = rows.iter().find(|r| r.contains("put")).unwrap();
+        assert!(child_row.contains("4.0"), "leaf keeps its time: {table}");
+        // The grand total across rows is additive: 6 + 4 = the wall
+        // time of the root, with nothing counted twice.
+    }
+
+    #[test]
+    fn summarize_falls_back_to_raw_durations_without_ids() {
+        // Hand-built events with span_id 0 can't form a forest; the
+        // table still renders, using raw durations.
+        let e = crate::TraceEvent::new(0, "a", "b", Vec::new(), 7.0);
+        let table = summarize_trace(&[e]);
+        assert!(table.contains("7.0"), "{table}");
+    }
+
+    #[test]
+    fn summarize_prints_a_p999_column() {
+        let obs = Obs::new(Clock::manual(0));
+        obs.event("kv", "get", &[]);
+        let table = summarize_trace(&obs.trace.events());
+        assert!(table.contains("p999_ms"), "{table}");
+        let by = summarize_trace_by_label(&obs.trace.events(), "outcome");
+        assert!(by.contains("p999_ms"), "{by}");
+    }
+
+    #[test]
     fn by_label_on_empty_trace_says_so() {
         assert!(summarize_trace_by_label(&[], "x").contains("(no events)"));
     }
@@ -612,6 +778,43 @@ mod tests {
             "h_bucket{le=\"1\"} 3\nh_bucket{le=\"+Inf\"} 4\nh_sum 7\nh_count 4\n"
         )
         .is_ok());
+    }
+
+    #[test]
+    fn counter_diff_flags_decreases_and_disappearances() {
+        let a = "# TYPE ops_total counter\nops_total{kind=\"put\"} 10\nops_total{kind=\"get\"} 5\n# TYPE level gauge\nlevel 9\n";
+        let b = "# TYPE ops_total counter\nops_total{kind=\"put\"} 4\n# TYPE level gauge\nlevel 2\n";
+        let violations = diff_counters(a, b).expect("both valid");
+        assert_eq!(violations.len(), 2, "{violations:?}");
+        assert!(
+            violations.iter().any(|v| v.contains("decreased: 10 -> 4")),
+            "{violations:?}"
+        );
+        assert!(
+            violations
+                .iter()
+                .any(|v| v.contains("kind=\"get\"") && v.contains("disappeared")),
+            "{violations:?}"
+        );
+        // Gauges may move freely; equal or growing counters are clean.
+        assert!(diff_counters(a, a).unwrap().is_empty());
+        let grown = "# TYPE ops_total counter\nops_total{kind=\"put\"} 11\nops_total{kind=\"get\"} 5\n# TYPE level gauge\nlevel 0\n";
+        assert!(diff_counters(a, grown).unwrap().is_empty());
+    }
+
+    #[test]
+    fn counter_diff_matches_series_regardless_of_label_order() {
+        let a = "# TYPE x counter\nx{a=\"1\",b=\"2\"} 3\n";
+        let b = "# TYPE x counter\nx{b=\"2\",a=\"1\"} 3\n";
+        assert!(diff_counters(a, b).unwrap().is_empty());
+    }
+
+    #[test]
+    fn counter_diff_rejects_invalid_payloads() {
+        let err = diff_counters("1bad 3\n", "").unwrap_err();
+        assert!(err.contains("first snapshot"), "{err}");
+        let err = diff_counters("", "x notanumber\n").unwrap_err();
+        assert!(err.contains("second snapshot"), "{err}");
     }
 
     #[test]

@@ -1,7 +1,8 @@
 //! Run-to-run regression tracking.
 //!
-//! Each benchmarked run serializes one [`BenchRecord`] — p50/p99 agent
-//! cycle latency, mean delivered throughput, attainment, alert count —
+//! Each benchmarked run serializes one [`BenchRecord`] — p50/p99/p99.9
+//! agent cycle latency, mean delivered throughput, attainment, alert
+//! count —
 //! to `BENCH_<name>.json`. The next run diffs itself against that file
 //! under a [`BenchTolerance`]: small drift passes, a real regression
 //! (latency up by more than the fractional gate, throughput or
@@ -25,6 +26,8 @@ pub struct BenchRecord {
     pub p50_cycle_ms: f64,
     /// Tail agent cycle latency, ms.
     pub p99_cycle_ms: f64,
+    /// Extreme-tail (p99.9) agent cycle latency, ms.
+    pub p999_cycle_ms: f64,
     /// Mean conforming delivered throughput across entities, Gbit/s.
     pub mean_delivered_gbps: f64,
     /// Worst per-entity SLO attainment.
@@ -109,6 +112,7 @@ impl BenchRecord {
             cycles,
             p50_cycle_ms: cycle_ms.quantile(0.5).unwrap_or(0.0),
             p99_cycle_ms: cycle_ms.quantile(0.99).unwrap_or(0.0),
+            p999_cycle_ms: cycle_ms.p999().unwrap_or(0.0),
             mean_delivered_gbps,
             attainment,
             alerts_fired: report.alerts_fired(),
@@ -125,11 +129,13 @@ impl BenchRecord {
         let _ = write!(
             out,
             ",\"seed\":{},\"cycles\":{},\"p50_cycle_ms\":{},\"p99_cycle_ms\":{},\
+             \"p999_cycle_ms\":{},\
              \"mean_delivered_gbps\":{},\"attainment\":{},\"alerts_fired\":{}}}",
             self.seed,
             self.cycles,
             fmt_f64(self.p50_cycle_ms),
             fmt_f64(self.p99_cycle_ms),
+            fmt_f64(self.p999_cycle_ms),
             fmt_f64(self.mean_delivered_gbps),
             fmt_f64(self.attainment),
             self.alerts_fired
@@ -155,6 +161,7 @@ impl BenchRecord {
             cycles: num(&v, "cycles") as u64,
             p50_cycle_ms: num(&v, "p50_cycle_ms"),
             p99_cycle_ms: num(&v, "p99_cycle_ms"),
+            p999_cycle_ms: num(&v, "p999_cycle_ms"),
             mean_delivered_gbps: num(&v, "mean_delivered_gbps"),
             attainment: num(&v, "attainment"),
             alerts_fired: num(&v, "alerts_fired") as u64,
@@ -182,6 +189,7 @@ impl BenchRecord {
         for (label, now, was) in [
             ("p50_cycle_ms", self.p50_cycle_ms, prior.p50_cycle_ms),
             ("p99_cycle_ms", self.p99_cycle_ms, prior.p99_cycle_ms),
+            ("p999_cycle_ms", self.p999_cycle_ms, prior.p999_cycle_ms),
         ] {
             if was > 0.0 && now > was * (1.0 + tol.latency_frac) {
                 out.push(format!(
@@ -218,6 +226,7 @@ mod tests {
             cycles: 500,
             p50_cycle_ms: 2.0,
             p99_cycle_ms: 8.0,
+            p999_cycle_ms: 9.5,
             mean_delivered_gbps: 950.0,
             attainment: 0.996,
             alerts_fired: 0,
@@ -255,6 +264,17 @@ mod tests {
         now.mean_delivered_gbps = 700.0; // -26% > 25% gate
         let findings = now.diff(&record(), &BenchTolerance::default());
         assert_eq!(findings.len(), 2, "{findings:?}");
+    }
+
+    #[test]
+    fn p999_tail_blowup_is_a_regression() {
+        // p50/p99 hold steady while only the extreme tail blows up —
+        // the gate the p999 column exists to catch.
+        let mut now = record();
+        now.p999_cycle_ms = 20.0; // +110% > 25% gate
+        let findings = now.diff(&record(), &BenchTolerance::default());
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(findings[0].contains("p999_cycle_ms regressed"));
     }
 
     #[test]

@@ -1,0 +1,185 @@
+//! Invariant monitors: per-cycle conservation checks over the live
+//! SLI stream. Each check is a pure function from observed values to
+//! an optional violation detail string; the evaluator wraps the detail
+//! into a typed [`crate::report::Violation`] carrying the offending
+//! (entity, QoS, shard, cycle) and its stable `W01xx` analyzer code.
+//!
+//! Every numeric in a detail string is formatted shortest-round-trip
+//! (`format!("{v}")`), the same policy the trace labels use — so a
+//! detail built from label-roundtripped floats during an offline
+//! refold is byte-identical to the one built live.
+
+use crate::config::WatchPolicy;
+
+/// Shortest-round-trip float formatting (non-finite values collapse
+/// to `0`, matching the trace-label policy).
+pub(crate) fn fmt_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "0".to_string()
+    }
+}
+
+/// W0101 — delivery conservation: conforming delivery never exceeds
+/// `min(demand, approved) × (1 + ε)`. The caller gates this on the
+/// settle window (a fresh contract rollover gets `settle_cycles` of
+/// metering reaction time) and on measurability.
+#[must_use]
+pub fn check_delivery(
+    policy: &WatchPolicy,
+    demand_bps: f64,
+    delivered_bps: f64,
+    approved_bps: f64,
+) -> Option<String> {
+    let bound = demand_bps.min(approved_bps) * (1.0 + policy.delivery_epsilon);
+    // f64::min quietly drops a NaN operand, so check the raw inputs too.
+    if !demand_bps.is_finite() || !approved_bps.is_finite() || !delivered_bps.is_finite() {
+        return Some(format!(
+            "non-finite delivery accounting: delivered {} vs bound {}",
+            fmt_f64(delivered_bps),
+            fmt_f64(bound)
+        ));
+    }
+    if delivered_bps > bound {
+        return Some(format!(
+            "delivered {} bps exceeds min(demand {}, approved {}) × {}",
+            fmt_f64(delivered_bps),
+            fmt_f64(demand_bps),
+            fmt_f64(approved_bps),
+            fmt_f64(1.0 + policy.delivery_epsilon)
+        ));
+    }
+    None
+}
+
+/// W0102 — shard reconciliation: the flat aggregate total must equal
+/// the per-shard partials re-summed in shard order, bit-for-bit. The
+/// fold the meters consumed and the re-sum here run the identical
+/// ascending-shard f64 reduction, so any divergence means the fold saw
+/// different values than it published.
+#[must_use]
+pub fn check_shard_sum(total_bps: f64, shard_bps: &[f64]) -> Option<String> {
+    let resum: f64 = shard_bps.iter().sum();
+    if resum.to_bits() != total_bps.to_bits() {
+        return Some(format!(
+            "flat total {} bps does not bit-reconcile with the {}-shard re-sum {}",
+            fmt_f64(total_bps),
+            shard_bps.len(),
+            fmt_f64(resum)
+        ));
+    }
+    None
+}
+
+/// W0103 — residual monotonicity: a residual-index decrement never
+/// goes negative, never grows the residual, and lands exactly on
+/// `max(before − granted, 0)`.
+#[must_use]
+pub fn check_residual(
+    before_bps: f64,
+    after_bps: f64,
+    granted_bps: f64,
+) -> Option<String> {
+    if before_bps < 0.0 || after_bps < 0.0 {
+        return Some(format!(
+            "negative residual: before {} after {}",
+            fmt_f64(before_bps),
+            fmt_f64(after_bps)
+        ));
+    }
+    if after_bps > before_bps {
+        return Some(format!(
+            "residual grew on a decrement: before {} after {}",
+            fmt_f64(before_bps),
+            fmt_f64(after_bps)
+        ));
+    }
+    let expect = (before_bps - granted_bps).max(0.0);
+    if after_bps.to_bits() != expect.to_bits() {
+        return Some(format!(
+            "residual after {} is not before {} minus granted {} (expected {})",
+            fmt_f64(after_bps),
+            fmt_f64(before_bps),
+            fmt_f64(granted_bps),
+            fmt_f64(expect)
+        ));
+    }
+    None
+}
+
+/// W0104 — fraction sanity: the marked and conforming fractions are
+/// valid shares of sent traffic, each in `[0, 1]` (± ε), so marked and
+/// conforming traffic partition the cycle's accounting.
+#[must_use]
+pub fn check_fractions(
+    policy: &WatchPolicy,
+    marked_fraction: f64,
+    conform_fraction: f64,
+) -> Option<String> {
+    let eps = policy.fraction_epsilon;
+    for (name, v) in [
+        ("marked_fraction", marked_fraction),
+        ("conform_fraction", conform_fraction),
+    ] {
+        if !v.is_finite() || v < -eps || v > 1.0 + eps {
+            return Some(format!("{name} {} is outside [0, 1]", fmt_f64(v)));
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn policy() -> WatchPolicy {
+        WatchPolicy::default()
+    }
+
+    #[test]
+    fn delivery_within_epsilon_passes() {
+        // bound = min(2e12, 1e12) × 1.25
+        assert!(check_delivery(&policy(), 2e12, 1.24e12, 1e12).is_none());
+        let detail = check_delivery(&policy(), 2e12, 1.26e12, 1e12).expect("violation");
+        assert!(detail.contains("exceeds"), "{detail}");
+    }
+
+    #[test]
+    fn delivery_rejects_non_finite_accounting() {
+        assert!(check_delivery(&policy(), f64::NAN, 1.0, 1.0).is_some());
+        assert!(check_delivery(&policy(), 1.0, f64::INFINITY, 1.0).is_some());
+    }
+
+    #[test]
+    fn shard_sum_requires_bit_equality() {
+        let shards = [0.1, 0.2, 0.3];
+        let in_order: f64 = shards.iter().sum();
+        assert!(check_shard_sum(in_order, &shards).is_none());
+        // The reversed fold lands on different bits for these values —
+        // exactly the divergence the monitor exists to catch.
+        let reversed: f64 = shards.iter().rev().sum();
+        assert_ne!(in_order.to_bits(), reversed.to_bits());
+        assert!(check_shard_sum(reversed, &shards).is_some());
+    }
+
+    #[test]
+    fn residual_decrement_must_be_exact() {
+        assert!(check_residual(10.0, 7.5, 2.5).is_none());
+        // Over-grant clamps at zero.
+        assert!(check_residual(1.0, 0.0, 2.5).is_none());
+        assert!(check_residual(-1.0, 0.0, 0.0).is_some(), "negative before");
+        assert!(check_residual(1.0, -0.5, 0.0).is_some(), "negative after");
+        assert!(check_residual(1.0, 2.0, 0.0).is_some(), "residual grew");
+        assert!(check_residual(10.0, 7.0, 2.5).is_some(), "wrong decrement");
+    }
+
+    #[test]
+    fn fractions_must_be_shares() {
+        assert!(check_fractions(&policy(), 0.55, 0.45).is_none());
+        assert!(check_fractions(&policy(), 0.0, 1.0).is_none());
+        assert!(check_fractions(&policy(), 1.02, 0.5).is_some());
+        assert!(check_fractions(&policy(), 0.5, -0.2).is_some());
+        assert!(check_fractions(&policy(), f64::NAN, 0.5).is_some());
+    }
+}

@@ -58,14 +58,16 @@
 //!                          [--by-label KEY] [--tree]
 //!     Validate a trace file against the span schema and print a
 //!     per-(span, phase) latency table (count, total, mean, p50, p95,
-//!     max). With --by-label KEY, print an additional breakdown with
-//!     one row per distinct value of that label (events without it
-//!     pool under `(unlabelled)`). With --tree, also reconstruct the
-//!     schema-v2 span forest and print the aggregated call tree
-//!     (count, total vs self time per stack path) plus the critical
-//!     path through the longest root span. With --metrics, also
-//!     validate the Prometheus text file. Exits 1 when either file
-//!     fails validation.
+//!     p99.9, max). Durations are per-event self-time — children are
+//!     subtracted out of their parents — so the per-phase totals are
+//!     additive instead of counting nested spans twice. With
+//!     --by-label KEY, print an additional breakdown with one row per
+//!     distinct value of that label (events without it pool under
+//!     `(unlabelled)`). With --tree, also reconstruct the schema-v2
+//!     span forest and print the aggregated call tree (count, total vs
+//!     self time per stack path) plus the critical path through the
+//!     longest root span. With --metrics, also validate the Prometheus
+//!     text file. Exits 1 when either file fails validation.
 //!
 //! entitlectl obs flame <trace.jsonl> [--out stacks.folded]
 //!     Export the trace as folded stacks ("span/phase;... <self-µs>",
@@ -80,6 +82,36 @@
 //!     bare byte offset. Exits 0 when byte-identical, 1 on divergence,
 //!     2 on usage errors. The CI determinism gates run this instead of
 //!     `cmp` so a regression names the first differing event.
+//!
+//! entitlectl obs diff --counters <a.prom> <b.prom>
+//!     Two-snapshot counter audit instead of a byte diff: both files
+//!     must be valid Prometheus text, and every sample of a
+//!     `# TYPE … counter` family in the first snapshot must still
+//!     exist in the second with an equal-or-larger value. Counters are
+//!     monotone, so a decrease or disappearance between snapshots of
+//!     the same process is reported as a violation (exit 1). Gauges
+//!     and histogram buckets are ignored.
+//!
+//! entitlectl watch <trace.jsonl> [--json] [--follow [--idle-ms N]]
+//!     Re-fold the runtime watchdog over a recorded trace (any
+//!     `drill`/`market --trace` output): replay the `watch`/`cycle`,
+//!     `watch`/`shards` and `watch`/`admit` observation events through
+//!     the streaming evaluator — invariant monitors W0101–W0104 and
+//!     anomaly detectors W0105–W0107 — and print the watch report
+//!     (byte-identical to the one the live run computed). Exits 1
+//!     when the stream is unhealthy. With --follow, tail the file
+//!     instead: fold complete lines as they are appended, print each
+//!     violation and detector transition as it happens, and finish
+//!     with the full report once the file stops growing for
+//!     --idle-ms milliseconds (default 2000).
+//!
+//! --watch (drill, market)
+//!     Run the streaming watchdog alongside the drill/fleet/storm and
+//!     print its report after the run summary; exits 1 when the
+//!     watchdog saw a violation or a detector is still firing. On
+//!     `market`, the watch fold runs on the deterministic
+//!     counting-clock storm (the same one --trace records), so admit
+//!     latency is logical instrumentation density, not wall noise.
 //!
 //! entitlectl explain <trace.jsonl> (--request N | --all-denied)
 //!     Render the decision provenance of admission decisions from a
@@ -148,11 +180,14 @@
 
 use network_entitlement::chaos::FaultPlan;
 use network_entitlement::core::DetRng;
-use network_entitlement::enforcement::drill::{run_drill_obs, DrillConfig};
-use network_entitlement::enforcement::{run_fleet_engine_slo, FleetConfig, FleetStrategy};
+use network_entitlement::enforcement::drill::{run_drill_obs, run_drill_watch, DrillConfig};
+use network_entitlement::enforcement::{
+    run_fleet_engine_slo, run_fleet_engine_watch, FleetConfig, FleetStrategy,
+};
 use network_entitlement::hose::segment::FlowSeries;
 use network_entitlement::prelude::*;
 use network_entitlement::slo::{BenchRecord, BenchTolerance, SloEvaluator, SloPolicy};
+use network_entitlement::watch::{WatchEvaluator, WatchPolicy, WatchReport};
 use network_entitlement::telemetry::{traced_approval_preamble, TelemetrySpec};
 use network_entitlement::workload::matrix::MatrixSpec;
 use network_entitlement::workload::ontology::CatalogSpec;
@@ -197,9 +232,10 @@ fn main() {
         Some("lint") => lint_cmd(&args),
         Some("obs") => obs_cmd(&args),
         Some("slo") => slo_cmd(&args),
+        Some("watch") => watch_cmd(&args),
         Some("explain") => explain_cmd(&args),
         _ => {
-            eprintln!("usage: entitlectl <plan|show|check|drill|market|negotiate|topo|lint|obs|slo|explain> [options]");
+            eprintln!("usage: entitlectl <plan|show|check|drill|market|negotiate|topo|lint|obs|slo|watch|explain> [options]");
             eprintln!("see the module docs of src/bin/entitlectl.rs");
             std::process::exit(2);
         }
@@ -526,15 +562,24 @@ fn drill(args: &[String]) {
         // agent/KV spans.
         traced_approval_preamble(seed, &obs);
     }
-    let recorder = run_drill_obs(
-        &DrillConfig {
-            hosts,
-            seed,
-            faults,
-            ..Default::default()
-        },
-        &obs,
-    );
+    let config = DrillConfig {
+        hosts,
+        seed,
+        faults,
+        ..Default::default()
+    };
+    let want_watch = args.iter().any(|a| a == "--watch");
+    let (recorder, watch_report) = if want_watch {
+        let (recorder, _slo, watch) = run_drill_watch(
+            &config,
+            &obs,
+            &SloPolicy::default(),
+            &WatchPolicy::default(),
+        );
+        (recorder, Some(watch))
+    } else {
+        (run_drill_obs(&config, &obs), None)
+    };
     if let Some(csv) = arg_value(args, "--csv") {
         let names: Vec<&str> = vec![
             "rate_total_tbps",
@@ -600,7 +645,13 @@ max aggregate staleness {:.0} s",
             max_staleness / 1000.0
         );
     }
+    if let Some(watch) = &watch_report {
+        print!("{}", watch.render_text());
+    }
     write_telemetry(&tele, &obs);
+    if watch_report.as_ref().is_some_and(|w| !w.healthy()) {
+        std::process::exit(1);
+    }
 }
 
 /// Nearest-rank percentile over an ascending-sorted slice.
@@ -676,13 +727,32 @@ fn fleet_drill(args: &[String]) {
         ..FleetConfig::default()
     };
 
+    let want_watch = args.iter().any(|a| a == "--watch");
     let wall_obs = Obs::new(Clock::wall());
     let started = std::time::Instant::now();
-    let (out, report) = run_fleet_engine_slo(&config, &wall_obs, &SloPolicy::default())
+    // The fleet watchdog folds only deterministic SLI streams (rates,
+    // shard partials, held/missing counts), so running it on the
+    // wall-clock pass cannot produce clock-dependent verdicts.
+    let (out, report, watch_report) = if want_watch {
+        let (o, r, w) = run_fleet_engine_watch(
+            &config,
+            &wall_obs,
+            &SloPolicy::default(),
+            &WatchPolicy::default(),
+        )
         .unwrap_or_else(|e| {
             eprintln!("invalid fleet config: {e}");
             std::process::exit(2);
         });
+        (o, r, Some(w))
+    } else {
+        let (o, r) = run_fleet_engine_slo(&config, &wall_obs, &SloPolicy::default())
+            .unwrap_or_else(|e| {
+                eprintln!("invalid fleet config: {e}");
+                std::process::exit(2);
+            });
+        (o, r, None)
+    };
     let wall_s = started.elapsed().as_secs_f64();
 
     let mut cycle_ms: Vec<f64> = wall_obs
@@ -736,11 +806,17 @@ fn fleet_drill(args: &[String]) {
         );
     }
 
+    if let Some(watch) = &watch_report {
+        print!("{}", watch.render_text());
+    }
     let tele = TelemetrySpec::from_args(args);
     if tele.requested() {
         let obs = tele.make_obs();
         let _ = run_fleet_engine_slo(&config, &obs, &SloPolicy::default());
         write_telemetry(&tele, &obs);
+    }
+    if watch_report.as_ref().is_some_and(|w| !w.healthy()) {
+        std::process::exit(1);
     }
 }
 
@@ -767,7 +843,15 @@ fn load_trace(args: &[String], skip: usize, usage: &str) -> Vec<network_entitlem
 
 /// Flags that take no value — the token after one of these is a
 /// positional argument, not the flag's operand.
-const BOOLEAN_FLAGS: &[&str] = &["--json", "--write-bench", "--tree", "--all-denied"];
+const BOOLEAN_FLAGS: &[&str] = &[
+    "--json",
+    "--write-bench",
+    "--tree",
+    "--all-denied",
+    "--follow",
+    "--watch",
+    "--counters",
+];
 
 /// Whether `candidate` is the value of a `--flag value` pair (so a
 /// positional scan can skip it).
@@ -785,7 +869,7 @@ fn obs_cmd(args: &[String]) {
     const USAGE: &str = "entitlectl obs <summarize|flame|diff> ...\n\
          entitlectl obs summarize <trace.jsonl> [--metrics m.prom] [--by-label KEY] [--tree]\n\
          entitlectl obs flame <trace.jsonl> [--out stacks.folded]\n\
-         entitlectl obs diff <a> <b>";
+         entitlectl obs diff [--counters] <a> <b>";
     match args.get(1).map(String::as_str) {
         Some("summarize") => {}
         Some("flame") => return obs_flame(args, USAGE),
@@ -856,9 +940,12 @@ fn obs_flame(args: &[String], usage: &str) {
 
 /// `obs diff`: structural first-divergence diff of two telemetry files.
 /// Trace (JSONL) vs Prometheus text is auto-detected from the first
-/// non-blank line; exit 0 identical, 1 divergent, 2 usage.
+/// non-blank line; exit 0 identical, 1 divergent, 2 usage. With
+/// `--counters`, a monotonicity audit of two Prometheus snapshots
+/// instead: counter-family samples may not decrease or disappear from
+/// the first to the second.
 fn obs_diff(args: &[String], usage: &str) {
-    use network_entitlement::obs::{diff_prometheus, diff_traces};
+    use network_entitlement::obs::{diff_counters, diff_prometheus, diff_traces};
     let mut paths = args[2..].iter().filter(|a| !a.starts_with("--"));
     let (Some(pa), Some(pb)) = (paths.next(), paths.next()) else {
         eprintln!("usage: {usage}");
@@ -871,6 +958,25 @@ fn obs_diff(args: &[String], usage: &str) {
         })
     };
     let (a, b) = (read(pa), read(pb));
+    if args.iter().any(|arg| arg == "--counters") {
+        match diff_counters(&a, &b) {
+            Ok(violations) if violations.is_empty() => {
+                println!("{pa} -> {pb}: counters monotone");
+            }
+            Ok(violations) => {
+                eprintln!("{pa} -> {pb}:");
+                for v in &violations {
+                    eprintln!("  {v}");
+                }
+                std::process::exit(1);
+            }
+            Err(e) => {
+                eprintln!("{e}");
+                std::process::exit(2);
+            }
+        }
+        return;
+    }
     let is_trace = |t: &str| {
         t.lines()
             .find(|l| !l.trim().is_empty())
@@ -1038,6 +1144,134 @@ fn slo_cmd(args: &[String]) {
         }
     }
     if failed {
+        std::process::exit(1);
+    }
+}
+
+/// `watch`: re-fold the runtime watchdog over a recorded trace, or
+/// tail a growing trace file with `--follow`.
+fn watch_cmd(args: &[String]) {
+    const USAGE: &str =
+        "entitlectl watch <trace.jsonl> [--json] [--follow [--idle-ms N]]";
+    if args.iter().any(|a| a == "--follow") {
+        return watch_follow(args, USAGE);
+    }
+    let events = load_trace(args, 1, USAGE);
+    let mut evaluator = WatchEvaluator::new(WatchPolicy::default());
+    evaluator.fold_trace(&events);
+    let report = evaluator.report();
+    if args.iter().any(|a| a == "--json") {
+        println!("{}", report.render_json());
+    } else {
+        print!("{}", report.render_text());
+    }
+    if !report.healthy() {
+        std::process::exit(1);
+    }
+}
+
+/// Print the report entries appended since the last poll (live tail
+/// output); returns the updated (violations, transitions) watermarks.
+fn watch_print_new(report: &WatchReport, seen_v: usize, seen_t: usize) -> (usize, usize) {
+    for v in &report.violations[seen_v..] {
+        let shard = if v.shard >= 0 {
+            format!(" s{}", v.shard)
+        } else {
+            String::new()
+        };
+        println!(
+            "{} cycle {} {}/{}{}: {}",
+            v.code, v.cycle, v.entity, v.qos, shard, v.detail
+        );
+    }
+    for t in &report.transitions[seen_t..] {
+        println!(
+            "{} {} cycle {} {}/{} stat={}",
+            t.code,
+            t.kind.as_str(),
+            t.cycle,
+            t.entity,
+            t.qos,
+            t.stat
+        );
+    }
+    (report.violations.len(), report.transitions.len())
+}
+
+/// `watch --follow`: tail a trace file, folding complete lines as they
+/// are appended and printing violations/transitions live. Ends (with
+/// the full report) once the file stops growing for `--idle-ms`.
+fn watch_follow(args: &[String], usage: &str) {
+    let path = args[1..]
+        .iter()
+        .find(|a| !a.starts_with("--") && !is_flag_value(args, 1, a))
+        .unwrap_or_else(|| {
+            eprintln!("usage: {usage}");
+            std::process::exit(2);
+        });
+    let idle_ms: u64 = arg_value(args, "--idle-ms").map_or(2000, |s| {
+        s.parse().unwrap_or_else(|_| {
+            eprintln!("--idle-ms expects milliseconds, got `{s}`");
+            std::process::exit(2);
+        })
+    });
+    let poll = std::time::Duration::from_millis(100);
+    let mut evaluator = WatchEvaluator::new(WatchPolicy::default());
+    let mut consumed_lines = 0usize;
+    let mut consumed_bytes = 0usize;
+    let (mut seen_v, mut seen_t) = (0usize, 0usize);
+    let mut seen_file = false;
+    let mut last_growth = std::time::Instant::now();
+    loop {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => {
+                seen_file = true;
+                t
+            }
+            Err(e) => {
+                // The producer may not have created the file yet; keep
+                // waiting until the idle deadline.
+                if last_growth.elapsed().as_millis() as u64 >= idle_ms {
+                    eprintln!("cannot read {path}: {e}");
+                    std::process::exit(if seen_file { 1 } else { 2 });
+                }
+                std::thread::sleep(poll);
+                continue;
+            }
+        };
+        // Only complete (newline-terminated) lines are folded; a
+        // partially written last line waits for the next poll.
+        let complete = text.rfind('\n').map_or(0, |i| i + 1);
+        if complete > consumed_bytes {
+            for line in text[consumed_bytes..complete].lines() {
+                consumed_lines += 1;
+                if line.trim().is_empty() {
+                    continue;
+                }
+                let events =
+                    network_entitlement::obs::parse_trace(line).unwrap_or_else(|e| {
+                        eprintln!("{path} line {consumed_lines}: invalid trace: {e}");
+                        std::process::exit(1);
+                    });
+                evaluator.fold_trace(&events);
+            }
+            consumed_bytes = complete;
+            let report = evaluator.report();
+            (seen_v, seen_t) = watch_print_new(&report, seen_v, seen_t);
+            last_growth = std::time::Instant::now();
+        } else if last_growth.elapsed().as_millis() as u64 >= idle_ms {
+            break;
+        }
+        std::thread::sleep(poll);
+    }
+    let report = evaluator.report();
+    println!();
+    if args.iter().any(|a| a == "--json") {
+        println!("{}", report.render_json());
+    } else {
+        print!("{}", report.render_text());
+    }
+    if !report.healthy() {
         std::process::exit(1);
     }
 }
@@ -1227,12 +1461,29 @@ index fails closed to the sweep path on every cut and heal"
         );
     }
 
-    // Deterministic telemetry run: same storm, counting clock.
+    // Deterministic run: same storm, counting clock. Runs when
+    // telemetry files were requested and/or --watch asked for the
+    // watchdog fold (admit latency under the counting clock is logical
+    // instrumentation density — the sweep path reads the clock more
+    // than the warm index path — so detector verdicts stay
+    // reproducible, unlike wall-clock microseconds).
     let tele = TelemetrySpec::from_args(args);
-    if tele.requested() {
-        let obs = tele.make_obs();
+    let want_watch = args.iter().any(|a| a == "--watch");
+    if tele.requested() || want_watch {
+        use network_entitlement::watch::AdmitObs;
+        let obs = if tele.requested() {
+            tele.make_obs()
+        } else {
+            // --watch alone: deterministic clock, but nothing retains
+            // the trace.
+            Obs {
+                trace: network_entitlement::obs::TraceSink::disabled(),
+                ..Obs::new(Clock::counting(1))
+            }
+        };
         let (mut market, storm) = build(&obs);
         let mut evaluator = SloEvaluator::new(SloPolicy::default());
+        let mut watchdog = WatchEvaluator::new(WatchPolicy::default());
         let chunk = (requests / 16).max(1);
         let mut chunk_granted_bps = 0.0;
         let mut active_cuts: Vec<u32> = Vec::new();
@@ -1248,7 +1499,21 @@ index fails closed to the sweep path on every cut and heal"
                     active_cuts = cuts;
                 }
             }
+            let t0 = obs.clock.now_ms();
             let d = market.admit_obs(req, &obs);
+            let admit_ms = obs.clock.now_ms().saturating_sub(t0) as f64;
+            watchdog.observe_admit(
+                &obs,
+                &AdmitObs {
+                    request: i as u64,
+                    ask_bps: req.ask.as_bps(),
+                    granted_bps: d.granted.as_bps(),
+                    residual_before_bps: d.residual_before.as_bps(),
+                    residual_after_bps: d.residual_after.as_bps(),
+                    admit_ms,
+                    path: d.path.as_str().to_string(),
+                },
+            );
             chunk_granted_bps += d.granted.as_bps();
             if (i + 1) % chunk == 0 || i + 1 == storm.len() {
                 // The SLO tracks delivery of *admitted* volume: every
@@ -1270,6 +1535,13 @@ index fails closed to the sweep path on every cut and heal"
             }
         }
         write_telemetry(&tele, &obs);
+        if want_watch {
+            let report = watchdog.report();
+            print!("{}", report.render_text());
+            if !report.healthy() {
+                std::process::exit(1);
+            }
+        }
     }
 }
 

@@ -34,7 +34,10 @@
 //!   topologies, and availability curves (`entitlectl lint`);
 //! * [`slo`] — windowed SLO evaluation over the obs outputs:
 //!   attainment, multi-window burn-rate alerts, utilization audit, and
-//!   run-to-run regression tracking (`entitlectl slo report|audit`).
+//!   run-to-run regression tracking (`entitlectl slo report|audit`);
+//! * [`watch`] — the runtime watchdog: streaming invariant monitors
+//!   (`W01xx`) and EWMA/CUSUM anomaly detectors over live SLI streams,
+//!   with offline trace refold (`entitlectl watch`).
 //!
 //! ## Quickstart
 //!
@@ -73,6 +76,7 @@ pub use entitlement_risk as risk;
 pub use entitlement_simnet as simnet;
 pub use entitlement_slo as slo;
 pub use entitlement_topology as topology;
+pub use entitlement_watch as watch;
 pub use entitlement_workload as workload;
 
 /// The most commonly used items in one import.
@@ -84,7 +88,8 @@ pub mod prelude {
     };
     pub use entitlement_chaos::{Fault, FaultKind, FaultPlan, TimeWindow};
     pub use entitlement_enforcement::{
-        run_drill, run_drill_obs, run_drill_slo, Agent, AgentConfig, ContractDb, DrillConfig,
+        run_drill, run_drill_obs, run_drill_slo, run_drill_watch, Agent, AgentConfig, ContractDb,
+        DrillConfig,
         Marker, MarkingStrategy, Meter,
         StatefulMeter, StatelessMeter,
     };
@@ -107,6 +112,7 @@ pub mod prelude {
         BenchRecord, BenchTolerance, BurnAlert, SloEvaluator, SloPolicy, SloReport,
     };
     pub use entitlement_topology::{BackboneSpec, ScenarioSet, Topology};
+    pub use entitlement_watch::{WatchEvaluator, WatchPolicy, WatchReport};
     pub use entitlement_workload::{
         HistorySpec, Incident, MatrixSpec, ServiceCatalog, TrafficMatrix, TrafficPattern,
     };

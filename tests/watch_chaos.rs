@@ -1,0 +1,376 @@
+//! Chaos matrix for the runtime watchdog: every seeded fault family
+//! must fire the *right* W-code within a bounded number of cycles of
+//! the fault window opening, and clear (or stop violating) within a
+//! bounded number of cycles of recovery. Healthy seeds stay silent,
+//! and the offline trace refold reproduces the streaming report byte
+//! for byte even under faults.
+//!
+//! Fault families and their expected signatures:
+//!
+//! * `kv_outage.json` (shard outage, ticks 240..320) — aggregates
+//!   unreadable, agent goes fail-static, staleness grows 30 s/cycle:
+//!   the W0105 staleness CUSUM fires on the first dark cycle and
+//!   clears once fresh reads drain the statistic.
+//! * `stale_reads.json` (frozen snapshot, ticks 40..120) — reads keep
+//!   *succeeding* but serve pre-cut aggregates (~0.9 T, below the
+//!   post-cut 1 T entitlement), so the stateful meter's recovery
+//!   branch un-throttles everything while true demand ramps past the
+//!   entitlement: conforming delivery breaches the W0101 delivery
+//!   invariant until the window closes and the meter re-throttles.
+//!   No detector fires — staleness stays 0 (reads succeed) — which is
+//!   exactly why the invariant monitor exists.
+//! * `link_cut.json` (links cut, admissions 1000..5000) — the warm
+//!   residual index fails closed to the sweep path, whose logical
+//!   admit latency is an order of magnitude higher: the W0107 admit
+//!   latency CUSUM fires on the first post-cut admission and ends the
+//!   run cleared once the index re-warms after the heal.
+//!
+//! Same seed matrix as `tests/chaos.rs`; set `CHAOS_SEED=<n>` to pin
+//! one seed when reproducing a failure.
+
+use network_entitlement::analyzer::Code;
+use network_entitlement::obs::parse_trace;
+use network_entitlement::prelude::*;
+use network_entitlement::watch::{AdmitObs, WatchKind};
+
+/// The CI seed matrix, or the single `CHAOS_SEED` override.
+fn seeds() -> Vec<u64> {
+    match std::env::var("CHAOS_SEED") {
+        Ok(s) => vec![s.parse().expect("CHAOS_SEED must be a u64")],
+        Err(_) => vec![0xD217, 0xBEEF, 0x5EED],
+    }
+}
+
+/// The shipped outage: the KV store is dark from minute 120 to minute
+/// 160 — drill ticks 240..320 at the 30 s default cadence.
+const OUTAGE_START_TICK: u64 = 240;
+const RECOVERY_TICK: u64 = 320;
+
+/// The shipped stale-reads window: minute 20 to minute 60, i.e. ticks
+/// 40..120 — opened *before* the minute-30 entitlement cut so the
+/// frozen aggregates under-report against the post-cut contract.
+const STALE_WINDOW_CLOSE_TICK: u64 = 120;
+
+/// The shipped link cut: logical ms 1000..5000, and the market loop
+/// advances logical time one ms per admission.
+const LINK_CUT_START_ADMIT: u64 = 1000;
+
+fn plan(name: &str) -> FaultPlan {
+    let text = std::fs::read_to_string(format!("examples/faults/{name}"))
+        .expect("example fault plan exists");
+    FaultPlan::from_json(&text).expect("example fault plan parses")
+}
+
+fn drill_config(seed: u64, faults: Option<FaultPlan>) -> DrillConfig {
+    DrillConfig {
+        hosts: 300,
+        seed,
+        faults,
+        ..Default::default()
+    }
+}
+
+fn watch_drill(seed: u64, faults: Option<FaultPlan>) -> WatchReport {
+    let (_, _, report) = run_drill_watch(
+        &drill_config(seed, faults),
+        &Obs::disabled(),
+        &SloPolicy::default(),
+        &WatchPolicy::default(),
+    );
+    report
+}
+
+/// A healthy drill stays completely silent: no invariant violations,
+/// no detector transitions, nothing firing at the end.
+#[test]
+fn healthy_drill_watchdog_is_silent() {
+    for seed in seeds() {
+        let report = watch_drill(seed, None);
+        assert!(
+            report.healthy(),
+            "seed {seed:#x}:\n{}",
+            report.render_text()
+        );
+        assert_eq!(report.cycles, 499, "seed {seed:#x}: one cycle per metered tick");
+    }
+}
+
+/// The KV outage fires the staleness CUSUM within a handful of cycles
+/// of the store going dark and clears within the drain bound after
+/// recovery — and fires nothing else.
+#[test]
+fn kv_outage_fires_staleness_cusum_within_bounds() {
+    let policy = WatchPolicy::default();
+    // After recovery the statistic drains from its 2h cap to the clear
+    // level (clear_fraction × h) at ≥ `slack` per fresh cycle, then the
+    // hysteresis run must complete.
+    let drain = ((2.0 - policy.clear_fraction) * policy.cusum_threshold / policy.cusum_slack)
+        .ceil() as u64;
+    let clear_bound = RECOVERY_TICK + drain + policy.hysteresis as u64;
+    for seed in seeds() {
+        let report = watch_drill(seed, Some(plan("kv_outage.json")));
+        assert!(
+            report.violations.is_empty(),
+            "seed {seed:#x}: an outage is a detector event, not an invariant breach:\n{}",
+            report.render_text()
+        );
+        assert!(
+            report.transitions.iter().all(|t| t.code == Code::W0105),
+            "seed {seed:#x}: only the staleness detector reacts: {:?}",
+            report.transitions
+        );
+        let fires: Vec<u64> = report
+            .transitions
+            .iter()
+            .filter(|t| t.kind == WatchKind::Fire)
+            .map(|t| t.cycle)
+            .collect();
+        let clears: Vec<u64> = report
+            .transitions
+            .iter()
+            .filter(|t| t.kind == WatchKind::Clear)
+            .map(|t| t.cycle)
+            .collect();
+        assert_eq!(fires.len(), 1, "seed {seed:#x}: one outage, one fire");
+        assert_eq!(clears.len(), 1, "seed {seed:#x}: one recovery, one clear");
+        assert!(
+            (OUTAGE_START_TICK..OUTAGE_START_TICK + 5).contains(&fires[0]),
+            "seed {seed:#x}: fire at cycle {}, outage starts at {OUTAGE_START_TICK}",
+            fires[0]
+        );
+        assert!(
+            (RECOVERY_TICK..=clear_bound).contains(&clears[0]),
+            "seed {seed:#x}: clear at cycle {}, bound {clear_bound}",
+            clears[0]
+        );
+        assert!(
+            report.firing.is_empty(),
+            "seed {seed:#x}: the detector ended cleared"
+        );
+    }
+}
+
+/// Stale reads silently un-throttle the meter (the frozen pre-cut
+/// aggregates sit below the post-cut entitlement, so the recovery
+/// branch opens the tap while true demand ramps): the W0101 delivery
+/// monitor flags every settled cycle whose conforming delivery
+/// breaches the entitlement bound, and the violations stop within a
+/// few cycles of the window closing.
+#[test]
+fn stale_reads_unthrottle_fires_delivery_monitor() {
+    for seed in seeds() {
+        let report = watch_drill(seed, Some(plan("stale_reads.json")));
+        assert!(
+            report.transitions.is_empty(),
+            "seed {seed:#x}: staleness is 0 (reads succeed) — no detector may fire: {:?}",
+            report.transitions
+        );
+        assert!(
+            !report.violations.is_empty(),
+            "seed {seed:#x}: the un-throttled ramp must breach W0101"
+        );
+        assert!(
+            report.violations.iter().all(|v| v.code == Code::W0101),
+            "seed {seed:#x}: only the delivery invariant breaks:\n{}",
+            report.render_text()
+        );
+        let first = report.violations.first().unwrap().cycle;
+        let last = report.violations.last().unwrap().cycle;
+        // Demand crosses the 1.25 T delivery bound around minute 47
+        // (tick ~94); the breach must start once demand passes the
+        // bound and end within a few re-throttle cycles of the window
+        // closing at tick 120.
+        assert!(
+            (85..=105).contains(&first),
+            "seed {seed:#x}: first W0101 at cycle {first}"
+        );
+        assert!(
+            (STALE_WINDOW_CLOSE_TICK - 5..STALE_WINDOW_CLOSE_TICK + 5).contains(&last),
+            "seed {seed:#x}: last W0101 at cycle {last}, window closes at tick \
+             {STALE_WINDOW_CLOSE_TICK}"
+        );
+        assert!(
+            report.violations.len() >= 10,
+            "seed {seed:#x}: a sustained breach, not a blip ({} violations)",
+            report.violations.len()
+        );
+    }
+}
+
+/// Run the market admission storm under the watchdog exactly the way
+/// `entitlectl market --watch` does: deterministic counting clock,
+/// link cuts applied at logical time = admission ordinal.
+fn market_storm_watch(seed: u64, requests: usize, faults: Option<FaultPlan>) -> WatchReport {
+    use network_entitlement::core::{QosBand, QosBucket, QosClass};
+    use network_entitlement::market::generate_storm;
+    use network_entitlement::topology::LinkId;
+
+    let topo = BackboneSpec::small(seed).build();
+    let dcs = topo.dc_ids();
+    let grid = SliceGrid::quarterly(Quarter(0), 7);
+    let cfg = ApprovalConfig {
+        tms_per_hose: 2,
+        max_cuts: 1,
+        ..Default::default()
+    };
+    let buckets: Vec<QosBucket> = [QosClass::C3, QosClass::C4]
+        .into_iter()
+        .flat_map(|class| {
+            [QosBand::Low, QosBand::High]
+                .into_iter()
+                .map(move |band| QosBucket { class, band })
+        })
+        .collect();
+    let b = buckets[0];
+    let contracts = vec![
+        MarketEntitlement {
+            npg: NpgId(100),
+            bucket: b,
+            src: dcs[0],
+            dst: dcs[1],
+            rate: Rate::gbps(20.0),
+            kind: EntitlementKind::Subscription,
+        },
+        MarketEntitlement {
+            npg: NpgId(101),
+            bucket: b,
+            src: dcs[1],
+            dst: dcs[2 % dcs.len()],
+            rate: Rate::gbps(15.0),
+            kind: EntitlementKind::Subscription,
+        },
+    ];
+
+    let obs = Obs {
+        trace: network_entitlement::obs::TraceSink::disabled(),
+        ..Obs::new(Clock::counting(1))
+    };
+    let mut market = EntitlementMarket::new(topo, grid, cfg);
+    market.load_contracts(&contracts);
+    market.warm(&buckets, &obs);
+    let storm = generate_storm(
+        &market,
+        &buckets,
+        &StormConfig {
+            requests,
+            seed,
+            npgs: 32,
+            max_ask_gbps: 2.0,
+        },
+    );
+
+    let mut watchdog = WatchEvaluator::new(WatchPolicy::default());
+    let mut active_cuts: Vec<u32> = Vec::new();
+    for (i, req) in storm.iter().enumerate() {
+        if let Some(p) = &faults {
+            let cuts = p.cut_links(i as u64);
+            if cuts != active_cuts {
+                market.clear_faults();
+                if !cuts.is_empty() {
+                    let links: Vec<LinkId> = cuts.iter().map(|&l| LinkId(l)).collect();
+                    market.apply_fault(&links);
+                }
+                active_cuts = cuts;
+            }
+        }
+        let t0 = obs.clock.now_ms();
+        let d = market.admit_obs(req, &obs);
+        let admit_ms = obs.clock.now_ms().saturating_sub(t0) as f64;
+        watchdog.observe_admit(
+            &obs,
+            &AdmitObs {
+                request: i as u64,
+                ask_bps: req.ask.as_bps(),
+                granted_bps: d.granted.as_bps(),
+                residual_before_bps: d.residual_before.as_bps(),
+                residual_after_bps: d.residual_after.as_bps(),
+                admit_ms,
+                path: d.path.as_str().to_string(),
+            },
+        );
+    }
+    watchdog.report()
+}
+
+/// A healthy admission storm stays entirely on the warm index path and
+/// the watchdog is silent.
+#[test]
+fn healthy_market_storm_watchdog_is_silent() {
+    for seed in seeds() {
+        let report = market_storm_watch(seed, 5_000, None);
+        assert!(
+            report.healthy(),
+            "seed {seed:#x}:\n{}",
+            report.render_text()
+        );
+        assert_eq!(report.admits, 5_000);
+    }
+}
+
+/// The link cut pushes admissions onto the slow sweep path: the W0107
+/// admit latency CUSUM fires on the first post-cut admission (the
+/// sweep's logical latency blows straight through the threshold) and
+/// the run ends cleared once the healed index re-warms.
+#[test]
+fn market_link_cut_fires_admit_latency_cusum() {
+    for seed in seeds() {
+        let report = market_storm_watch(seed, 20_000, Some(plan("link_cut.json")));
+        assert!(
+            report.violations.is_empty(),
+            "seed {seed:#x}: a cut slows admissions, it never corrupts the residual:\n{}",
+            report.render_text()
+        );
+        assert!(
+            report.transitions.iter().all(|t| t.code == Code::W0107),
+            "seed {seed:#x}: only the admit latency detector reacts: {:?}",
+            report.transitions
+        );
+        let first_fire = report
+            .transitions
+            .iter()
+            .find(|t| t.kind == WatchKind::Fire)
+            .expect("the cut fires the detector")
+            .cycle;
+        // Admission i is watchdog cycle i+1; the cut lands at logical
+        // ms 1000 = admission 1000 = cycle 1001.
+        assert!(
+            (LINK_CUT_START_ADMIT + 1..LINK_CUT_START_ADMIT + 6).contains(&first_fire),
+            "seed {seed:#x}: first fire at cycle {first_fire}, cut at admission \
+             {LINK_CUT_START_ADMIT}"
+        );
+        assert!(
+            report
+                .transitions
+                .iter()
+                .all(|t| t.cycle > LINK_CUT_START_ADMIT),
+            "seed {seed:#x}: the pre-cut prefix is silent"
+        );
+        assert!(
+            report.firing.is_empty(),
+            "seed {seed:#x}: the detector ended cleared:\n{}",
+            report.render_text()
+        );
+    }
+}
+
+/// Re-folding the emitted trace offline reproduces the streaming
+/// report byte for byte — under faults, not just on healthy runs.
+#[test]
+fn offline_refold_matches_streaming_under_faults() {
+    for fault in ["kv_outage.json", "stale_reads.json"] {
+        let obs = Obs::new(Clock::manual(0));
+        let (_, _, live) = run_drill_watch(
+            &drill_config(0xD217, Some(plan(fault))),
+            &obs,
+            &SloPolicy::default(),
+            &WatchPolicy::default(),
+        );
+        let events = parse_trace(&obs.trace.to_jsonl()).expect("trace parses");
+        let mut folded = WatchEvaluator::new(WatchPolicy::default());
+        folded.fold_trace(&events);
+        let offline = folded.report();
+        assert_eq!(live.render_json(), offline.render_json(), "{fault}");
+        assert_eq!(live.render_text(), offline.render_text(), "{fault}");
+        assert_eq!(live, offline, "{fault}");
+    }
+}
